@@ -1,0 +1,167 @@
+// Reproduces Table 2: "Algorithm comparison for performing sum over a tuple
+// stream. A tumbling window of size of 100 tuples is used for aggregation."
+//
+// Paper's reported numbers (throughput in tuples/sec, variance distance to
+// the exact CF-inversion result):
+//   Histogram      3382    0.083
+//   CF (inversion)  466    0
+//   CF (approx.)  10593    0.012
+//
+// We report the same three rows measured on this machine plus the two
+// bonus strategies (Monte Carlo, CLT). Absolute throughput depends on
+// hardware; the reproduction claims are the orderings: CF approx fastest
+// AND near-exact; inversion exact but slowest; histogram in between on
+// speed with clearly worse accuracy.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "stats/gaussian_mixture.h"
+#include "stats/metrics.h"
+#include "uncertain/sum_strategies.h"
+
+namespace {
+
+using usp::stats::Distribution;
+using usp::stats::GaussianMixture;
+using usp::uncertain::SumStrategy;
+
+constexpr size_t kWindowSize = 100;
+constexpr size_t kNumWindows = 10;
+
+// "The input distributions are different for different tuples, and are
+// generated from mixture Gaussian distributions to simulate arbitrary
+// real-world distributions."
+std::vector<std::shared_ptr<const Distribution>> MakeStream(uint64_t seed) {
+  usp::common::Rng rng(seed);
+  std::vector<std::shared_ptr<const Distribution>> out;
+  out.reserve(kWindowSize * kNumWindows);
+  for (size_t i = 0; i < kWindowSize * kNumWindows; ++i) {
+    std::vector<GaussianMixture::Component> comps;
+    const size_t k = 1 + rng.UniformInt(3);
+    for (size_t c = 0; c < k; ++c) {
+      comps.push_back(
+          {0.2 + rng.Uniform(), rng.Uniform(-5.0, 5.0), 0.3 + rng.Uniform()});
+    }
+    out.push_back(std::make_shared<GaussianMixture>(
+        GaussianMixture::Make(std::move(comps)).MoveValueUnsafe()));
+  }
+  return out;
+}
+
+struct Row {
+  std::string name;
+  double throughput_tps;
+  double variance_distance;
+};
+
+Row MeasureStrategy(
+    SumStrategy* strategy,
+    const std::vector<std::shared_ptr<const Distribution>>& stream,
+    const std::vector<usp::stats::DistributionPtr>& exact_per_window) {
+  usp::common::Stopwatch sw;
+  std::vector<usp::stats::DistributionPtr> results;
+  results.reserve(kNumWindows);
+  for (size_t w = 0; w < kNumWindows; ++w) {
+    std::vector<const Distribution*> window;
+    window.reserve(kWindowSize);
+    for (size_t i = 0; i < kWindowSize; ++i) {
+      window.push_back(stream[w * kWindowSize + i].get());
+    }
+    auto sum = strategy->SumOf(window);
+    results.push_back(sum.ok() ? sum.MoveValueUnsafe() : nullptr);
+  }
+  const double seconds = sw.ElapsedSeconds();
+  double dist = 0.0;
+  size_t counted = 0;
+  for (size_t w = 0; w < kNumWindows; ++w) {
+    if (!results[w] || !exact_per_window[w]) continue;
+    dist += usp::stats::VarianceDistance(*results[w], *exact_per_window[w]);
+    ++counted;
+  }
+  return {strategy->name(),
+          static_cast<double>(kWindowSize * kNumWindows) / seconds,
+          counted ? dist / static_cast<double>(counted) : 1.0};
+}
+
+void PrintTable2() {
+  const auto stream = MakeStream(42);
+  // Exact reference per window: CF inversion at high resolution. "We use
+  // the exact result distribution calculated from the inversion of the
+  // characteristic function as a criterion to calibrate the accuracy."
+  usp::uncertain::CfInversionSum exact(4096);
+  std::vector<usp::stats::DistributionPtr> reference;
+  for (size_t w = 0; w < kNumWindows; ++w) {
+    std::vector<const Distribution*> window;
+    for (size_t i = 0; i < kWindowSize; ++i) {
+      window.push_back(stream[w * kWindowSize + i].get());
+    }
+    auto sum = exact.SumOf(window);
+    reference.push_back(sum.ok() ? sum.MoveValueUnsafe() : nullptr);
+  }
+
+  usp::uncertain::HistogramSum histogram(128);
+  usp::uncertain::CfInversionSum inversion(
+      256, usp::uncertain::CfInversionSum::Mode::kQuadrature);
+  usp::uncertain::CfInversionSum inversion_fft(1024);
+  usp::uncertain::CfApproxSum approx(1);
+  usp::uncertain::MonteCarloSum mc(1000, 7);
+  usp::uncertain::CltSum clt;
+
+  printf("\n=== Table 2: SUM over a tuple stream "
+         "(tumbling window of %zu tuples, %zu windows) ===\n",
+         kWindowSize, kNumWindows);
+  printf("%-16s %14s %18s   %s\n", "Algorithm", "Throughput",
+         "VarianceDistance", "(paper: 3382/0.083, 466/0, 10593/0.012)");
+  const Row rows[] = {
+      MeasureStrategy(&histogram, stream, reference),
+      MeasureStrategy(&inversion, stream, reference),
+      MeasureStrategy(&inversion_fft, stream, reference),
+      MeasureStrategy(&approx, stream, reference),
+      MeasureStrategy(&mc, stream, reference),
+      MeasureStrategy(&clt, stream, reference),
+  };
+  for (const Row& r : rows) {
+    printf("%-16s %14.0f %18.4f\n", r.name.c_str(), r.throughput_tps,
+           r.variance_distance);
+  }
+  printf("\n");
+}
+
+// Micro-benchmarks of a single 100-tuple window per strategy.
+template <typename Strategy>
+void BM_SumWindow(benchmark::State& state, Strategy* strategy) {
+  static const auto stream = MakeStream(43);
+  std::vector<const Distribution*> window;
+  for (size_t i = 0; i < kWindowSize; ++i) window.push_back(stream[i].get());
+  for (auto _ : state) {
+    auto sum = strategy->SumOf(window);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kWindowSize));
+}
+
+usp::uncertain::HistogramSum g_hist(128);
+usp::uncertain::CfInversionSum g_inv(1024);
+usp::uncertain::CfApproxSum g_approx(1);
+usp::uncertain::CltSum g_clt;
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_SumWindow, histogram, &g_hist);
+BENCHMARK_CAPTURE(BM_SumWindow, cf_inversion, &g_inv);
+BENCHMARK_CAPTURE(BM_SumWindow, cf_approx, &g_approx);
+BENCHMARK_CAPTURE(BM_SumWindow, clt, &g_clt);
+
+int main(int argc, char** argv) {
+  PrintTable2();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

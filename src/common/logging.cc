@@ -1,0 +1,44 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstring>
+
+namespace usp {
+namespace common {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = strrchr(path, '/');
+  return slash ? slash + 1 : path;
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
+
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& msg) {
+  if (static_cast<int>(level) < g_level.load()) return;
+  fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), Basename(file), line,
+          msg.c_str());
+}
+
+}  // namespace common
+}  // namespace usp

@@ -1,0 +1,55 @@
+// Minimal leveled logging for the library. Kept deliberately small: the
+// stream engine reports metrics through its own channels; logging is for
+// diagnostics only and is compiled in at all levels, filtered at runtime.
+
+#ifndef USP_COMMON_LOGGING_H_
+#define USP_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+namespace usp {
+namespace common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global runtime log threshold; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emit a single log line (thread-safe at the stdio level).
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& msg);
+
+namespace internal {
+
+/// Stream-style capture used by the USP_LOG macro.
+class LogCapture {
+ public:
+  LogCapture(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogCapture() { LogMessage(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogCapture& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace common
+}  // namespace usp
+
+#define USP_LOG(level)                                                   \
+  ::usp::common::internal::LogCapture(::usp::common::LogLevel::k##level, \
+                                      __FILE__, __LINE__)
+
+#endif  // USP_COMMON_LOGGING_H_

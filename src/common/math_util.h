@@ -1,0 +1,60 @@
+// Small numeric helpers shared across the statistics substrate.
+
+#ifndef USP_COMMON_MATH_UTIL_H_
+#define USP_COMMON_MATH_UTIL_H_
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+namespace usp {
+namespace common {
+
+inline constexpr double kPi = 3.14159265358979323846;
+inline constexpr double kSqrt2 = 1.41421356237309504880;
+inline constexpr double kSqrt2Pi = 2.50662827463100050242;
+
+/// log(sum_i exp(x_i)) computed stably; returns -inf for an empty input.
+double LogSumExp(const std::vector<double>& xs);
+
+/// Standard normal pdf phi(z).
+double StdNormalPdf(double z);
+/// Standard normal cdf Phi(z) via erfc for accuracy in the tails.
+double StdNormalCdf(double z);
+/// Inverse standard normal cdf (Acklam's rational approximation refined by
+/// one Halley step); |error| < 1e-12 over (0,1).
+double StdNormalQuantile(double p);
+
+/// Numerically stable mean and (population) variance of weighted samples.
+/// Weights need not be normalized. Returns {mean, variance}; variance is 0
+/// for fewer than one effective sample.
+struct MeanVar {
+  double mean = 0.0;
+  double variance = 0.0;
+};
+MeanVar WeightedMeanVar(const std::vector<double>& values,
+                        const std::vector<double>& weights);
+
+/// Clamp helper (std::clamp without the include in hot headers).
+inline double Clamp(double v, double lo, double hi) {
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+/// True if |a-b| <= atol + rtol*max(|a|,|b|).
+inline bool AlmostEqual(double a, double b, double atol = 1e-12,
+                        double rtol = 1e-9) {
+  return std::fabs(a - b) <=
+         atol + rtol * std::fmax(std::fabs(a), std::fabs(b));
+}
+
+/// In-place iterative radix-2 Cooley-Tukey FFT. data.size() must be a power
+/// of two. inverse=true applies the conjugate transform and divides by N.
+void Fft(std::vector<std::complex<double>>& data, bool inverse);
+
+/// Smallest power of two >= n (n >= 1).
+size_t NextPow2(size_t n);
+
+}  // namespace common
+}  // namespace usp
+
+#endif  // USP_COMMON_MATH_UTIL_H_

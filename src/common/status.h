@@ -1,0 +1,151 @@
+// Status / Result error model, following the RocksDB/Arrow idiom: no
+// exceptions cross library boundaries; fallible functions return Status or
+// Result<T>.
+
+#ifndef USP_COMMON_STATUS_H_
+#define USP_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace usp {
+namespace common {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kNumericError,     ///< divergence, non-convergence, NaN/Inf encountered
+  kResourceExhausted,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Human-readable name of a StatusCode ("OK", "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// \brief Outcome of a fallible operation: a code plus an optional message.
+///
+/// A default-constructed Status is OK. Statuses are cheap to copy (the
+/// message is only allocated on error paths).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NumericError(std::string msg) {
+    return Status(StatusCode::kNumericError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Mirrors arrow::Result. Access via ValueOrDie()/value() only after
+/// checking ok(); MoveValueUnsafe() for hot paths that already checked.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value (success).
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit from an error status. Must not be OK.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& MoveValueUnsafe() { return std::move(*value_); }
+
+  const T& ValueOrDie() const& {
+    if (!ok()) {
+      // Library-boundary invariant violation; abort loudly rather than UB.
+      fprintf(stderr, "Result::ValueOrDie on error: %s\n",
+              status_.ToString().c_str());
+      abort();
+    }
+    return *value_;
+  }
+
+  /// Value if ok, otherwise the supplied fallback.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace common
+}  // namespace usp
+
+/// Propagate a non-OK Status from an expression, RocksDB-style.
+#define USP_RETURN_NOT_OK(expr)                  \
+  do {                                           \
+    ::usp::common::Status _st = (expr);          \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+/// Assign from a Result<T> or propagate its error.
+#define USP_ASSIGN_OR_RETURN(lhs, rexpr)         \
+  auto _res_##__LINE__ = (rexpr);                \
+  if (!_res_##__LINE__.ok()) return _res_##__LINE__.status(); \
+  lhs = _res_##__LINE__.MoveValueUnsafe();
+
+#endif  // USP_COMMON_STATUS_H_

@@ -1,0 +1,19 @@
+#include "common/stopwatch.h"
+
+namespace usp {
+namespace common {
+
+void Stopwatch::Restart() { start_ = std::chrono::steady_clock::now(); }
+
+double Stopwatch::ElapsedSeconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+double Stopwatch::ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+double Stopwatch::ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+}  // namespace common
+}  // namespace usp

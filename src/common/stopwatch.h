@@ -1,0 +1,34 @@
+// Wall-clock stopwatch used by benches and the executor's per-operator
+// metrics.
+
+#ifndef USP_COMMON_STOPWATCH_H_
+#define USP_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace usp {
+namespace common {
+
+/// \brief Monotonic stopwatch with microsecond resolution.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  /// Reset the epoch to now.
+  void Restart();
+
+  /// Seconds elapsed since construction or last Restart().
+  double ElapsedSeconds() const;
+  /// Milliseconds elapsed.
+  double ElapsedMillis() const;
+  /// Microseconds elapsed.
+  double ElapsedMicros() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace common
+}  // namespace usp
+
+#endif  // USP_COMMON_STOPWATCH_H_

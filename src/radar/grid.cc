@@ -1,0 +1,85 @@
+#include "radar/grid.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace usp {
+namespace radar {
+
+VoxelGrid::VoxelGrid(const Extent& extent) : extent_(extent) {
+  assert(extent_.x_max_m > extent_.x_min_m &&
+         extent_.y_max_m > extent_.y_min_m && extent_.cell_m > 0.0);
+  width_ = static_cast<size_t>(
+               std::ceil((extent_.x_max_m - extent_.x_min_m) /
+                         extent_.cell_m));
+  height_ = static_cast<size_t>(
+                std::ceil((extent_.y_max_m - extent_.y_min_m) /
+                          extent_.cell_m));
+  cells_.assign(width_ * height_, VoxelData{});
+}
+
+void VoxelGrid::Clear() { cells_.assign(width_ * height_, VoxelData{}); }
+
+std::optional<std::pair<size_t, size_t>> VoxelGrid::LocateWorld(
+    double x_m, double y_m) const {
+  if (x_m < extent_.x_min_m || x_m >= extent_.x_max_m ||
+      y_m < extent_.y_min_m || y_m >= extent_.y_max_m) {
+    return std::nullopt;
+  }
+  const size_t col =
+      static_cast<size_t>((x_m - extent_.x_min_m) / extent_.cell_m);
+  const size_t row =
+      static_cast<size_t>((y_m - extent_.y_min_m) / extent_.cell_m);
+  if (col >= width_ || row >= height_) return std::nullopt;
+  return std::make_pair(col, row);
+}
+
+std::pair<double, double> VoxelGrid::CellCenter(size_t col, size_t row) const {
+  return {extent_.x_min_m + (static_cast<double>(col) + 0.5) * extent_.cell_m,
+          extent_.y_min_m + (static_cast<double>(row) + 0.5) * extent_.cell_m};
+}
+
+common::Status VoxelGrid::AddBeam(const RadarSite& site,
+                                  const MomentBeam& beam) {
+  const double cos_a = std::cos(beam.azimuth_rad);
+  const double sin_a = std::sin(beam.azimuth_rad);
+  for (size_t g = 0; g < beam.gates.size(); ++g) {
+    const double range = (static_cast<double>(g) + 0.5) * kGateSpacingM;
+    const double x = site.x_m + range * cos_a;
+    const double y = site.y_m + range * sin_a;
+    const auto loc = LocateWorld(x, y);
+    if (!loc.has_value()) continue;
+    VoxelData& cell = at(loc->first, loc->second);
+    const MomentData& m = beam.gates[g];
+    if (cell.contributions == 0) {
+      cell.reflectivity_db = m.reflectivity_db;
+      cell.velocity_mps = m.velocity_mps;
+      cell.velocity_variance = m.velocity_variance;
+      cell.contributions = 1;
+      continue;
+    }
+    // Precision-weighted fusion of the velocity estimates (the product of
+    // two Gaussian likelihoods); reflectivity fuses by plain averaging.
+    const double va = cell.velocity_variance;
+    const double vb = m.velocity_variance;
+    if (va > 0.0 && vb > 0.0) {
+      const double wa = 1.0 / va;
+      const double wb = 1.0 / vb;
+      cell.velocity_mps =
+          (wa * cell.velocity_mps + wb * m.velocity_mps) / (wa + wb);
+      cell.velocity_variance = 1.0 / (wa + wb);
+    } else {
+      const double c = static_cast<double>(cell.contributions);
+      cell.velocity_mps = (cell.velocity_mps * c + m.velocity_mps) / (c + 1.0);
+      cell.velocity_variance = 0.0;
+    }
+    const double c = static_cast<double>(cell.contributions);
+    cell.reflectivity_db =
+        (cell.reflectivity_db * c + m.reflectivity_db) / (c + 1.0);
+    ++cell.contributions;
+  }
+  return common::Status::OK();
+}
+
+}  // namespace radar
+}  // namespace usp

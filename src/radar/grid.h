@@ -1,0 +1,73 @@
+// Polar-to-Cartesian conversion and multi-radar merging (§2.2 "Merged
+// data"): beams from each radar are mapped into a shared Cartesian voxel
+// grid; where coverage overlaps, per-voxel velocity estimates from
+// different radars are fused. With per-estimate variances available
+// (§4.4), the fusion is precision-weighted — the uncertainty-aware version
+// of the paper's merge join.
+
+#ifndef USP_RADAR_GRID_H_
+#define USP_RADAR_GRID_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "radar/types.h"
+
+namespace usp {
+namespace radar {
+
+/// One fused voxel.
+struct VoxelData {
+  double reflectivity_db = 0.0;
+  double velocity_mps = 0.0;       ///< fused radial velocity estimate
+  double velocity_variance = 0.0;  ///< fused variance
+  size_t contributions = 0;        ///< number of beams that hit the voxel
+};
+
+/// \brief Cartesian voxel grid accumulating moment beams from many radars.
+class VoxelGrid {
+ public:
+  struct Extent {
+    double x_min_m, x_max_m;
+    double y_min_m, y_max_m;
+    double cell_m;
+  };
+
+  explicit VoxelGrid(const Extent& extent);
+
+  size_t width() const { return width_; }
+  size_t height() const { return height_; }
+  const Extent& extent() const { return extent_; }
+
+  /// Rasterize a beam from `site` into the grid: each gate's moment data
+  /// lands in the voxel containing its (range, azimuth) ground position,
+  /// fused with whatever is already there by inverse-variance weighting
+  /// (plain averaging when variances are missing/zero).
+  common::Status AddBeam(const RadarSite& site, const MomentBeam& beam);
+
+  /// Voxel accessor; (col, row) with col along x.
+  const VoxelData& at(size_t col, size_t row) const {
+    return cells_[row * width_ + col];
+  }
+  VoxelData& at(size_t col, size_t row) { return cells_[row * width_ + col]; }
+
+  /// Voxel containing a world position, if inside the extent.
+  std::optional<std::pair<size_t, size_t>> LocateWorld(double x_m,
+                                                       double y_m) const;
+
+  /// World-space center of a voxel.
+  std::pair<double, double> CellCenter(size_t col, size_t row) const;
+
+  void Clear();
+
+ private:
+  Extent extent_;
+  size_t width_, height_;
+  std::vector<VoxelData> cells_;
+};
+
+}  // namespace radar
+}  // namespace usp
+
+#endif  // USP_RADAR_GRID_H_

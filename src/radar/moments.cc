@@ -1,0 +1,92 @@
+#include "radar/moments.h"
+
+#include <cmath>
+#include <complex>
+
+#include "stats/timeseries.h"
+
+namespace usp {
+namespace radar {
+
+common::Result<stats::Gaussian> AveragedVelocityDistribution(
+    const std::vector<double>& per_pulse_velocity, size_t ma_order) {
+  return stats::CltMeanOfMaSeries(per_pulse_velocity, ma_order);
+}
+
+common::Status MomentEstimator::AddPulse(const Pulse& pulse) {
+  window_.push_back(pulse);
+  if (window_.size() < opts_.averaging_size) return common::Status::OK();
+  beams_.push_back(ComputeBeam());
+  window_.clear();
+  return common::Status::OK();
+}
+
+MomentBeam MomentEstimator::ComputeBeam() const {
+  const size_t n = window_.size();
+  const size_t gates = window_.front().gates.size();
+  MomentBeam beam;
+  beam.time_s = window_.back().time_s;
+  // Midpoint azimuth of the block: averaging across a rotating antenna
+  // smears the beam over the swept arc — the resolution loss Table 1
+  // quantifies.
+  beam.azimuth_rad = 0.5 * (window_.front().azimuth_rad +
+                            window_.back().azimuth_rad);
+  beam.gates.resize(gates);
+
+  const double prt = 1.0 / kPulsesPerSecond;
+  std::vector<double> pp_velocity(n - 1);
+  for (size_t g = 0; g < gates; ++g) {
+    // Lag-0 power and lag-1 complex autocorrelation across the block.
+    double p0 = 0.0;
+    std::complex<double> r1(0.0, 0.0);
+    for (size_t t = 0; t < n; ++t) {
+      const GateSample& s = window_[t].gates[g];
+      p0 += static_cast<double>(s.i) * s.i + static_cast<double>(s.q) * s.q;
+      if (t + 1 < n) {
+        const GateSample& s1 = window_[t + 1].gates[g];
+        const std::complex<double> z0(s.i, s.q);
+        const std::complex<double> z1(s1.i, s1.q);
+        r1 += std::conj(z0) * z1;
+        // Instantaneous pulse-pair velocity for the uncertainty series.
+        const std::complex<double> pair = std::conj(z0) * z1;
+        pp_velocity[t] =
+            kWavelengthM / (4.0 * M_PI * prt) * std::arg(pair);
+      }
+    }
+    p0 /= static_cast<double>(n);
+    r1 /= static_cast<double>(n - 1);
+
+    MomentData& m = beam.gates[g];
+    m.pulses_averaged = n;
+    m.reflectivity_db = 10.0 * std::log10(std::max(p0, 1e-12)) + 20.0;
+    m.velocity_mps = kWavelengthM / (4.0 * M_PI * prt) * std::arg(r1);
+    // Spectral width from the R1/R0 ratio (|R1| <= R0 always).
+    const double ratio = std::abs(r1) / std::max(p0, 1e-12);
+    const double clamped = std::min(std::max(ratio, 1e-6), 1.0);
+    m.spectral_width_mps = kWavelengthM / (2.0 * M_PI * prt * 1.414213562) *
+                           std::sqrt(std::max(0.0, std::log(1.0 / clamped)));
+    // Velocity uncertainty via the MA CLT over the per-pulse series.
+    size_t q = opts_.default_ma_order;
+    if (opts_.identify_ma_order && pp_velocity.size() > 8) {
+      q = stats::IdentifyMaOrder(pp_velocity, opts_.max_ma_order);
+    }
+    auto clt = stats::CltMeanOfMaSeries(pp_velocity, q);
+    if (clt.ok()) {
+      m.velocity_variance = clt.value().Variance();
+    } else {
+      // Degenerate block (e.g. constant series): fall back to the sample
+      // variance of the pair velocities over n.
+      double mean = 0.0;
+      for (double v : pp_velocity) mean += v;
+      mean /= static_cast<double>(pp_velocity.size());
+      double var = 0.0;
+      for (double v : pp_velocity) var += (v - mean) * (v - mean);
+      var /= static_cast<double>(pp_velocity.size());
+      m.velocity_variance = var / static_cast<double>(pp_velocity.size());
+    }
+  }
+  return beam;
+}
+
+}  // namespace radar
+}  // namespace usp

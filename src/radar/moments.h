@@ -1,0 +1,71 @@
+// The radar signal processor + averaging T operator (§2.2, §4.4): turns N
+// consecutive pulses into one moment beam per gate via pulse-pair
+// processing, and quantifies the uncertainty of the averaged velocity with
+// the MA-model CLT ("we can use the Central Limit Theorem to obtain
+// asymptotic results for aggregation, disregarding the precise input
+// distributions, as long as the MA assumption holds").
+
+#ifndef USP_RADAR_MOMENTS_H_
+#define USP_RADAR_MOMENTS_H_
+
+#include <deque>
+
+#include "common/status.h"
+#include "radar/types.h"
+#include "stats/gaussian.h"
+
+namespace usp {
+namespace radar {
+
+/// \brief Pulse-pair moment estimation over a block of pulses.
+///
+/// For each gate the lag-1 complex autocorrelation R1 of the I/Q series
+/// gives velocity v = -lambda/(4 pi T) * arg(R1); power gives
+/// reflectivity; the R1/R0 magnitude ratio gives spectral width.
+class MomentEstimator {
+ public:
+  struct Options {
+    /// Pulses averaged per moment output — Table 1's sweep variable.
+    size_t averaging_size = 40;
+    /// Identify the per-gate MA order for the velocity uncertainty (at
+    /// most two scans of the block, §4.4); when false, uses the
+    /// configured default order.
+    bool identify_ma_order = true;
+    size_t max_ma_order = 6;
+    size_t default_ma_order = 3;
+  };
+
+  explicit MomentEstimator(const Options& options) : opts_(options) {}
+
+  /// Push a pulse; emits a completed MomentBeam every `averaging_size`
+  /// pulses (the beam azimuth is the block's midpoint azimuth).
+  common::Status AddPulse(const Pulse& pulse);
+  /// Beams completed so far (drained by the caller).
+  std::vector<MomentBeam>& beams() { return beams_; }
+
+  const Options& options() const { return opts_; }
+
+  /// Bytes of moment data per beam (the Table 1 "Moment Data Size" unit):
+  /// 4 floats per gate, matching the paper's raw item layout.
+  static size_t BeamBytes(size_t num_gates) {
+    return num_gates * 4 * sizeof(float);
+  }
+
+ private:
+  MomentBeam ComputeBeam() const;
+
+  Options opts_;
+  std::deque<Pulse> window_;
+  std::vector<MomentBeam> beams_;
+};
+
+/// Asymptotic Gaussian for the averaged velocity of one gate: extracts the
+/// per-pulse instantaneous velocity series and applies the MA CLT.
+/// Exposed for tests; MomentEstimator uses it internally.
+common::Result<stats::Gaussian> AveragedVelocityDistribution(
+    const std::vector<double>& per_pulse_velocity, size_t ma_order);
+
+}  // namespace radar
+}  // namespace usp
+
+#endif  // USP_RADAR_MOMENTS_H_

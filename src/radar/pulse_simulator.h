@@ -1,0 +1,95 @@
+// Synthetic radar pulse generator (DESIGN.md substitution for the CASA
+// May 9 2007 raw trace): a sector-scanning X-band radar observing a wind
+// field with embedded Rankine-vortex tornado signatures. Per-gate I/Q time
+// series follow the standard weather-signal model — a complex sinusoid
+// whose pulse-to-pulse phase advance encodes radial velocity, amplitude
+// from the reflectivity field, plus MA(q)-correlated receiver noise (the
+// §4.4 correlation structure the averaging analysis relies on).
+
+#ifndef USP_RADAR_PULSE_SIMULATOR_H_
+#define USP_RADAR_PULSE_SIMULATOR_H_
+
+#include "common/rng.h"
+#include "radar/types.h"
+
+namespace usp {
+namespace radar {
+
+/// An idealized tornado: a Rankine vortex at a fixed location.
+struct Vortex {
+  double x_m = 0.0;
+  double y_m = 0.0;
+  double core_radius_m = 500.0;
+  double max_tangential_mps = 40.0;
+
+  /// Tangential wind speed at distance r from the center.
+  double TangentialSpeed(double r_m) const;
+};
+
+/// Scene description: background wind plus vortices plus storm reflectivity.
+struct WindField {
+  double background_u_mps = 4.0;  ///< west-east component
+  double background_v_mps = 2.0;  ///< south-north component
+  std::vector<Vortex> vortices;
+
+  /// Radial velocity seen by a radar at `site` looking at ground position
+  /// (x, y): projection of the total wind onto the line of sight.
+  double RadialVelocity(const RadarSite& site, double x_m, double y_m) const;
+  /// Reflectivity (dBZ) at a ground position: storm background elevated
+  /// near vortices.
+  double ReflectivityDb(double x_m, double y_m) const;
+};
+
+/// Simulator configuration.
+struct PulseSimConfig {
+  RadarSite site;
+  size_t num_gates = kDefaultNumGates;
+  double gate_spacing_m = kGateSpacingM;
+  double sector_start_rad = 0.0;
+  double sector_end_rad = 1.5707963267948966;  ///< 90 degree sector
+  double rotation_rate_rad_per_s = 0.16535;    ///< sweeps a sector in ~9.5 s
+  double noise_stddev = 0.35;    ///< receiver noise amplitude (rel. signal 1)
+  size_t noise_ma_order = 3;     ///< MA(q) correlation of the noise
+  uint64_t seed = 2007;
+};
+
+/// \brief Streaming pulse source: NextPulse() yields pulses at 2000 Hz as
+/// the antenna sweeps the sector back and forth.
+class PulseSimulator {
+ public:
+  PulseSimulator(const PulseSimConfig& config, const WindField& wind);
+
+  /// Generate the next pulse (advances time by 1/2000 s).
+  Pulse NextPulse();
+
+  const PulseSimConfig& config() const { return config_; }
+  const WindField& wind() const { return wind_; }
+  double now_s() const { return now_s_; }
+
+  /// Ground-truth radial velocity for a gate at the given azimuth.
+  double TrueRadialVelocity(double azimuth_rad, size_t gate) const;
+
+  /// Bytes of raw data per second at this configuration (205 Mb/s check).
+  double RawBytesPerSecond() const;
+
+ private:
+  PulseSimConfig config_;
+  WindField wind_;
+  common::Rng rng_;
+  double now_s_ = 0.0;
+  double azimuth_ = 0.0;
+  bool sweeping_up_ = true;
+  // Per-gate oscillator phase (persistent across pulses so the pulse-pair
+  // phase advance encodes velocity).
+  std::vector<double> phase_;
+  // MA(q) noise state: ring buffers of past innovations per channel.
+  std::vector<double> ma_coeffs_;
+  std::vector<std::vector<double>> noise_hist_i_;
+  std::vector<std::vector<double>> noise_hist_q_;
+  size_t hist_pos_ = 0;
+};
+
+}  // namespace radar
+}  // namespace usp
+
+#endif  // USP_RADAR_PULSE_SIMULATOR_H_

@@ -1,0 +1,58 @@
+#include "radar/stream_adapter.h"
+
+#include <cmath>
+
+#include "stats/gaussian.h"
+
+namespace usp {
+namespace radar {
+
+stream::SchemaPtr MomentTupleSchema() {
+  return std::make_shared<stream::Schema>(std::vector<stream::Field>{
+      {"azimuth_rad", stream::ValueKind::kDouble},
+      {"range_m", stream::ValueKind::kDouble},
+      {"reflectivity_db", stream::ValueKind::kDouble},
+      {"velocity", stream::ValueKind::kDistribution},
+      {"spectral_width", stream::ValueKind::kDouble},
+  });
+}
+
+common::Status BeamToTuples(const MomentBeam& beam,
+                            const BeamTupleOptions& options,
+                            stream::Collector* out) {
+  if (out == nullptr) {
+    return common::Status::InvalidArgument("BeamToTuples: null collector");
+  }
+  const int64_t ts_us = static_cast<int64_t>(beam.time_s * 1e6);
+  for (size_t g = 0; g < beam.gates.size(); ++g) {
+    const MomentData& m = beam.gates[g];
+    if (m.reflectivity_db < options.min_reflectivity_db) continue;
+    const double sd = std::sqrt(
+        std::max(m.velocity_variance, options.min_velocity_variance));
+    auto vel = stats::Gaussian::Make(m.velocity_mps, sd);
+    if (!vel.ok()) return vel.status();
+    stream::Tuple tuple(
+        ts_us,
+        {stream::Value(beam.azimuth_rad),
+         stream::Value((static_cast<double>(g) + 0.5) * kGateSpacingM),
+         stream::Value(m.reflectivity_db),
+         stream::Value(stats::DistributionPtr(
+             std::make_shared<stats::Gaussian>(vel.MoveValueUnsafe()))),
+         stream::Value(m.spectral_width_mps)});
+    tuple.InitBaseLineage();
+    out->Emit(std::move(tuple));
+  }
+  return common::Status::OK();
+}
+
+common::Status ScanToTuples(const std::vector<MomentBeam>& beams,
+                            const BeamTupleOptions& options,
+                            stream::Collector* out) {
+  for (const MomentBeam& beam : beams) {
+    USP_RETURN_NOT_OK(BeamToTuples(beam, options, out));
+  }
+  return common::Status::OK();
+}
+
+}  // namespace radar
+}  // namespace usp

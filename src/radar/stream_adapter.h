@@ -1,0 +1,46 @@
+// Bridges the radar signal chain into the box-arrow engine: each gate of a
+// moment beam becomes a stream tuple whose velocity attribute carries the
+// MA-CLT Gaussian from §4.4 — this is the radar T operator's output format
+// (§3: "each tuple carrying velocity for each voxel"), ready for the
+// relational operators in uncertain::.
+
+#ifndef USP_RADAR_STREAM_ADAPTER_H_
+#define USP_RADAR_STREAM_ADAPTER_H_
+
+#include "common/status.h"
+#include "radar/types.h"
+#include "stream/operator.h"
+#include "stream/schema.h"
+
+namespace usp {
+namespace radar {
+
+/// Output schema of BeamToTuples:
+/// (azimuth_rad: double, range_m: double, reflectivity_db: double,
+///  velocity: distribution, spectral_width: double).
+stream::SchemaPtr MomentTupleSchema();
+
+/// Options for beam-to-tuple conversion.
+struct BeamTupleOptions {
+  /// Gates below this reflectivity are skipped (clear air carries no
+  /// useful velocity estimate).
+  double min_reflectivity_db = -1e9;
+  /// Variance floor so degenerate gates still produce a valid Gaussian.
+  double min_velocity_variance = 1e-9;
+};
+
+/// Convert one beam into tuples (timestamp = beam time in microseconds;
+/// tuples are base tuples with their own lineage) and emit them.
+common::Status BeamToTuples(const MomentBeam& beam,
+                            const BeamTupleOptions& options,
+                            stream::Collector* out);
+
+/// Convert a full scan; beams are emitted in order.
+common::Status ScanToTuples(const std::vector<MomentBeam>& beams,
+                            const BeamTupleOptions& options,
+                            stream::Collector* out);
+
+}  // namespace radar
+}  // namespace usp
+
+#endif  // USP_RADAR_STREAM_ADAPTER_H_

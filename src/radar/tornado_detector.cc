@@ -1,0 +1,241 @@
+#include "radar/tornado_detector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "common/math_util.h"
+
+namespace usp {
+namespace radar {
+
+namespace {
+
+// One above-threshold shear hit: a gate where the velocity span across an
+// azimuthal window of beams exceeds the threshold.
+struct ShearHit {
+  double azimuth;  // midpoint of the extreme beams
+  size_t gate;
+  double shear;    // vmax - vmin (signed by construction >= 0)
+  double probability;
+};
+
+// Monotonic deque index tracker for sliding-window max/min.
+class MonotonicWindow {
+ public:
+  explicit MonotonicWindow(bool is_max) : is_max_(is_max) {}
+  void Push(size_t idx, double value) {
+    while (!dq_.empty() && (is_max_ ? dq_.back().second <= value
+                                    : dq_.back().second >= value)) {
+      dq_.pop_back();
+    }
+    dq_.emplace_back(idx, value);
+  }
+  void PopBefore(size_t idx) {
+    while (!dq_.empty() && dq_.front().first < idx) dq_.pop_front();
+  }
+  bool empty() const { return dq_.empty(); }
+  size_t index() const { return dq_.front().first; }
+  double value() const { return dq_.front().second; }
+
+ private:
+  bool is_max_;
+  std::deque<std::pair<size_t, double>> dq_;
+};
+
+}  // namespace
+
+std::vector<TornadoDetection> TornadoDetector::DetectInScan(
+    const std::vector<MomentBeam>& beams) const {
+  std::vector<TornadoDetection> out;
+  if (beams.size() < 2) return out;
+  std::vector<const MomentBeam*> sorted;
+  sorted.reserve(beams.size());
+  for (const auto& b : beams) sorted.push_back(&b);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const MomentBeam* a, const MomentBeam* b) {
+              return a->azimuth_rad < b->azimuth_rad;
+            });
+  const size_t n = sorted.size();
+  const size_t max_gate = static_cast<size_t>(
+      std::min<double>(static_cast<double>(sorted.front()->gates.size()),
+                       opts_.max_range_m / kGateSpacingM));
+
+  // Beams whose spacing to the next beam exceeds the resolvable gap break
+  // windows (coarse scans after aggressive averaging cannot host a
+  // couplet measurement).
+  std::vector<bool> gap_bad(n, false);
+  for (size_t i = 0; i + 1 < n; ++i) {
+    gap_bad[i] = (sorted[i + 1]->azimuth_rad - sorted[i]->azimuth_rad) >
+                 opts_.max_beam_gap_rad;
+  }
+
+  std::vector<ShearHit> hits;
+  // Per gate: sliding azimuth window of width couplet_window_rad; a hit is
+  // the peak of each contiguous run where (vmax - vmin) >= threshold.
+  for (size_t g = 0; g < max_gate; ++g) {
+    MonotonicWindow maxw(true), minw(false);
+    size_t lo = 0;          // window start index
+    size_t bad_gaps = 0;    // count of bad gaps inside [lo, hi)
+    ShearHit best{};        // peak of the current run
+    bool in_run = false;
+    for (size_t hi = 0; hi < n; ++hi) {
+      const MomentData& cell = sorted[hi]->gates[g];
+      const bool valid = cell.reflectivity_db >= opts_.min_reflectivity_db;
+      if (valid) {
+        maxw.Push(hi, cell.velocity_mps);
+        minw.Push(hi, cell.velocity_mps);
+      }
+      if (hi > 0 && gap_bad[hi - 1]) ++bad_gaps;
+      // Shrink the window to the configured azimuth width.
+      while (lo < hi && sorted[hi]->azimuth_rad - sorted[lo]->azimuth_rad >
+                            opts_.couplet_window_rad) {
+        if (gap_bad[lo]) --bad_gaps;
+        ++lo;
+      }
+      maxw.PopBefore(lo);
+      minw.PopBefore(lo);
+      double shear = 0.0;
+      double prob = 0.0;
+      if (bad_gaps == 0 && !maxw.empty() && !minw.empty() &&
+          maxw.index() != minw.index()) {
+        shear = maxw.value() - minw.value();
+        const double var = sorted[maxw.index()]->gates[g].velocity_variance +
+                           sorted[minw.index()]->gates[g].velocity_variance;
+        if (shear >= opts_.shear_threshold_mps) {
+          if (var > 0.0) {
+            prob = 1.0 - common::StdNormalCdf(
+                             (opts_.shear_threshold_mps - shear) /
+                             std::sqrt(var));
+          } else {
+            prob = 1.0;
+          }
+        }
+      }
+      const bool over = shear >= opts_.shear_threshold_mps &&
+                        prob >= opts_.min_probability;
+      if (over) {
+        const double az = 0.5 * (sorted[maxw.index()]->azimuth_rad +
+                                 sorted[minw.index()]->azimuth_rad);
+        if (!in_run || shear > best.shear) {
+          best = {az, g, shear, prob};
+        }
+        in_run = true;
+      } else if (in_run) {
+        hits.push_back(best);
+        in_run = false;
+      }
+    }
+    if (in_run) hits.push_back(best);
+  }
+  if (hits.empty()) return out;
+
+  // Cluster hits adjacent in (azimuth, gate): same signature across
+  // neighboring gates merges into one detection.
+  std::sort(hits.begin(), hits.end(), [](const ShearHit& a,
+                                         const ShearHit& b) {
+    return a.gate != b.gate ? a.gate < b.gate : a.azimuth < b.azimuth;
+  });
+  std::vector<int> cluster_of(hits.size(), -1);
+  int num_clusters = 0;
+  for (size_t i = 0; i < hits.size(); ++i) {
+    for (size_t j = i; j-- > 0;) {
+      if (hits[i].gate - hits[j].gate > 2) break;
+      if (std::fabs(hits[i].azimuth - hits[j].azimuth) <=
+          opts_.couplet_window_rad) {
+        cluster_of[i] = cluster_of[j];
+        break;
+      }
+    }
+    if (cluster_of[i] < 0) cluster_of[i] = num_clusters++;
+  }
+  for (int c = 0; c < num_clusters; ++c) {
+    TornadoDetection det;
+    double az_sum = 0.0, range_sum = 0.0;
+    size_t count = 0;
+    double peak = 0.0, peak_prob = 0.0;
+    for (size_t i = 0; i < hits.size(); ++i) {
+      if (cluster_of[i] != c) continue;
+      az_sum += hits[i].azimuth;
+      range_sum += (static_cast<double>(hits[i].gate) + 0.5) * kGateSpacingM;
+      if (hits[i].shear > peak) {
+        peak = hits[i].shear;
+        peak_prob = hits[i].probability;
+      }
+      ++count;
+    }
+    if (count < opts_.min_cluster_cells) continue;
+    det.azimuth_rad = az_sum / static_cast<double>(count);
+    det.range_m = range_sum / static_cast<double>(count);
+    det.peak_shear_mps = peak;
+    det.probability = peak_prob;
+    det.cluster_cells = count;
+    out.push_back(det);
+  }
+  // Final pass: merge detections that are fragments of one signature (the
+  // clustering above is local in (pair, gate) and can split a vortex whose
+  // hits straddle a gap). Two detections within ~2 core diameters merge.
+  const double merge_m = 1500.0;
+  for (size_t i = 0; i < out.size(); ++i) {
+    for (size_t j = i + 1; j < out.size();) {
+      const double xi = out[i].range_m * std::cos(out[i].azimuth_rad);
+      const double yi = out[i].range_m * std::sin(out[i].azimuth_rad);
+      const double xj = out[j].range_m * std::cos(out[j].azimuth_rad);
+      const double yj = out[j].range_m * std::sin(out[j].azimuth_rad);
+      if (std::hypot(xi - xj, yi - yj) <= merge_m) {
+        const double wi = static_cast<double>(out[i].cluster_cells);
+        const double wj = static_cast<double>(out[j].cluster_cells);
+        out[i].azimuth_rad =
+            (wi * out[i].azimuth_rad + wj * out[j].azimuth_rad) / (wi + wj);
+        out[i].range_m =
+            (wi * out[i].range_m + wj * out[j].range_m) / (wi + wj);
+        if (std::fabs(out[j].peak_shear_mps) >
+            std::fabs(out[i].peak_shear_mps)) {
+          out[i].peak_shear_mps = out[j].peak_shear_mps;
+          out[i].probability = out[j].probability;
+        }
+        out[i].cluster_cells += out[j].cluster_cells;
+        out.erase(out.begin() + static_cast<ptrdiff_t>(j));
+      } else {
+        ++j;
+      }
+    }
+  }
+  return out;
+}
+
+DetectionScore ScoreDetections(
+    const std::vector<TornadoDetection>& found, const RadarSite& site,
+    const std::vector<std::pair<double, double>>& truth_xy,
+    double tolerance_m) {
+  DetectionScore score;
+  std::vector<bool> used(found.size(), false);
+  for (const auto& [tx, ty] : truth_xy) {
+    bool matched = false;
+    for (size_t i = 0; i < found.size(); ++i) {
+      if (used[i]) continue;
+      const double fx =
+          site.x_m + found[i].range_m * std::cos(found[i].azimuth_rad);
+      const double fy =
+          site.y_m + found[i].range_m * std::sin(found[i].azimuth_rad);
+      const double d = std::hypot(fx - tx, fy - ty);
+      if (d <= tolerance_m) {
+        used[i] = true;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) {
+      ++score.true_positives;
+    } else {
+      ++score.false_negatives;
+    }
+  }
+  score.false_positives = found.size() -
+                          static_cast<size_t>(std::count(used.begin(),
+                                                         used.end(), true));
+  return score;
+}
+
+}  // namespace radar
+}  // namespace usp

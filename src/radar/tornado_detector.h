@@ -1,0 +1,80 @@
+// Tornado detection on moment data (DESIGN.md substitution for CASA's
+// meteorological algorithm): the classic tornado-vortex-signature
+// criterion — a gate-to-gate azimuthal velocity couplet. Adjacent beams
+// whose radial velocities differ by more than a shear threshold over
+// consecutive gates form a detection cluster.
+//
+// The detector is uncertainty-aware: with per-estimate velocity variances
+// (§4.4) it computes P(|shear| > threshold) for each couplet and reports
+// that probability, so downstream consumers see detection quality — the
+// paper's stated end goal for the CASA pipeline.
+
+#ifndef USP_RADAR_TORNADO_DETECTOR_H_
+#define USP_RADAR_TORNADO_DETECTOR_H_
+
+#include <vector>
+
+#include "radar/types.h"
+
+namespace usp {
+namespace radar {
+
+/// One reported tornado signature.
+struct TornadoDetection {
+  double azimuth_rad = 0.0;  ///< cluster centroid
+  double range_m = 0.0;
+  double peak_shear_mps = 0.0;
+  double probability = 1.0;  ///< P(|shear| > threshold) at the peak
+  size_t cluster_cells = 0;
+};
+
+/// \brief Azimuthal-shear couplet detector over one sector scan.
+class TornadoDetector {
+ public:
+  struct Options {
+    /// Velocity span (vmax - vmin) across the couplet window that counts
+    /// as a tornado-vortex signature.
+    double shear_threshold_mps = 20.0;
+    double min_reflectivity_db = 25.0;  ///< storm gate requirement
+    size_t min_cluster_cells = 2;       ///< reject single-cell noise hits
+    double min_probability = 0.5;       ///< confidence gate on P(shear)
+    double max_range_m = 45000.0;
+    /// Azimuthal width over which the velocity extremes of a couplet are
+    /// sought (~ vortex core diameter at the ranges of interest).
+    double couplet_window_rad = 0.06;
+    /// Windows containing an adjacent-beam azimuth gap wider than this
+    /// cannot resolve a couplet (coarse scans after aggressive averaging).
+    double max_beam_gap_rad = 0.04;
+  };
+
+  explicit TornadoDetector(const Options& options) : opts_(options) {}
+
+  /// Detect signatures in one sector scan's beams (any azimuth order; the
+  /// detector sorts by azimuth internally).
+  std::vector<TornadoDetection> DetectInScan(
+      const std::vector<MomentBeam>& beams) const;
+
+  const Options& options() const { return opts_; }
+
+ private:
+  Options opts_;
+};
+
+/// Match detections against ground-truth vortex positions (for the Table 1
+/// false-negative column): a truth vortex at (x, y) counts as found if some
+/// detection lies within `tolerance_m` of it.
+struct DetectionScore {
+  size_t true_positives = 0;
+  size_t false_negatives = 0;
+  size_t false_positives = 0;
+};
+DetectionScore ScoreDetections(const std::vector<TornadoDetection>& found,
+                               const RadarSite& site,
+                               const std::vector<std::pair<double, double>>&
+                                   truth_xy,
+                               double tolerance_m);
+
+}  // namespace radar
+}  // namespace usp
+
+#endif  // USP_RADAR_TORNADO_DETECTOR_H_

@@ -1,0 +1,71 @@
+// Common radar types and physical constants for the CASA-style simulator
+// (DESIGN.md substitution for the testbed's raw traces).
+
+#ifndef USP_RADAR_TYPES_H_
+#define USP_RADAR_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace usp {
+namespace radar {
+
+// Radar constants at the CASA deployment scale. The wavelength is set to
+// 10 cm (vs. CASA's 3 cm X-band) so the Nyquist velocity (50 m/s) covers
+// tornadic wind speeds without velocity dealiasing — dealiasing is
+// orthogonal to the uncertainty pipeline under study (see DESIGN.md).
+inline constexpr double kWavelengthM = 0.10;
+inline constexpr double kPulsesPerSecond = 2000.0;  ///< §2.2
+inline constexpr size_t kDefaultNumGates = 832;     ///< §2.2
+inline constexpr double kGateSpacingM = 60.0;       ///< ~50 km max range
+/// Max unambiguous (Nyquist) velocity for the PRT: lambda / (4 T).
+inline constexpr double kNyquistVelocity =
+    kWavelengthM * kPulsesPerSecond / 4.0;  // = 50 m/s
+
+/// One range gate's sample within a pulse: the paper's "data item with four
+/// 32-bit floating numbers" — in-phase, quadrature, received power, and a
+/// signal-quality estimate.
+struct GateSample {
+  float i = 0.0f;
+  float q = 0.0f;
+  float power = 0.0f;
+  float quality = 0.0f;
+};
+
+/// One transmitted pulse's worth of data: the azimuth at transmit time and
+/// a sample per range gate.
+struct Pulse {
+  double time_s = 0.0;
+  double azimuth_rad = 0.0;
+  std::vector<GateSample> gates;
+};
+
+/// Moment data for one voxel (beam x gate cell): "a numeric description of
+/// each unit area of space ... reflectivity, velocity, and spectral width"
+/// (§2.2).
+struct MomentData {
+  double reflectivity_db = 0.0;
+  double velocity_mps = 0.0;       ///< radial, positive away from radar
+  double spectral_width_mps = 0.0;
+  double velocity_variance = 0.0;  ///< uncertainty of velocity_mps (§4.4)
+  size_t pulses_averaged = 0;
+};
+
+/// A radial of moment data: one beam direction, all gates.
+struct MomentBeam {
+  double time_s = 0.0;
+  double azimuth_rad = 0.0;
+  std::vector<MomentData> gates;
+};
+
+/// Position of a radar node in a shared Cartesian frame (meters).
+struct RadarSite {
+  double x_m = 0.0;
+  double y_m = 0.0;
+};
+
+}  // namespace radar
+}  // namespace usp
+
+#endif  // USP_RADAR_TYPES_H_

@@ -1,0 +1,63 @@
+#include "rfid/feedback.h"
+
+#include <algorithm>
+
+namespace usp {
+namespace rfid {
+
+ParticleCountController::ParticleCountController(const Options& options)
+    : opts_(options), current_(options.initial_particles) {}
+
+size_t ParticleCountController::Update(double measured_error_ft) {
+  const bool meets = measured_error_ft <= opts_.target_error_ft;
+  if (converged_) {
+    // Track drift after convergence: if accuracy degrades (noise regime
+    // changed), restart the doubling phase — unless the budget is already
+    // exhausted, in which case the cap is the best we can do.
+    if (!meets && current_ < opts_.max_particles) {
+      in_doubling_phase_ = true;
+      converged_ = false;
+      current_ = std::min(current_ * 2, opts_.max_particles);
+    }
+    return current_;
+  }
+  if (in_doubling_phase_) {
+    if (meets) {
+      // Requirement met: remember this count and start trimming.
+      last_good_ = current_;
+      in_doubling_phase_ = false;
+      if (current_ > opts_.min_particles + opts_.decrement) {
+        current_ -= opts_.decrement;
+      } else {
+        current_ = opts_.min_particles;
+      }
+    } else if (current_ >= opts_.max_particles) {
+      // Budget exhausted; settle at the cap.
+      current_ = opts_.max_particles;
+      converged_ = true;
+    } else {
+      current_ = std::min(current_ * 2, opts_.max_particles);
+    }
+    return current_;
+  }
+  // Trimming phase.
+  if (meets) {
+    last_good_ = current_;
+    if (current_ <= opts_.min_particles) {
+      converged_ = true;
+      current_ = opts_.min_particles;
+    } else {
+      current_ = current_ > opts_.decrement + opts_.min_particles
+                     ? current_ - opts_.decrement
+                     : opts_.min_particles;
+    }
+  } else {
+    // The last decrement broke the requirement: roll back and stop.
+    current_ = std::max(last_good_, opts_.min_particles);
+    converged_ = true;
+  }
+  return current_;
+}
+
+}  // namespace rfid
+}  // namespace usp

@@ -1,0 +1,51 @@
+// Feedback control of the particle count (§4.2): "start with a relatively
+// small number of particles and keep doubling this number before meeting
+// the accuracy requirement. After that, reduce the number of particles by
+// a constant each time until it finds the smallest number."
+//
+// Accuracy is measured on reference objects with known ground truth (shelf
+// tags treated as hidden variables); the controller consumes those error
+// measurements and proposes the next particle count.
+
+#ifndef USP_RFID_FEEDBACK_H_
+#define USP_RFID_FEEDBACK_H_
+
+#include <cstddef>
+
+namespace usp {
+namespace rfid {
+
+/// \brief Doubling-then-decrement controller for the particle budget.
+class ParticleCountController {
+ public:
+  struct Options {
+    size_t initial_particles = 16;
+    size_t min_particles = 8;
+    size_t max_particles = 4096;
+    size_t decrement = 16;       ///< linear back-off step
+    double target_error_ft = 1.0;
+  };
+
+  explicit ParticleCountController(const Options& options);
+
+  /// Report the latest measured inference error; returns the particle
+  /// count to use next.
+  size_t Update(double measured_error_ft);
+
+  size_t current() const { return current_; }
+  /// True once the controller has settled on the minimal satisfying count
+  /// (a decrement was rejected and rolled back).
+  bool converged() const { return converged_; }
+
+ private:
+  Options opts_;
+  size_t current_;
+  bool in_doubling_phase_ = true;
+  bool converged_ = false;
+  size_t last_good_ = 0;
+};
+
+}  // namespace rfid
+}  // namespace usp
+
+#endif  // USP_RFID_FEEDBACK_H_

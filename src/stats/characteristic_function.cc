@@ -1,0 +1,148 @@
+#include "stats/characteristic_function.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/math_util.h"
+#include "stats/quadrature.h"
+
+namespace usp {
+namespace stats {
+
+using common::kPi;
+
+CharFn ProductCf(const std::vector<const Distribution*>& dists) {
+  return [dists](double t) {
+    std::complex<double> prod(1.0, 0.0);
+    for (const Distribution* d : dists) {
+      prod *= d->Cf(t);
+      // Early exit once the product has underflowed to zero; with hundreds
+      // of summands this saves most of the work at large |t|.
+      if (std::norm(prod) < 1e-300) return std::complex<double>(0.0, 0.0);
+    }
+    return prod;
+  };
+}
+
+CharFn AffineCf(CharFn phi, double a, double b) {
+  return [phi = std::move(phi), a, b](double t) {
+    return std::complex<double>(std::cos(b * t), std::sin(b * t)) *
+           phi(a * t);
+  };
+}
+
+double FindCfDecayPoint(const CharFn& phi, double eps) {
+  double t = 1.0;
+  for (int i = 0; i < 40; ++i) {
+    // Probe a few points in [t, 2t]; oscillatory CFs (e.g. uniform) have
+    // zeros, so a single-point test would stop too early.
+    double peak = 0.0;
+    for (int j = 1; j <= 4; ++j) {
+      peak = std::max(peak, std::abs(phi(t * (1.0 + 0.25 * j))));
+    }
+    if (peak < eps) return 2.0 * t;
+    t *= 2.0;
+  }
+  return t;
+}
+
+common::Result<Histogram> InvertCfToDensity(const CharFn& phi,
+                                            const CfInversionOptions& opts) {
+  double lo = opts.lo;
+  double hi = opts.hi;
+  if (!(lo < hi)) {
+    if (!(opts.stddev > 0.0)) {
+      return common::Status::InvalidArgument(
+          "InvertCfToDensity: no range and non-positive stddev");
+    }
+    lo = opts.mean - opts.range_sigmas * opts.stddev;
+    hi = opts.mean + opts.range_sigmas * opts.stddev;
+  }
+  const double t_decay = FindCfDecayPoint(phi);
+  // The FFT couples grid spacing and frequency truncation: T = pi / dx.
+  // Grow N until the implied T covers the CF's decay point.
+  size_t n = common::NextPow2(std::max<size_t>(opts.grid_points, 64));
+  const size_t kMaxN = size_t{1} << 22;
+  while (n < kMaxN && kPi * static_cast<double>(n) / (hi - lo) < t_decay) {
+    n <<= 1;
+  }
+  const double dx = (hi - lo) / static_cast<double>(n);
+  const double t_max = kPi / dx;
+  const double dt = 2.0 * t_max / static_cast<double>(n);
+
+  // a_k = phi(t_k) * e^{-i k dt lo} * e^{-i pi k / N},  t_k = -T + k dt.
+  std::vector<std::complex<double>> a(n);
+  for (size_t k = 0; k < n; ++k) {
+    const double tk = -t_max + static_cast<double>(k) * dt;
+    const double phase = -static_cast<double>(k) * dt * lo -
+                         kPi * static_cast<double>(k) / static_cast<double>(n);
+    a[k] = phi(tk) * std::complex<double>(std::cos(phase), std::sin(phase));
+  }
+  common::Fft(a, /*inverse=*/false);
+
+  std::vector<double> masses(n);
+  double total = 0.0;
+  for (size_t j = 0; j < n; ++j) {
+    const double xj = lo + (static_cast<double>(j) + 0.5) * dx;
+    const std::complex<double> rot(std::cos(t_max * xj),
+                                   std::sin(t_max * xj));
+    const double fj = (dt / (2.0 * kPi)) * (rot * a[j]).real();
+    // Truncation/aliasing ripple can push the density slightly negative;
+    // clamp and renormalize (the Histogram ctor renormalizes masses).
+    masses[j] = std::max(0.0, fj) * dx;
+    total += masses[j];
+  }
+  if (total <= 0.0) {
+    return common::Status::NumericError(
+        "InvertCfToDensity produced non-positive total mass; the output "
+        "range likely misses the distribution");
+  }
+  // Downsample to the requested resolution to keep downstream costs fixed.
+  const size_t out_bins =
+      std::min<size_t>(common::NextPow2(std::max<size_t>(opts.grid_points, 2)),
+                       n);
+  if (out_bins < n) {
+    const size_t factor = n / out_bins;
+    std::vector<double> coarse(out_bins, 0.0);
+    for (size_t j = 0; j < n; ++j) coarse[j / factor] += masses[j];
+    masses = std::move(coarse);
+  }
+  return Histogram::FromMasses(lo, hi, std::move(masses));
+}
+
+double GilPelaezPdf(const CharFn& phi, double x, double t_max, int panels) {
+  // f(x) = (1/pi) Int_0^T Re[e^{-itx} phi(t)] dt
+  const auto integrand = [&](double t) {
+    const std::complex<double> e(std::cos(t * x), -std::sin(t * x));
+    return (e * phi(t)).real();
+  };
+  return CompositeGaussLegendre(integrand, 0.0, t_max, panels) / kPi;
+}
+
+double GilPelaezCdf(const CharFn& phi, double x, double t_max, int panels) {
+  // F(x) = 1/2 - (1/pi) Int_0^T Im[e^{-itx} phi(t)] / t dt
+  const auto integrand = [&](double t) {
+    if (t == 0.0) return 0.0;
+    const std::complex<double> e(std::cos(t * x), -std::sin(t * x));
+    return (e * phi(t)).imag() / t;
+  };
+  const double integral =
+      CompositeGaussLegendre(integrand, 1e-12, t_max, panels);
+  return common::Clamp(0.5 - integral / kPi, 0.0, 1.0);
+}
+
+CfMoments MomentsFromCf(const CharFn& phi, double h) {
+  assert(h > 0.0);
+  // Cumulant derivatives: K(t) = log phi(t); mean = K'(0)/i,
+  // variance = -K''(0). Central differences; K(0) = 0.
+  const std::complex<double> kp = std::log(phi(h));
+  const std::complex<double> km = std::log(phi(-h));
+  CfMoments out;
+  out.mean = (kp - km).imag() / (2.0 * h);
+  out.variance = -(kp + km).real() / (h * h);
+  if (out.variance < 0.0) out.variance = 0.0;
+  return out;
+}
+
+}  // namespace stats
+}  // namespace usp

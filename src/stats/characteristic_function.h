@@ -1,0 +1,80 @@
+// Characteristic-function machinery — the paper's central tool (§5.1): "the
+// exact result distribution can be obtained through inversion of the
+// characteristic function of the sum, which is the product of the
+// characteristic functions of the individual summands ... the inversion
+// expresses the exact result distribution using a single integral".
+
+#ifndef USP_STATS_CHARACTERISTIC_FUNCTION_H_
+#define USP_STATS_CHARACTERISTIC_FUNCTION_H_
+
+#include <complex>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "stats/distribution.h"
+#include "stats/histogram.h"
+
+namespace usp {
+namespace stats {
+
+/// A characteristic function phi(t) = E[e^{itX}].
+using CharFn = std::function<std::complex<double>(double)>;
+
+/// CF of the sum of independent variables: the pointwise product of their
+/// CFs. The inputs are captured by pointer; callers keep them alive.
+CharFn ProductCf(const std::vector<const Distribution*>& dists);
+
+/// CF of a*X + b given the CF of X: e^{itb} phi(a t).
+CharFn AffineCf(CharFn phi, double a, double b);
+
+/// Options for CF inversion.
+struct CfInversionOptions {
+  /// Output grid resolution (number of histogram bins / FFT points rounded
+  /// up to a power of two).
+  size_t grid_points = 1024;
+  /// Range of the output density [lo, hi]. If lo >= hi, the range is chosen
+  /// from `mean` +- `range_sigmas` * `stddev` (which callers must then set).
+  double lo = 0.0;
+  double hi = 0.0;
+  double mean = 0.0;
+  double stddev = 1.0;
+  double range_sigmas = 8.0;
+};
+
+/// \brief Invert a CF to a density via Gil-Pelaez / Fourier inversion
+/// evaluated with an FFT over a truncated frequency grid.
+///
+/// f(x) = (1/2pi) Int e^{-itx} phi(t) dt, truncated to |t| <= T where T is
+/// chosen so |phi(T)| is negligible (found by doubling scan). The returned
+/// Histogram is the density sampled on the requested grid (clamped to
+/// non-negative and renormalized, which also suppresses truncation ripple).
+common::Result<Histogram> InvertCfToDensity(const CharFn& phi,
+                                            const CfInversionOptions& opts);
+
+/// Pointwise Gil-Pelaez density evaluation at a single x:
+/// f(x) = (1/pi) Int_0^T Re[e^{-itx} phi(t)] dt.
+/// Slower than the FFT path but grid-free; used for spot checks.
+double GilPelaezPdf(const CharFn& phi, double x, double t_max,
+                    int panels = 256);
+
+/// Gil-Pelaez cdf: F(x) = 1/2 - (1/pi) Int_0^T Im[e^{-itx} phi(t)] / t dt.
+double GilPelaezCdf(const CharFn& phi, double x, double t_max,
+                    int panels = 256);
+
+/// Scan |phi(t)| outward from t=1 by doubling until it falls below `eps`;
+/// returns the truncation frequency T. Capped at 2^40.
+double FindCfDecayPoint(const CharFn& phi, double eps = 1e-12);
+
+/// Mean and variance from the CF via central finite differences of the
+/// log-CF at 0 (cumulant derivatives). `h` is the step.
+struct CfMoments {
+  double mean;
+  double variance;
+};
+CfMoments MomentsFromCf(const CharFn& phi, double h = 1e-4);
+
+}  // namespace stats
+}  // namespace usp
+
+#endif  // USP_STATS_CHARACTERISTIC_FUNCTION_H_

@@ -1,0 +1,102 @@
+// Polymorphic interface for univariate continuous distributions. This is the
+// representation every uncertain tuple attribute carries (§3 of the paper:
+// "to analyze uncertainty of further processing results, we need the pdf of
+// each tuple").
+//
+// Design notes:
+//  - Characteristic functions are first-class (`Cf`) because the paper's
+//    core aggregation algorithms (§5.1) operate on closed-form CFs.
+//  - Implementations are immutable after construction so tuples can share
+//    them via shared_ptr without copies on hot stream paths.
+
+#ifndef USP_STATS_DISTRIBUTION_H_
+#define USP_STATS_DISTRIBUTION_H_
+
+#include <complex>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace usp {
+namespace stats {
+
+/// Runtime tag for concrete distribution types.
+enum class DistType {
+  kGaussian,
+  kGaussianMixture,
+  kUniform,
+  kExponential,
+  kGamma,
+  kHistogram,
+  kParticleSet,
+  kTruncated,
+};
+
+const char* DistTypeName(DistType type);
+
+/// Closed real interval (possibly unbounded) on which a density is non-zero.
+struct Support {
+  double lo;
+  double hi;
+  bool Contains(double x) const { return x >= lo && x <= hi; }
+  double Width() const { return hi - lo; }
+};
+
+/// \brief A univariate continuous probability distribution.
+///
+/// All implementations must provide density, cdf, moments, sampling, and the
+/// characteristic function E[e^{itX}]. Quantile has a generic bisection
+/// default; subclasses override when a closed form exists.
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+
+  virtual DistType type() const = 0;
+
+  /// Probability density at x.
+  virtual double Pdf(double x) const = 0;
+  /// Natural log of the density; -inf outside the support.
+  virtual double LogPdf(double x) const;
+  /// P(X <= x).
+  virtual double Cdf(double x) const = 0;
+  /// Inverse cdf for p in (0,1). Default: monotone bisection on Cdf.
+  virtual double Quantile(double p) const;
+
+  virtual double Mean() const = 0;
+  virtual double Variance() const = 0;
+  double Stddev() const;
+
+  /// Characteristic function E[e^{itX}] at frequency t.
+  virtual std::complex<double> Cf(double t) const = 0;
+  /// True when Cf() evaluates a closed form (vs. numeric integration).
+  virtual bool HasClosedFormCf() const { return true; }
+
+  /// Draw one sample.
+  virtual double Sample(common::Rng* rng) const = 0;
+
+  /// Interval outside which the density is (numerically) zero. For
+  /// unbounded distributions this is a ~1e-9 coverage interval so numeric
+  /// routines can pick integration ranges.
+  virtual Support NumericSupport() const = 0;
+
+  /// Central interval [ql, qh] containing `confidence` probability mass,
+  /// e.g. confidence=0.9 gives the 5%..95% region (§4.3 confidence region).
+  struct Interval {
+    double lo;
+    double hi;
+  };
+  Interval ConfidenceRegion(double confidence) const;
+
+  virtual std::unique_ptr<Distribution> Clone() const = 0;
+  virtual std::string ToString() const = 0;
+};
+
+/// Shared immutable handle; this is what tuples carry.
+using DistributionPtr = std::shared_ptr<const Distribution>;
+
+}  // namespace stats
+}  // namespace usp
+
+#endif  // USP_STATS_DISTRIBUTION_H_

@@ -1,0 +1,264 @@
+#include "stats/fitting.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "common/math_util.h"
+
+namespace usp {
+namespace stats {
+
+namespace {
+constexpr double kMinStddevFloor = 1e-9;
+}
+
+Gaussian FitGaussianKl(const std::vector<double>& values,
+                       const std::vector<double>& weights) {
+  assert(!values.empty());
+  common::MeanVar mv;
+  if (weights.empty()) {
+    std::vector<double> uniform(values.size(), 1.0);
+    mv = common::WeightedMeanVar(values, uniform);
+  } else {
+    mv = common::WeightedMeanVar(values, weights);
+  }
+  const double sd = std::sqrt(std::max(mv.variance, 0.0));
+  return Gaussian(mv.mean, std::max(sd, kMinStddevFloor));
+}
+
+double EffectiveSampleSize(const std::vector<double>& weights) {
+  double s1 = 0.0, s2 = 0.0;
+  for (double w : weights) {
+    s1 += w;
+    s2 += w * w;
+  }
+  return s2 > 0.0 ? s1 * s1 / s2 : 0.0;
+}
+
+double WeightedCrossEntropy(const std::vector<double>& values,
+                            const std::vector<double>& weights,
+                            const Distribution& q) {
+  assert(values.size() == weights.size());
+  double wsum = 0.0;
+  for (double w : weights) wsum += w;
+  double ce = 0.0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (weights[i] <= 0.0) continue;
+    ce -= (weights[i] / wsum) * q.LogPdf(values[i]);
+  }
+  return ce;
+}
+
+common::Result<EmResult> FitGmmEm(const std::vector<double>& values,
+                                  const std::vector<double>& weights_in,
+                                  size_t num_components,
+                                  const EmOptions& opts) {
+  const size_t n = values.size();
+  if (n == 0) {
+    return common::Status::InvalidArgument("FitGmmEm: no samples");
+  }
+  if (num_components == 0 || num_components > n) {
+    return common::Status::InvalidArgument(
+        "FitGmmEm: component count must be in [1, n]");
+  }
+  std::vector<double> w = weights_in;
+  if (w.empty()) w.assign(n, 1.0);
+  if (w.size() != n) {
+    return common::Status::InvalidArgument(
+        "FitGmmEm: weight/value count mismatch");
+  }
+  double wsum = 0.0;
+  for (double x : w) wsum += x;
+  if (wsum <= 0.0) {
+    return common::Status::InvalidArgument("FitGmmEm: zero total weight");
+  }
+  for (double& x : w) x /= wsum;
+
+  const size_t k = num_components;
+  // ---- init: k-means++-style seeding on weighted samples ----
+  common::Rng rng(opts.seed);
+  std::vector<double> mu(k), sigma(k), pi(k, 1.0 / static_cast<double>(k));
+  {
+    const common::MeanVar mv = common::WeightedMeanVar(values, w);
+    const double global_sd =
+        std::max(std::sqrt(std::max(mv.variance, 0.0)), opts.min_stddev);
+    // First center: weight-proportional draw.
+    mu[0] = values[rng.Categorical(w)];
+    for (size_t c = 1; c < k; ++c) {
+      // Subsequent centers: probability proportional to w_i * d_i^2.
+      std::vector<double> d2(n);
+      for (size_t i = 0; i < n; ++i) {
+        double best = std::numeric_limits<double>::infinity();
+        for (size_t j = 0; j < c; ++j) {
+          const double d = values[i] - mu[j];
+          best = std::min(best, d * d);
+        }
+        d2[i] = w[i] * best;
+      }
+      const size_t pick = rng.Categorical(d2);
+      mu[c] = pick < n ? values[pick] : values[rng.UniformInt(n)];
+    }
+    for (size_t c = 0; c < k; ++c) {
+      sigma[c] = global_sd / std::sqrt(static_cast<double>(k));
+      sigma[c] = std::max(sigma[c], opts.min_stddev);
+    }
+  }
+
+  // ---- EM iterations ----
+  std::vector<double> resp(n * k);
+  double prev_ll = -std::numeric_limits<double>::infinity();
+  double ll = prev_ll;
+  int iter = 0;
+  for (; iter < opts.max_iters; ++iter) {
+    // E step: responsibilities via log-space normalization.
+    ll = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<double> logp(k);
+      for (size_t c = 0; c < k; ++c) {
+        const double z = (values[i] - mu[c]) / sigma[c];
+        logp[c] = std::log(pi[c]) - 0.5 * z * z -
+                  std::log(sigma[c] * common::kSqrt2Pi);
+      }
+      const double lse = common::LogSumExp(logp);
+      ll += w[i] * lse;
+      for (size_t c = 0; c < k; ++c) {
+        resp[i * k + c] = std::exp(logp[c] - lse);
+      }
+    }
+    // M step: weighted component stats.
+    for (size_t c = 0; c < k; ++c) {
+      double rc = 0.0, mean = 0.0;
+      for (size_t i = 0; i < n; ++i) rc += w[i] * resp[i * k + c];
+      if (rc < 1e-12) {
+        // Dead component: re-seed at a weight-proportional sample.
+        mu[c] = values[rng.Categorical(w)];
+        sigma[c] = std::max(sigma[c], opts.min_stddev);
+        pi[c] = 1e-6;
+        continue;
+      }
+      for (size_t i = 0; i < n; ++i) {
+        mean += w[i] * resp[i * k + c] * values[i];
+      }
+      mean /= rc;
+      double var = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        const double d = values[i] - mean;
+        var += w[i] * resp[i * k + c] * d * d;
+      }
+      var /= rc;
+      mu[c] = mean;
+      sigma[c] = std::max(std::sqrt(var), opts.min_stddev);
+      pi[c] = rc;
+    }
+    // Renormalize pis (dead-component handling may have perturbed them).
+    double psum = 0.0;
+    for (double p : pi) psum += p;
+    for (double& p : pi) p /= psum;
+
+    if (iter > 0 &&
+        std::fabs(ll - prev_ll) <= opts.tol * (1.0 + std::fabs(prev_ll))) {
+      ++iter;
+      break;
+    }
+    prev_ll = ll;
+  }
+
+  std::vector<GaussianMixture::Component> comps;
+  comps.reserve(k);
+  for (size_t c = 0; c < k; ++c) {
+    comps.push_back({pi[c], mu[c], sigma[c]});
+  }
+  auto mix = GaussianMixture::Make(std::move(comps));
+  if (!mix.ok()) return mix.status();
+  return EmResult{mix.MoveValueUnsafe(), ll, iter};
+}
+
+common::Result<GaussianMixture> FitGmmAuto(const std::vector<double>& values,
+                                           const std::vector<double>& weights,
+                                           size_t max_components,
+                                           ModelSelection criterion,
+                                           const EmOptions& opts) {
+  if (max_components == 0) {
+    return common::Status::InvalidArgument("FitGmmAuto: max_components == 0");
+  }
+  std::vector<double> w = weights;
+  if (w.empty()) w.assign(values.size(), 1.0);
+  const double n_eff = EffectiveSampleSize(w);
+  double best_score = std::numeric_limits<double>::infinity();
+  std::unique_ptr<GaussianMixture> best;
+  for (size_t k = 1; k <= std::min(max_components, values.size()); ++k) {
+    auto res = FitGmmEm(values, w, k, opts);
+    if (!res.ok()) continue;
+    // ll is the per-unit-weight expected log density; scale by the
+    // effective number of observations for an information criterion.
+    const double total_ll = res.value().log_likelihood * n_eff;
+    const double params = static_cast<double>(3 * k - 1);
+    const double score = criterion == ModelSelection::kAic
+                             ? 2.0 * params - 2.0 * total_ll
+                             : params * std::log(std::max(n_eff, 2.0)) -
+                                   2.0 * total_ll;
+    if (score < best_score) {
+      best_score = score;
+      best = std::make_unique<GaussianMixture>(res.value().mixture);
+    }
+  }
+  if (!best) {
+    return common::Status::NumericError("FitGmmAuto: all EM fits failed");
+  }
+  return *best;
+}
+
+Gaussian FitGaussianToCf(const CharFn& phi) {
+  const CfMoments m = MomentsFromCf(phi);
+  return Gaussian(m.mean,
+                  std::max(std::sqrt(std::max(m.variance, 0.0)),
+                           kMinStddevFloor));
+}
+
+common::Result<GaussianMixture> FitMixtureToCf(const CharFn& phi,
+                                               size_t num_components,
+                                               size_t num_freqs) {
+  if (num_components == 0) {
+    return common::Status::InvalidArgument("FitMixtureToCf: k == 0");
+  }
+  const CfMoments m = MomentsFromCf(phi);
+  const double sd = std::sqrt(std::max(m.variance, 1e-12));
+  if (num_components == 1) {
+    return GaussianMixture::Make(
+        {{1.0, m.mean, std::max(sd, kMinStddevFloor)}});
+  }
+  // Invert the CF onto a coarse grid (cheap: the grid is small and the CF
+  // is evaluated only grid-many times), then fit the mixture by weighted
+  // EM over the grid masses. Far more faithful to skewed/multimodal sums
+  // than any fixed-basis least squares in frequency space.
+  CfInversionOptions opts;
+  opts.grid_points = std::max<size_t>(4 * num_freqs, 128);
+  opts.mean = m.mean;
+  opts.stddev = sd;
+  auto hist = InvertCfToDensity(phi, opts);
+  if (!hist.ok()) {
+    // Fall back to the moment-matched Gaussian.
+    return GaussianMixture::Make(
+        {{1.0, m.mean, std::max(sd, kMinStddevFloor)}});
+  }
+  const Histogram& h = hist.value();
+  std::vector<double> centers(h.num_bins());
+  std::vector<double> masses(h.num_bins());
+  for (size_t i = 0; i < h.num_bins(); ++i) {
+    centers[i] = h.BinCenter(i);
+    masses[i] = h.BinMass(i);
+  }
+  EmOptions em;
+  em.max_iters = 60;
+  auto fit = FitGmmEm(centers, masses, num_components, em);
+  if (!fit.ok()) {
+    return GaussianMixture::Make(
+        {{1.0, m.mean, std::max(sd, kMinStddevFloor)}});
+  }
+  return fit.MoveValueUnsafe().mixture;
+}
+
+}  // namespace stats
+}  // namespace usp

@@ -1,0 +1,97 @@
+// Distribution fitting:
+//  - KL-minimizing conversion of weighted samples to Gaussian / Gaussian
+//    mixture tuple-level distributions (§4.3), with AIC/BIC selection of
+//    the number of mixture components;
+//  - fitting parametric distributions to a closed-form characteristic
+//    function (§5.1, the "CF approx" method of Table 2).
+
+#ifndef USP_STATS_FITTING_H_
+#define USP_STATS_FITTING_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "stats/characteristic_function.h"
+#include "stats/gaussian.h"
+#include "stats/gaussian_mixture.h"
+
+namespace usp {
+namespace stats {
+
+/// \brief KL(p_hat || q)-optimal Gaussian for weighted samples.
+///
+/// The paper's closed form: mu = sum_i w_i x_i, sigma^2 = sum_i w_i
+/// (x_i - mu)^2 — "two scans of the list of samples". Weights need not be
+/// normalized. A degenerate sample set (zero variance) gets a tiny floor
+/// stddev so the result is a valid density.
+Gaussian FitGaussianKl(const std::vector<double>& values,
+                       const std::vector<double>& weights);
+
+/// Options for weighted EM.
+struct EmOptions {
+  int max_iters = 100;
+  double tol = 1e-8;          ///< relative log-likelihood change to stop
+  double min_stddev = 1e-6;   ///< variance floor to avoid collapse
+  uint64_t seed = 42;         ///< k-means++-style init seed
+};
+
+/// Weighted EM fit of a k-component Gaussian mixture to weighted samples.
+/// Returns the mixture and the final weighted log-likelihood.
+struct EmResult {
+  GaussianMixture mixture;
+  double log_likelihood;
+  int iterations;
+};
+common::Result<EmResult> FitGmmEm(const std::vector<double>& values,
+                                  const std::vector<double>& weights,
+                                  size_t num_components,
+                                  const EmOptions& opts = {});
+
+/// Model-selection criterion for choosing the number of mixture components.
+enum class ModelSelection { kAic, kBic };
+
+/// Fit mixtures with 1..max_components components and return the one with
+/// the best (lowest) AIC or BIC, computed with the effective sample size of
+/// the weighted samples (§4.3: "Selecting the number of mixture components
+/// ... can be done using standard model selection techniques such as AIC
+/// and BIC").
+common::Result<GaussianMixture> FitGmmAuto(
+    const std::vector<double>& values, const std::vector<double>& weights,
+    size_t max_components, ModelSelection criterion = ModelSelection::kBic,
+    const EmOptions& opts = {});
+
+/// KL(p_hat || q) for normalized weighted samples p_hat against density q:
+/// sum_i w_i log(w_i) - sum_i w_i log(q(x_i) * delta_i) is not computable
+/// without a binning choice; we report the standard sample form
+/// sum_i w_i log w_i - sum_i w_i log q(x_i) + log-n correction omitted —
+/// i.e. cross-entropy difference. Lower is better; only differences between
+/// candidate q's are meaningful.
+double WeightedCrossEntropy(const std::vector<double>& values,
+                            const std::vector<double>& weights,
+                            const Distribution& q);
+
+/// Effective sample size of (possibly unnormalized) weights.
+double EffectiveSampleSize(const std::vector<double>& weights);
+
+/// Gaussian matched to the CF via cumulants at 0 (two CF evaluations).
+/// This is the fast path of the paper's "CF approx" algorithm.
+Gaussian FitGaussianToCf(const CharFn& phi);
+
+/// \brief Mixture fit to a CF: fixed Gaussian basis, weights by linear
+/// least squares on CF values at a frequency grid.
+///
+/// Components are placed at quantile-spread means around the CF's implied
+/// mean with common stddev; the weight vector solves a ridge-regularized
+/// least-squares match of Re/Im phi at `num_freqs` frequencies, clamped to
+/// the simplex. Cheap (no iteration over samples) and markedly better than
+/// a single Gaussian when the true sum distribution is skewed or
+/// multi-modal.
+common::Result<GaussianMixture> FitMixtureToCf(const CharFn& phi,
+                                               size_t num_components,
+                                               size_t num_freqs = 16);
+
+}  // namespace stats
+}  // namespace usp
+
+#endif  // USP_STATS_FITTING_H_

@@ -1,0 +1,210 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace usp {
+namespace stats {
+
+Histogram::Histogram(double lo, double hi, std::vector<double> densities)
+    : lo_(lo), hi_(hi), densities_(std::move(densities)) {
+  assert(lo < hi && !densities_.empty());
+  width_ = (hi_ - lo_) / static_cast<double>(densities_.size());
+  // Normalize to total mass 1 and build the cumulative table.
+  double mass = 0.0;
+  for (double d : densities_) mass += d * width_;
+  assert(mass > 0.0);
+  cum_mass_.resize(densities_.size());
+  double cum = 0.0;
+  for (size_t i = 0; i < densities_.size(); ++i) {
+    densities_[i] /= mass;
+    cum += densities_[i] * width_;
+    cum_mass_[i] = cum;
+  }
+  cum_mass_.back() = 1.0;
+}
+
+common::Result<Histogram> Histogram::FromMasses(double lo, double hi,
+                                                std::vector<double> masses) {
+  if (!(lo < hi) || masses.empty()) {
+    return common::Status::InvalidArgument(
+        "Histogram requires lo < hi and at least one bin");
+  }
+  double total = 0.0;
+  for (double m : masses) {
+    if (m < 0.0 || !std::isfinite(m)) {
+      return common::Status::InvalidArgument(
+          "Histogram masses must be finite and non-negative");
+    }
+    total += m;
+  }
+  if (total <= 0.0) {
+    return common::Status::InvalidArgument("Histogram total mass is zero");
+  }
+  const double width = (hi - lo) / static_cast<double>(masses.size());
+  for (double& m : masses) m /= width;  // convert to densities
+  return Histogram(lo, hi, std::move(masses));
+}
+
+Histogram Histogram::Discretize(const Distribution& dist, size_t bins) {
+  const Support s = dist.NumericSupport();
+  return Discretize(dist, bins, s.lo, s.hi);
+}
+
+Histogram Histogram::Discretize(const Distribution& dist, size_t bins,
+                                double lo, double hi) {
+  assert(bins >= 1 && lo < hi);
+  std::vector<double> densities(bins);
+  const double width = (hi - lo) / static_cast<double>(bins);
+  double prev_cdf = dist.Cdf(lo);
+  for (size_t i = 0; i < bins; ++i) {
+    const double right = lo + static_cast<double>(i + 1) * width;
+    const double c = dist.Cdf(right);
+    densities[i] = std::max(0.0, c - prev_cdf) / width;
+    prev_cdf = c;
+  }
+  // Guard: if the range missed all mass, fall back to a flat density.
+  double total = 0.0;
+  for (double d : densities) total += d * width;
+  if (total <= 0.0) {
+    std::fill(densities.begin(), densities.end(), 1.0 / (hi - lo));
+  }
+  return Histogram(lo, hi, std::move(densities));
+}
+
+common::Result<Histogram> Histogram::FromSamples(
+    const std::vector<double>& samples, size_t bins) {
+  if (samples.empty() || bins == 0) {
+    return common::Status::InvalidArgument(
+        "Histogram::FromSamples requires samples and bins >= 1");
+  }
+  auto [mn_it, mx_it] = std::minmax_element(samples.begin(), samples.end());
+  double lo = *mn_it;
+  double hi = *mx_it;
+  if (lo == hi) {  // degenerate: widen slightly
+    lo -= 0.5;
+    hi += 0.5;
+  } else {
+    const double pad = 1e-9 * (hi - lo);
+    hi += pad;  // make the max sample fall inside the last bin
+  }
+  std::vector<double> masses(bins, 0.0);
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (double x : samples) {
+    size_t idx = static_cast<size_t>((x - lo) / width);
+    if (idx >= bins) idx = bins - 1;
+    masses[idx] += 1.0;
+  }
+  return FromMasses(lo, hi, std::move(masses));
+}
+
+double Histogram::Pdf(double x) const {
+  if (x < lo_ || x >= hi_) return 0.0;
+  const size_t idx = std::min(densities_.size() - 1,
+                              static_cast<size_t>((x - lo_) / width_));
+  return densities_[idx];
+}
+
+double Histogram::Cdf(double x) const {
+  if (x <= lo_) return 0.0;
+  if (x >= hi_) return 1.0;
+  const size_t idx = std::min(densities_.size() - 1,
+                              static_cast<size_t>((x - lo_) / width_));
+  const double left = lo_ + static_cast<double>(idx) * width_;
+  const double below = idx == 0 ? 0.0 : cum_mass_[idx - 1];
+  return below + densities_[idx] * (x - left);
+}
+
+double Histogram::Quantile(double p) const {
+  assert(p > 0.0 && p < 1.0);
+  const auto it = std::lower_bound(cum_mass_.begin(), cum_mass_.end(), p);
+  const size_t idx = static_cast<size_t>(it - cum_mass_.begin());
+  const double below = idx == 0 ? 0.0 : cum_mass_[idx - 1];
+  const double left = lo_ + static_cast<double>(idx) * width_;
+  const double d = densities_[idx];
+  if (d <= 0.0) return left;
+  return left + (p - below) / d;
+}
+
+double Histogram::Mean() const {
+  double m = 0.0;
+  for (size_t i = 0; i < densities_.size(); ++i) {
+    m += BinMass(i) * BinCenter(i);
+  }
+  return m;
+}
+
+double Histogram::Variance() const {
+  const double mu = Mean();
+  double v = 0.0;
+  for (size_t i = 0; i < densities_.size(); ++i) {
+    const double d = BinCenter(i) - mu;
+    v += BinMass(i) * d * d;
+  }
+  // Add the within-bin variance of the uniform spread.
+  v += width_ * width_ / 12.0;
+  return v;
+}
+
+std::complex<double> Histogram::Cf(double t) const {
+  std::complex<double> s(0.0, 0.0);
+  for (size_t i = 0; i < densities_.size(); ++i) {
+    const double c = BinCenter(i);
+    s += BinMass(i) * std::complex<double>(std::cos(t * c), std::sin(t * c));
+  }
+  return s;
+}
+
+double Histogram::Sample(common::Rng* rng) const {
+  const double u = rng->Uniform();
+  const auto it = std::lower_bound(cum_mass_.begin(), cum_mass_.end(), u);
+  const size_t idx = std::min(densities_.size() - 1,
+                              static_cast<size_t>(it - cum_mass_.begin()));
+  const double left = lo_ + static_cast<double>(idx) * width_;
+  return left + rng->Uniform() * width_;
+}
+
+std::unique_ptr<Distribution> Histogram::Clone() const {
+  return std::unique_ptr<Distribution>(new Histogram(*this));
+}
+
+std::string Histogram::ToString() const {
+  char buf[96];
+  snprintf(buf, sizeof(buf), "Hist[%zu bins on (%.4g, %.4g)]",
+           densities_.size(), lo_, hi_);
+  return buf;
+}
+
+Histogram Histogram::ConvolveIndependent(const Histogram& a,
+                                         const Histogram& b,
+                                         size_t out_bins) {
+  assert(out_bins >= 1);
+  const double lo = a.lo_ + b.lo_;
+  const double hi = a.hi_ + b.hi_;
+  std::vector<double> masses(out_bins, 0.0);
+  const double width = (hi - lo) / static_cast<double>(out_bins);
+  // Direct O(Ba * Bb) mass convolution: each pair of bins contributes its
+  // product mass at the sum of the bin centers. This is exactly the
+  // discretized-sum semantics of the histogram baseline.
+  for (size_t i = 0; i < a.num_bins(); ++i) {
+    const double ma = a.BinMass(i);
+    if (ma <= 0.0) continue;
+    const double ca = a.BinCenter(i);
+    for (size_t j = 0; j < b.num_bins(); ++j) {
+      const double mb = b.BinMass(j);
+      if (mb <= 0.0) continue;
+      const double x = ca + b.BinCenter(j);
+      size_t idx = static_cast<size_t>((x - lo) / width);
+      if (idx >= out_bins) idx = out_bins - 1;
+      masses[idx] += ma * mb;
+    }
+  }
+  auto res = FromMasses(lo, hi, std::move(masses));
+  return res.MoveValueUnsafe();
+}
+
+}  // namespace stats
+}  // namespace usp

@@ -1,0 +1,79 @@
+// Piecewise-constant (histogram) density on an equi-width grid. This is the
+// representation underlying the Ge-Zdonik sampling baseline [25] that the
+// paper compares against in Table 2, and the output format of FFT-based CF
+// inversion.
+
+#ifndef USP_STATS_HISTOGRAM_H_
+#define USP_STATS_HISTOGRAM_H_
+
+#include <vector>
+
+#include "stats/distribution.h"
+
+namespace usp {
+namespace stats {
+
+/// \brief Equi-width histogram density on [lo, hi) with B bins.
+///
+/// Bin i covers [lo + i*w, lo + (i+1)*w), w = (hi-lo)/B. Stored values are
+/// *densities* (mass_i / w); they are renormalized at construction so the
+/// total mass is exactly 1.
+class Histogram final : public Distribution {
+ public:
+  /// Build from per-bin masses (non-negative, not all zero).
+  static common::Result<Histogram> FromMasses(double lo, double hi,
+                                              std::vector<double> masses);
+
+  /// Discretize an arbitrary distribution onto B bins spanning its numeric
+  /// support (mass per bin from cdf differences).
+  static Histogram Discretize(const Distribution& dist, size_t bins);
+  /// Discretize onto an explicit range.
+  static Histogram Discretize(const Distribution& dist, size_t bins,
+                              double lo, double hi);
+
+  /// Build from unweighted samples (density estimate).
+  static common::Result<Histogram> FromSamples(
+      const std::vector<double>& samples, size_t bins);
+
+  DistType type() const override { return DistType::kHistogram; }
+  double Pdf(double x) const override;
+  double Cdf(double x) const override;
+  double Quantile(double p) const override;
+  double Mean() const override;
+  double Variance() const override;
+  /// Numeric CF: sum over bins of mass * e^{it c} with midpoint rule.
+  std::complex<double> Cf(double t) const override;
+  bool HasClosedFormCf() const override { return false; }
+  double Sample(common::Rng* rng) const override;
+  Support NumericSupport() const override { return {lo_, hi_}; }
+  std::unique_ptr<Distribution> Clone() const override;
+  std::string ToString() const override;
+
+  size_t num_bins() const { return densities_.size(); }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  double bin_width() const { return width_; }
+  double BinCenter(size_t i) const { return lo_ + (static_cast<double>(i) + 0.5) * width_; }
+  double BinMass(size_t i) const { return densities_[i] * width_; }
+  const std::vector<double>& densities() const { return densities_; }
+
+  /// Convolution of two independent histogram-distributed variables,
+  /// result re-gridded to `out_bins` bins. This is the inner step of the
+  /// histogram-based SUM baseline (Table 2, row 1).
+  static Histogram ConvolveIndependent(const Histogram& a, const Histogram& b,
+                                       size_t out_bins);
+
+ private:
+  Histogram(double lo, double hi, std::vector<double> densities);
+
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<double> densities_;
+  std::vector<double> cum_mass_;  // cum_mass_[i] = mass of bins [0, i]
+};
+
+}  // namespace stats
+}  // namespace usp
+
+#endif  // USP_STATS_HISTOGRAM_H_

@@ -1,0 +1,78 @@
+#include "stats/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace usp {
+namespace stats {
+
+namespace {
+struct Grid {
+  double lo;
+  double hi;
+  double dx;
+  size_t n;
+};
+
+Grid UnionGrid(const Distribution& p, const Distribution& q, size_t n) {
+  const Support sp = p.NumericSupport();
+  const Support sq = q.NumericSupport();
+  Grid g;
+  g.lo = std::min(sp.lo, sq.lo);
+  g.hi = std::max(sp.hi, sq.hi);
+  g.n = std::max<size_t>(n, 16);
+  g.dx = (g.hi - g.lo) / static_cast<double>(g.n);
+  return g;
+}
+}  // namespace
+
+double TotalVariationDistance(const Distribution& p, const Distribution& q,
+                              const MetricOptions& opts) {
+  const Grid g = UnionGrid(p, q, opts.grid_points);
+  double s = 0.0;
+  for (size_t i = 0; i < g.n; ++i) {
+    const double x = g.lo + (static_cast<double>(i) + 0.5) * g.dx;
+    s += std::fabs(p.Pdf(x) - q.Pdf(x));
+  }
+  return std::min(0.5 * s * g.dx, 1.0);
+}
+
+double HellingerDistanceSquared(const Distribution& p, const Distribution& q,
+                                const MetricOptions& opts) {
+  const Grid g = UnionGrid(p, q, opts.grid_points);
+  double bc = 0.0;  // Bhattacharyya coefficient
+  for (size_t i = 0; i < g.n; ++i) {
+    const double x = g.lo + (static_cast<double>(i) + 0.5) * g.dx;
+    bc += std::sqrt(std::max(p.Pdf(x), 0.0) * std::max(q.Pdf(x), 0.0));
+  }
+  bc *= g.dx;
+  return std::clamp(1.0 - bc, 0.0, 1.0);
+}
+
+double KsDistance(const Distribution& p, const Distribution& q,
+                  const MetricOptions& opts) {
+  const Grid g = UnionGrid(p, q, opts.grid_points);
+  double worst = 0.0;
+  for (size_t i = 0; i <= g.n; ++i) {
+    const double x = g.lo + static_cast<double>(i) * g.dx;
+    worst = std::max(worst, std::fabs(p.Cdf(x) - q.Cdf(x)));
+  }
+  return std::min(worst, 1.0);
+}
+
+double KlDivergenceGrid(const Distribution& p, const Distribution& q,
+                        const MetricOptions& opts) {
+  const Grid g = UnionGrid(p, q, opts.grid_points);
+  double kl = 0.0;
+  for (size_t i = 0; i < g.n; ++i) {
+    const double x = g.lo + (static_cast<double>(i) + 0.5) * g.dx;
+    const double px = p.Pdf(x);
+    if (px <= 0.0) continue;
+    const double qx = std::max(q.Pdf(x), 1e-300);
+    kl += px * std::log(px / qx);
+  }
+  return kl * g.dx;
+}
+
+}  // namespace stats
+}  // namespace usp

@@ -1,0 +1,163 @@
+#include "stats/order_statistics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace usp {
+namespace stats {
+
+double CdfOfMax(const std::vector<const Distribution*>& dists, double x) {
+  double p = 1.0;
+  for (const Distribution* d : dists) {
+    p *= d->Cdf(x);
+    if (p == 0.0) return 0.0;
+  }
+  return p;
+}
+
+double PdfOfMax(const std::vector<const Distribution*>& dists, double x) {
+  // f_max = sum_i f_i prod_{j != i} F_j, computed without n^2 work by
+  // using f_max = F_max * sum_i f_i / F_i where all F_i > 0, and falling
+  // back to the direct product form when some F_i is ~0.
+  const size_t n = dists.size();
+  std::vector<double> cdfs(n);
+  bool any_zero = false;
+  for (size_t i = 0; i < n; ++i) {
+    cdfs[i] = dists[i]->Cdf(x);
+    if (cdfs[i] < 1e-300) any_zero = true;
+  }
+  if (!any_zero) {
+    double prod = 1.0;
+    for (double c : cdfs) prod *= c;
+    double s = 0.0;
+    for (size_t i = 0; i < n; ++i) s += dists[i]->Pdf(x) / cdfs[i];
+    return prod * s;
+  }
+  // If two or more cdfs are zero at x, every term has a zero factor.
+  size_t zero_count = 0;
+  size_t zero_idx = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (cdfs[i] < 1e-300) {
+      ++zero_count;
+      zero_idx = i;
+    }
+  }
+  if (zero_count >= 2) return 0.0;
+  double prod = dists[zero_idx]->Pdf(x);
+  for (size_t j = 0; j < n; ++j) {
+    if (j != zero_idx) prod *= cdfs[j];
+  }
+  return prod;
+}
+
+double CdfOfMin(const std::vector<const Distribution*>& dists, double x) {
+  double surv = 1.0;
+  for (const Distribution* d : dists) {
+    surv *= 1.0 - d->Cdf(x);
+    if (surv == 0.0) return 1.0;
+  }
+  return 1.0 - surv;
+}
+
+double PdfOfMin(const std::vector<const Distribution*>& dists, double x) {
+  const size_t n = dists.size();
+  std::vector<double> survs(n);
+  bool any_zero = false;
+  for (size_t i = 0; i < n; ++i) {
+    survs[i] = 1.0 - dists[i]->Cdf(x);
+    if (survs[i] < 1e-300) any_zero = true;
+  }
+  if (!any_zero) {
+    double prod = 1.0;
+    for (double s : survs) prod *= s;
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) sum += dists[i]->Pdf(x) / survs[i];
+    return prod * sum;
+  }
+  size_t zero_count = 0;
+  size_t zero_idx = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (survs[i] < 1e-300) {
+      ++zero_count;
+      zero_idx = i;
+    }
+  }
+  if (zero_count >= 2) return 0.0;
+  double prod = dists[zero_idx]->Pdf(x);
+  for (size_t j = 0; j < n; ++j) {
+    if (j != zero_idx) prod *= survs[j];
+  }
+  return prod;
+}
+
+namespace {
+
+common::Result<Histogram> ExtremeDistribution(
+    const std::vector<const Distribution*>& dists, size_t bins, bool is_max) {
+  if (dists.empty()) {
+    return common::Status::InvalidArgument(
+        "order statistics require at least one input");
+  }
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const Distribution* d : dists) {
+    const Support s = d->NumericSupport();
+    lo = std::min(lo, s.lo);
+    hi = std::max(hi, s.hi);
+  }
+  // Per-bin mass from cdf differences of the extreme's exact cdf.
+  std::vector<double> masses(bins);
+  const double width = (hi - lo) / static_cast<double>(bins);
+  double prev = is_max ? CdfOfMax(dists, lo) : CdfOfMin(dists, lo);
+  for (size_t i = 0; i < bins; ++i) {
+    const double right = lo + static_cast<double>(i + 1) * width;
+    const double c = is_max ? CdfOfMax(dists, right) : CdfOfMin(dists, right);
+    masses[i] = std::max(0.0, c - prev);
+    prev = c;
+  }
+  return Histogram::FromMasses(lo, hi, std::move(masses));
+}
+
+}  // namespace
+
+common::Result<Histogram> MaxDistribution(
+    const std::vector<const Distribution*>& dists, size_t bins) {
+  return ExtremeDistribution(dists, bins, /*is_max=*/true);
+}
+
+common::Result<Histogram> MinDistribution(
+    const std::vector<const Distribution*>& dists, size_t bins) {
+  return ExtremeDistribution(dists, bins, /*is_max=*/false);
+}
+
+double CdfOfOrderStatisticIid(const Distribution& dist, size_t n, size_t k,
+                              double x) {
+  assert(k >= 1 && k <= n);
+  const double f = dist.Cdf(x);
+  // Binomial tail sum_{j=k}^{n} C(n,j) f^j (1-f)^{n-j}, evaluated in log
+  // space per term for robustness at large n.
+  double total = 0.0;
+  for (size_t j = k; j <= n; ++j) {
+    const double logc = std::lgamma(static_cast<double>(n + 1)) -
+                        std::lgamma(static_cast<double>(j + 1)) -
+                        std::lgamma(static_cast<double>(n - j + 1));
+    double logt = logc;
+    if (f > 0.0) {
+      logt += static_cast<double>(j) * std::log(f);
+    } else if (j > 0) {
+      continue;
+    }
+    if (f < 1.0) {
+      logt += static_cast<double>(n - j) * std::log1p(-f);
+    } else if (n - j > 0) {
+      continue;
+    }
+    total += std::exp(logt);
+  }
+  return std::min(total, 1.0);
+}
+
+}  // namespace stats
+}  // namespace usp

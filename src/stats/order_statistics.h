@@ -1,0 +1,51 @@
+// Order statistics of independent continuous random variables — the paper's
+// tool for MAX/MIN aggregates (§1: "using characteristic functions and
+// order statistics to compute result distributions directly").
+//
+// For independent X_1..X_n with cdfs F_i:
+//   P(max <= x) = prod_i F_i(x)
+//   f_max(x)    = sum_i f_i(x) prod_{j != i} F_j(x)
+// and symmetrically for min with survival functions. These are exact — no
+// integration is required — so MAX over a window costs O(n) per evaluation
+// point.
+
+#ifndef USP_STATS_ORDER_STATISTICS_H_
+#define USP_STATS_ORDER_STATISTICS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "stats/distribution.h"
+#include "stats/histogram.h"
+
+namespace usp {
+namespace stats {
+
+/// Exact cdf of max(X_1..X_n) at x for independent inputs.
+double CdfOfMax(const std::vector<const Distribution*>& dists, double x);
+/// Exact pdf of max(X_1..X_n) at x.
+double PdfOfMax(const std::vector<const Distribution*>& dists, double x);
+/// Exact cdf of min(X_1..X_n) at x.
+double CdfOfMin(const std::vector<const Distribution*>& dists, double x);
+/// Exact pdf of min(X_1..X_n) at x.
+double PdfOfMin(const std::vector<const Distribution*>& dists, double x);
+
+/// Materialize the exact max distribution on a grid (Histogram) spanning
+/// the union of the inputs' numeric supports.
+common::Result<Histogram> MaxDistribution(
+    const std::vector<const Distribution*>& dists, size_t bins = 256);
+
+/// Materialize the exact min distribution on a grid.
+common::Result<Histogram> MinDistribution(
+    const std::vector<const Distribution*>& dists, size_t bins = 256);
+
+/// Exact cdf of the k-th order statistic (1-based, k=n is the max) of n
+/// *iid* variables with common cdf F, via the binomial tail:
+/// P(X_(k) <= x) = sum_{j=k}^{n} C(n,j) F^j (1-F)^{n-j}.
+double CdfOfOrderStatisticIid(const Distribution& dist, size_t n, size_t k,
+                              double x);
+
+}  // namespace stats
+}  // namespace usp
+
+#endif  // USP_STATS_ORDER_STATISTICS_H_

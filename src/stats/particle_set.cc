@@ -1,0 +1,156 @@
+#include "stats/particle_set.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "common/math_util.h"
+
+namespace usp {
+namespace stats {
+
+common::Result<ParticleSet> ParticleSet::Make(std::vector<double> values,
+                                              std::vector<double> weights) {
+  if (values.empty()) {
+    return common::Status::InvalidArgument("ParticleSet requires particles");
+  }
+  if (weights.empty()) {
+    weights.assign(values.size(), 1.0 / static_cast<double>(values.size()));
+  }
+  if (weights.size() != values.size()) {
+    return common::Status::InvalidArgument(
+        "ParticleSet weight/value count mismatch");
+  }
+  double wsum = 0.0;
+  for (double w : weights) {
+    if (w < 0.0 || !std::isfinite(w)) {
+      return common::Status::InvalidArgument(
+          "ParticleSet weights must be finite and non-negative");
+    }
+    wsum += w;
+  }
+  if (wsum <= 0.0) {
+    return common::Status::InvalidArgument("ParticleSet total weight is zero");
+  }
+  for (double& w : weights) w /= wsum;
+  return ParticleSet(std::move(values), std::move(weights));
+}
+
+ParticleSet::ParticleSet(std::vector<double> values,
+                         std::vector<double> weights)
+    : values_(std::move(values)), weights_(std::move(weights)) {
+  const common::MeanVar mv = common::WeightedMeanVar(values_, weights_);
+  mean_ = mv.mean;
+  variance_ = mv.variance;
+  // Silverman's rule-of-thumb bandwidth with the effective sample size.
+  const double ess = EffectiveSampleSize();
+  const double sigma = std::sqrt(std::max(variance_, 1e-300));
+  bandwidth_ = 1.06 * sigma * std::pow(std::max(ess, 2.0), -0.2);
+  if (bandwidth_ <= 0.0 || !std::isfinite(bandwidth_)) bandwidth_ = 1e-6;
+  BuildSorted();
+}
+
+void ParticleSet::BuildSorted() {
+  std::vector<size_t> order(values_.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return values_[a] < values_[b]; });
+  sorted_values_.resize(values_.size());
+  sorted_cumw_.resize(values_.size());
+  double cum = 0.0;
+  for (size_t i = 0; i < order.size(); ++i) {
+    sorted_values_[i] = values_[order[i]];
+    cum += weights_[order[i]];
+    sorted_cumw_[i] = cum;
+  }
+  sorted_cumw_.back() = 1.0;
+}
+
+double ParticleSet::Pdf(double x) const {
+  double p = 0.0;
+  const double inv_h = 1.0 / bandwidth_;
+  for (size_t i = 0; i < values_.size(); ++i) {
+    const double z = (x - values_[i]) * inv_h;
+    p += weights_[i] * std::exp(-0.5 * z * z);
+  }
+  return p * inv_h / common::kSqrt2Pi;
+}
+
+double ParticleSet::Cdf(double x) const {
+  // Weighted empirical cdf (right-continuous step function).
+  const auto it =
+      std::upper_bound(sorted_values_.begin(), sorted_values_.end(), x);
+  if (it == sorted_values_.begin()) return 0.0;
+  const size_t idx = static_cast<size_t>(it - sorted_values_.begin()) - 1;
+  return sorted_cumw_[idx];
+}
+
+double ParticleSet::Quantile(double p) const {
+  assert(p > 0.0 && p < 1.0);
+  const auto it = std::lower_bound(sorted_cumw_.begin(), sorted_cumw_.end(), p);
+  const size_t idx = std::min(sorted_values_.size() - 1,
+                              static_cast<size_t>(it - sorted_cumw_.begin()));
+  return sorted_values_[idx];
+}
+
+std::complex<double> ParticleSet::Cf(double t) const {
+  std::complex<double> s(0.0, 0.0);
+  for (size_t i = 0; i < values_.size(); ++i) {
+    s += weights_[i] * std::complex<double>(std::cos(t * values_[i]),
+                                            std::sin(t * values_[i]));
+  }
+  return s;
+}
+
+double ParticleSet::Sample(common::Rng* rng) const {
+  const double u = rng->Uniform();
+  const auto it = std::lower_bound(sorted_cumw_.begin(), sorted_cumw_.end(), u);
+  const size_t idx = std::min(sorted_values_.size() - 1,
+                              static_cast<size_t>(it - sorted_cumw_.begin()));
+  return sorted_values_[idx];
+}
+
+Support ParticleSet::NumericSupport() const {
+  // Pad by 4 bandwidths so the KDE tails are included.
+  return {sorted_values_.front() - 4.0 * bandwidth_,
+          sorted_values_.back() + 4.0 * bandwidth_};
+}
+
+std::unique_ptr<Distribution> ParticleSet::Clone() const {
+  return std::unique_ptr<Distribution>(new ParticleSet(*this));
+}
+
+std::string ParticleSet::ToString() const {
+  char buf[96];
+  snprintf(buf, sizeof(buf), "Particles[n=%zu, mean=%.4g, sd=%.4g]",
+           values_.size(), mean_, std::sqrt(variance_));
+  return buf;
+}
+
+double ParticleSet::EffectiveSampleSize() const {
+  double s2 = 0.0;
+  for (double w : weights_) s2 += w * w;
+  return s2 > 0.0 ? 1.0 / s2 : 0.0;
+}
+
+ParticleSet ParticleSet::Resampled(size_t n, common::Rng* rng) const {
+  assert(n >= 1);
+  std::vector<double> out;
+  out.reserve(n);
+  // Systematic resampling: one uniform offset, n evenly spaced pointers.
+  const double step = 1.0 / static_cast<double>(n);
+  double u = rng->Uniform() * step;
+  size_t idx = 0;
+  for (size_t i = 0; i < n; ++i) {
+    while (idx + 1 < sorted_cumw_.size() && sorted_cumw_[idx] < u) ++idx;
+    out.push_back(sorted_values_[idx]);
+    u += step;
+  }
+  return ParticleSet(std::move(out),
+                     std::vector<double>(n, 1.0 / static_cast<double>(n)));
+}
+
+}  // namespace stats
+}  // namespace usp

@@ -1,0 +1,75 @@
+// Weighted-sample ("particle") representation of a distribution — the native
+// output of sampling-based inference (§4.1). The paper notes carrying raw
+// particles in tuples "will increase the stream volume by one or two orders
+// of magnitude" (§4.3), motivating KL conversion to parametric forms.
+
+#ifndef USP_STATS_PARTICLE_SET_H_
+#define USP_STATS_PARTICLE_SET_H_
+
+#include <vector>
+
+#include "stats/distribution.h"
+
+namespace usp {
+namespace stats {
+
+/// \brief Weighted empirical distribution {(x_i, w_i)} with normalized
+/// weights.
+///
+/// Pdf() is a kernel density estimate (Gaussian kernel, Silverman
+/// bandwidth); Cdf/Quantile use the weighted empirical cdf. Used both as a
+/// tuple-level distribution ("sample-based tuple-level distribution") and
+/// as the state representation inside particle filters.
+class ParticleSet final : public Distribution {
+ public:
+  /// Validating factory. Requires non-empty values, matching weight count
+  /// (or empty weights for uniform), non-negative weights with positive sum.
+  static common::Result<ParticleSet> Make(std::vector<double> values,
+                                          std::vector<double> weights = {});
+
+  DistType type() const override { return DistType::kParticleSet; }
+  double Pdf(double x) const override;
+  double Cdf(double x) const override;
+  double Quantile(double p) const override;
+  double Mean() const override { return mean_; }
+  double Variance() const override { return variance_; }
+  /// Empirical CF: sum_i w_i e^{it x_i}.
+  std::complex<double> Cf(double t) const override;
+  bool HasClosedFormCf() const override { return false; }
+  double Sample(common::Rng* rng) const override;
+  Support NumericSupport() const override;
+  std::unique_ptr<Distribution> Clone() const override;
+  std::string ToString() const override;
+
+  size_t size() const { return values_.size(); }
+  const std::vector<double>& values() const { return values_; }
+  const std::vector<double>& weights() const { return weights_; }
+
+  /// Effective sample size 1 / sum(w_i^2); low ESS signals degeneracy and
+  /// triggers resampling in particle filters.
+  double EffectiveSampleSize() const;
+
+  /// Systematic (low-variance) resampling to n equally weighted particles.
+  ParticleSet Resampled(size_t n, common::Rng* rng) const;
+
+  /// KDE bandwidth in use (Silverman's rule).
+  double bandwidth() const { return bandwidth_; }
+
+ private:
+  ParticleSet(std::vector<double> values, std::vector<double> weights);
+  void BuildSorted();
+
+  std::vector<double> values_;
+  std::vector<double> weights_;
+  // Sorted (value, cumweight) view for cdf/quantile queries.
+  std::vector<double> sorted_values_;
+  std::vector<double> sorted_cumw_;
+  double mean_;
+  double variance_;
+  double bandwidth_;
+};
+
+}  // namespace stats
+}  // namespace usp
+
+#endif  // USP_STATS_PARTICLE_SET_H_

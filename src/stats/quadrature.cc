@@ -1,0 +1,160 @@
+#include "stats/quadrature.h"
+
+#include <array>
+#include <cassert>
+#include <cmath>
+
+namespace usp {
+namespace stats {
+
+namespace {
+
+struct SimpsonState {
+  const std::function<double(double)>* f;
+  double tol;
+  int max_depth;
+  int evals = 0;
+  bool converged = true;
+};
+
+double SimpsonRule(double fa, double fm, double fb, double h) {
+  return h / 6.0 * (fa + 4.0 * fm + fb);
+}
+
+double AdaptiveSimpsonRec(SimpsonState* st, double a, double b, double fa,
+                          double fm, double fb, double whole, double tol,
+                          int depth) {
+  const double m = 0.5 * (a + b);
+  const double lm = 0.5 * (a + m);
+  const double rm = 0.5 * (m + b);
+  const double flm = (*st->f)(lm);
+  const double frm = (*st->f)(rm);
+  st->evals += 2;
+  const double left = SimpsonRule(fa, flm, fm, m - a);
+  const double right = SimpsonRule(fm, frm, fb, b - m);
+  const double delta = left + right - whole;
+  if (depth >= st->max_depth) {
+    st->converged = false;
+    return left + right + delta / 15.0;
+  }
+  if (std::fabs(delta) <= 15.0 * tol) {
+    return left + right + delta / 15.0;
+  }
+  return AdaptiveSimpsonRec(st, a, m, fa, flm, fm, left, 0.5 * tol,
+                            depth + 1) +
+         AdaptiveSimpsonRec(st, m, b, fm, frm, fb, right, 0.5 * tol,
+                            depth + 1);
+}
+
+// Gauss-Legendre nodes/weights on [-1, 1] for supported orders. Generated
+// by Newton iteration on Legendre polynomials at library init (cheap, done
+// once per order).
+struct GLRule {
+  std::vector<double> nodes;
+  std::vector<double> weights;
+};
+
+GLRule MakeGLRule(int n) {
+  GLRule rule;
+  rule.nodes.resize(static_cast<size_t>(n));
+  rule.weights.resize(static_cast<size_t>(n));
+  // Newton iteration from Chebyshev initial guesses.
+  for (int i = 0; i < (n + 1) / 2; ++i) {
+    double x = std::cos(M_PI * (static_cast<double>(i) + 0.75) /
+                        (static_cast<double>(n) + 0.5));
+    double pp = 0.0;
+    for (int iter = 0; iter < 100; ++iter) {
+      // Evaluate P_n(x) and P'_n(x) by recurrence.
+      double p0 = 1.0, p1 = x;
+      for (int k = 2; k <= n; ++k) {
+        const double p2 = ((2.0 * k - 1.0) * x * p1 - (k - 1.0) * p0) /
+                          static_cast<double>(k);
+        p0 = p1;
+        p1 = p2;
+      }
+      pp = static_cast<double>(n) * (x * p1 - p0) / (x * x - 1.0);
+      const double dx = p1 / pp;
+      x -= dx;
+      if (std::fabs(dx) < 1e-15) break;
+    }
+    rule.nodes[static_cast<size_t>(i)] = -x;
+    rule.nodes[static_cast<size_t>(n - 1 - i)] = x;
+    const double w = 2.0 / ((1.0 - x * x) * pp * pp);
+    rule.weights[static_cast<size_t>(i)] = w;
+    rule.weights[static_cast<size_t>(n - 1 - i)] = w;
+  }
+  return rule;
+}
+
+const GLRule& GetGLRule(int order) {
+  static const std::array<int, 5> kOrders = {4, 8, 16, 32, 64};
+  static const std::array<GLRule, 5> kRules = {
+      MakeGLRule(4), MakeGLRule(8), MakeGLRule(16), MakeGLRule(32),
+      MakeGLRule(64)};
+  for (size_t i = 0; i < kOrders.size(); ++i) {
+    if (order <= kOrders[i]) return kRules[i];
+  }
+  return kRules.back();
+}
+
+}  // namespace
+
+QuadratureResult AdaptiveSimpson(const std::function<double(double)>& f,
+                                 double a, double b, double tol,
+                                 int max_depth) {
+  QuadratureResult out;
+  if (a == b) {
+    out.converged = true;
+    return out;
+  }
+  // Pre-subdivide into fixed panels so isolated narrow features cannot be
+  // missed by the first coarse Simpson estimate, then adapt inside each.
+  constexpr int kInitialPanels = 16;
+  SimpsonState st{&f, tol, max_depth};
+  const double w = (b - a) / kInitialPanels;
+  const double panel_tol = tol / kInitialPanels;
+  double total = 0.0;
+  for (int i = 0; i < kInitialPanels; ++i) {
+    const double pa = a + i * w;
+    const double pb = pa + w;
+    const double m = 0.5 * (pa + pb);
+    const double fa = f(pa);
+    const double fm = f(m);
+    const double fb = f(pb);
+    st.evals += 3;
+    const double whole = SimpsonRule(fa, fm, fb, pb - pa);
+    total += AdaptiveSimpsonRec(&st, pa, pb, fa, fm, fb, whole, panel_tol, 0);
+  }
+  out.value = total;
+  out.evaluations = st.evals;
+  out.converged = st.converged;
+  out.error_estimate = tol;
+  return out;
+}
+
+double GaussLegendre(const std::function<double(double)>& f, double a,
+                     double b, int order) {
+  const GLRule& rule = GetGLRule(order);
+  const double mid = 0.5 * (a + b);
+  const double half = 0.5 * (b - a);
+  double sum = 0.0;
+  for (size_t i = 0; i < rule.nodes.size(); ++i) {
+    sum += rule.weights[i] * f(mid + half * rule.nodes[i]);
+  }
+  return sum * half;
+}
+
+double CompositeGaussLegendre(const std::function<double(double)>& f,
+                              double a, double b, int panels, int order) {
+  assert(panels >= 1);
+  const double w = (b - a) / static_cast<double>(panels);
+  double sum = 0.0;
+  for (int i = 0; i < panels; ++i) {
+    const double lo = a + static_cast<double>(i) * w;
+    sum += GaussLegendre(f, lo, lo + w, order);
+  }
+  return sum;
+}
+
+}  // namespace stats
+}  // namespace usp

@@ -1,0 +1,44 @@
+// Numerical integration: adaptive Simpson and fixed-order Gauss-Legendre.
+// Used by CF inversion (Gil-Pelaez) and by probabilistic selection/join when
+// no closed form exists.
+
+#ifndef USP_STATS_QUADRATURE_H_
+#define USP_STATS_QUADRATURE_H_
+
+#include <functional>
+
+#include "common/status.h"
+
+namespace usp {
+namespace stats {
+
+/// Result of an adaptive integration.
+struct QuadratureResult {
+  double value = 0.0;
+  double error_estimate = 0.0;
+  int evaluations = 0;
+  bool converged = false;
+};
+
+/// Adaptive Simpson integration of f over [a, b] with absolute tolerance
+/// `tol` and a recursion depth cap. Robust for smooth integrands with
+/// isolated features.
+QuadratureResult AdaptiveSimpson(const std::function<double(double)>& f,
+                                 double a, double b, double tol = 1e-10,
+                                 int max_depth = 50);
+
+/// Fixed-order Gauss-Legendre on [a, b]; `order` in {4, 8, 16, 32, 64}.
+/// Non-listed orders fall back to the next larger supported order.
+double GaussLegendre(const std::function<double(double)>& f, double a,
+                     double b, int order = 32);
+
+/// Composite Gauss-Legendre: split [a, b] into `panels` equal panels and
+/// apply order-`order` GL on each. Handles oscillatory integrands (CF
+/// inversion) far better than one high-order rule.
+double CompositeGaussLegendre(const std::function<double(double)>& f,
+                              double a, double b, int panels, int order = 16);
+
+}  // namespace stats
+}  // namespace usp
+
+#endif  // USP_STATS_QUADRATURE_H_

@@ -1,0 +1,206 @@
+#include "stats/timeseries.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "stats/gamma_dist.h"
+
+namespace usp {
+namespace stats {
+
+double SampleMean(const std::vector<double>& series) {
+  assert(!series.empty());
+  double s = 0.0;
+  for (double x : series) s += x;
+  return s / static_cast<double>(series.size());
+}
+
+std::vector<double> Autocovariance(const std::vector<double>& series,
+                                   size_t max_lag) {
+  const size_t n = series.size();
+  assert(n > 0);
+  const double mean = SampleMean(series);
+  const size_t lags = std::min(max_lag, n - 1);
+  std::vector<double> gamma(lags + 1, 0.0);
+  for (size_t k = 0; k <= lags; ++k) {
+    double s = 0.0;
+    for (size_t t = 0; t + k < n; ++t) {
+      s += (series[t] - mean) * (series[t + k] - mean);
+    }
+    gamma[k] = s / static_cast<double>(n);
+  }
+  return gamma;
+}
+
+std::vector<double> Autocorrelation(const std::vector<double>& series,
+                                    size_t max_lag) {
+  std::vector<double> gamma = Autocovariance(series, max_lag);
+  if (gamma[0] <= 0.0) {
+    // Constant series: define rho_0 = 1, rest 0.
+    std::fill(gamma.begin(), gamma.end(), 0.0);
+    gamma[0] = 1.0;
+    return gamma;
+  }
+  const double g0 = gamma[0];
+  for (double& g : gamma) g /= g0;
+  return gamma;
+}
+
+double ChiSquaredSf(double x, double k) {
+  if (x <= 0.0) return 1.0;
+  return 1.0 - RegularizedGammaP(0.5 * k, 0.5 * x);
+}
+
+LjungBoxResult LjungBox(const std::vector<double>& series, size_t lags,
+                        double alpha) {
+  const size_t n = series.size();
+  assert(n > lags + 1);
+  const std::vector<double> rho = Autocorrelation(series, lags);
+  double q = 0.0;
+  for (size_t k = 1; k <= lags; ++k) {
+    q += rho[k] * rho[k] / static_cast<double>(n - k);
+  }
+  q *= static_cast<double>(n) * (static_cast<double>(n) + 2.0);
+  const double p = ChiSquaredSf(q, static_cast<double>(lags));
+  return {q, p, p < alpha};
+}
+
+size_t IdentifyMaOrder(const std::vector<double>& series, size_t max_q) {
+  const size_t n = series.size();
+  const size_t lags = std::min(max_q + 10, n / 4 + 1);
+  const std::vector<double> rho = Autocorrelation(series, lags);
+  // 99% Bartlett band. With ~10 lags checked, a 95% band fires spuriously
+  // ~40% of the time on genuinely-MA(q) data; the stricter band plus a
+  // one-violation allowance keeps both error rates below a percent.
+  const double z = 2.576;
+  for (size_t q = 0; q <= std::min(max_q, lags > 0 ? lags - 1 : size_t{0});
+       ++q) {
+    // Bartlett band for lags beyond q under an MA(q) hypothesis.
+    double s = 1.0;
+    for (size_t j = 1; j <= q; ++j) s += 2.0 * rho[j] * rho[j];
+    const double band = z * std::sqrt(s / static_cast<double>(n));
+    size_t violations = 0;
+    for (size_t k = q + 1; k < rho.size(); ++k) {
+      if (std::fabs(rho[k]) > band) ++violations;
+    }
+    if (violations <= 1) return q;
+  }
+  return max_q;
+}
+
+double MaModel::ImpliedAutocovariance(size_t k) const {
+  // gamma(k) = sigma2 * sum_{j=0}^{q-k} theta_j theta_{j+k}, theta_0 = 1.
+  const size_t q = theta.size();
+  if (k > q) return 0.0;
+  double s = 0.0;
+  for (size_t j = 0; j + k <= q; ++j) {
+    const double tj = j == 0 ? 1.0 : theta[j - 1];
+    const double tjk = (j + k) == 0 ? 1.0 : theta[j + k - 1];
+    s += tj * tjk;
+  }
+  return sigma2 * s;
+}
+
+std::vector<double> MaModel::Simulate(size_t n, common::Rng* rng) const {
+  const size_t q = theta.size();
+  const double sd = std::sqrt(sigma2);
+  std::vector<double> e(n + q);
+  for (double& x : e) x = rng->Gaussian(0.0, sd);
+  std::vector<double> out(n);
+  for (size_t t = 0; t < n; ++t) {
+    double x = mean + e[t + q];
+    for (size_t j = 0; j < q; ++j) x += theta[j] * e[t + q - 1 - j];
+    out[t] = x;
+  }
+  return out;
+}
+
+common::Result<MaModel> FitMaInnovations(const std::vector<double>& series,
+                                         size_t q) {
+  const size_t n = series.size();
+  if (n <= q + 1) {
+    return common::Status::InvalidArgument(
+        "FitMaInnovations: series shorter than MA order + 2");
+  }
+  MaModel model;
+  model.mean = SampleMean(series);
+  if (q == 0) {
+    const std::vector<double> g = Autocovariance(series, 0);
+    model.sigma2 = std::max(g[0], 1e-300);
+    return model;
+  }
+  // Innovations algorithm (Brockwell & Davis, Prop. 5.2.2) run to m steps,
+  // m >= q; row m gives theta_{m,1..q}. Use m = min(n-1, max(2q, 20)) for a
+  // stabilized estimate.
+  const size_t m = std::min(n - 1, std::max(2 * q, size_t{20}));
+  const std::vector<double> g = Autocovariance(series, m);
+  std::vector<std::vector<double>> th(m + 1);
+  std::vector<double> v(m + 1, 0.0);
+  v[0] = g[0];
+  if (v[0] <= 0.0) {
+    return common::Status::NumericError(
+        "FitMaInnovations: zero-variance series");
+  }
+  for (size_t k = 1; k <= m; ++k) {
+    th[k].assign(k, 0.0);  // th[k][j-1] = theta_{k,j}, j = 1..k
+    // theta_{k, k-i} = (gamma(k-i) - sum_{j=0}^{i-1} theta_{i,i-j}
+    //                   theta_{k,k-j} v_j) / v_i,  i = 0..k-1
+    for (size_t i = 0; i < k; ++i) {
+      double s = g[k - i];
+      for (size_t j = 0; j < i; ++j) {
+        const double th_i = th[i][i - 1 - j];   // theta_{i, i-j}
+        const double th_k = th[k][k - 1 - j];   // theta_{k, k-j}
+        s -= th_i * th_k * v[j];
+      }
+      th[k][k - 1 - i] = s / v[i];
+    }
+    double vk = g[0];
+    for (size_t j = 0; j < k; ++j) {
+      const double t = th[k][j];  // theta_{k, j+1}
+      vk -= t * t * v[k - 1 - j];
+    }
+    v[k] = std::max(vk, 1e-12 * g[0]);
+  }
+  model.theta.assign(th[m].begin(), th[m].begin() + static_cast<ptrdiff_t>(q));
+  model.sigma2 = v[m];
+  return model;
+}
+
+namespace {
+common::Result<Gaussian> CltMaImpl(const std::vector<double>& series,
+                                   size_t q, bool as_sum) {
+  const size_t n = series.size();
+  if (n < q + 2) {
+    return common::Status::InvalidArgument(
+        "CLT for MA series: series shorter than q + 2");
+  }
+  const std::vector<double> g = Autocovariance(series, q);
+  double v = g[0];
+  for (size_t k = 1; k <= q && k < g.size(); ++k) v += 2.0 * g[k];
+  if (v <= 0.0) {
+    // Negative long-run variance estimates occur for strongly
+    // negatively-correlated short series; floor at a fraction of gamma_0.
+    v = std::max(g[0] * 1e-3, 1e-300);
+  }
+  const double mean = SampleMean(series);
+  const double dn = static_cast<double>(n);
+  if (as_sum) {
+    return Gaussian(mean * dn, std::sqrt(v * dn));
+  }
+  return Gaussian(mean, std::sqrt(v / dn));
+}
+}  // namespace
+
+common::Result<Gaussian> CltMeanOfMaSeries(const std::vector<double>& series,
+                                           size_t q) {
+  return CltMaImpl(series, q, /*as_sum=*/false);
+}
+
+common::Result<Gaussian> CltSumOfMaSeries(const std::vector<double>& series,
+                                          size_t q) {
+  return CltMaImpl(series, q, /*as_sum=*/true);
+}
+
+}  // namespace stats
+}  // namespace usp

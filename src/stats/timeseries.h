@@ -1,0 +1,88 @@
+// Time-series statistics for correlated streams (§4.4): autocorrelation,
+// randomness testing, MA(q) order identification via Bartlett bounds,
+// MA fitting with the innovations algorithm, and the CLT for MA processes
+// used to aggregate correlated radar pulses with near-zero cost.
+
+#ifndef USP_STATS_TIMESERIES_H_
+#define USP_STATS_TIMESERIES_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "stats/gaussian.h"
+
+namespace usp {
+namespace stats {
+
+/// Sample mean of a series.
+double SampleMean(const std::vector<double>& series);
+
+/// Sample autocovariances gamma_0..gamma_max_lag (biased, divide-by-n
+/// estimator — the standard choice, guaranteeing a psd sequence).
+std::vector<double> Autocovariance(const std::vector<double>& series,
+                                   size_t max_lag);
+
+/// Sample autocorrelations rho_0..rho_max_lag (rho_0 = 1).
+std::vector<double> Autocorrelation(const std::vector<double>& series,
+                                    size_t max_lag);
+
+/// Ljung-Box portmanteau test for "no autocorrelation up to `lags`".
+struct LjungBoxResult {
+  double statistic;  ///< Q = n(n+2) sum rho_k^2/(n-k)
+  double p_value;    ///< from the chi^2(lags) tail
+  bool reject_iid;   ///< p_value < alpha
+};
+LjungBoxResult LjungBox(const std::vector<double>& series, size_t lags,
+                        double alpha = 0.05);
+
+/// \brief Identify the MA order q by the Bartlett cutoff rule (§4.4:
+/// "sequences obeying the MA assumption can be identified by computing
+/// their k-lag autocorrelations ... at most two scans").
+///
+/// Returns the smallest q in [0, max_q] such that every rho_k for
+/// q < k <= max_q lies inside the Bartlett 95% band
+/// +-1.96 sqrt((1 + 2 sum_{j<=q} rho_j^2)/n). If no q qualifies, returns
+/// max_q (the series is not short-memory at this window).
+size_t IdentifyMaOrder(const std::vector<double>& series, size_t max_q);
+
+/// A fitted MA(q) model X_t = mean + e_t + sum_j theta_j e_{t-j}.
+struct MaModel {
+  double mean = 0.0;
+  std::vector<double> theta;  ///< theta_1..theta_q
+  double sigma2 = 1.0;        ///< innovation variance
+
+  size_t order() const { return theta.size(); }
+  /// Model-implied autocovariance at lag k.
+  double ImpliedAutocovariance(size_t k) const;
+  /// Simulate n points with Gaussian innovations.
+  std::vector<double> Simulate(size_t n, common::Rng* rng) const;
+};
+
+/// Fit MA(q) by the innovations algorithm (Brockwell & Davis §5.1): theta =
+/// row q of the innovations coefficients computed from sample
+/// autocovariances. Requires series length > q.
+common::Result<MaModel> FitMaInnovations(const std::vector<double>& series,
+                                         size_t q);
+
+/// \brief CLT for the mean of an MA(q) series (§5.1 "Correlated
+/// variables"): x_bar is asymptotically N(mu, v/n) with long-run variance
+/// v = gamma_0 + 2 sum_{k=1..q} gamma_k estimated from the sample.
+///
+/// Returns the asymptotic Gaussian of the *sample mean* of the given
+/// series. Errors if the series is shorter than q+2 or the estimated
+/// long-run variance is non-positive.
+common::Result<Gaussian> CltMeanOfMaSeries(const std::vector<double>& series,
+                                           size_t q);
+
+/// Same CLT for the *sum* of the series (scales mean and stddev by n).
+common::Result<Gaussian> CltSumOfMaSeries(const std::vector<double>& series,
+                                          size_t q);
+
+/// Chi-squared upper-tail probability P(X > x) with k degrees of freedom.
+double ChiSquaredSf(double x, double k);
+
+}  // namespace stats
+}  // namespace usp
+
+#endif  // USP_STATS_TIMESERIES_H_

@@ -1,0 +1,67 @@
+// Truncated (conditioned) distribution: the law of X given a <= X <= b.
+//
+// This is what a probabilistic selection *should* hand downstream: once a
+// tuple passes the predicate "X > c with confidence p", the attribute's
+// distribution conditioned on the predicate is the truncation of the
+// original pdf — not the original pdf itself. uncertain::selection uses
+// this for its conditioning mode.
+
+#ifndef USP_STATS_TRUNCATED_H_
+#define USP_STATS_TRUNCATED_H_
+
+#include "stats/distribution.h"
+
+namespace usp {
+namespace stats {
+
+/// \brief X | lo <= X <= hi for an arbitrary base distribution.
+///
+/// Holds a shared handle to the base; density is base.Pdf / Z on [lo, hi]
+/// with Z = F(hi) - F(lo). Construction fails if the conditioning event
+/// has (numerically) zero probability.
+class Truncated final : public Distribution {
+ public:
+  /// Validating factory. `lo`/`hi` may be +-infinity for one-sided
+  /// conditioning; requires lo < hi and P(lo <= X <= hi) > 0.
+  static common::Result<Truncated> Make(DistributionPtr base, double lo,
+                                        double hi);
+
+  DistType type() const override { return DistType::kTruncated; }
+  double Pdf(double x) const override;
+  double Cdf(double x) const override;
+  double Quantile(double p) const override;
+  double Mean() const override;
+  double Variance() const override;
+  /// Numeric CF via the truncated-region integral (no closed form).
+  std::complex<double> Cf(double t) const override;
+  bool HasClosedFormCf() const override { return false; }
+  /// Inverse-cdf sampling through the base quantile (exact, no rejection).
+  double Sample(common::Rng* rng) const override;
+  Support NumericSupport() const override;
+  std::unique_ptr<Distribution> Clone() const override;
+  std::string ToString() const override;
+
+  const DistributionPtr& base() const { return base_; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  /// Probability mass of the conditioning event under the base.
+  double conditioning_mass() const { return mass_; }
+
+ private:
+  Truncated(DistributionPtr base, double lo, double hi, double cdf_lo,
+            double mass);
+  void ComputeMoments();
+
+  DistributionPtr base_;
+  double lo_;
+  double hi_;
+  double cdf_lo_;
+  double mass_;
+  double mean_;
+  double variance_;
+};
+
+}  // namespace stats
+}  // namespace usp
+
+#endif  // USP_STATS_TRUNCATED_H_

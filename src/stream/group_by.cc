@@ -1,0 +1,39 @@
+#include "stream/group_by.h"
+
+namespace usp {
+namespace stream {
+
+common::Status GroupByAggregateOperator::EmitWindow(
+    int64_t window_start, int64_t window_end, const std::vector<Tuple>& tuples,
+    Collector* out) {
+  (void)window_start;
+  // Group while preserving first-seen key order for deterministic output.
+  std::map<std::string, std::vector<const Tuple*>> groups;
+  std::vector<std::string> order;
+  for (const Tuple& t : tuples) {
+    std::string key = key_fn_(t);
+    auto [it, inserted] = groups.try_emplace(std::move(key));
+    if (inserted) order.push_back(it->first);
+    it->second.push_back(&t);
+  }
+  for (const std::string& key : order) {
+    const std::vector<const Tuple*>& group = groups[key];
+    Tuple result(window_end, {Value(key)});
+    for (const AggregateSpec& spec : aggregates_) {
+      auto v = spec.fn(group);
+      if (!v.ok()) return v.status();
+      result.AppendValue(v.MoveValueUnsafe());
+    }
+    std::vector<TupleId> lineage;
+    for (const Tuple* t : group) {
+      lineage.insert(lineage.end(), t->lineage().begin(), t->lineage().end());
+    }
+    result.SetLineage(std::move(lineage));
+    if (having_ && !having_(result)) continue;
+    out->Emit(std::move(result));
+  }
+  return common::Status::OK();
+}
+
+}  // namespace stream
+}  // namespace usp

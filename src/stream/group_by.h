@@ -1,0 +1,60 @@
+// Windowed GROUP BY + aggregate + HAVING — the shape of the paper's Q1:
+//   Group By R2.area  Having sum(R2.weight) > 200 pounds
+// over a `[Range 5 seconds]` window. The aggregate functions are supplied
+// by the caller (the uncertain:: library provides SUM/MAX over
+// distribution-valued attributes), so this operator stays agnostic of the
+// uncertainty machinery.
+
+#ifndef USP_STREAM_GROUP_BY_H_
+#define USP_STREAM_GROUP_BY_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "stream/window.h"
+
+namespace usp {
+namespace stream {
+
+/// One output aggregate column.
+struct AggregateSpec {
+  std::string output_name;
+  /// Computes the aggregate value over a group's tuples (arrival order).
+  std::function<common::Result<Value>(const std::vector<const Tuple*>&)> fn;
+};
+
+/// \brief Windowed group-by-aggregate with an optional HAVING filter.
+///
+/// Output tuple layout: [group_key (string), agg_1, ..., agg_m], timestamp
+/// = window end (Rstream semantics: results are streamed when the window
+/// closes), lineage = union of the group's input lineage.
+class GroupByAggregateOperator final : public WindowedOperator {
+ public:
+  using KeyFn = std::function<std::string(const Tuple&)>;
+  using HavingFn = std::function<bool(const Tuple&)>;
+
+  GroupByAggregateOperator(std::string name, WindowSpec spec, KeyFn key_fn,
+                           std::vector<AggregateSpec> aggregates,
+                           HavingFn having = nullptr)
+      : WindowedOperator(std::move(name), spec),
+        key_fn_(std::move(key_fn)),
+        aggregates_(std::move(aggregates)),
+        having_(std::move(having)) {}
+
+ protected:
+  common::Status EmitWindow(int64_t window_start, int64_t window_end,
+                            const std::vector<Tuple>& tuples,
+                            Collector* out) override;
+
+ private:
+  KeyFn key_fn_;
+  std::vector<AggregateSpec> aggregates_;
+  HavingFn having_;
+};
+
+}  // namespace stream
+}  // namespace usp
+
+#endif  // USP_STREAM_GROUP_BY_H_

@@ -1,0 +1,67 @@
+#include "stream/join.h"
+
+#include <algorithm>
+
+namespace usp {
+namespace stream {
+
+Tuple ConcatJoinedTuple(const Tuple& left, const Tuple& right) {
+  std::vector<Value> values = left.values();
+  for (const Value& v : right.values()) values.push_back(v);
+  Tuple joined(std::max(left.timestamp(), right.timestamp()),
+               std::move(values));
+  std::vector<TupleId> lineage = left.lineage();
+  lineage.insert(lineage.end(), right.lineage().begin(),
+                 right.lineage().end());
+  joined.SetLineage(std::move(lineage));
+  return joined;
+}
+
+void SlidingWindowJoin::Expire(int64_t now) {
+  const int64_t horizon = now - range_us_;
+  while (!left_.empty() && left_.front().timestamp() < horizon) {
+    left_.pop_front();
+  }
+  while (!right_.empty() && right_.front().timestamp() < horizon) {
+    right_.pop_front();
+  }
+}
+
+common::Status SlidingWindowJoin::PushImpl(const Tuple& tuple, bool from_left,
+                                           Collector* out) {
+  ++metrics_.tuples_in;
+  common::Stopwatch sw;
+  Expire(tuple.timestamp());
+  const std::deque<Tuple>& other = from_left ? right_ : left_;
+  for (const Tuple& o : other) {
+    const Tuple& l = from_left ? tuple : o;
+    const Tuple& r = from_left ? o : tuple;
+    std::optional<Tuple> joined = match_(l, r);
+    if (joined.has_value()) {
+      ++metrics_.tuples_out;
+      out->Emit(std::move(*joined));
+    }
+  }
+  (from_left ? left_ : right_).push_back(tuple);
+  metrics_.processing_seconds += sw.ElapsedSeconds();
+  return common::Status::OK();
+}
+
+common::Status SlidingWindowJoin::PushLeft(const Tuple& tuple,
+                                           Collector* out) {
+  return PushImpl(tuple, /*from_left=*/true, out);
+}
+
+common::Status SlidingWindowJoin::PushRight(const Tuple& tuple,
+                                            Collector* out) {
+  return PushImpl(tuple, /*from_left=*/false, out);
+}
+
+common::Status SlidingWindowJoin::Close() {
+  left_.clear();
+  right_.clear();
+  return common::Status::OK();
+}
+
+}  // namespace stream
+}  // namespace usp

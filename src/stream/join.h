@@ -1,0 +1,69 @@
+// Sliding-window stream join — the shape of the paper's Q2:
+//   RFIDStream [Range 3 seconds] as R, TempStream [Range 3 seconds] as T
+//   Where ... loc_equals(R.(x,y,z), T.(x,y,z))
+// Matching is delegated to a caller-supplied function so that probabilistic
+// predicates over distribution-valued attributes (uncertain::) plug in.
+// Joined tuples carry merged lineage; when one input tuple matches several
+// from the other side, the outputs share lineage and are therefore flagged
+// correlated for downstream aggregation (§5.2).
+
+#ifndef USP_STREAM_JOIN_H_
+#define USP_STREAM_JOIN_H_
+
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "stream/tuple.h"
+#include "stream/operator.h"
+
+namespace usp {
+namespace stream {
+
+/// \brief Symmetric sliding-window join over two timestamp-ordered inputs.
+///
+/// A pair (l, r) is eligible when |l.ts - r.ts| <= range_us; the match
+/// function returns the joined tuple, or nullopt for no match. Call
+/// PushLeft/PushRight in global timestamp order across both inputs for
+/// exact window semantics, then Close() once.
+class SlidingWindowJoin {
+ public:
+  /// Builds the joined tuple for an eligible pair, or nullopt.
+  using MatchFn = std::function<std::optional<Tuple>(const Tuple& left,
+                                                     const Tuple& right)>;
+
+  SlidingWindowJoin(std::string name, int64_t range_us, MatchFn match)
+      : name_(std::move(name)), range_us_(range_us), match_(std::move(match)) {}
+
+  common::Status PushLeft(const Tuple& tuple, Collector* out);
+  common::Status PushRight(const Tuple& tuple, Collector* out);
+  /// No buffered output exists at close (joins emit eagerly), but Close
+  /// releases window state.
+  common::Status Close();
+
+  const std::string& name() const { return name_; }
+  const OperatorMetrics& metrics() const { return metrics_; }
+
+ private:
+  common::Status PushImpl(const Tuple& tuple, bool from_left, Collector* out);
+  void Expire(int64_t now);
+
+  std::string name_;
+  int64_t range_us_;
+  MatchFn match_;
+  std::deque<Tuple> left_;
+  std::deque<Tuple> right_;
+  OperatorMetrics metrics_;
+};
+
+/// Default lineage/timestamp plumbing for joined tuples: concatenates the
+/// two value lists, takes the max timestamp, and merges lineage. Callers
+/// building custom MatchFns can delegate the boilerplate here.
+Tuple ConcatJoinedTuple(const Tuple& left, const Tuple& right);
+
+}  // namespace stream
+}  // namespace usp
+
+#endif  // USP_STREAM_JOIN_H_

@@ -1,0 +1,38 @@
+#include "stream/operator.h"
+
+namespace usp {
+namespace stream {
+
+class Operator::CountingCollector final : public Collector {
+ public:
+  CountingCollector(Collector* inner, OperatorMetrics* metrics)
+      : inner_(inner), metrics_(metrics) {}
+  void Emit(Tuple tuple) override {
+    ++metrics_->tuples_out;
+    inner_->Emit(std::move(tuple));
+  }
+
+ private:
+  Collector* inner_;
+  OperatorMetrics* metrics_;
+};
+
+common::Status Operator::Push(const Tuple& tuple, Collector* out) {
+  ++metrics_.tuples_in;
+  CountingCollector counting(out, &metrics_);
+  common::Stopwatch sw;
+  const common::Status st = Process(tuple, &counting);
+  metrics_.processing_seconds += sw.ElapsedSeconds();
+  return st;
+}
+
+common::Status Operator::Close(Collector* out) {
+  CountingCollector counting(out, &metrics_);
+  common::Stopwatch sw;
+  const common::Status st = Finish(&counting);
+  metrics_.processing_seconds += sw.ElapsedSeconds();
+  return st;
+}
+
+}  // namespace stream
+}  // namespace usp

@@ -1,0 +1,96 @@
+// The box of the box-arrow paradigm (§3): a push-based operator that
+// consumes tuples and emits tuples into a Collector. Per-operator metrics
+// (tuple counts, processing time) are collected for the benches.
+
+#ifndef USP_STREAM_OPERATOR_H_
+#define USP_STREAM_OPERATOR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "stream/tuple.h"
+
+namespace usp {
+namespace stream {
+
+/// Downstream sink an operator emits into.
+class Collector {
+ public:
+  virtual ~Collector() = default;
+  virtual void Emit(Tuple tuple) = 0;
+};
+
+/// Collector that appends into a vector (used by Pipeline and tests).
+class VectorCollector final : public Collector {
+ public:
+  void Emit(Tuple tuple) override { tuples_.push_back(std::move(tuple)); }
+  std::vector<Tuple>& tuples() { return tuples_; }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+  void Clear() { tuples_.clear(); }
+
+ private:
+  std::vector<Tuple> tuples_;
+};
+
+/// Collector that invokes a callback per tuple.
+class CallbackCollector final : public Collector {
+ public:
+  explicit CallbackCollector(std::function<void(Tuple)> fn)
+      : fn_(std::move(fn)) {}
+  void Emit(Tuple tuple) override { fn_(std::move(tuple)); }
+
+ private:
+  std::function<void(Tuple)> fn_;
+};
+
+/// Cumulative per-operator counters.
+struct OperatorMetrics {
+  uint64_t tuples_in = 0;
+  uint64_t tuples_out = 0;
+  double processing_seconds = 0.0;
+};
+
+/// \brief Base class for unary stream operators.
+///
+/// Contract: Process() is called once per input tuple in timestamp order;
+/// Finish() is called once at end-of-stream and must flush any buffered
+/// state (open windows, pending joins).
+class Operator {
+ public:
+  explicit Operator(std::string name) : name_(std::move(name)) {}
+  virtual ~Operator() = default;
+
+  Operator(const Operator&) = delete;
+  Operator& operator=(const Operator&) = delete;
+
+  const std::string& name() const { return name_; }
+  const OperatorMetrics& metrics() const { return metrics_; }
+
+  /// Consume one tuple, emitting zero or more results.
+  common::Status Push(const Tuple& tuple, Collector* out);
+  /// End-of-stream: flush buffered state.
+  common::Status Close(Collector* out);
+
+ protected:
+  virtual common::Status Process(const Tuple& tuple, Collector* out) = 0;
+  virtual common::Status Finish(Collector* out) {
+    (void)out;
+    return common::Status::OK();
+  }
+
+ private:
+  // Counting wrapper so subclasses' emissions are metered.
+  class CountingCollector;
+
+  std::string name_;
+  OperatorMetrics metrics_;
+};
+
+}  // namespace stream
+}  // namespace usp
+
+#endif  // USP_STREAM_OPERATOR_H_

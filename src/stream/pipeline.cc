@@ -1,0 +1,87 @@
+#include "stream/pipeline.h"
+
+namespace usp {
+namespace stream {
+
+Pipeline& Pipeline::Add(std::unique_ptr<Operator> op) {
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+common::Status Pipeline::RunFromStage(size_t stage, const Tuple& tuple,
+                                      Collector* sink) {
+  if (stage == ops_.size()) {
+    sink->Emit(tuple);
+    return common::Status::OK();
+  }
+  VectorCollector buffer;
+  USP_RETURN_NOT_OK(ops_[stage]->Push(tuple, &buffer));
+  for (const Tuple& t : buffer.tuples()) {
+    USP_RETURN_NOT_OK(RunFromStage(stage + 1, t, sink));
+  }
+  return common::Status::OK();
+}
+
+common::Status Pipeline::Push(const Tuple& tuple, Collector* sink) {
+  return RunFromStage(0, tuple, sink);
+}
+
+common::Status Pipeline::Close(Collector* sink) {
+  // Flush stage by stage: stage i's flush output must traverse stages
+  // i+1..n before those stages are themselves flushed.
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    VectorCollector buffer;
+    USP_RETURN_NOT_OK(ops_[i]->Close(&buffer));
+    for (const Tuple& t : buffer.tuples()) {
+      USP_RETURN_NOT_OK(RunFromStage(i + 1, t, sink));
+    }
+  }
+  return common::Status::OK();
+}
+
+common::Status Pipeline::Run(const std::vector<Tuple>& source,
+                             Collector* sink) {
+  for (const Tuple& t : source) {
+    USP_RETURN_NOT_OK(Push(t, sink));
+  }
+  return Close(sink);
+}
+
+std::vector<OperatorMetrics> Pipeline::MetricsSnapshot() const {
+  std::vector<OperatorMetrics> out;
+  out.reserve(ops_.size());
+  for (const auto& op : ops_) out.push_back(op->metrics());
+  return out;
+}
+
+common::Result<Tuple> TupleArchive::Lookup(TupleId id) const {
+  const auto it = by_id_.find(id);
+  if (it == by_id_.end()) {
+    return common::Status::NotFound("tuple id not in archive");
+  }
+  return it->second;
+}
+
+std::vector<Tuple> TupleArchive::ResolveLineage(
+    const std::vector<TupleId>& ids) const {
+  std::vector<Tuple> out;
+  out.reserve(ids.size());
+  for (TupleId id : ids) {
+    const auto it = by_id_.find(id);
+    if (it != by_id_.end()) out.push_back(it->second);
+  }
+  return out;
+}
+
+void TupleArchive::EvictBefore(int64_t watermark_us) {
+  for (auto it = by_id_.begin(); it != by_id_.end();) {
+    if (it->second.timestamp() < watermark_us) {
+      it = by_id_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace stream
+}  // namespace usp

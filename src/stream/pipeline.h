@@ -1,0 +1,74 @@
+// Linear operator pipelines and an archive for lineage resolution.
+//
+// The Pipeline chains unary operators (a path in the box-arrow graph); the
+// TupleArchive implements §3's "archives these input tuples for later
+// computation of the query result distributions": independent tuples are
+// stored by id so a downstream operator can resolve a lineage set back to
+// the distributions it needs.
+
+#ifndef USP_STREAM_PIPELINE_H_
+#define USP_STREAM_PIPELINE_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "stream/operator.h"
+
+namespace usp {
+namespace stream {
+
+/// \brief A chain of unary operators executed synchronously per tuple.
+class Pipeline {
+ public:
+  /// Append an operator; returns *this for chaining.
+  Pipeline& Add(std::unique_ptr<Operator> op);
+
+  /// Push one source tuple through all stages into `sink`.
+  common::Status Push(const Tuple& tuple, Collector* sink);
+  /// End-of-stream: flush every stage in order.
+  common::Status Close(Collector* sink);
+
+  /// Convenience: push a whole ordered batch, then Close.
+  common::Status Run(const std::vector<Tuple>& source, Collector* sink);
+
+  size_t num_operators() const { return ops_.size(); }
+  const Operator& op(size_t i) const { return *ops_[i]; }
+
+  /// Per-operator metrics snapshot, in stage order.
+  std::vector<OperatorMetrics> MetricsSnapshot() const;
+
+ private:
+  common::Status RunFromStage(size_t stage, const Tuple& tuple,
+                              Collector* sink);
+
+  std::vector<std::unique_ptr<Operator>> ops_;
+};
+
+/// \brief Id-addressable store of archived base tuples (§3, operator A4 /
+/// J1 example: the last operator "uses the tuple lineage and previously
+/// archived independent tuples to compute its result distributions").
+class TupleArchive {
+ public:
+  void Archive(const Tuple& tuple) { by_id_.emplace(tuple.id(), tuple); }
+
+  /// Lookup by id; error if the id was never archived.
+  common::Result<Tuple> Lookup(TupleId id) const;
+
+  /// Resolve a lineage set to archived tuples; ids missing from the
+  /// archive are skipped (they belonged to pruned streams).
+  std::vector<Tuple> ResolveLineage(const std::vector<TupleId>& ids) const;
+
+  /// Drop archived tuples older than `watermark_us` to bound memory.
+  void EvictBefore(int64_t watermark_us);
+
+  size_t size() const { return by_id_.size(); }
+
+ private:
+  std::unordered_map<TupleId, Tuple> by_id_;
+};
+
+}  // namespace stream
+}  // namespace usp
+
+#endif  // USP_STREAM_PIPELINE_H_

@@ -1,0 +1,32 @@
+#include "stream/schema.h"
+
+namespace usp {
+namespace stream {
+
+common::Result<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  return common::Status::NotFound("no field named '" + name + "'");
+}
+
+Schema Schema::Extended(std::vector<Field> extra) const {
+  std::vector<Field> all = fields_;
+  for (auto& f : extra) all.push_back(std::move(f));
+  return Schema(std::move(all));
+}
+
+std::string Schema::ToString() const {
+  std::string s = "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i) s += ", ";
+    s += fields_[i].name;
+    s += ": ";
+    s += ValueKindName(fields_[i].kind);
+  }
+  s += ")";
+  return s;
+}
+
+}  // namespace stream
+}  // namespace usp

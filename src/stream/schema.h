@@ -1,0 +1,50 @@
+// Named, typed tuple layout shared by all tuples on an arrow of the
+// box-arrow graph.
+
+#ifndef USP_STREAM_SCHEMA_H_
+#define USP_STREAM_SCHEMA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "stream/value.h"
+
+namespace usp {
+namespace stream {
+
+/// One attribute: a name plus the expected value kind.
+struct Field {
+  std::string name;
+  ValueKind kind;
+};
+
+/// \brief Immutable ordered field list with name lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the field named `name`, or error.
+  common::Result<size_t> IndexOf(const std::string& name) const;
+
+  /// New schema with `extra` fields appended (used by Select ... AS).
+  Schema Extended(std::vector<Field> extra) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+using SchemaPtr = std::shared_ptr<const Schema>;
+
+}  // namespace stream
+}  // namespace usp
+
+#endif  // USP_STREAM_SCHEMA_H_

@@ -1,0 +1,57 @@
+#include "stream/tuple.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace usp {
+namespace stream {
+
+TupleId NextTupleId() {
+  static std::atomic<TupleId> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Tuple::SetLineage(std::vector<TupleId> ids) {
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  lineage_ = std::move(ids);
+}
+
+void Tuple::MergeLineageFrom(const Tuple& other) {
+  std::vector<TupleId> merged;
+  merged.reserve(lineage_.size() + other.lineage_.size());
+  std::set_union(lineage_.begin(), lineage_.end(), other.lineage_.begin(),
+                 other.lineage_.end(), std::back_inserter(merged));
+  lineage_ = std::move(merged);
+}
+
+bool Tuple::SharesLineageWith(const Tuple& other) const {
+  auto it1 = lineage_.begin();
+  auto it2 = other.lineage_.begin();
+  while (it1 != lineage_.end() && it2 != other.lineage_.end()) {
+    if (*it1 == *it2) return true;
+    if (*it1 < *it2) {
+      ++it1;
+    } else {
+      ++it2;
+    }
+  }
+  return false;
+}
+
+std::string Tuple::ToString() const {
+  char head[48];
+  snprintf(head, sizeof(head), "#%llu@%lld[",
+           static_cast<unsigned long long>(id_),
+           static_cast<long long>(timestamp_));
+  std::string s = head;
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i) s += ", ";
+    s += values_[i].ToString();
+  }
+  s += "]";
+  return s;
+}
+
+}  // namespace stream
+}  // namespace usp

@@ -1,0 +1,81 @@
+#include "stream/value.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace usp {
+namespace stream {
+
+const char* ValueKindName(ValueKind kind) {
+  switch (kind) {
+    case ValueKind::kNull:
+      return "null";
+    case ValueKind::kInt:
+      return "int";
+    case ValueKind::kDouble:
+      return "double";
+    case ValueKind::kString:
+      return "string";
+    case ValueKind::kDistribution:
+      return "distribution";
+  }
+  return "?";
+}
+
+double Value::ExpectedValue() const {
+  switch (kind()) {
+    case ValueKind::kInt:
+      return static_cast<double>(std::get<int64_t>(data_));
+    case ValueKind::kDouble:
+      return std::get<double>(data_);
+    case ValueKind::kDistribution:
+      return std::get<stats::DistributionPtr>(data_)->Mean();
+    default:
+      assert(false && "ExpectedValue on non-numeric Value");
+      return 0.0;
+  }
+}
+
+std::string Value::ToString() const {
+  switch (kind()) {
+    case ValueKind::kNull:
+      return "null";
+    case ValueKind::kInt: {
+      char buf[24];
+      snprintf(buf, sizeof(buf), "%lld",
+               static_cast<long long>(std::get<int64_t>(data_)));
+      return buf;
+    }
+    case ValueKind::kDouble: {
+      char buf[32];
+      snprintf(buf, sizeof(buf), "%.6g", std::get<double>(data_));
+      return buf;
+    }
+    case ValueKind::kString:
+      return "\"" + std::get<std::string>(data_) + "\"";
+    case ValueKind::kDistribution:
+      return std::get<stats::DistributionPtr>(data_)->ToString();
+  }
+  return "?";
+}
+
+bool Value::operator==(const Value& other) const {
+  if (kind() != other.kind()) return false;
+  switch (kind()) {
+    case ValueKind::kNull:
+      return true;
+    case ValueKind::kInt:
+      return AsInt() == other.AsInt();
+    case ValueKind::kDouble:
+      return std::get<double>(data_) == std::get<double>(other.data_);
+    case ValueKind::kString:
+      return AsString() == other.AsString();
+    case ValueKind::kDistribution:
+      // Identity comparison: distributions are shared immutable handles.
+      return AsDistribution().get() == other.AsDistribution().get();
+  }
+  return false;
+}
+
+}  // namespace stream
+}  // namespace usp

@@ -1,0 +1,80 @@
+// Attribute values for stream tuples. The key extension over a classical
+// DSMS value model is the kDistribution kind: an attribute can be a
+// continuous random variable carried as a shared pdf handle (§3: output
+// tuples "carry full distributions").
+
+#ifndef USP_STREAM_VALUE_H_
+#define USP_STREAM_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "stats/distribution.h"
+
+namespace usp {
+namespace stream {
+
+/// Runtime type of a Value.
+enum class ValueKind : uint8_t {
+  kNull = 0,
+  kInt,
+  kDouble,
+  kString,
+  kDistribution,
+};
+
+const char* ValueKindName(ValueKind kind);
+
+/// \brief A dynamically typed attribute value.
+///
+/// Distribution payloads are shared immutable handles, so copying a Value
+/// (and therefore a Tuple) never deep-copies a pdf.
+class Value {
+ public:
+  Value() : data_(std::monostate{}) {}
+  Value(int64_t v) : data_(v) {}                        // NOLINT(runtime/explicit)
+  Value(double v) : data_(v) {}                         // NOLINT(runtime/explicit)
+  Value(std::string v) : data_(std::move(v)) {}         // NOLINT(runtime/explicit)
+  Value(stats::DistributionPtr v) : data_(std::move(v)) {}  // NOLINT(runtime/explicit)
+
+  ValueKind kind() const {
+    return static_cast<ValueKind>(data_.index());
+  }
+  bool is_null() const { return kind() == ValueKind::kNull; }
+  bool is_int() const { return kind() == ValueKind::kInt; }
+  bool is_double() const { return kind() == ValueKind::kDouble; }
+  bool is_string() const { return kind() == ValueKind::kString; }
+  bool is_distribution() const { return kind() == ValueKind::kDistribution; }
+  /// Numeric = certain int or double.
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  int64_t AsInt() const { return std::get<int64_t>(data_); }
+  double AsDouble() const {
+    return is_int() ? static_cast<double>(std::get<int64_t>(data_))
+                    : std::get<double>(data_);
+  }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+  const stats::DistributionPtr& AsDistribution() const {
+    return std::get<stats::DistributionPtr>(data_);
+  }
+
+  /// Expected value: the value itself for certain numerics, the mean for
+  /// distributions. Dies on strings/null (caller must type-check).
+  double ExpectedValue() const;
+
+  /// Render for debugging ("42", "3.14", "\"abc\"", "N(0,1^2)", "null").
+  std::string ToString() const;
+
+  bool operator==(const Value& other) const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string,
+               stats::DistributionPtr>
+      data_;
+};
+
+}  // namespace stream
+}  // namespace usp
+
+#endif  // USP_STREAM_VALUE_H_

@@ -1,0 +1,76 @@
+#include "stream/window.h"
+
+#include <cassert>
+
+namespace usp {
+namespace stream {
+
+std::vector<int64_t> WindowSpec::AssignedWindowStarts(int64_t ts) const {
+  assert(size_us > 0 && slide_us > 0 && slide_us <= size_us);
+  std::vector<int64_t> starts;
+  // Latest window start containing ts (floor division robust for ts < 0).
+  int64_t k = ts / slide_us;
+  if (ts < 0 && ts % slide_us != 0) --k;
+  int64_t start = k * slide_us;
+  // Walk back while the window still contains ts.
+  while (start + size_us > ts) {
+    starts.push_back(start);
+    start -= slide_us;
+  }
+  return starts;  // descending start order
+}
+
+common::Status WindowedOperator::CloseWindowsBefore(int64_t ts,
+                                                    Collector* out) {
+  while (!open_.empty()) {
+    const auto it = open_.begin();
+    const int64_t start = it->first;
+    const int64_t end = start + spec_.size_us;
+    if (end > ts) break;
+    // Move the buffer out before the callback so re-entrant emissions
+    // cannot invalidate the iterator.
+    std::vector<Tuple> buf = std::move(it->second);
+    open_.erase(it);
+    USP_RETURN_NOT_OK(EmitWindow(start, end, buf, out));
+  }
+  return common::Status::OK();
+}
+
+common::Status WindowedOperator::Process(const Tuple& tuple, Collector* out) {
+  USP_RETURN_NOT_OK(CloseWindowsBefore(tuple.timestamp(), out));
+  for (int64_t start : spec_.AssignedWindowStarts(tuple.timestamp())) {
+    open_[start].push_back(tuple);
+  }
+  return common::Status::OK();
+}
+
+common::Status WindowedOperator::Finish(Collector* out) {
+  while (!open_.empty()) {
+    const auto it = open_.begin();
+    const int64_t start = it->first;
+    const int64_t end = start + spec_.size_us;
+    std::vector<Tuple> buf = std::move(it->second);
+    open_.erase(it);
+    USP_RETURN_NOT_OK(EmitWindow(start, end, buf, out));
+  }
+  return common::Status::OK();
+}
+
+common::Status WindowCountOperator::EmitWindow(int64_t window_start,
+                                               int64_t window_end,
+                                               const std::vector<Tuple>& tuples,
+                                               Collector* out) {
+  (void)window_start;
+  Tuple result(window_end,
+               {Value(static_cast<int64_t>(tuples.size()))});
+  std::vector<TupleId> lineage;
+  for (const Tuple& t : tuples) {
+    lineage.insert(lineage.end(), t.lineage().begin(), t.lineage().end());
+  }
+  result.SetLineage(std::move(lineage));
+  out->Emit(std::move(result));
+  return common::Status::OK();
+}
+
+}  // namespace stream
+}  // namespace usp

@@ -1,0 +1,78 @@
+// Time-based windowing. Q1 uses `[Range 5 seconds]` tumbling windows; the
+// radar averaging operator tumbles over non-overlapping pulse segments;
+// joins use sliding ranges. Window closure is driven by event time: a
+// window [s, e) closes when a tuple with timestamp >= e arrives (per-stream
+// timestamp order is the DSMS contract), or at end-of-stream.
+
+#ifndef USP_STREAM_WINDOW_H_
+#define USP_STREAM_WINDOW_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "stream/operator.h"
+
+namespace usp {
+namespace stream {
+
+/// Window shape: tumbling (slide == size) or sliding (slide < size).
+struct WindowSpec {
+  int64_t size_us;
+  int64_t slide_us;
+
+  static WindowSpec Tumbling(int64_t size_us) { return {size_us, size_us}; }
+  static WindowSpec Sliding(int64_t size_us, int64_t slide_us) {
+    return {size_us, slide_us};
+  }
+
+  /// Start timestamps of all windows containing `ts`.
+  std::vector<int64_t> AssignedWindowStarts(int64_t ts) const;
+};
+
+/// \brief Base for operators that buffer tuples per time window and emit
+/// when windows close.
+///
+/// Subclasses implement EmitWindow() to produce results from a closed
+/// window's tuples (in arrival order).
+class WindowedOperator : public Operator {
+ public:
+  WindowedOperator(std::string name, WindowSpec spec)
+      : Operator(std::move(name)), spec_(spec) {}
+
+ protected:
+  common::Status Process(const Tuple& tuple, Collector* out) override;
+  common::Status Finish(Collector* out) override;
+
+  /// Called once per closed window with its buffered tuples.
+  virtual common::Status EmitWindow(int64_t window_start, int64_t window_end,
+                                    const std::vector<Tuple>& tuples,
+                                    Collector* out) = 0;
+
+  const WindowSpec& spec() const { return spec_; }
+
+ private:
+  common::Status CloseWindowsBefore(int64_t ts, Collector* out);
+
+  WindowSpec spec_;
+  std::map<int64_t, std::vector<Tuple>> open_;  // window start -> buffer
+};
+
+/// Windowed count: emits one tuple [count] per window; mostly a test probe
+/// and the simplest WindowedOperator example.
+class WindowCountOperator final : public WindowedOperator {
+ public:
+  WindowCountOperator(std::string name, WindowSpec spec)
+      : WindowedOperator(std::move(name), spec) {}
+
+ protected:
+  common::Status EmitWindow(int64_t window_start, int64_t window_end,
+                            const std::vector<Tuple>& tuples,
+                            Collector* out) override;
+};
+
+}  // namespace stream
+}  // namespace usp
+
+#endif  // USP_STREAM_WINDOW_H_

@@ -1,0 +1,228 @@
+#include "uncertain/aggregates.h"
+
+#include <cmath>
+
+#include "stats/order_statistics.h"
+#include "uncertain/dist_ops.h"
+
+namespace usp {
+namespace uncertain {
+
+using common::Result;
+using common::Status;
+using stream::Tuple;
+using stream::Value;
+
+namespace {
+
+// Split a group's attribute values into (certain shift, uncertain dists).
+struct SplitAttrs {
+  double shift = 0.0;
+  std::vector<const stats::Distribution*> dists;
+  size_t count = 0;
+};
+
+Result<SplitAttrs> SplitAttribute(const std::vector<const Tuple*>& group,
+                                  size_t attr_index) {
+  SplitAttrs out;
+  for (const Tuple* t : group) {
+    if (attr_index >= t->num_values()) {
+      return Status::OutOfRange("aggregate attribute index out of range");
+    }
+    const Value& v = t->value(attr_index);
+    if (v.is_numeric()) {
+      out.shift += v.AsDouble();
+    } else if (v.is_distribution()) {
+      out.dists.push_back(v.AsDistribution().get());
+    } else {
+      return Status::InvalidArgument(
+          "aggregate over non-numeric, non-distribution attribute");
+    }
+    ++out.count;
+  }
+  return out;
+}
+
+Result<Value> SumImpl(const std::vector<const Tuple*>& group,
+                      size_t attr_index, SumStrategy* strategy,
+                      bool as_mean) {
+  auto split = SplitAttribute(group, attr_index);
+  if (!split.ok()) return split.status();
+  const SplitAttrs& s = split.value();
+  if (s.count == 0) {
+    return Status::InvalidArgument("aggregate over empty group");
+  }
+  const double denom = as_mean ? static_cast<double>(s.count) : 1.0;
+  if (s.dists.empty()) {
+    return Value(s.shift / denom);
+  }
+  auto sum = strategy->SumOf(s.dists);
+  if (!sum.ok()) return sum.status();
+  if (s.shift == 0.0 && denom == 1.0) {
+    return Value(sum.MoveValueUnsafe());
+  }
+  auto adjusted = AffineOf(*sum.value(), 1.0 / denom, s.shift / denom);
+  if (!adjusted.ok()) return adjusted.status();
+  return Value(adjusted.MoveValueUnsafe());
+}
+
+// Exact MAX/MIN via order statistics with certain values folded in as a
+// lower/upper clip: max(D_1..D_k, c) has cdf prod F_i(x) * 1{x >= c}.
+Result<Value> ExtremeImpl(const std::vector<const Tuple*>& group,
+                          size_t attr_index, size_t bins, bool is_max) {
+  auto split = SplitAttribute(group, attr_index);
+  if (!split.ok()) return split.status();
+  const SplitAttrs& s = split.value();
+  if (s.count == 0) {
+    return Status::InvalidArgument("aggregate over empty group");
+  }
+  // Collect the certain extreme, if any certain values exist.
+  bool has_certain = false;
+  double certain_ext = 0.0;
+  for (const Tuple* t : group) {
+    const Value& v = t->value(attr_index);
+    if (v.is_numeric()) {
+      const double x = v.AsDouble();
+      if (!has_certain) {
+        certain_ext = x;
+        has_certain = true;
+      } else {
+        certain_ext = is_max ? std::max(certain_ext, x)
+                             : std::min(certain_ext, x);
+      }
+    }
+  }
+  if (s.dists.empty()) {
+    return Value(certain_ext);
+  }
+  auto hist = is_max ? stats::MaxDistribution(s.dists, bins)
+                     : stats::MinDistribution(s.dists, bins);
+  if (!hist.ok()) return hist.status();
+  if (!has_certain) {
+    return Value(stats::DistributionPtr(
+        std::make_shared<stats::Histogram>(hist.MoveValueUnsafe())));
+  }
+  // Clip against the certain extreme: for MAX, mass below certain_ext
+  // collapses onto the bin containing certain_ext.
+  const stats::Histogram h = hist.MoveValueUnsafe();
+  const size_t n = h.num_bins();
+  std::vector<double> masses(n);
+  for (size_t i = 0; i < n; ++i) masses[i] = h.BinMass(i);
+  double collapsed = 0.0;
+  if (is_max) {
+    for (size_t i = 0; i < n; ++i) {
+      if (h.BinCenter(i) < certain_ext) {
+        collapsed += masses[i];
+        masses[i] = 0.0;
+      }
+    }
+  } else {
+    for (size_t i = n; i-- > 0;) {
+      if (h.BinCenter(i) > certain_ext) {
+        collapsed += masses[i];
+        masses[i] = 0.0;
+      }
+    }
+  }
+  // Deposit collapsed mass at the certain extreme's bin (clamped).
+  double lo = h.lo();
+  double hi = h.hi();
+  if (certain_ext < lo) lo = certain_ext;
+  if (certain_ext > hi) hi = certain_ext;
+  if (lo == h.lo() && hi == h.hi()) {
+    size_t idx = static_cast<size_t>((certain_ext - h.lo()) / h.bin_width());
+    if (idx >= n) idx = n - 1;
+    masses[idx] += collapsed;
+    auto out = stats::Histogram::FromMasses(h.lo(), h.hi(), std::move(masses));
+    if (!out.ok()) return out.status();
+    return Value(stats::DistributionPtr(
+        std::make_shared<stats::Histogram>(out.MoveValueUnsafe())));
+  }
+  // The certain value lies outside the uncertain support: widen the grid by
+  // one synthetic bin at the clipped end.
+  std::vector<double> widened;
+  double wlo = h.lo(), whi = h.hi();
+  if (is_max && certain_ext > h.hi()) {
+    widened = masses;
+    widened.push_back(collapsed + 0.0);
+    whi = certain_ext + h.bin_width();
+  } else if (is_max) {
+    // certain_ext < lo: all mass collapsed would be zero (cdf below lo is
+    // 0), nothing to widen.
+    widened = masses;
+  } else if (certain_ext < h.lo()) {
+    widened.assign(1, collapsed);
+    widened.insert(widened.end(), masses.begin(), masses.end());
+    wlo = certain_ext - h.bin_width();
+  } else {
+    widened = masses;
+  }
+  auto out = stats::Histogram::FromMasses(wlo, whi, std::move(widened));
+  if (!out.ok()) return out.status();
+  return Value(stats::DistributionPtr(
+      std::make_shared<stats::Histogram>(out.MoveValueUnsafe())));
+}
+
+}  // namespace
+
+stream::AggregateSpec MakeSumAggregate(std::string output_name,
+                                       size_t attr_index,
+                                       SumStrategy* strategy) {
+  return {std::move(output_name),
+          [attr_index, strategy](const std::vector<const Tuple*>& group) {
+            return SumImpl(group, attr_index, strategy, /*as_mean=*/false);
+          }};
+}
+
+stream::AggregateSpec MakeAvgAggregate(std::string output_name,
+                                       size_t attr_index,
+                                       SumStrategy* strategy) {
+  return {std::move(output_name),
+          [attr_index, strategy](const std::vector<const Tuple*>& group) {
+            return SumImpl(group, attr_index, strategy, /*as_mean=*/true);
+          }};
+}
+
+stream::AggregateSpec MakeMaxAggregate(std::string output_name,
+                                       size_t attr_index, size_t bins) {
+  return {std::move(output_name),
+          [attr_index, bins](const std::vector<const Tuple*>& group) {
+            return ExtremeImpl(group, attr_index, bins, /*is_max=*/true);
+          }};
+}
+
+stream::AggregateSpec MakeMinAggregate(std::string output_name,
+                                       size_t attr_index, size_t bins) {
+  return {std::move(output_name),
+          [attr_index, bins](const std::vector<const Tuple*>& group) {
+            return ExtremeImpl(group, attr_index, bins, /*is_max=*/false);
+          }};
+}
+
+stream::AggregateSpec MakeCountAggregate(std::string output_name) {
+  return {std::move(output_name),
+          [](const std::vector<const Tuple*>& group) -> Result<Value> {
+            return Value(static_cast<int64_t>(group.size()));
+          }};
+}
+
+double ProbGreaterThan(const Value& v, double threshold) {
+  if (v.is_numeric()) {
+    return v.AsDouble() > threshold ? 1.0 : 0.0;
+  }
+  if (v.is_distribution()) {
+    return 1.0 - v.AsDistribution()->Cdf(threshold);
+  }
+  return 0.0;
+}
+
+stream::GroupByAggregateOperator::HavingFn MakeHavingProbGreater(
+    size_t attr_index, double threshold, double min_confidence) {
+  return [attr_index, threshold, min_confidence](const Tuple& t) {
+    if (attr_index >= t.num_values()) return false;
+    return ProbGreaterThan(t.value(attr_index), threshold) >= min_confidence;
+  };
+}
+
+}  // namespace uncertain
+}  // namespace usp

@@ -1,0 +1,56 @@
+// Adapters turning the §5 algorithms into stream::AggregateSpec functions:
+// SUM / AVG via a pluggable SumStrategy, MAX / MIN via exact order
+// statistics, and COUNT. Mixed inputs are handled: certain numeric
+// attributes contribute a deterministic shift; distribution-valued
+// attributes go through the strategy.
+
+#ifndef USP_UNCERTAIN_AGGREGATES_H_
+#define USP_UNCERTAIN_AGGREGATES_H_
+
+#include <memory>
+
+#include "stream/group_by.h"
+#include "uncertain/sum_strategies.h"
+
+namespace usp {
+namespace uncertain {
+
+/// SUM over attribute `attr_index` of the group's tuples. Certain numerics
+/// are folded into a constant shift; the distributions of uncertain values
+/// are combined by `strategy` (shared across groups/windows; must outlive
+/// the returned spec).
+stream::AggregateSpec MakeSumAggregate(std::string output_name,
+                                       size_t attr_index,
+                                       SumStrategy* strategy);
+
+/// AVG over attribute `attr_index` (affine rescale of SUM).
+stream::AggregateSpec MakeAvgAggregate(std::string output_name,
+                                       size_t attr_index,
+                                       SumStrategy* strategy);
+
+/// MAX over attribute `attr_index` via exact order statistics
+/// (prod-of-cdfs). Certain numerics enter as point masses: the result cdf
+/// is multiplied by 1{x >= c}. Result is a Histogram with `bins` bins.
+stream::AggregateSpec MakeMaxAggregate(std::string output_name,
+                                       size_t attr_index, size_t bins = 256);
+
+/// MIN, symmetric to MAX.
+stream::AggregateSpec MakeMinAggregate(std::string output_name,
+                                       size_t attr_index, size_t bins = 256);
+
+/// COUNT of tuples in the group.
+stream::AggregateSpec MakeCountAggregate(std::string output_name);
+
+/// Probability that the distribution-valued `v` exceeds `threshold`
+/// (1{v > threshold} for certain numerics). Used by HAVING clauses such as
+/// Q1's `sum(weight) > 200`.
+double ProbGreaterThan(const stream::Value& v, double threshold);
+
+/// HAVING filter: keeps groups where P(attr > threshold) >= min_confidence.
+stream::GroupByAggregateOperator::HavingFn MakeHavingProbGreater(
+    size_t attr_index, double threshold, double min_confidence);
+
+}  // namespace uncertain
+}  // namespace usp
+
+#endif  // USP_UNCERTAIN_AGGREGATES_H_

@@ -1,0 +1,104 @@
+#include "uncertain/dist_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/exponential.h"
+#include "stats/gamma_dist.h"
+#include "stats/gaussian.h"
+#include "stats/gaussian_mixture.h"
+#include "stats/histogram.h"
+#include "stats/particle_set.h"
+#include "stats/uniform.h"
+
+namespace usp {
+namespace uncertain {
+
+using stats::DistributionPtr;
+
+namespace {
+
+// Rebuild a histogram's grid under x -> a x + b (masses are unchanged; for
+// a < 0 the bin order flips).
+DistributionPtr AffineHistogram(const stats::Histogram& h, double a,
+                                double b) {
+  const size_t n = h.num_bins();
+  std::vector<double> masses(n);
+  for (size_t i = 0; i < n; ++i) masses[i] = h.BinMass(i);
+  double lo = a * h.lo() + b;
+  double hi = a * h.hi() + b;
+  if (a < 0.0) {
+    std::swap(lo, hi);
+    std::reverse(masses.begin(), masses.end());
+  }
+  auto res = stats::Histogram::FromMasses(lo, hi, std::move(masses));
+  return std::make_shared<stats::Histogram>(res.MoveValueUnsafe());
+}
+
+}  // namespace
+
+common::Result<DistributionPtr> AffineOf(const stats::Distribution& dist,
+                                         double a, double b) {
+  if (a == 0.0 || !std::isfinite(a) || !std::isfinite(b)) {
+    return common::Status::InvalidArgument(
+        "AffineOf requires finite a != 0 and finite b");
+  }
+  switch (dist.type()) {
+    case stats::DistType::kGaussian: {
+      const auto& g = static_cast<const stats::Gaussian&>(dist);
+      return DistributionPtr(
+          std::make_shared<stats::Gaussian>(g.AffineTransform(a, b)));
+    }
+    case stats::DistType::kGaussianMixture: {
+      const auto& m = static_cast<const stats::GaussianMixture&>(dist);
+      return DistributionPtr(
+          std::make_shared<stats::GaussianMixture>(m.AffineTransform(a, b)));
+    }
+    case stats::DistType::kUniform: {
+      const auto& u = static_cast<const stats::Uniform&>(dist);
+      const double x0 = a * u.lo() + b;
+      const double x1 = a * u.hi() + b;
+      return DistributionPtr(std::make_shared<stats::Uniform>(
+          std::min(x0, x1), std::max(x0, x1)));
+    }
+    case stats::DistType::kExponential: {
+      const auto& e = static_cast<const stats::Exponential&>(dist);
+      if (b == 0.0 && a > 0.0) {
+        return DistributionPtr(
+            std::make_shared<stats::Exponential>(e.rate() / a));
+      }
+      // Shifted/reflected exponential has no type here; go via histogram.
+      return AffineHistogram(stats::Histogram::Discretize(e, 512), a, b);
+    }
+    case stats::DistType::kGamma: {
+      const auto& g = static_cast<const stats::GammaDist&>(dist);
+      if (b == 0.0 && a > 0.0) {
+        return DistributionPtr(
+            std::make_shared<stats::GammaDist>(g.shape(), g.scale() * a));
+      }
+      return AffineHistogram(stats::Histogram::Discretize(g, 512), a, b);
+    }
+    case stats::DistType::kHistogram: {
+      const auto& h = static_cast<const stats::Histogram&>(dist);
+      return AffineHistogram(h, a, b);
+    }
+    case stats::DistType::kTruncated: {
+      // No closed-form family is preserved under affine + truncation in
+      // general; re-grid through a histogram.
+      return AffineHistogram(stats::Histogram::Discretize(dist, 512), a, b);
+    }
+    case stats::DistType::kParticleSet: {
+      const auto& p = static_cast<const stats::ParticleSet&>(dist);
+      std::vector<double> values = p.values();
+      for (double& v : values) v = a * v + b;
+      auto res = stats::ParticleSet::Make(std::move(values), p.weights());
+      if (!res.ok()) return res.status();
+      return DistributionPtr(
+          std::make_shared<stats::ParticleSet>(res.MoveValueUnsafe()));
+    }
+  }
+  return common::Status::Unimplemented("AffineOf: unknown distribution type");
+}
+
+}  // namespace uncertain
+}  // namespace usp

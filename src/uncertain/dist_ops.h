@@ -1,0 +1,37 @@
+// Generic operations on distribution handles: affine transforms and
+// utilities shared by the aggregation strategies. Kept separate so every
+// strategy and operator can scale/shift results without knowing concrete
+// distribution types.
+
+#ifndef USP_UNCERTAIN_DIST_OPS_H_
+#define USP_UNCERTAIN_DIST_OPS_H_
+
+#include "common/status.h"
+#include "stats/distribution.h"
+
+namespace usp {
+namespace uncertain {
+
+/// Distribution of a*X + b. Exact for Gaussian, mixture, uniform, particle
+/// sets and histograms (whose grids transform affinely); exponential/gamma
+/// support only positive scaling (b == 0 or via histogram fallback).
+/// a must be non-zero.
+common::Result<stats::DistributionPtr> AffineOf(
+    const stats::Distribution& dist, double a, double b);
+
+/// Convenience: X + b.
+inline common::Result<stats::DistributionPtr> ShiftOf(
+    const stats::Distribution& dist, double b) {
+  return AffineOf(dist, 1.0, b);
+}
+
+/// Convenience: a * X.
+inline common::Result<stats::DistributionPtr> ScaleOf(
+    const stats::Distribution& dist, double a) {
+  return AffineOf(dist, a, 0.0);
+}
+
+}  // namespace uncertain
+}  // namespace usp
+
+#endif  // USP_UNCERTAIN_DIST_OPS_H_

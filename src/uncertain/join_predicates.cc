@@ -1,0 +1,117 @@
+#include "uncertain/join_predicates.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+#include "stats/gaussian.h"
+#include "stats/quadrature.h"
+
+namespace usp {
+namespace uncertain {
+
+using stream::Value;
+
+namespace {
+
+double GaussianAbsDiffWithin(double mx, double sx, double my, double sy,
+                             double eps) {
+  // X - Y ~ N(mx - my, sx^2 + sy^2)
+  const double mu = mx - my;
+  const double sd = std::sqrt(sx * sx + sy * sy);
+  if (sd <= 0.0) return std::fabs(mu) <= eps ? 1.0 : 0.0;
+  return common::StdNormalCdf((eps - mu) / sd) -
+         common::StdNormalCdf((-eps - mu) / sd);
+}
+
+double NumericAbsDiffWithin(const stats::Distribution& dx,
+                            const stats::Distribution& dy, double eps) {
+  // Int f_X(x) [F_Y(x + eps) - F_Y(x - eps)] dx over X's support.
+  const stats::Support s = dx.NumericSupport();
+  const auto integrand = [&](double x) {
+    return dx.Pdf(x) * std::max(0.0, dy.Cdf(x + eps) - dy.Cdf(x - eps));
+  };
+  const double p = stats::CompositeGaussLegendre(integrand, s.lo, s.hi,
+                                                 /*panels=*/64, /*order=*/8);
+  return common::Clamp(p, 0.0, 1.0);
+}
+
+}  // namespace
+
+double ProbAbsDiffWithin(const Value& x, const Value& y, double eps) {
+  // Certain/certain.
+  if (x.is_numeric() && y.is_numeric()) {
+    return std::fabs(x.AsDouble() - y.AsDouble()) <= eps ? 1.0 : 0.0;
+  }
+  // Gaussian/Gaussian closed form (including point masses as sd=0).
+  const auto as_gaussian = [](const Value& v, double* m, double* s) {
+    if (v.is_numeric()) {
+      *m = v.AsDouble();
+      *s = 0.0;
+      return true;
+    }
+    if (v.is_distribution() &&
+        v.AsDistribution()->type() == stats::DistType::kGaussian) {
+      *m = v.AsDistribution()->Mean();
+      *s = v.AsDistribution()->Stddev();
+      return true;
+    }
+    return false;
+  };
+  double mx, sx, my, sy;
+  if (as_gaussian(x, &mx, &sx) && as_gaussian(y, &my, &sy)) {
+    return GaussianAbsDiffWithin(mx, sx, my, sy, eps);
+  }
+  // General numeric path. A certain value against a distribution reduces
+  // to a cdf difference.
+  if (x.is_numeric() && y.is_distribution()) {
+    const auto& dy = *y.AsDistribution();
+    const double c = x.AsDouble();
+    return std::max(0.0, dy.Cdf(c + eps) - dy.Cdf(c - eps));
+  }
+  if (y.is_numeric() && x.is_distribution()) {
+    const auto& dx = *x.AsDistribution();
+    const double c = y.AsDouble();
+    return std::max(0.0, dx.Cdf(c + eps) - dx.Cdf(c - eps));
+  }
+  if (x.is_distribution() && y.is_distribution()) {
+    return NumericAbsDiffWithin(*x.AsDistribution(), *y.AsDistribution(),
+                                eps);
+  }
+  return 0.0;
+}
+
+double ProbLocEquals(const std::vector<Value>& xs,
+                     const std::vector<Value>& ys, double eps) {
+  double p = 1.0;
+  const size_t n = std::min(xs.size(), ys.size());
+  for (size_t i = 0; i < n; ++i) {
+    p *= ProbAbsDiffWithin(xs[i], ys[i], eps);
+    if (p <= 0.0) return 0.0;
+  }
+  return p;
+}
+
+stream::SlidingWindowJoin::MatchFn MakeProbabilisticEqualityMatch(
+    EqualityJoinSpec spec) {
+  return [spec = std::move(spec)](
+             const stream::Tuple& l,
+             const stream::Tuple& r) -> std::optional<stream::Tuple> {
+    double p = 1.0;
+    for (size_t i = 0; i < spec.left_attrs.size(); ++i) {
+      const size_t li = spec.left_attrs[i];
+      const size_t ri = spec.right_attrs[i];
+      if (li >= l.num_values() || ri >= r.num_values()) return std::nullopt;
+      p *= ProbAbsDiffWithin(l.value(li), r.value(ri), spec.eps);
+      if (p < spec.min_confidence) return std::nullopt;
+    }
+    stream::Tuple joined = stream::ConcatJoinedTuple(l, r);
+    if (spec.annotate_probability) {
+      joined.AppendValue(Value(p));
+    }
+    return joined;
+  };
+}
+
+}  // namespace uncertain
+}  // namespace usp

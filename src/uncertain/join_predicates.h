@@ -1,0 +1,50 @@
+// Probabilistic join predicates over continuous attributes — Q2's
+// `loc_equals(R.(x,y,z), T.(x,y,z))`: two uncertain continuous quantities
+// are never exactly equal, so equality becomes P(|X - Y| <= eps), and a
+// pair joins when that probability clears a confidence threshold. Joined
+// tuples are annotated with the match probability.
+
+#ifndef USP_UNCERTAIN_JOIN_PREDICATES_H_
+#define USP_UNCERTAIN_JOIN_PREDICATES_H_
+
+#include <vector>
+
+#include "stream/join.h"
+#include "stream/value.h"
+
+namespace usp {
+namespace uncertain {
+
+/// P(|X - Y| <= eps) for independent X, Y given as Values (certain
+/// numerics are point masses). Closed form when both are Gaussian;
+/// otherwise a quadrature over x of f_X(x) [F_Y(x+eps) - F_Y(x-eps)].
+double ProbAbsDiffWithin(const stream::Value& x, const stream::Value& y,
+                         double eps);
+
+/// Product over coordinate axes of ProbAbsDiffWithin — the independent-
+/// marginals approximation of a multivariate loc_equals (see DESIGN.md
+/// substitutions: joint spatial pdfs are carried as per-axis marginals).
+double ProbLocEquals(const std::vector<stream::Value>& xs,
+                     const std::vector<stream::Value>& ys, double eps);
+
+/// Configuration of a probabilistic equality join on a set of attribute
+/// pairs.
+struct EqualityJoinSpec {
+  /// Attribute indices compared pairwise: left_attrs[i] vs right_attrs[i].
+  std::vector<size_t> left_attrs;
+  std::vector<size_t> right_attrs;
+  double eps = 1.0;             ///< equality tolerance per axis
+  double min_confidence = 0.5;  ///< join threshold on the match probability
+  bool annotate_probability = true;  ///< append match prob to the output
+};
+
+/// Builds a SlidingWindowJoin::MatchFn implementing the spec. Joined tuples
+/// concatenate left and right values (ConcatJoinedTuple) and, if requested,
+/// append the match probability as a double attribute.
+stream::SlidingWindowJoin::MatchFn MakeProbabilisticEqualityMatch(
+    EqualityJoinSpec spec);
+
+}  // namespace uncertain
+}  // namespace usp
+
+#endif  // USP_UNCERTAIN_JOIN_PREDICATES_H_

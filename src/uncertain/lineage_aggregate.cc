@@ -1,0 +1,107 @@
+#include "uncertain/lineage_aggregate.h"
+
+#include <map>
+
+#include "uncertain/dist_ops.h"
+
+namespace usp {
+namespace uncertain {
+
+using common::Result;
+using common::Status;
+using stats::DistributionPtr;
+using stream::Tuple;
+using stream::Value;
+
+Result<DistributionPtr> LineageAwareSum(
+    const std::vector<DistributionPtr>& inputs, SumStrategy* strategy) {
+  if (inputs.empty()) {
+    return Status::InvalidArgument("LineageAwareSum: no inputs");
+  }
+  // Multiplicity per distinct base variable (handle identity).
+  std::map<const stats::Distribution*, int> multiplicity;
+  std::vector<const stats::Distribution*> order;
+  for (const DistributionPtr& d : inputs) {
+    if (!d) return Status::InvalidArgument("LineageAwareSum: null input");
+    auto [it, inserted] = multiplicity.try_emplace(d.get(), 0);
+    if (inserted) order.push_back(d.get());
+    ++it->second;
+  }
+  // Scale duplicated variables exactly: c copies of X contribute c*X.
+  std::vector<DistributionPtr> scaled_storage;
+  std::vector<const stats::Distribution*> independents;
+  independents.reserve(order.size());
+  for (const stats::Distribution* d : order) {
+    const int c = multiplicity[d];
+    if (c == 1) {
+      independents.push_back(d);
+    } else {
+      auto scaled = ScaleOf(*d, static_cast<double>(c));
+      if (!scaled.ok()) return scaled.status();
+      scaled_storage.push_back(scaled.MoveValueUnsafe());
+      independents.push_back(scaled_storage.back().get());
+    }
+  }
+  return strategy->SumOf(independents);
+}
+
+Result<DistributionPtr> IndependenceAssumingSum(
+    const std::vector<DistributionPtr>& inputs, SumStrategy* strategy) {
+  if (inputs.empty()) {
+    return Status::InvalidArgument("IndependenceAssumingSum: no inputs");
+  }
+  std::vector<const stats::Distribution*> raw;
+  raw.reserve(inputs.size());
+  for (const DistributionPtr& d : inputs) {
+    if (!d) {
+      return Status::InvalidArgument("IndependenceAssumingSum: null input");
+    }
+    raw.push_back(d.get());
+  }
+  return strategy->SumOf(raw);
+}
+
+stream::AggregateSpec MakeLineageAwareSumAggregate(std::string output_name,
+                                                   size_t attr_index,
+                                                   SumStrategy* strategy) {
+  return {std::move(output_name),
+          [attr_index, strategy](
+              const std::vector<const Tuple*>& group) -> Result<Value> {
+            std::vector<DistributionPtr> dists;
+            double shift = 0.0;
+            for (const Tuple* t : group) {
+              if (attr_index >= t->num_values()) {
+                return Status::OutOfRange(
+                    "lineage-aware aggregate index out of range");
+              }
+              const Value& v = t->value(attr_index);
+              if (v.is_numeric()) {
+                shift += v.AsDouble();
+              } else if (v.is_distribution()) {
+                dists.push_back(v.AsDistribution());
+              } else {
+                return Status::InvalidArgument(
+                    "lineage-aware aggregate over non-numeric attribute");
+              }
+            }
+            if (dists.empty()) return Value(shift);
+            auto sum = LineageAwareSum(dists, strategy);
+            if (!sum.ok()) return sum.status();
+            if (shift == 0.0) return Value(sum.MoveValueUnsafe());
+            auto shifted = ShiftOf(*sum.value(), shift);
+            if (!shifted.ok()) return shifted.status();
+            return Value(shifted.MoveValueUnsafe());
+          }};
+}
+
+bool GroupHasSharedLineage(const std::vector<const Tuple*>& group) {
+  for (size_t i = 0; i < group.size(); ++i) {
+    for (size_t j = i + 1; j < group.size(); ++j) {
+      if (group[i]->SharesLineageWith(*group[j])) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace uncertain
+}  // namespace usp

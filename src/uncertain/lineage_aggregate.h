@@ -1,0 +1,49 @@
+// Lineage-aware aggregation over possibly-correlated tuples (§5.2).
+//
+// After a join, several tuples in a window can carry the *same* underlying
+// random variable (e.g. the temperature of one area joined against many
+// objects). Summing them as if independent understates nothing in the mean
+// but misstates the variance: sum of c copies of X is c*X (variance c^2
+// Var X), not the c-fold independent sum (variance c Var X).
+//
+// Our tuples carry distributions as shared immutable handles, so repeated
+// base variables are detectable by handle identity — the in-memory
+// realization of shared lineage. LineageAwareSum groups duplicates, scales
+// each distinct variable by its multiplicity (exact), and combines the
+// now-independent groups with a pluggable SumStrategy. The independence-
+// assuming path is kept for ablation (bench_lineage_join).
+
+#ifndef USP_UNCERTAIN_LINEAGE_AGGREGATE_H_
+#define USP_UNCERTAIN_LINEAGE_AGGREGATE_H_
+
+#include <vector>
+
+#include "stream/group_by.h"
+#include "uncertain/sum_strategies.h"
+
+namespace usp {
+namespace uncertain {
+
+/// SUM over distributions where repeated handles denote the same base
+/// variable. Exact per-variable scaling + strategy combination across
+/// distinct variables.
+common::Result<stats::DistributionPtr> LineageAwareSum(
+    const std::vector<stats::DistributionPtr>& inputs, SumStrategy* strategy);
+
+/// Baseline that (incorrectly) treats every input as independent; used to
+/// quantify the variance error lineage-awareness removes.
+common::Result<stats::DistributionPtr> IndependenceAssumingSum(
+    const std::vector<stats::DistributionPtr>& inputs, SumStrategy* strategy);
+
+/// Aggregate spec: lineage-aware SUM over attribute `attr_index`.
+stream::AggregateSpec MakeLineageAwareSumAggregate(std::string output_name,
+                                                   size_t attr_index,
+                                                   SumStrategy* strategy);
+
+/// True if any two tuples in the group share lineage (correlation signal).
+bool GroupHasSharedLineage(const std::vector<const stream::Tuple*>& group);
+
+}  // namespace uncertain
+}  // namespace usp
+
+#endif  // USP_UNCERTAIN_LINEAGE_AGGREGATE_H_

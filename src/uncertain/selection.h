@@ -1,0 +1,56 @@
+// Probabilistic selection over distribution-valued attributes: a predicate
+// on an uncertain attribute holds with some probability; the operator
+// either filters on a confidence threshold or annotates tuples with the
+// predicate probability (so downstream consumers see result quality, the
+// paper's stated goal).
+
+#ifndef USP_UNCERTAIN_SELECTION_H_
+#define USP_UNCERTAIN_SELECTION_H_
+
+#include <memory>
+
+#include "stream/basic_operators.h"
+#include "stream/tuple.h"
+
+namespace usp {
+namespace uncertain {
+
+/// Comparison predicate shapes over a single uncertain attribute.
+enum class PredicateOp {
+  kGreaterThan,   ///< P(X > c)
+  kLessThan,      ///< P(X < c)
+  kWithinRange,   ///< P(a <= X <= b)
+};
+
+/// Probability that the predicate holds for the given value (certain
+/// numerics give 0/1).
+double PredicateProbability(const stream::Value& v, PredicateOp op, double a,
+                            double b = 0.0);
+
+/// Filter operator keeping tuples with predicate probability >=
+/// `min_confidence`. For kGreaterThan/kLessThan, `b` is ignored.
+std::unique_ptr<stream::FilterOperator> MakeProbabilisticFilter(
+    std::string name, size_t attr_index, PredicateOp op, double a, double b,
+    double min_confidence);
+
+/// Map operator appending the predicate probability as a new double
+/// attribute instead of filtering.
+std::unique_ptr<stream::MapOperator> MakeProbabilityAnnotator(
+    std::string name, size_t attr_index, PredicateOp op, double a,
+    double b = 0.0);
+
+/// \brief Conditioning selection: the Bayesian-correct filter.
+///
+/// Tuples with predicate probability >= `min_confidence` pass, and the
+/// uncertain attribute is REPLACED by its distribution conditioned on the
+/// predicate (a stats::Truncated) — downstream operators then aggregate
+/// the post-selection law rather than the pre-selection one. Certain
+/// numerics pass unchanged when they satisfy the predicate.
+std::unique_ptr<stream::MapOperator> MakeConditioningSelection(
+    std::string name, size_t attr_index, PredicateOp op, double a, double b,
+    double min_confidence);
+
+}  // namespace uncertain
+}  // namespace usp
+
+#endif  // USP_UNCERTAIN_SELECTION_H_

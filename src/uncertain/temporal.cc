@@ -1,0 +1,107 @@
+#include "uncertain/temporal.h"
+
+#include <cmath>
+
+namespace usp {
+namespace uncertain {
+
+stats::Gaussian Ar1Chain::MarginalAt(size_t t) const {
+  double mean = initial.Mean();
+  double var = initial.Variance();
+  for (size_t i = 1; i < t; ++i) {
+    mean = c0 + c1 * mean;
+    var = c1 * c1 * var + noise_sd * noise_sd;
+  }
+  return stats::Gaussian(mean, std::sqrt(std::max(var, 1e-300)));
+}
+
+double Ar1Chain::Covariance(size_t t, size_t lag) const {
+  // Cov(X_t, X_{t+lag}) = c1^lag * Var(X_t).
+  const double var_t = MarginalAt(t).Variance();
+  return std::pow(c1, static_cast<double>(lag)) * var_t;
+}
+
+namespace {
+common::Status ValidateChain(const Ar1Chain& chain, size_t n) {
+  if (n == 0) {
+    return common::Status::InvalidArgument("AR(1) aggregation over n = 0");
+  }
+  if (chain.noise_sd < 0.0 || !std::isfinite(chain.noise_sd) ||
+      !std::isfinite(chain.c0) || !std::isfinite(chain.c1)) {
+    return common::Status::InvalidArgument("invalid AR(1) chain parameters");
+  }
+  return common::Status::OK();
+}
+}  // namespace
+
+common::Result<stats::Gaussian> SumOfAr1Chain(const Ar1Chain& chain,
+                                              size_t n) {
+  USP_RETURN_NOT_OK(ValidateChain(chain, n));
+  // One pass maintaining:
+  //   mean_t = E[X_t],            var_t = Var(X_t),
+  //   cov_t  = Cov(X_t, S_{t-1}), sum_mean/sum_var for S_t.
+  double mean_t = chain.initial.Mean();
+  double var_t = chain.initial.Variance();
+  double sum_mean = mean_t;
+  double sum_var = var_t;
+  double cov_next = 0.0;  // Cov(X_{t+1}, S_t)
+  for (size_t t = 1; t < n; ++t) {
+    // Cov(X_{t+1}, S_t) = c1 * (Cov(X_t, S_{t-1}) + Var(X_t)).
+    cov_next = chain.c1 * (cov_next + var_t);
+    mean_t = chain.c0 + chain.c1 * mean_t;
+    var_t = chain.c1 * chain.c1 * var_t +
+            chain.noise_sd * chain.noise_sd;
+    sum_mean += mean_t;
+    sum_var += 2.0 * cov_next + var_t;
+  }
+  return stats::Gaussian(sum_mean,
+                         std::sqrt(std::max(sum_var, 1e-300)));
+}
+
+common::Result<stats::Gaussian> MeanOfAr1Chain(const Ar1Chain& chain,
+                                               size_t n) {
+  auto sum = SumOfAr1Chain(chain, n);
+  if (!sum.ok()) return sum.status();
+  return sum.value().AffineTransform(1.0 / static_cast<double>(n), 0.0);
+}
+
+common::Result<stats::DistributionPtr> MonteCarloSumOfAr1(
+    const Ar1Chain& chain, size_t n, size_t samples, common::Rng* rng) {
+  USP_RETURN_NOT_OK(ValidateChain(chain, n));
+  if (samples == 0 || rng == nullptr) {
+    return common::Status::InvalidArgument(
+        "MonteCarloSumOfAr1 requires samples >= 1 and an RNG");
+  }
+  std::vector<double> sums(samples);
+  for (size_t s = 0; s < samples; ++s) {
+    double x = chain.initial.Sample(rng);
+    double total = x;
+    for (size_t t = 1; t < n; ++t) {
+      x = chain.c0 + chain.c1 * x + rng->Gaussian(0.0, chain.noise_sd);
+      total += x;
+    }
+    sums[s] = total;
+  }
+  auto ps = stats::ParticleSet::Make(std::move(sums));
+  if (!ps.ok()) return ps.status();
+  return stats::DistributionPtr(
+      std::make_shared<stats::ParticleSet>(ps.MoveValueUnsafe()));
+}
+
+common::Result<double> IndependenceVarianceRatio(const Ar1Chain& chain,
+                                                 size_t n) {
+  auto exact = SumOfAr1Chain(chain, n);
+  if (!exact.ok()) return exact.status();
+  double indep_var = 0.0;
+  for (size_t t = 1; t <= n; ++t) {
+    indep_var += chain.MarginalAt(t).Variance();
+  }
+  if (indep_var <= 0.0) {
+    return common::Status::NumericError(
+        "degenerate chain: zero marginal variance");
+  }
+  return exact.value().Variance() / indep_var;
+}
+
+}  // namespace uncertain
+}  // namespace usp

@@ -1,0 +1,68 @@
+// Aggregation over temporally correlated tuples (§3, §5.1 "Correlated
+// variables").
+//
+// §3: "the temporally correlated tuples, X1, X2, ..., Xn, each carry a
+// conditional distribution p(Xn | Xn-1, ..., Xn-k) ... a subsequent
+// operator can construct their joint distribution, when needed, by
+// multiplying these conditional distributions."
+//
+// For the linear-Gaussian conditional (the AR(1) form of §4.4's time-series
+// models) the joint is Gaussian and the sum/mean of the chain has a closed
+// form obtained by propagating (mean, variance, covariance-with-running-
+// sum) through the chain — one O(n) pass, no integration. §5.1: "exact
+// derivation of the result distribution of sum can be difficult, although
+// not impossible" — here is the tractable case, plus a Monte Carlo
+// comparator for everything else.
+
+#ifndef USP_UNCERTAIN_TEMPORAL_H_
+#define USP_UNCERTAIN_TEMPORAL_H_
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "stats/gaussian.h"
+#include "stats/particle_set.h"
+
+namespace usp {
+namespace uncertain {
+
+/// A linear-Gaussian Markov chain: X_1 ~ initial;
+/// X_{t+1} | X_t ~ N(c0 + c1 * X_t, noise_sd^2).
+struct Ar1Chain {
+  stats::Gaussian initial{0.0, 1.0};
+  double c0 = 0.0;
+  double c1 = 0.9;
+  double noise_sd = 1.0;
+
+  /// Marginal distribution of X_t (1-based). t >= 1.
+  stats::Gaussian MarginalAt(size_t t) const;
+  /// Cov(X_t, X_{t+lag}) under the chain.
+  double Covariance(size_t t, size_t lag) const;
+};
+
+/// Exact distribution of S_n = X_1 + ... + X_n (Gaussian; single O(n)
+/// pass over the chain). Errors if n == 0 or the chain is invalid
+/// (noise_sd < 0).
+common::Result<stats::Gaussian> SumOfAr1Chain(const Ar1Chain& chain,
+                                              size_t n);
+
+/// Exact distribution of the mean S_n / n.
+common::Result<stats::Gaussian> MeanOfAr1Chain(const Ar1Chain& chain,
+                                               size_t n);
+
+/// Monte Carlo comparator: simulate the chain `samples` times and return
+/// the empirical sum distribution. Used to validate the closed form and
+/// as the general fallback §5.2 describes for correlation structures with
+/// no closed form.
+common::Result<stats::DistributionPtr> MonteCarloSumOfAr1(
+    const Ar1Chain& chain, size_t n, size_t samples, common::Rng* rng);
+
+/// Variance-misstatement factor of assuming independence for the chain
+/// sum: Var_true(S_n) / Var_indep(S_n). > 1 for positively correlated
+/// chains (independence understates), < 1 for negatively correlated.
+common::Result<double> IndependenceVarianceRatio(const Ar1Chain& chain,
+                                                 size_t n);
+
+}  // namespace uncertain
+}  // namespace usp
+
+#endif  // USP_UNCERTAIN_TEMPORAL_H_

@@ -1,0 +1,103 @@
+#include "uncertain/transform.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace usp {
+namespace uncertain {
+
+common::Result<stats::Gaussian> DeltaMethodTransform(
+    const stats::Distribution& x, const std::function<double(double)>& g,
+    const std::function<double(double)>& dg) {
+  const double mu = x.Mean();
+  const double var = x.Variance();
+  double slope;
+  if (dg) {
+    slope = dg(mu);
+  } else {
+    const double h = 1e-5 * (1.0 + std::fabs(mu));
+    slope = (g(mu + h) - g(mu - h)) / (2.0 * h);
+  }
+  const double out_var = slope * slope * var;
+  if (!std::isfinite(out_var)) {
+    return common::Status::NumericError(
+        "DeltaMethodTransform: non-finite derivative at the mean");
+  }
+  return stats::Gaussian(g(mu), std::sqrt(std::max(out_var, 1e-24)));
+}
+
+common::Result<stats::Gaussian> DeltaMethodTransformMulti(
+    const std::vector<const stats::Distribution*>& xs,
+    const std::function<double(const std::vector<double>&)>& g) {
+  if (xs.empty()) {
+    return common::Status::InvalidArgument(
+        "DeltaMethodTransformMulti: no inputs");
+  }
+  std::vector<double> mu(xs.size());
+  for (size_t i = 0; i < xs.size(); ++i) mu[i] = xs[i]->Mean();
+  const double g0 = g(mu);
+  double out_var = 0.0;
+  std::vector<double> probe = mu;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const double h = 1e-5 * (1.0 + std::fabs(mu[i]));
+    probe[i] = mu[i] + h;
+    const double gp = g(probe);
+    probe[i] = mu[i] - h;
+    const double gm = g(probe);
+    probe[i] = mu[i];
+    const double grad = (gp - gm) / (2.0 * h);
+    out_var += grad * grad * xs[i]->Variance();
+  }
+  if (!std::isfinite(out_var) || !std::isfinite(g0)) {
+    return common::Status::NumericError(
+        "DeltaMethodTransformMulti: non-finite value or gradient");
+  }
+  return stats::Gaussian(g0, std::sqrt(std::max(out_var, 1e-24)));
+}
+
+common::Result<stats::Histogram> GridTransform(
+    const stats::Distribution& x, const std::function<double(double)>& g,
+    size_t in_bins, size_t out_bins) {
+  if (in_bins == 0 || out_bins == 0) {
+    return common::Status::InvalidArgument("GridTransform: zero bins");
+  }
+  const stats::Support s = x.NumericSupport();
+  const double dx = s.Width() / static_cast<double>(in_bins);
+  // First pass: output range.
+  double ylo = std::numeric_limits<double>::infinity();
+  double yhi = -ylo;
+  std::vector<double> ys(in_bins), ms(in_bins);
+  double prev_cdf = x.Cdf(s.lo);
+  for (size_t i = 0; i < in_bins; ++i) {
+    const double xc = s.lo + (static_cast<double>(i) + 0.5) * dx;
+    const double right = s.lo + static_cast<double>(i + 1) * dx;
+    const double c = x.Cdf(right);
+    ms[i] = std::max(0.0, c - prev_cdf);
+    prev_cdf = c;
+    ys[i] = g(xc);
+    if (ms[i] > 0.0 && std::isfinite(ys[i])) {
+      ylo = std::min(ylo, ys[i]);
+      yhi = std::max(yhi, ys[i]);
+    }
+  }
+  if (!(ylo < yhi)) {
+    // Degenerate transform (constant g): widen slightly.
+    ylo -= 0.5;
+    yhi += 0.5;
+  } else {
+    yhi += 1e-9 * (yhi - ylo);
+  }
+  std::vector<double> masses(out_bins, 0.0);
+  const double dy = (yhi - ylo) / static_cast<double>(out_bins);
+  for (size_t i = 0; i < in_bins; ++i) {
+    if (ms[i] <= 0.0 || !std::isfinite(ys[i])) continue;
+    size_t idx = static_cast<size_t>((ys[i] - ylo) / dy);
+    if (idx >= out_bins) idx = out_bins - 1;
+    masses[idx] += ms[i];
+  }
+  return stats::Histogram::FromMasses(ylo, yhi, std::move(masses));
+}
+
+}  // namespace uncertain
+}  // namespace usp

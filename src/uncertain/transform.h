@@ -1,0 +1,43 @@
+// Transforms of uncertain values through complex functions (§5.2 "Complex
+// functions"): the multivariate Delta method for fast Gaussian
+// approximation, and an exact grid transform for arbitrary (possibly
+// non-monotone) scalar functions.
+
+#ifndef USP_UNCERTAIN_TRANSFORM_H_
+#define USP_UNCERTAIN_TRANSFORM_H_
+
+#include <functional>
+
+#include "common/status.h"
+#include "stats/distribution.h"
+#include "stats/gaussian.h"
+#include "stats/histogram.h"
+
+namespace usp {
+namespace uncertain {
+
+/// Univariate Delta method: g(X) ~ N(g(mu), g'(mu)^2 sigma^2). `dg` is the
+/// derivative; if omitted it is estimated by central differences.
+common::Result<stats::Gaussian> DeltaMethodTransform(
+    const stats::Distribution& x, const std::function<double(double)>& g,
+    const std::function<double(double)>& dg = nullptr);
+
+/// Multivariate Delta method for g(X_1..X_k) with independent inputs:
+/// N(g(mu), sum_i (dg/dx_i)^2 sigma_i^2). Gradient by central differences.
+common::Result<stats::Gaussian> DeltaMethodTransformMulti(
+    const std::vector<const stats::Distribution*>& xs,
+    const std::function<double(const std::vector<double>&)>& g);
+
+/// Exact pushforward of X through arbitrary g, materialized on a grid:
+/// X's support is discretized into `in_bins` cells whose mass is deposited
+/// at g(center) into an output histogram with `out_bins` bins. Handles
+/// non-monotone g (mass from distinct x landing on the same y adds up).
+common::Result<stats::Histogram> GridTransform(const stats::Distribution& x,
+                                               const std::function<double(double)>& g,
+                                               size_t in_bins = 2048,
+                                               size_t out_bins = 256);
+
+}  // namespace uncertain
+}  // namespace usp
+
+#endif  // USP_UNCERTAIN_TRANSFORM_H_

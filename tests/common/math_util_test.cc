@@ -1,0 +1,144 @@
+#include "common/math_util.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace usp {
+namespace common {
+namespace {
+
+TEST(LogSumExpTest, MatchesDirectComputationForSmallValues) {
+  const std::vector<double> xs = {0.1, 0.5, -0.3};
+  double direct = 0.0;
+  for (double x : xs) direct += std::exp(x);
+  EXPECT_NEAR(LogSumExp(xs), std::log(direct), 1e-12);
+}
+
+TEST(LogSumExpTest, StableForLargeMagnitudes) {
+  // Direct exp would overflow; the answer is dominated by the max.
+  EXPECT_NEAR(LogSumExp({1000.0, 999.0}), 1000.0 + std::log1p(std::exp(-1.0)),
+              1e-9);
+  EXPECT_NEAR(LogSumExp({-1000.0, -1001.0}),
+              -1000.0 + std::log1p(std::exp(-1.0)), 1e-9);
+}
+
+TEST(LogSumExpTest, EmptyIsMinusInfinity) {
+  EXPECT_TRUE(std::isinf(LogSumExp({})));
+  EXPECT_LT(LogSumExp({}), 0.0);
+}
+
+TEST(StdNormalTest, PdfSymmetricAndPeaked) {
+  EXPECT_NEAR(StdNormalPdf(0.0), 1.0 / kSqrt2Pi, 1e-15);
+  EXPECT_NEAR(StdNormalPdf(1.3), StdNormalPdf(-1.3), 1e-15);
+}
+
+TEST(StdNormalTest, CdfKnownValues) {
+  EXPECT_NEAR(StdNormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(StdNormalCdf(1.959963984540054), 0.975, 1e-9);
+  EXPECT_NEAR(StdNormalCdf(-1.959963984540054), 0.025, 1e-9);
+}
+
+class QuantileRoundTripTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantileRoundTripTest, CdfOfQuantileIsIdentity) {
+  const double p = GetParam();
+  EXPECT_NEAR(StdNormalCdf(StdNormalQuantile(p)), p, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(ProbabilitySweep, QuantileRoundTripTest,
+                         ::testing::Values(1e-8, 1e-4, 0.01, 0.1, 0.25, 0.5,
+                                           0.75, 0.9, 0.99, 0.9999,
+                                           1.0 - 1e-8));
+
+TEST(WeightedMeanVarTest, UnweightedMatchesTextbook) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> w = {1.0, 1.0, 1.0, 1.0};
+  const MeanVar mv = WeightedMeanVar(v, w);
+  EXPECT_NEAR(mv.mean, 2.5, 1e-12);
+  EXPECT_NEAR(mv.variance, 1.25, 1e-12);
+}
+
+TEST(WeightedMeanVarTest, WeightsScaleInvariant) {
+  const std::vector<double> v = {1.0, 5.0};
+  const MeanVar a = WeightedMeanVar(v, {1.0, 3.0});
+  const MeanVar b = WeightedMeanVar(v, {10.0, 30.0});
+  EXPECT_NEAR(a.mean, b.mean, 1e-12);
+  EXPECT_NEAR(a.variance, b.variance, 1e-12);
+  EXPECT_NEAR(a.mean, 4.0, 1e-12);
+}
+
+TEST(WeightedMeanVarTest, ZeroWeightsIgnored) {
+  const MeanVar mv = WeightedMeanVar({1.0, 100.0, 3.0}, {1.0, 0.0, 1.0});
+  EXPECT_NEAR(mv.mean, 2.0, 1e-12);
+}
+
+TEST(WeightedMeanVarTest, AllZeroWeightsGiveZero) {
+  const MeanVar mv = WeightedMeanVar({1.0, 2.0}, {0.0, 0.0});
+  EXPECT_EQ(mv.mean, 0.0);
+  EXPECT_EQ(mv.variance, 0.0);
+}
+
+TEST(NextPow2Test, Values) {
+  EXPECT_EQ(NextPow2(1), 1u);
+  EXPECT_EQ(NextPow2(2), 2u);
+  EXPECT_EQ(NextPow2(3), 4u);
+  EXPECT_EQ(NextPow2(1000), 1024u);
+  EXPECT_EQ(NextPow2(1024), 1024u);
+}
+
+TEST(FftTest, ForwardMatchesDftOnImpulse) {
+  std::vector<std::complex<double>> data(8, {0.0, 0.0});
+  data[1] = {1.0, 0.0};
+  Fft(data, false);
+  for (size_t k = 0; k < 8; ++k) {
+    const double ang = -2.0 * kPi * static_cast<double>(k) / 8.0;
+    EXPECT_NEAR(data[k].real(), std::cos(ang), 1e-12);
+    EXPECT_NEAR(data[k].imag(), std::sin(ang), 1e-12);
+  }
+}
+
+TEST(FftTest, RoundTripRecoversInput) {
+  std::vector<std::complex<double>> data(16);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = {std::sin(0.3 * static_cast<double>(i)),
+               std::cos(0.7 * static_cast<double>(i))};
+  }
+  const auto original = data;
+  Fft(data, false);
+  Fft(data, true);
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i].real(), original[i].real(), 1e-12);
+    EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-12);
+  }
+}
+
+TEST(FftTest, ParsevalHolds) {
+  std::vector<std::complex<double>> data(32);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = {static_cast<double>(i % 5) - 2.0, 0.0};
+  }
+  double time_energy = 0.0;
+  for (const auto& z : data) time_energy += std::norm(z);
+  Fft(data, false);
+  double freq_energy = 0.0;
+  for (const auto& z : data) freq_energy += std::norm(z);
+  EXPECT_NEAR(freq_energy / static_cast<double>(data.size()), time_energy,
+              1e-9);
+}
+
+TEST(ClampTest, Bounds) {
+  EXPECT_EQ(Clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_EQ(Clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_EQ(Clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+TEST(AlmostEqualTest, TolerancesWork) {
+  EXPECT_TRUE(AlmostEqual(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(AlmostEqual(1.0, 1.001));
+  EXPECT_TRUE(AlmostEqual(1e12, 1e12 + 1.0));
+}
+
+}  // namespace
+}  // namespace common
+}  // namespace usp

@@ -1,0 +1,98 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace usp {
+namespace common {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  const Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, AllCodesHaveDistinctNames) {
+  const StatusCode codes[] = {
+      StatusCode::kOk,           StatusCode::kInvalidArgument,
+      StatusCode::kOutOfRange,   StatusCode::kNotFound,
+      StatusCode::kAlreadyExists, StatusCode::kFailedPrecondition,
+      StatusCode::kNumericError, StatusCode::kResourceExhausted,
+      StatusCode::kUnimplemented, StatusCode::kInternal,
+  };
+  for (size_t i = 0; i < std::size(codes); ++i) {
+    for (size_t j = i + 1; j < std::size(codes); ++j) {
+      EXPECT_STRNE(StatusCodeName(codes[i]), StatusCodeName(codes[j]));
+    }
+  }
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.ValueOrDie(), 42);
+  EXPECT_EQ(r.ValueOr(-1), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, MoveValueUnsafeMovesOutOwnership) {
+  Result<std::string> r(std::string("hello"));
+  ASSERT_TRUE(r.ok());
+  std::string moved = r.MoveValueUnsafe();
+  EXPECT_EQ(moved, "hello");
+}
+
+Status FailingHelper() { return Status::NumericError("diverged"); }
+
+Status PropagatingHelper() {
+  USP_RETURN_NOT_OK(FailingHelper());
+  return Status::OK();
+}
+
+TEST(StatusMacroTest, ReturnNotOkPropagates) {
+  const Status s = PropagatingHelper();
+  EXPECT_EQ(s.code(), StatusCode::kNumericError);
+}
+
+Result<int> MakeValue(bool fail) {
+  if (fail) return Status::Internal("boom");
+  return 7;
+}
+
+Status AssignHelper(bool fail, int* out) {
+  USP_ASSIGN_OR_RETURN(*out, MakeValue(fail));
+  return Status::OK();
+}
+
+TEST(StatusMacroTest, AssignOrReturn) {
+  int v = 0;
+  EXPECT_TRUE(AssignHelper(false, &v).ok());
+  EXPECT_EQ(v, 7);
+  EXPECT_EQ(AssignHelper(true, &v).code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace common
+}  // namespace usp

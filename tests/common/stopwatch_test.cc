@@ -1,0 +1,45 @@
+#include "common/stopwatch.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace usp {
+namespace common {
+namespace {
+
+TEST(StopwatchTest, ElapsedIsNonNegativeAndMonotone) {
+  Stopwatch sw;
+  const double t1 = sw.ElapsedSeconds();
+  const double t2 = sw.ElapsedSeconds();
+  EXPECT_GE(t1, 0.0);
+  EXPECT_GE(t2, t1);
+}
+
+TEST(StopwatchTest, MeasuresSleep) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(sw.ElapsedMillis(), 15.0);
+  EXPECT_LT(sw.ElapsedMillis(), 5000.0);
+}
+
+TEST(StopwatchTest, RestartResets) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  sw.Restart();
+  EXPECT_LT(sw.ElapsedMillis(), 10.0);
+}
+
+TEST(StopwatchTest, UnitsAreConsistent) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double s = sw.ElapsedSeconds();
+  const double ms = sw.ElapsedMillis();
+  const double us = sw.ElapsedMicros();
+  EXPECT_NEAR(ms, s * 1e3, s * 1e3 * 0.5 + 1.0);
+  EXPECT_NEAR(us, s * 1e6, s * 1e6 * 0.5 + 1000.0);
+}
+
+}  // namespace
+}  // namespace common
+}  // namespace usp

@@ -1,0 +1,83 @@
+#include "radar/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace usp {
+namespace radar {
+namespace {
+
+// A shortened variant of the Table 1 config so the test stays fast: fewer
+// gates, shorter trace. The bench binary runs the full configuration.
+Table1Config FastConfig() {
+  Table1Config c;
+  c.duration_s = 20.0;
+  c.num_gates = 512;
+  c.num_vortices = 3;
+  c.seed = 99;
+  return c;
+}
+
+TEST(Table1ExperimentTest, RejectsDegenerateAveraging) {
+  EXPECT_FALSE(RunTable1Row(FastConfig(), 1).ok());
+}
+
+TEST(Table1ExperimentTest, WindFieldHasRequestedVortices) {
+  const WindField wind = MakeTornadicWindField(FastConfig());
+  EXPECT_EQ(wind.vortices.size(), 3u);
+  for (const Vortex& v : wind.vortices) {
+    const double r = std::hypot(v.x_m, v.y_m);
+    EXPECT_GT(r, 10000.0);
+    EXPECT_LT(r, 45000.0);
+  }
+}
+
+TEST(Table1ExperimentTest, FineAveragingDetectsTornados) {
+  const auto row = RunTable1Row(FastConfig(), 40);
+  ASSERT_TRUE(row.ok()) << row.status().ToString();
+  EXPECT_GT(row.value().avg_reported_tornados, 1.0);
+  EXPECT_LT(row.value().avg_false_negatives, 2.0);
+  EXPECT_GT(row.value().moment_data_mb, 0.0);
+}
+
+TEST(Table1ExperimentTest, AggressiveAveragingMissesTornados) {
+  const auto row = RunTable1Row(FastConfig(), 1000);
+  ASSERT_TRUE(row.ok());
+  EXPECT_LT(row.value().avg_reported_tornados, 1.0);
+  EXPECT_GT(row.value().avg_false_negatives, 1.5);
+}
+
+TEST(Table1ExperimentTest, MomentDataSizeShrinksWithAveraging) {
+  const auto sweep = RunTable1Sweep(FastConfig(), {40, 200, 1000});
+  ASSERT_TRUE(sweep.ok());
+  const auto& rows = sweep.value();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_GT(rows[0].moment_data_mb, rows[1].moment_data_mb);
+  EXPECT_GT(rows[1].moment_data_mb, rows[2].moment_data_mb);
+  // Size scales ~ 1/N.
+  EXPECT_NEAR(rows[0].moment_data_mb / rows[2].moment_data_mb, 25.0, 5.0);
+}
+
+TEST(Table1ExperimentTest, DetectionCountMonotoneNonIncreasing) {
+  const auto sweep = RunTable1Sweep(FastConfig(), {40, 100, 500, 1000});
+  ASSERT_TRUE(sweep.ok());
+  const auto& rows = sweep.value();
+  for (size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_LE(rows[i].avg_reported_tornados,
+              rows[i - 1].avg_reported_tornados + 0.5)
+        << "N=" << rows[i].averaging_size;
+  }
+  // The cliff: by N=1000 detection has collapsed relative to N=40.
+  EXPECT_LT(rows.back().avg_reported_tornados,
+            0.5 * std::max(rows.front().avg_reported_tornados, 1.0));
+}
+
+TEST(Table1ExperimentTest, FalseNegativesRiseWithAveraging) {
+  const auto sweep = RunTable1Sweep(FastConfig(), {40, 1000});
+  ASSERT_TRUE(sweep.ok());
+  EXPECT_GT(sweep.value()[1].avg_false_negatives,
+            sweep.value()[0].avg_false_negatives);
+}
+
+}  // namespace
+}  // namespace radar
+}  // namespace usp

@@ -1,0 +1,150 @@
+#include "radar/grid.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace usp {
+namespace radar {
+namespace {
+
+VoxelGrid::Extent SmallExtent() {
+  return {0.0, 10000.0, 0.0, 10000.0, 500.0};
+}
+
+MomentBeam MakeBeam(double azimuth_rad, size_t gates, double velocity,
+                    double variance) {
+  MomentBeam beam;
+  beam.azimuth_rad = azimuth_rad;
+  beam.gates.resize(gates);
+  for (auto& g : beam.gates) {
+    g.reflectivity_db = 30.0;
+    g.velocity_mps = velocity;
+    g.velocity_variance = variance;
+    g.pulses_averaged = 40;
+  }
+  return beam;
+}
+
+TEST(VoxelGridTest, DimensionsFromExtent) {
+  const VoxelGrid grid(SmallExtent());
+  EXPECT_EQ(grid.width(), 20u);
+  EXPECT_EQ(grid.height(), 20u);
+}
+
+TEST(VoxelGridTest, LocateWorld) {
+  const VoxelGrid grid(SmallExtent());
+  const auto loc = grid.LocateWorld(1250.0, 750.0);
+  ASSERT_TRUE(loc.has_value());
+  EXPECT_EQ(loc->first, 2u);
+  EXPECT_EQ(loc->second, 1u);
+  EXPECT_FALSE(grid.LocateWorld(-1.0, 0.0).has_value());
+  EXPECT_FALSE(grid.LocateWorld(0.0, 10000.0).has_value());
+}
+
+TEST(VoxelGridTest, CellCenterRoundTrips) {
+  const VoxelGrid grid(SmallExtent());
+  const auto [cx, cy] = grid.CellCenter(3, 7);
+  const auto loc = grid.LocateWorld(cx, cy);
+  ASSERT_TRUE(loc.has_value());
+  EXPECT_EQ(loc->first, 3u);
+  EXPECT_EQ(loc->second, 7u);
+}
+
+TEST(VoxelGridTest, AddBeamRasterizesAlongRay) {
+  VoxelGrid grid(SmallExtent());
+  const RadarSite site{0.0, 0.0};
+  // Beam along +x: 160 gates * 60 m = 9.6 km of ray; with 500 m cells,
+  // ~19 row-0 cells get hit.
+  ASSERT_TRUE(grid.AddBeam(site, MakeBeam(0.0, 160, 5.0, 1.0)).ok());
+  size_t filled = 0;
+  for (size_t col = 0; col < grid.width(); ++col) {
+    if (grid.at(col, 0).contributions > 0) ++filled;
+  }
+  EXPECT_GT(filled, 15u);
+  // Other rows untouched.
+  for (size_t col = 0; col < grid.width(); ++col) {
+    EXPECT_EQ(grid.at(col, 5).contributions, 0u);
+  }
+}
+
+TEST(VoxelGridTest, PrecisionWeightedFusion) {
+  // Fine 50 m cells so each voxel receives at most one gate per beam
+  // (gate spacing is 60 m).
+  VoxelGrid grid({0.0, 10000.0, 0.0, 10000.0, 50.0});
+  const RadarSite a{0.0, 0.0};
+  // Two beams hitting the same voxels: one confident (+10, var 1), one
+  // noisy (-10, var 9). The fused velocity must sit nearer +10.
+  ASSERT_TRUE(grid.AddBeam(a, MakeBeam(0.0, 64, 10.0, 1.0)).ok());
+  ASSERT_TRUE(grid.AddBeam(a, MakeBeam(0.0, 64, -10.0, 9.0)).ok());
+  // Gate 16 center: 16.5 * 60 = 990 m along +x.
+  const auto loc = grid.LocateWorld(990.0, 10.0);
+  ASSERT_TRUE(loc.has_value());
+  const VoxelData& cell = grid.at(loc->first, loc->second);
+  EXPECT_EQ(cell.contributions, 2u);
+  // Inverse-variance weights: (10/1 + -10/9) / (1 + 1/9) = 8.0.
+  EXPECT_NEAR(cell.velocity_mps, 8.0, 0.01);
+  // Fused variance 1 / (1/1 + 1/9) = 0.9.
+  EXPECT_NEAR(cell.velocity_variance, 0.9, 0.01);
+}
+
+TEST(VoxelGridTest, FusionReducesVariance) {
+  VoxelGrid grid(SmallExtent());
+  const RadarSite a{0.0, 0.0};
+  const RadarSite b{0.0, 10000.0};
+  ASSERT_TRUE(grid.AddBeam(a, MakeBeam(M_PI / 4.0, 100, 5.0, 2.0)).ok());
+  ASSERT_TRUE(grid.AddBeam(b, MakeBeam(-M_PI / 4.0, 100, 5.0, 2.0)).ok());
+  // Find a fused voxel (>= 2 contributions; within-beam self-fusion of
+  // adjacent gates counts too) and check the variance dropped.
+  bool found = false;
+  for (size_t r = 0; r < grid.height() && !found; ++r) {
+    for (size_t c = 0; c < grid.width() && !found; ++c) {
+      if (grid.at(c, r).contributions >= 2) {
+        EXPECT_LT(grid.at(c, r).velocity_variance, 2.0);
+        found = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found) << "no fused voxel; geometry wrong";
+}
+
+TEST(VoxelGridTest, ZeroVarianceFallsBackToAveraging) {
+  VoxelGrid grid(SmallExtent());
+  const RadarSite a{0.0, 0.0};
+  ASSERT_TRUE(grid.AddBeam(a, MakeBeam(0.0, 64, 4.0, 0.0)).ok());
+  ASSERT_TRUE(grid.AddBeam(a, MakeBeam(0.0, 64, 8.0, 0.0)).ok());
+  const auto loc = grid.LocateWorld(1000.0, 10.0);
+  ASSERT_TRUE(loc.has_value());
+  EXPECT_NEAR(grid.at(loc->first, loc->second).velocity_mps, 6.0, 1e-9);
+}
+
+TEST(VoxelGridTest, ClearResets) {
+  VoxelGrid grid(SmallExtent());
+  ASSERT_TRUE(grid.AddBeam({0.0, 0.0}, MakeBeam(0.0, 64, 5.0, 1.0)).ok());
+  grid.Clear();
+  for (size_t r = 0; r < grid.height(); ++r) {
+    for (size_t c = 0; c < grid.width(); ++c) {
+      ASSERT_EQ(grid.at(c, r).contributions, 0u);
+    }
+  }
+}
+
+TEST(VoxelGridTest, OutOfExtentGatesSkipped) {
+  // A beam from a far-away site mostly misses the grid; must not crash and
+  // must only fill in-extent voxels.
+  VoxelGrid grid(SmallExtent());
+  const RadarSite far_site{-100000.0, 0.0};
+  ASSERT_TRUE(grid.AddBeam(far_site, MakeBeam(0.0, 832, 5.0, 1.0)).ok());
+  size_t filled = 0;
+  for (size_t r = 0; r < grid.height(); ++r) {
+    for (size_t c = 0; c < grid.width(); ++c) {
+      filled += grid.at(c, r).contributions;
+    }
+  }
+  // 832 gates at 60 m spacing start 100 km away: nothing lands inside.
+  EXPECT_EQ(filled, 0u);
+}
+
+}  // namespace
+}  // namespace radar
+}  // namespace usp

@@ -1,0 +1,151 @@
+#include "radar/moments.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "radar/pulse_simulator.h"
+
+namespace usp {
+namespace radar {
+namespace {
+
+PulseSimConfig StaringConfig(double noise = 0.1) {
+  PulseSimConfig c;
+  c.num_gates = 32;
+  c.noise_stddev = noise;
+  c.rotation_rate_rad_per_s = 0.0;  // fixed beam for velocity checks
+  c.seed = 21;
+  return c;
+}
+
+WindField UniformWind(double u) {
+  WindField w;
+  w.background_u_mps = u;
+  w.background_v_mps = 0.0;
+  return w;
+}
+
+TEST(MomentEstimatorTest, EmitsBeamEveryNPulses) {
+  MomentEstimator::Options o;
+  o.averaging_size = 40;
+  MomentEstimator est(o);
+  PulseSimulator sim(StaringConfig(), UniformWind(5.0));
+  for (int i = 0; i < 120; ++i) {
+    ASSERT_TRUE(est.AddPulse(sim.NextPulse()).ok());
+  }
+  EXPECT_EQ(est.beams().size(), 3u);
+  EXPECT_EQ(est.beams()[0].gates.size(), 32u);
+  EXPECT_EQ(est.beams()[0].gates[0].pulses_averaged, 40u);
+}
+
+TEST(MomentEstimatorTest, VelocityEstimateMatchesTruth) {
+  MomentEstimator::Options o;
+  o.averaging_size = 64;
+  MomentEstimator est(o);
+  PulseSimConfig c = StaringConfig(0.05);
+  const WindField wind = UniformWind(7.0);
+  PulseSimulator sim(c, wind);
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(est.AddPulse(sim.NextPulse()).ok());
+  }
+  ASSERT_EQ(est.beams().size(), 1u);
+  const MomentBeam& beam = est.beams()[0];
+  const size_t g = 16;
+  const double truth = sim.TrueRadialVelocity(beam.azimuth_rad, g);
+  EXPECT_NEAR(beam.gates[g].velocity_mps, truth, 0.5);
+}
+
+TEST(MomentEstimatorTest, VelocityVarianceShrinksWithAveraging) {
+  // More pulses averaged -> tighter velocity distribution (1/n in the MA
+  // CLT), which is exactly why the paper's Table 1 trades resolution for
+  // certainty.
+  double var_small = 0.0, var_large = 0.0;
+  for (const size_t n : {size_t{20}, size_t{200}}) {
+    MomentEstimator::Options o;
+    o.averaging_size = n;
+    MomentEstimator est(o);
+    PulseSimulator sim(StaringConfig(0.4), UniformWind(5.0));
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(est.AddPulse(sim.NextPulse()).ok());
+    }
+    ASSERT_EQ(est.beams().size(), 1u);
+    const double v = est.beams()[0].gates[16].velocity_variance;
+    if (n == 20) {
+      var_small = v;
+    } else {
+      var_large = v;
+    }
+  }
+  EXPECT_GT(var_small, var_large);
+}
+
+TEST(MomentEstimatorTest, ReflectivityTracksSignalPower) {
+  MomentEstimator::Options o;
+  o.averaging_size = 50;
+  MomentEstimator est(o);
+  // Vortex bump at a known gate elevates reflectivity there.
+  PulseSimConfig c = StaringConfig(0.1);
+  WindField wind;
+  Vortex v;
+  // Place the vortex on the staring beam (azimuth sector start = 0 rad,
+  // i.e. along +x) at gate ~16 (16.5 * 60 m).
+  v.x_m = 990.0;
+  v.y_m = 0.0;
+  v.core_radius_m = 200.0;
+  wind.vortices.push_back(v);
+  PulseSimulator sim(c, wind);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(est.AddPulse(sim.NextPulse()).ok());
+  }
+  const MomentBeam& beam = est.beams()[0];
+  EXPECT_GT(beam.gates[16].reflectivity_db,
+            beam.gates[31].reflectivity_db + 5.0);
+}
+
+TEST(MomentEstimatorTest, RotatingAntennaSmearsBeamAzimuth) {
+  MomentEstimator::Options o;
+  o.averaging_size = 500;
+  MomentEstimator est(o);
+  PulseSimConfig c = StaringConfig(0.1);
+  c.rotation_rate_rad_per_s = 0.2;
+  PulseSimulator sim(c, UniformWind(3.0));
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(est.AddPulse(sim.NextPulse()).ok());
+  }
+  ASSERT_EQ(est.beams().size(), 1u);
+  // 500 pulses at 0.2 rad/s = 0.05 rad swept; midpoint azimuth ~0.025.
+  EXPECT_NEAR(est.beams()[0].azimuth_rad, 0.025, 0.005);
+}
+
+TEST(MomentEstimatorTest, SpectralWidthNonNegative) {
+  MomentEstimator::Options o;
+  o.averaging_size = 40;
+  MomentEstimator est(o);
+  PulseSimulator sim(StaringConfig(0.5), UniformWind(5.0));
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(est.AddPulse(sim.NextPulse()).ok());
+  }
+  for (const MomentData& m : est.beams()[0].gates) {
+    EXPECT_GE(m.spectral_width_mps, 0.0);
+    EXPECT_TRUE(std::isfinite(m.spectral_width_mps));
+  }
+}
+
+TEST(AveragedVelocityDistributionTest, MatchesCltHelper) {
+  std::vector<double> series;
+  common::Rng rng(3);
+  for (int i = 0; i < 500; ++i) series.push_back(rng.Gaussian(5.0, 1.0));
+  const auto g = AveragedVelocityDistribution(series, 0);
+  ASSERT_TRUE(g.ok());
+  EXPECT_NEAR(g.value().Mean(), 5.0, 0.2);
+  EXPECT_NEAR(g.value().Variance(), 1.0 / 500.0, 5e-4);
+}
+
+TEST(MomentEstimatorTest, BeamBytesMatchesFourFloatLayout) {
+  EXPECT_EQ(MomentEstimator::BeamBytes(832), 832u * 16u);
+}
+
+}  // namespace
+}  // namespace radar
+}  // namespace usp

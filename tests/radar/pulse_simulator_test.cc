@@ -1,0 +1,161 @@
+#include "radar/pulse_simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/timeseries.h"
+
+namespace usp {
+namespace radar {
+namespace {
+
+PulseSimConfig SmallConfig() {
+  PulseSimConfig c;
+  c.num_gates = 64;
+  c.seed = 11;
+  return c;
+}
+
+TEST(VortexTest, RankineProfile) {
+  Vortex v;
+  v.core_radius_m = 500.0;
+  v.max_tangential_mps = 40.0;
+  EXPECT_EQ(v.TangentialSpeed(0.0), 0.0);
+  EXPECT_NEAR(v.TangentialSpeed(250.0), 20.0, 1e-9);   // solid body
+  EXPECT_NEAR(v.TangentialSpeed(500.0), 40.0, 1e-9);   // peak at core
+  EXPECT_NEAR(v.TangentialSpeed(1000.0), 20.0, 1e-9);  // 1/r decay
+}
+
+TEST(WindFieldTest, BackgroundOnlyRadialVelocity) {
+  WindField wind;
+  wind.background_u_mps = 10.0;
+  wind.background_v_mps = 0.0;
+  const RadarSite site{0.0, 0.0};
+  // Looking straight east: radial velocity = u.
+  EXPECT_NEAR(wind.RadialVelocity(site, 1000.0, 0.0), 10.0, 1e-9);
+  // Looking north: radial velocity = v = 0.
+  EXPECT_NEAR(wind.RadialVelocity(site, 0.0, 1000.0), 0.0, 1e-9);
+}
+
+TEST(WindFieldTest, VortexCreatesVelocityCouplet) {
+  WindField wind;
+  wind.background_u_mps = 0.0;
+  wind.background_v_mps = 0.0;
+  Vortex v;
+  v.x_m = 10000.0;
+  v.y_m = 0.0;
+  v.core_radius_m = 500.0;
+  v.max_tangential_mps = 40.0;
+  wind.vortices.push_back(v);
+  const RadarSite site{0.0, 0.0};
+  // Just above/below the vortex center along the look axis, the tangential
+  // wind projects onto the radial direction with opposite signs.
+  const double above = wind.RadialVelocity(site, 10000.0, 500.0);
+  const double below = wind.RadialVelocity(site, 10000.0, -500.0);
+  EXPECT_GT(std::fabs(above - below), 60.0);
+  EXPECT_LT(above * below, 0.0);
+}
+
+TEST(WindFieldTest, ReflectivityElevatedNearVortex) {
+  WindField wind;
+  Vortex v;
+  v.x_m = 5000.0;
+  v.y_m = 5000.0;
+  wind.vortices.push_back(v);
+  EXPECT_GT(wind.ReflectivityDb(5000.0, 5000.0),
+            wind.ReflectivityDb(40000.0, 40000.0) + 10.0);
+}
+
+TEST(PulseSimulatorTest, PulseRateAndLayout) {
+  PulseSimulator sim(SmallConfig(), WindField{});
+  const Pulse p0 = sim.NextPulse();
+  const Pulse p1 = sim.NextPulse();
+  EXPECT_EQ(p0.gates.size(), 64u);
+  EXPECT_NEAR(p1.time_s - p0.time_s, 1.0 / kPulsesPerSecond, 1e-12);
+}
+
+TEST(PulseSimulatorTest, RawDataRateMatchesPaperScale) {
+  PulseSimConfig c;
+  c.num_gates = kDefaultNumGates;  // 832
+  PulseSimulator sim(c, WindField{});
+  // 2000 pulses/s x 832 gates x 16 B = ~26.6 MB/s = ~213 Mb/s (the paper
+  // reports 205 Mb/s; the difference is header overhead we do not model).
+  EXPECT_NEAR(sim.RawBytesPerSecond() * 8.0 / 1e6, 213.0, 10.0);
+}
+
+TEST(PulseSimulatorTest, AntennaSweepsSector) {
+  PulseSimConfig c = SmallConfig();
+  PulseSimulator sim(c, WindField{});
+  double min_az = 10.0, max_az = -10.0;
+  for (int i = 0; i < 40000; ++i) {
+    const Pulse p = sim.NextPulse();
+    min_az = std::min(min_az, p.azimuth_rad);
+    max_az = std::max(max_az, p.azimuth_rad);
+  }
+  EXPECT_NEAR(min_az, c.sector_start_rad, 0.05);
+  EXPECT_NEAR(max_az, c.sector_end_rad, 0.05);
+}
+
+TEST(PulseSimulatorTest, PulsePairPhaseEncodesVelocity) {
+  // Noise-free check: the lag-1 phase of the complex series must encode
+  // the true radial velocity.
+  PulseSimConfig c = SmallConfig();
+  c.noise_stddev = 0.0;
+  c.rotation_rate_rad_per_s = 0.0;  // stare at a fixed azimuth
+  WindField wind;
+  wind.background_u_mps = 8.0;
+  wind.background_v_mps = 0.0;
+  PulseSimulator sim(c, wind);
+  const Pulse p0 = sim.NextPulse();
+  const Pulse p1 = sim.NextPulse();
+  const size_t g = 32;
+  const std::complex<double> z0(p0.gates[g].i, p0.gates[g].q);
+  const std::complex<double> z1(p1.gates[g].i, p1.gates[g].q);
+  const double phase = std::arg(std::conj(z0) * z1);
+  const double v = kWavelengthM * kPulsesPerSecond / (4.0 * M_PI) * phase;
+  EXPECT_NEAR(v, sim.TrueRadialVelocity(p0.azimuth_rad, g), 0.2);
+}
+
+TEST(PulseSimulatorTest, NoiseIsMaCorrelated) {
+  // With zero signal (no wind, tiny amplitude far from any storm bump),
+  // the I channel noise should show MA(q)-style short-range correlation.
+  PulseSimConfig c = SmallConfig();
+  c.noise_ma_order = 3;
+  c.rotation_rate_rad_per_s = 0.0;
+  WindField wind;
+  wind.background_u_mps = 0.0;
+  wind.background_v_mps = 0.0;
+  PulseSimulator sim(c, wind);
+  std::vector<double> series;
+  const size_t g = 60;  // far gate: weak signal, noise dominates
+  for (int i = 0; i < 20000; ++i) {
+    series.push_back(static_cast<double>(sim.NextPulse().gates[g].i));
+  }
+  const auto rho = stats::Autocorrelation(series, 6);
+  EXPECT_GT(rho[1], 0.2);   // correlated at short lags
+  EXPECT_LT(std::fabs(rho[6]), 0.1);  // decays past the MA order
+}
+
+TEST(PulseSimulatorTest, DeterministicForSeed) {
+  PulseSimulator a(SmallConfig(), WindField{});
+  PulseSimulator b(SmallConfig(), WindField{});
+  for (int i = 0; i < 10; ++i) {
+    const Pulse pa = a.NextPulse();
+    const Pulse pb = b.NextPulse();
+    for (size_t g = 0; g < pa.gates.size(); ++g) {
+      ASSERT_EQ(pa.gates[g].i, pb.gates[g].i);
+      ASSERT_EQ(pa.gates[g].q, pb.gates[g].q);
+    }
+  }
+}
+
+TEST(NyquistTest, TornadicSpeedsAreUnambiguous) {
+  // The simulator's wavelength choice must keep vortex speeds below the
+  // Nyquist velocity (see types.h note on the dealiasing substitution).
+  EXPECT_GT(kNyquistVelocity, 45.0);
+}
+
+}  // namespace
+}  // namespace radar
+}  // namespace usp

@@ -1,0 +1,171 @@
+#include "radar/tornado_detector.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace usp {
+namespace radar {
+namespace {
+
+// Build a synthetic scan: `beams` beams over [0, 0.5] rad, uniform
+// background velocity, with an optional couplet at (beam bc, gate gc).
+std::vector<MomentBeam> MakeScan(size_t beams, size_t gates,
+                                 bool with_couplet, size_t bc = 10,
+                                 size_t gc = 20, double strength = 30.0,
+                                 double variance = 0.25) {
+  std::vector<MomentBeam> out(beams);
+  for (size_t b = 0; b < beams; ++b) {
+    out[b].azimuth_rad = 0.5 * static_cast<double>(b) /
+                         static_cast<double>(beams);
+    out[b].gates.resize(gates);
+    for (size_t g = 0; g < gates; ++g) {
+      MomentData& m = out[b].gates[g];
+      m.reflectivity_db = 35.0;
+      m.velocity_mps = 3.0;
+      m.velocity_variance = variance;
+    }
+  }
+  if (with_couplet) {
+    // Opposite-signed velocities on adjacent beams over a few gates.
+    for (size_t dg = 0; dg < 3; ++dg) {
+      out[bc].gates[gc + dg].velocity_mps = 3.0 - 0.5 * strength;
+      out[bc + 1].gates[gc + dg].velocity_mps = 3.0 + 0.5 * strength;
+    }
+  }
+  return out;
+}
+
+TornadoDetector::Options Opts() {
+  TornadoDetector::Options o;
+  o.shear_threshold_mps = 20.0;
+  o.min_reflectivity_db = 25.0;
+  o.min_cluster_cells = 2;
+  return o;
+}
+
+TEST(TornadoDetectorTest, FindsPlantedCouplet) {
+  const TornadoDetector detector(Opts());
+  const auto scan = MakeScan(40, 64, /*with_couplet=*/true);
+  const auto detections = detector.DetectInScan(scan);
+  ASSERT_EQ(detections.size(), 1u);
+  // Location: between beams 10 and 11 at gate ~21.
+  EXPECT_NEAR(detections[0].range_m, 21.5 * kGateSpacingM, 3.0 * kGateSpacingM);
+  EXPECT_GT(std::fabs(detections[0].peak_shear_mps), 20.0);
+  EXPECT_GT(detections[0].probability, 0.5);
+}
+
+TEST(TornadoDetectorTest, QuietScanIsClean) {
+  const TornadoDetector detector(Opts());
+  const auto scan = MakeScan(40, 64, /*with_couplet=*/false);
+  EXPECT_TRUE(detector.DetectInScan(scan).empty());
+}
+
+TEST(TornadoDetectorTest, WeakShearIgnored) {
+  const TornadoDetector detector(Opts());
+  const auto scan =
+      MakeScan(40, 64, /*with_couplet=*/true, 10, 20, /*strength=*/15.0);
+  EXPECT_TRUE(detector.DetectInScan(scan).empty());
+}
+
+TEST(TornadoDetectorTest, LowReflectivityGatesExcluded) {
+  const TornadoDetector detector(Opts());
+  auto scan = MakeScan(40, 64, /*with_couplet=*/true);
+  for (auto& beam : scan) {
+    for (auto& g : beam.gates) g.reflectivity_db = 10.0;  // clear air
+  }
+  EXPECT_TRUE(detector.DetectInScan(scan).empty());
+}
+
+TEST(TornadoDetectorTest, HighVarianceLowersConfidenceBelowGate) {
+  TornadoDetector::Options o = Opts();
+  o.min_probability = 0.9;
+  const TornadoDetector detector(o);
+  // Shear barely above threshold with large variance: P(|shear|>thresh)
+  // hovers near 0.5, below the 0.9 gate.
+  const auto scan = MakeScan(40, 64, /*with_couplet=*/true, 10, 20,
+                             /*strength=*/21.0, /*variance=*/25.0);
+  EXPECT_TRUE(detector.DetectInScan(scan).empty());
+  // The same scan with tiny variance is a confident detection.
+  const auto clean = MakeScan(40, 64, true, 10, 20, 21.0, 0.01);
+  EXPECT_EQ(detector.DetectInScan(clean).size(), 1u);
+}
+
+TEST(TornadoDetectorTest, CoarseBeamSpacingCannotResolve) {
+  TornadoDetector::Options o = Opts();
+  o.max_beam_gap_rad = 0.02;
+  const TornadoDetector detector(o);
+  // Only 8 beams over 0.5 rad: gap 0.0625 > 0.02 -> nothing resolvable.
+  const auto scan = MakeScan(8, 64, /*with_couplet=*/true, 3, 20);
+  EXPECT_TRUE(detector.DetectInScan(scan).empty());
+}
+
+TEST(TornadoDetectorTest, SingleCellNoiseRejectedByClusterSize) {
+  const TornadoDetector detector(Opts());
+  auto scan = MakeScan(40, 64, /*with_couplet=*/false);
+  // One isolated noisy cell pair.
+  scan[5].gates[30].velocity_mps = -20.0;
+  scan[6].gates[30].velocity_mps = 20.0;
+  // min_cluster_cells = 2 rejects the single-cell cluster? The couplet
+  // spans one gate on one beam pair = 1 cell.
+  EXPECT_TRUE(detector.DetectInScan(scan).empty());
+}
+
+TEST(TornadoDetectorTest, TwoSeparatedCoupletsGiveTwoDetections) {
+  const TornadoDetector detector(Opts());
+  auto scan = MakeScan(40, 64, /*with_couplet=*/true, 5, 10);
+  // Second couplet far away.
+  for (size_t dg = 0; dg < 3; ++dg) {
+    scan[30].gates[50 + dg].velocity_mps = -15.0;
+    scan[31].gates[50 + dg].velocity_mps = 15.0;
+  }
+  EXPECT_EQ(detector.DetectInScan(scan).size(), 2u);
+}
+
+TEST(TornadoDetectorTest, UnsortedBeamsHandled) {
+  const TornadoDetector detector(Opts());
+  auto scan = MakeScan(40, 64, /*with_couplet=*/true);
+  std::reverse(scan.begin(), scan.end());
+  EXPECT_EQ(detector.DetectInScan(scan).size(), 1u);
+}
+
+TEST(ScoreDetectionsTest, MatchesWithinTolerance) {
+  std::vector<TornadoDetection> found(1);
+  found[0].azimuth_rad = 0.0;
+  found[0].range_m = 10000.0;
+  const RadarSite site{0.0, 0.0};
+  // Truth at (10 km, 0): matched. Truth at (30 km, 0): missed.
+  const std::vector<std::pair<double, double>> truth = {{10000.0, 0.0},
+                                                        {30000.0, 0.0}};
+  const auto score = ScoreDetections(found, site, truth, 2000.0);
+  EXPECT_EQ(score.true_positives, 1u);
+  EXPECT_EQ(score.false_negatives, 1u);
+  EXPECT_EQ(score.false_positives, 0u);
+}
+
+TEST(ScoreDetectionsTest, SpuriousDetectionIsFalsePositive) {
+  std::vector<TornadoDetection> found(1);
+  found[0].azimuth_rad = 1.0;
+  found[0].range_m = 40000.0;
+  const auto score =
+      ScoreDetections(found, {0.0, 0.0}, {{1000.0, 0.0}}, 2000.0);
+  EXPECT_EQ(score.true_positives, 0u);
+  EXPECT_EQ(score.false_negatives, 1u);
+  EXPECT_EQ(score.false_positives, 1u);
+}
+
+TEST(ScoreDetectionsTest, OneDetectionMatchesOnlyOneTruth) {
+  std::vector<TornadoDetection> found(1);
+  found[0].azimuth_rad = 0.0;
+  found[0].range_m = 10000.0;
+  // Two truths near the same detection: only one can be matched.
+  const std::vector<std::pair<double, double>> truth = {{10000.0, 0.0},
+                                                        {10500.0, 0.0}};
+  const auto score = ScoreDetections(found, {0.0, 0.0}, truth, 2000.0);
+  EXPECT_EQ(score.true_positives, 1u);
+  EXPECT_EQ(score.false_negatives, 1u);
+}
+
+}  // namespace
+}  // namespace radar
+}  // namespace usp

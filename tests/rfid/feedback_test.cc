@@ -1,0 +1,90 @@
+#include "rfid/feedback.h"
+
+#include <gtest/gtest.h>
+
+namespace usp {
+namespace rfid {
+namespace {
+
+ParticleCountController::Options Opts() {
+  ParticleCountController::Options o;
+  o.initial_particles = 16;
+  o.min_particles = 8;
+  o.max_particles = 1024;
+  o.decrement = 16;
+  o.target_error_ft = 1.0;
+  return o;
+}
+
+TEST(FeedbackTest, DoublesWhileAccuracyUnmet) {
+  ParticleCountController c(Opts());
+  EXPECT_EQ(c.current(), 16u);
+  EXPECT_EQ(c.Update(5.0), 32u);
+  EXPECT_EQ(c.Update(4.0), 64u);
+  EXPECT_EQ(c.Update(3.0), 128u);
+  EXPECT_FALSE(c.converged());
+}
+
+TEST(FeedbackTest, TrimsAfterMeetingTarget) {
+  ParticleCountController c(Opts());
+  c.Update(5.0);  // -> 32
+  c.Update(2.0);  // -> 64
+  const size_t after_meet = c.Update(0.5);  // met at 64 -> trim to 48
+  EXPECT_EQ(after_meet, 48u);
+  EXPECT_FALSE(c.converged());
+}
+
+TEST(FeedbackTest, RollsBackWhenTrimBreaksTarget) {
+  ParticleCountController c(Opts());
+  c.Update(5.0);        // 16 fails -> 32
+  c.Update(0.5);        // 32 meets -> 16
+  const size_t n = c.Update(2.0);  // 16 breaks -> back to 32, converged
+  EXPECT_EQ(n, 32u);
+  EXPECT_TRUE(c.converged());
+}
+
+TEST(FeedbackTest, FindsMinimumWhenEveryTrimMeets) {
+  ParticleCountController c(Opts());
+  c.Update(5.0);  // -> 32
+  c.Update(0.5);  // meets at 32 -> 16
+  c.Update(0.5);  // meets at 16 -> 8 (min)
+  const size_t n = c.Update(0.5);  // meets at min -> converged at 8
+  EXPECT_EQ(n, 8u);
+  EXPECT_TRUE(c.converged());
+}
+
+TEST(FeedbackTest, CapsAtMaxParticles) {
+  ParticleCountController c(Opts());
+  size_t n = c.current();
+  for (int i = 0; i < 20; ++i) {
+    n = c.Update(100.0);  // never meets
+  }
+  EXPECT_EQ(n, 1024u);
+  EXPECT_TRUE(c.converged());
+}
+
+TEST(FeedbackTest, ReactivatesWhenAccuracyDegrades) {
+  ParticleCountController c(Opts());
+  c.Update(5.0);   // -> 32
+  c.Update(0.5);   // -> 16
+  c.Update(2.0);   // rollback -> 32, converged
+  ASSERT_TRUE(c.converged());
+  const size_t n = c.Update(10.0);  // regression detected -> doubling again
+  EXPECT_EQ(n, 64u);
+  EXPECT_FALSE(c.converged());
+}
+
+TEST(FeedbackTest, StableWhileConvergedAndAccurate) {
+  ParticleCountController c(Opts());
+  c.Update(5.0);
+  c.Update(0.5);
+  c.Update(2.0);  // converged at 32
+  ASSERT_TRUE(c.converged());
+  EXPECT_EQ(c.Update(0.5), 32u);
+  EXPECT_EQ(c.Update(0.9), 32u);
+  EXPECT_TRUE(c.converged());
+}
+
+}  // namespace
+}  // namespace rfid
+}  // namespace usp

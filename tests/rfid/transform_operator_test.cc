@@ -1,0 +1,157 @@
+#include "rfid/transform_operator.h"
+
+#include <gtest/gtest.h>
+
+#include "rfid/model.h"
+
+namespace usp {
+namespace rfid {
+namespace {
+
+WarehouseConfig SmallConfig() {
+  WarehouseConfig c;
+  c.width_ft = 50.0;
+  c.height_ft = 50.0;
+  c.shelf_rows = 5;
+  c.shelf_cols = 5;
+  c.num_objects = 20;
+  c.seed = 31;
+  return c;
+}
+
+RfidTransformOperator::Options MakeOpts(TupleDistPolicy policy) {
+  RfidTransformOperator::Options o;
+  o.policy = policy;
+  o.filter.particles_per_object = 64;
+  o.filter.seed = 41;
+  return o;
+}
+
+TEST(RfidTransformTest, EmitsOneTuplePerDetectedObject) {
+  const WarehouseConfig config = SmallConfig();
+  WarehouseSimulator sim(config);
+  RfidTransformOperator op(config.num_objects, sim.shelf_positions(),
+                           config.sensing,
+                           MakeOpts(TupleDistPolicy::kGaussian));
+  stream::VectorCollector out;
+  size_t detected = 0;
+  for (int i = 0; i < 50; ++i) {
+    const Reading r = sim.Step();
+    detected += r.observed_objects.size();
+    ASSERT_TRUE(op.ProcessReading(r, &out).ok());
+  }
+  EXPECT_EQ(out.tuples().size(), detected);
+}
+
+TEST(RfidTransformTest, TupleLayoutMatchesSchema) {
+  const WarehouseConfig config = SmallConfig();
+  WarehouseSimulator sim(config);
+  RfidTransformOperator op(config.num_objects, sim.shelf_positions(),
+                           config.sensing,
+                           MakeOpts(TupleDistPolicy::kGaussian));
+  stream::VectorCollector out;
+  for (int i = 0; i < 100 && out.tuples().empty(); ++i) {
+    ASSERT_TRUE(op.ProcessReading(sim.Step(), &out).ok());
+  }
+  ASSERT_FALSE(out.tuples().empty());
+  const stream::Tuple& t = out.tuples()[0];
+  const auto schema = RfidTransformOperator::OutputSchema();
+  ASSERT_EQ(t.num_values(), schema->num_fields());
+  EXPECT_TRUE(t.value(0).is_int());
+  EXPECT_TRUE(t.value(1).is_distribution());
+  EXPECT_TRUE(t.value(2).is_distribution());
+  // Base tuples carry their own id as lineage.
+  ASSERT_EQ(t.lineage().size(), 1u);
+  EXPECT_EQ(t.lineage()[0], t.id());
+  EXPECT_GT(t.timestamp(), 0);
+}
+
+class PolicyTest : public ::testing::TestWithParam<TupleDistPolicy> {};
+
+TEST_P(PolicyTest, EmittedDistributionsAreNearTruth) {
+  const WarehouseConfig config = SmallConfig();
+  WarehouseSimulator sim(config);
+  RfidTransformOperator op(config.num_objects, sim.shelf_positions(),
+                           config.sensing, MakeOpts(GetParam()));
+  stream::VectorCollector out;
+  for (int i = 0; i < 600; ++i) {
+    ASSERT_TRUE(op.ProcessReading(sim.Step(), &out).ok());
+  }
+  ASSERT_FALSE(out.tuples().empty());
+  // Average over the last quarter of emissions (filter has converged).
+  double total_err = 0.0;
+  size_t count = 0;
+  for (size_t i = out.tuples().size() * 3 / 4; i < out.tuples().size();
+       ++i) {
+    const stream::Tuple& t = out.tuples()[i];
+    const auto id = static_cast<uint32_t>(t.value(0).AsInt());
+    const Point2 truth = sim.true_object_positions()[id];
+    const double ex = t.value(1).AsDistribution()->Mean() - truth.x;
+    const double ey = t.value(2).AsDistribution()->Mean() - truth.y;
+    total_err += std::sqrt(ex * ex + ey * ey);
+    ++count;
+  }
+  ASSERT_GT(count, 0u);
+  EXPECT_LT(total_err / static_cast<double>(count), 12.0)
+      << TupleDistPolicyName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, PolicyTest,
+    ::testing::Values(TupleDistPolicy::kGaussian, TupleDistPolicy::kGmmAic,
+                      TupleDistPolicy::kGmmBic,
+                      TupleDistPolicy::kRawParticles),
+    [](const ::testing::TestParamInfo<TupleDistPolicy>& info) {
+      switch (info.param) {
+        case TupleDistPolicy::kGaussian:
+          return std::string("Gaussian");
+        case TupleDistPolicy::kGmmAic:
+          return std::string("GmmAic");
+        case TupleDistPolicy::kGmmBic:
+          return std::string("GmmBic");
+        case TupleDistPolicy::kRawParticles:
+          return std::string("RawParticles");
+      }
+      return std::string("Unknown");
+    });
+
+TEST(RfidTransformTest, RawParticlesCostMorePayloadThanGaussian) {
+  // The §4.3 space argument: raw particles inflate stream volume by one to
+  // two orders of magnitude vs. the two-parameter Gaussian.
+  const WarehouseConfig config = SmallConfig();
+  WarehouseSimulator sim_a(config);
+  WarehouseSimulator sim_b(config);
+  RfidTransformOperator gauss(config.num_objects, sim_a.shelf_positions(),
+                              config.sensing,
+                              MakeOpts(TupleDistPolicy::kGaussian));
+  RfidTransformOperator raw(config.num_objects, sim_b.shelf_positions(),
+                            config.sensing,
+                            MakeOpts(TupleDistPolicy::kRawParticles));
+  stream::VectorCollector out_a, out_b;
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(gauss.ProcessReading(sim_a.Step(), &out_a).ok());
+    ASSERT_TRUE(raw.ProcessReading(sim_b.Step(), &out_b).ok());
+  }
+  ASSERT_GT(gauss.payload_bytes_emitted(), 0u);
+  EXPECT_GT(raw.payload_bytes_emitted(),
+            4 * gauss.payload_bytes_emitted());
+}
+
+TEST(RfidTransformTest, GaussianPolicyEmitsGaussians) {
+  const WarehouseConfig config = SmallConfig();
+  WarehouseSimulator sim(config);
+  RfidTransformOperator op(config.num_objects, sim.shelf_positions(),
+                           config.sensing,
+                           MakeOpts(TupleDistPolicy::kGaussian));
+  stream::VectorCollector out;
+  for (int i = 0; i < 100 && out.tuples().empty(); ++i) {
+    ASSERT_TRUE(op.ProcessReading(sim.Step(), &out).ok());
+  }
+  ASSERT_FALSE(out.tuples().empty());
+  EXPECT_EQ(out.tuples()[0].value(1).AsDistribution()->type(),
+            stats::DistType::kGaussian);
+}
+
+}  // namespace
+}  // namespace rfid
+}  // namespace usp

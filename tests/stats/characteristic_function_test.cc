@@ -1,0 +1,168 @@
+#include "stats/characteristic_function.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/exponential.h"
+#include "stats/gamma_dist.h"
+#include "stats/gaussian.h"
+#include "stats/gaussian_mixture.h"
+#include "stats/uniform.h"
+
+namespace usp {
+namespace stats {
+namespace {
+
+TEST(ProductCfTest, ProductOfGaussianCfsIsSumCf) {
+  const Gaussian a(1.0, 2.0), b(-1.0, 1.0);
+  const std::vector<const Distribution*> dists = {&a, &b};
+  const CharFn phi = ProductCf(dists);
+  const Gaussian sum = Gaussian::SumOfIndependent(a, b);
+  for (double t : {-0.5, 0.1, 0.3, 1.0}) {
+    EXPECT_NEAR(std::abs(phi(t) - sum.Cf(t)), 0.0, 1e-12) << "t=" << t;
+  }
+}
+
+TEST(ProductCfTest, ManySummandsUnderflowGracefully) {
+  // 500 N(0,1)s: |phi(t)| = e^{-250 t^2} underflows fast; must return 0,
+  // not NaN.
+  const Gaussian g(0.0, 1.0);
+  std::vector<const Distribution*> dists(500, &g);
+  const CharFn phi = ProductCf(dists);
+  const auto v = phi(10.0);
+  EXPECT_TRUE(std::isfinite(v.real()));
+  EXPECT_TRUE(std::isfinite(v.imag()));
+  EXPECT_NEAR(std::abs(v), 0.0, 1e-200);
+}
+
+TEST(AffineCfTest, MatchesTransformedGaussian) {
+  const Gaussian g(2.0, 1.5);
+  const CharFn phi = AffineCf([&g](double t) { return g.Cf(t); }, 3.0, -1.0);
+  const Gaussian t = g.AffineTransform(3.0, -1.0);
+  for (double f : {0.05, 0.1, 0.2}) {
+    EXPECT_NEAR(std::abs(phi(f) - t.Cf(f)), 0.0, 1e-12);
+  }
+}
+
+TEST(FindCfDecayPointTest, WiderForNarrowerDistributions) {
+  const Gaussian wide(0.0, 10.0), narrow(0.0, 0.1);
+  const double t_wide =
+      FindCfDecayPoint([&](double t) { return wide.Cf(t); });
+  const double t_narrow =
+      FindCfDecayPoint([&](double t) { return narrow.Cf(t); });
+  EXPECT_LT(t_wide, t_narrow);
+}
+
+TEST(FindCfDecayPointTest, SurvivesOscillatoryCfZeros) {
+  // Uniform CF sin(t)/t has zeros at multiples of pi; the decay scan must
+  // not stop at a zero. |sin(t)/t| < 1e-12 genuinely requires t > 1e12.
+  const Uniform u(-1.0, 1.0);
+  const double t = FindCfDecayPoint([&](double s) { return u.Cf(s); }, 1e-3);
+  EXPECT_GT(t, 500.0);
+}
+
+TEST(InvertCfTest, RecoversGaussian) {
+  const Gaussian g(3.0, 2.0);
+  CfInversionOptions opts;
+  opts.grid_points = 1024;
+  opts.mean = 3.0;
+  opts.stddev = 2.0;
+  const auto hist =
+      InvertCfToDensity([&](double t) { return g.Cf(t); }, opts);
+  ASSERT_TRUE(hist.ok()) << hist.status().ToString();
+  const Histogram& h = hist.value();
+  EXPECT_NEAR(h.Mean(), 3.0, 0.02);
+  EXPECT_NEAR(h.Variance(), 4.0, 0.1);
+  for (double x : {-1.0, 1.0, 3.0, 5.0, 7.0}) {
+    EXPECT_NEAR(h.Pdf(x), g.Pdf(x), 0.01) << "x=" << x;
+  }
+}
+
+TEST(InvertCfTest, RecoversBimodalMixture) {
+  const auto m =
+      GaussianMixture::Make({{0.5, -4.0, 0.7}, {0.5, 4.0, 0.7}})
+          .MoveValueUnsafe();
+  CfInversionOptions opts;
+  opts.grid_points = 2048;
+  opts.mean = m.Mean();
+  opts.stddev = m.Stddev();
+  const auto hist =
+      InvertCfToDensity([&](double t) { return m.Cf(t); }, opts);
+  ASSERT_TRUE(hist.ok());
+  const Histogram& h = hist.value();
+  // Both humps present, valley in the middle.
+  EXPECT_GT(h.Pdf(-4.0), 5.0 * h.Pdf(0.0));
+  EXPECT_GT(h.Pdf(4.0), 5.0 * h.Pdf(0.0));
+  EXPECT_NEAR(h.Mean(), 0.0, 0.05);
+}
+
+TEST(InvertCfTest, RecoversSkewedGamma) {
+  const GammaDist g(2.0, 1.0);
+  CfInversionOptions opts;
+  opts.grid_points = 2048;
+  opts.lo = -2.0;
+  opts.hi = 16.0;
+  const auto hist =
+      InvertCfToDensity([&](double t) { return g.Cf(t); }, opts);
+  ASSERT_TRUE(hist.ok());
+  const Histogram& h = hist.value();
+  EXPECT_NEAR(h.Mean(), 2.0, 0.05);
+  for (double x : {0.5, 1.0, 2.0, 5.0}) {
+    EXPECT_NEAR(h.Pdf(x), g.Pdf(x), 0.02) << "x=" << x;
+  }
+}
+
+TEST(InvertCfTest, ErrorsWhenRangeInvalidAndNoStddev) {
+  CfInversionOptions opts;
+  opts.stddev = 0.0;
+  const auto res =
+      InvertCfToDensity([](double) { return std::complex<double>(1, 0); },
+                        opts);
+  EXPECT_FALSE(res.ok());
+}
+
+TEST(GilPelaezTest, PdfMatchesGaussian) {
+  const Gaussian g(1.0, 1.0);
+  const CharFn phi = [&](double t) { return g.Cf(t); };
+  const double t_max = FindCfDecayPoint(phi);
+  for (double x : {-1.0, 0.0, 1.0, 2.5}) {
+    EXPECT_NEAR(GilPelaezPdf(phi, x, t_max), g.Pdf(x), 1e-6) << "x=" << x;
+  }
+}
+
+TEST(GilPelaezTest, CdfMatchesGaussian) {
+  const Gaussian g(-2.0, 0.5);
+  const CharFn phi = [&](double t) { return g.Cf(t); };
+  const double t_max = FindCfDecayPoint(phi);
+  for (double x : {-3.0, -2.0, -1.5}) {
+    EXPECT_NEAR(GilPelaezCdf(phi, x, t_max), g.Cdf(x), 1e-4) << "x=" << x;
+  }
+}
+
+TEST(MomentsFromCfTest, GaussianCumulants) {
+  const Gaussian g(7.0, 3.0);
+  const auto m = MomentsFromCf([&](double t) { return g.Cf(t); });
+  EXPECT_NEAR(m.mean, 7.0, 1e-5);
+  EXPECT_NEAR(m.variance, 9.0, 1e-3);
+}
+
+TEST(MomentsFromCfTest, ExponentialCumulants) {
+  const Exponential e(2.0);
+  const auto m = MomentsFromCf([&](double t) { return e.Cf(t); });
+  EXPECT_NEAR(m.mean, 0.5, 1e-5);
+  EXPECT_NEAR(m.variance, 0.25, 1e-4);
+}
+
+TEST(MomentsFromCfTest, SumCumulantsAddUp) {
+  const Gaussian a(1.0, 1.0);
+  const Exponential b(1.0);
+  const std::vector<const Distribution*> dists = {&a, &b};
+  const auto m = MomentsFromCf(ProductCf(dists));
+  EXPECT_NEAR(m.mean, 2.0, 1e-4);
+  EXPECT_NEAR(m.variance, 2.0, 1e-3);
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace usp

@@ -1,0 +1,198 @@
+// Property-based invariants every Distribution implementation must satisfy,
+// run over a zoo of concrete instances via TEST_P.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+
+#include "common/rng.h"
+#include "stats/exponential.h"
+#include "stats/gamma_dist.h"
+#include "stats/gaussian.h"
+#include "stats/gaussian_mixture.h"
+#include "stats/histogram.h"
+#include "stats/particle_set.h"
+#include "stats/uniform.h"
+
+namespace usp {
+namespace stats {
+namespace {
+
+struct DistCase {
+  std::string name;
+  std::function<std::shared_ptr<const Distribution>()> make;
+};
+
+std::shared_ptr<const Distribution> MakeParticles() {
+  common::Rng rng(31337);
+  std::vector<double> values, weights;
+  for (int i = 0; i < 400; ++i) {
+    values.push_back(rng.Gaussian(2.0, 1.5));
+    weights.push_back(0.5 + rng.Uniform());
+  }
+  return std::make_shared<ParticleSet>(
+      ParticleSet::Make(std::move(values), std::move(weights))
+          .MoveValueUnsafe());
+}
+
+std::vector<DistCase> AllCases() {
+  return {
+      {"gaussian", [] { return std::make_shared<Gaussian>(1.0, 2.0); }},
+      {"gaussian_narrow",
+       [] { return std::make_shared<Gaussian>(-5.0, 0.01); }},
+      {"uniform", [] { return std::make_shared<Uniform>(-2.0, 3.0); }},
+      {"exponential", [] { return std::make_shared<Exponential>(1.5); }},
+      {"gamma", [] { return std::make_shared<GammaDist>(2.5, 1.2); }},
+      {"gmm_bimodal",
+       [] {
+         return std::make_shared<GaussianMixture>(
+             GaussianMixture::Make({{0.3, -4.0, 1.0}, {0.7, 2.0, 0.5}})
+                 .MoveValueUnsafe());
+       }},
+      {"gmm_trimodal",
+       [] {
+         return std::make_shared<GaussianMixture>(
+             GaussianMixture::Make(
+                 {{0.2, -3.0, 0.4}, {0.5, 0.0, 0.8}, {0.3, 4.0, 1.5}})
+                 .MoveValueUnsafe());
+       }},
+      {"histogram",
+       [] {
+         const Gaussian g(0.0, 1.0);
+         return std::make_shared<Histogram>(Histogram::Discretize(g, 128));
+       }},
+      {"particles", [] { return MakeParticles(); }},
+  };
+}
+
+class DistributionPropertyTest : public ::testing::TestWithParam<DistCase> {};
+
+TEST_P(DistributionPropertyTest, PdfNonNegative) {
+  const auto d = GetParam().make();
+  const Support s = d->NumericSupport();
+  for (int i = 0; i <= 200; ++i) {
+    const double x = s.lo + (s.hi - s.lo) * i / 200.0;
+    EXPECT_GE(d->Pdf(x), 0.0) << "x=" << x;
+  }
+}
+
+TEST_P(DistributionPropertyTest, PdfIntegratesToOne) {
+  const auto d = GetParam().make();
+  const Support s = d->NumericSupport();
+  const int n = 20000;
+  const double dx = (s.hi - s.lo) / n;
+  double mass = 0.0;
+  for (int i = 0; i < n; ++i) {
+    mass += d->Pdf(s.lo + (i + 0.5) * dx) * dx;
+  }
+  EXPECT_NEAR(mass, 1.0, 0.01);
+}
+
+TEST_P(DistributionPropertyTest, CdfMonotoneWithinBounds) {
+  const auto d = GetParam().make();
+  const Support s = d->NumericSupport();
+  double prev = -1e-12;
+  for (int i = 0; i <= 300; ++i) {
+    const double x = s.lo + (s.hi - s.lo) * i / 300.0;
+    const double c = d->Cdf(x);
+    EXPECT_GE(c, prev - 1e-10);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0 + 1e-12);
+    prev = c;
+  }
+}
+
+TEST_P(DistributionPropertyTest, CdfLimits) {
+  const auto d = GetParam().make();
+  const Support s = d->NumericSupport();
+  EXPECT_LT(d->Cdf(s.lo), 0.01);
+  EXPECT_GT(d->Cdf(s.hi), 0.99);
+}
+
+TEST_P(DistributionPropertyTest, QuantileInvertsCdf) {
+  const auto d = GetParam().make();
+  for (double p : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+    const double x = d->Quantile(p);
+    // Step-function cdfs (particles) only guarantee the bracketing bound.
+    EXPECT_GE(d->Cdf(x) + 1e-6, p);
+  }
+}
+
+TEST_P(DistributionPropertyTest, MeanVarianceMatchNumericIntegral) {
+  const auto d = GetParam().make();
+  const Support s = d->NumericSupport();
+  const int n = 40000;
+  const double dx = (s.hi - s.lo) / n;
+  double mean = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = s.lo + (i + 0.5) * dx;
+    mean += x * d->Pdf(x) * dx;
+  }
+  double var = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = s.lo + (i + 0.5) * dx;
+    var += (x - mean) * (x - mean) * d->Pdf(x) * dx;
+  }
+  const double scale = 1.0 + std::fabs(d->Mean()) + d->Stddev();
+  EXPECT_NEAR(d->Mean(), mean, 0.03 * scale);
+  EXPECT_NEAR(d->Variance(), var, 0.08 * scale * scale);
+}
+
+TEST_P(DistributionPropertyTest, CfAtZeroIsOneAndBounded) {
+  const auto d = GetParam().make();
+  EXPECT_NEAR(d->Cf(0.0).real(), 1.0, 1e-9);
+  EXPECT_NEAR(d->Cf(0.0).imag(), 0.0, 1e-9);
+  for (double t : {0.1, 0.5, 1.0, 5.0, 20.0}) {
+    EXPECT_LE(std::abs(d->Cf(t)), 1.0 + 1e-9) << "t=" << t;
+    // Hermitian symmetry: phi(-t) = conj(phi(t)).
+    const auto pos = d->Cf(t);
+    const auto neg = d->Cf(-t);
+    EXPECT_NEAR(neg.real(), pos.real(), 1e-9);
+    EXPECT_NEAR(neg.imag(), -pos.imag(), 1e-9);
+  }
+}
+
+TEST_P(DistributionPropertyTest, SampleMeanConverges) {
+  const auto d = GetParam().make();
+  common::Rng rng(99);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += d->Sample(&rng);
+  const double se = d->Stddev() / std::sqrt(static_cast<double>(n));
+  EXPECT_NEAR(sum / n, d->Mean(), 6.0 * se + 1e-9);
+}
+
+TEST_P(DistributionPropertyTest, ConfidenceRegionHasRequestedCoverage) {
+  const auto d = GetParam().make();
+  const auto region = d->ConfidenceRegion(0.9);
+  const double covered = d->Cdf(region.hi) - d->Cdf(region.lo);
+  EXPECT_NEAR(covered, 0.9, 0.02);
+  EXPECT_LT(region.lo, region.hi);
+}
+
+TEST_P(DistributionPropertyTest, CloneBehavesIdentically) {
+  const auto d = GetParam().make();
+  const auto c = d->Clone();
+  EXPECT_EQ(c->type(), d->type());
+  for (double p : {0.2, 0.5, 0.8}) {
+    EXPECT_NEAR(c->Quantile(p), d->Quantile(p), 1e-12);
+  }
+  EXPECT_NEAR(c->Mean(), d->Mean(), 1e-12);
+}
+
+TEST_P(DistributionPropertyTest, ToStringNonEmpty) {
+  const auto d = GetParam().make();
+  EXPECT_FALSE(d->ToString().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, DistributionPropertyTest,
+                         ::testing::ValuesIn(AllCases()),
+                         [](const ::testing::TestParamInfo<DistCase>& info) {
+                           return info.param.name;
+                         });
+
+}  // namespace
+}  // namespace stats
+}  // namespace usp

@@ -1,0 +1,182 @@
+#include "stats/fitting.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "stats/characteristic_function.h"
+#include "stats/exponential.h"
+#include "stats/gamma_dist.h"
+#include "stats/metrics.h"
+
+namespace usp {
+namespace stats {
+namespace {
+
+TEST(FitGaussianKlTest, MatchesPaperClosedForm) {
+  // The paper's formulas: mu = sum w x, sigma^2 = sum w (x - mu)^2.
+  const std::vector<double> x = {1.0, 2.0, 4.0};
+  const std::vector<double> w = {0.5, 0.25, 0.25};
+  const Gaussian g = FitGaussianKl(x, w);
+  const double mu = 0.5 * 1.0 + 0.25 * 2.0 + 0.25 * 4.0;  // 2.0
+  EXPECT_NEAR(g.Mean(), mu, 1e-12);
+  const double var =
+      0.5 * 1.0 + 0.25 * 0.0 + 0.25 * 4.0;  // weighted squared dev
+  EXPECT_NEAR(g.Variance(), var, 1e-12);
+}
+
+TEST(FitGaussianKlTest, UnweightedUsesUniformWeights) {
+  const Gaussian g = FitGaussianKl({0.0, 2.0}, {});
+  EXPECT_NEAR(g.Mean(), 1.0, 1e-12);
+  EXPECT_NEAR(g.Variance(), 1.0, 1e-12);
+}
+
+TEST(FitGaussianKlTest, DegenerateSamplesGetFloorStddev) {
+  const Gaussian g = FitGaussianKl({5.0, 5.0, 5.0}, {});
+  EXPECT_NEAR(g.Mean(), 5.0, 1e-12);
+  EXPECT_GT(g.stddev(), 0.0);
+}
+
+TEST(FitGaussianKlTest, MinimizesKlAmongGaussians) {
+  // Any perturbed Gaussian must have higher cross-entropy to the samples.
+  common::Rng rng(17);
+  std::vector<double> x;
+  std::vector<double> w;
+  for (int i = 0; i < 500; ++i) {
+    x.push_back(rng.Gaussian(1.0, 2.0));
+    w.push_back(0.2 + rng.Uniform());
+  }
+  const Gaussian best = FitGaussianKl(x, w);
+  const double base = WeightedCrossEntropy(x, w, best);
+  for (double dm : {-0.5, 0.5}) {
+    const Gaussian perturbed(best.Mean() + dm, best.stddev());
+    EXPECT_GT(WeightedCrossEntropy(x, w, perturbed), base);
+  }
+  for (double fs : {0.7, 1.4}) {
+    const Gaussian perturbed(best.Mean(), best.stddev() * fs);
+    EXPECT_GT(WeightedCrossEntropy(x, w, perturbed), base);
+  }
+}
+
+TEST(EffectiveSampleSizeTest, UniformAndSkewed) {
+  EXPECT_NEAR(EffectiveSampleSize({1.0, 1.0, 1.0, 1.0}), 4.0, 1e-12);
+  EXPECT_NEAR(EffectiveSampleSize({1.0, 0.0, 0.0}), 1.0, 1e-12);
+  EXPECT_EQ(EffectiveSampleSize({}), 0.0);
+}
+
+TEST(FitGmmEmTest, Validation) {
+  EXPECT_FALSE(FitGmmEm({}, {}, 1).ok());
+  EXPECT_FALSE(FitGmmEm({1.0}, {}, 0).ok());
+  EXPECT_FALSE(FitGmmEm({1.0}, {}, 2).ok());
+  EXPECT_FALSE(FitGmmEm({1.0, 2.0}, {1.0}, 1).ok());
+  EXPECT_FALSE(FitGmmEm({1.0, 2.0}, {0.0, 0.0}, 1).ok());
+}
+
+TEST(FitGmmEmTest, SingleComponentMatchesGaussianFit) {
+  common::Rng rng(18);
+  std::vector<double> x;
+  for (int i = 0; i < 1000; ++i) x.push_back(rng.Gaussian(3.0, 1.0));
+  const auto res = FitGmmEm(x, {}, 1);
+  ASSERT_TRUE(res.ok());
+  const Gaussian direct = FitGaussianKl(x, {});
+  EXPECT_NEAR(res.value().mixture.Mean(), direct.Mean(), 1e-6);
+  EXPECT_NEAR(res.value().mixture.Variance(), direct.Variance(), 1e-6);
+}
+
+TEST(FitGmmEmTest, RecoversTwoWellSeparatedModes) {
+  common::Rng rng(19);
+  std::vector<double> x;
+  for (int i = 0; i < 600; ++i) x.push_back(rng.Gaussian(-5.0, 0.6));
+  for (int i = 0; i < 400; ++i) x.push_back(rng.Gaussian(5.0, 0.8));
+  const auto res = FitGmmEm(x, {}, 2);
+  ASSERT_TRUE(res.ok());
+  auto comps = res.value().mixture.components();
+  std::sort(comps.begin(), comps.end(),
+            [](const auto& a, const auto& b) { return a.mean < b.mean; });
+  EXPECT_NEAR(comps[0].mean, -5.0, 0.3);
+  EXPECT_NEAR(comps[1].mean, 5.0, 0.3);
+  EXPECT_NEAR(comps[0].weight, 0.6, 0.05);
+  EXPECT_NEAR(comps[1].weight, 0.4, 0.05);
+}
+
+TEST(FitGmmEmTest, LikelihoodNonDecreasingAcrossK) {
+  common::Rng rng(20);
+  std::vector<double> x;
+  for (int i = 0; i < 400; ++i) x.push_back(rng.Gaussian(0.0, 1.0));
+  for (int i = 0; i < 400; ++i) x.push_back(rng.Gaussian(6.0, 2.0));
+  double prev = -1e300;
+  for (size_t k = 1; k <= 3; ++k) {
+    const auto res = FitGmmEm(x, {}, k);
+    ASSERT_TRUE(res.ok());
+    EXPECT_GE(res.value().log_likelihood, prev - 1e-6) << "k=" << k;
+    prev = res.value().log_likelihood;
+  }
+}
+
+TEST(FitGmmAutoTest, PicksOneComponentForUnimodalData) {
+  common::Rng rng(21);
+  std::vector<double> x;
+  for (int i = 0; i < 800; ++i) x.push_back(rng.Gaussian(2.0, 1.0));
+  const auto res = FitGmmAuto(x, {}, 3, ModelSelection::kBic);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value().num_components(), 1u);
+}
+
+TEST(FitGmmAutoTest, PicksTwoComponentsForBimodalData) {
+  common::Rng rng(22);
+  std::vector<double> x;
+  for (int i = 0; i < 500; ++i) x.push_back(rng.Gaussian(-6.0, 0.7));
+  for (int i = 0; i < 500; ++i) x.push_back(rng.Gaussian(6.0, 0.7));
+  for (const auto criterion :
+       {ModelSelection::kAic, ModelSelection::kBic}) {
+    const auto res = FitGmmAuto(x, {}, 4, criterion);
+    ASSERT_TRUE(res.ok());
+    EXPECT_EQ(res.value().num_components(), 2u);
+  }
+}
+
+TEST(FitGaussianToCfTest, GaussianRoundTrip) {
+  const Gaussian g(4.0, 1.5);
+  const Gaussian fit = FitGaussianToCf([&](double t) { return g.Cf(t); });
+  EXPECT_NEAR(fit.Mean(), 4.0, 1e-4);
+  EXPECT_NEAR(fit.Variance(), 2.25, 1e-3);
+}
+
+TEST(FitGaussianToCfTest, SumOfManyMatchesMoments) {
+  // 50 Exp(1): sum has mean 50, var 50.
+  const Exponential e(1.0);
+  std::vector<const Distribution*> dists(50, &e);
+  const Gaussian fit = FitGaussianToCf(ProductCf(dists));
+  EXPECT_NEAR(fit.Mean(), 50.0, 0.05);
+  EXPECT_NEAR(fit.Variance(), 50.0, 0.5);
+}
+
+TEST(FitMixtureToCfTest, BetterThanSingleGaussianOnSkewedSum) {
+  // Sum of 5 Exp(1) is Gamma(5,1): visibly skewed. The mixture CF fit
+  // should beat the plain Gaussian in total variation.
+  const Exponential e(1.0);
+  std::vector<const Distribution*> dists(5, &e);
+  const CharFn phi = ProductCf(dists);
+
+  const Gaussian g_fit = FitGaussianToCf(phi);
+  const auto mix_fit = FitMixtureToCf(phi, 4);
+  ASSERT_TRUE(mix_fit.ok());
+
+  const GammaDist truth(5.0, 1.0);
+  const double err_gauss = TotalVariationDistance(truth, g_fit);
+  const double err_mix = TotalVariationDistance(truth, mix_fit.value());
+  EXPECT_LT(err_mix, err_gauss);
+}
+
+TEST(FitMixtureToCfTest, OneComponentDegeneratesToGaussianFit) {
+  const Gaussian g(1.0, 2.0);
+  const auto res = FitMixtureToCf([&](double t) { return g.Cf(t); }, 1);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value().num_components(), 1u);
+  EXPECT_NEAR(res.value().Mean(), 1.0, 1e-3);
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace usp

@@ -1,0 +1,140 @@
+#include "stats/gaussian_mixture.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace usp {
+namespace stats {
+namespace {
+
+GaussianMixture Bimodal() {
+  return GaussianMixture::Make({{0.4, -2.0, 0.5}, {0.6, 3.0, 1.0}})
+      .MoveValueUnsafe();
+}
+
+TEST(GaussianMixtureTest, MakeValidation) {
+  EXPECT_FALSE(GaussianMixture::Make({}).ok());
+  EXPECT_FALSE(GaussianMixture::Make({{0.0, 0.0, 1.0}}).ok());
+  EXPECT_FALSE(GaussianMixture::Make({{1.0, 0.0, 0.0}}).ok());
+  EXPECT_TRUE(GaussianMixture::Make({{2.0, 0.0, 1.0}}).ok());
+}
+
+TEST(GaussianMixtureTest, WeightsNormalized) {
+  const auto m =
+      GaussianMixture::Make({{2.0, 0.0, 1.0}, {6.0, 1.0, 1.0}})
+          .MoveValueUnsafe();
+  EXPECT_NEAR(m.components()[0].weight, 0.25, 1e-12);
+  EXPECT_NEAR(m.components()[1].weight, 0.75, 1e-12);
+}
+
+TEST(GaussianMixtureTest, MomentsMatchMixtureFormula) {
+  const GaussianMixture m = Bimodal();
+  // mean = 0.4*(-2) + 0.6*3 = 1.0
+  EXPECT_NEAR(m.Mean(), 1.0, 1e-12);
+  // var = sum w (sigma^2 + (mu - mean)^2)
+  const double var = 0.4 * (0.25 + 9.0) + 0.6 * (1.0 + 4.0);
+  EXPECT_NEAR(m.Variance(), var, 1e-12);
+}
+
+TEST(GaussianMixtureTest, PdfIsWeightedSum) {
+  const GaussianMixture m = Bimodal();
+  const Gaussian a(-2.0, 0.5), b(3.0, 1.0);
+  for (double x : {-3.0, -2.0, 0.0, 3.0, 5.0}) {
+    EXPECT_NEAR(m.Pdf(x), 0.4 * a.Pdf(x) + 0.6 * b.Pdf(x), 1e-12);
+  }
+}
+
+TEST(GaussianMixtureTest, CdfMonotoneAndNormalized) {
+  const GaussianMixture m = Bimodal();
+  double prev = 0.0;
+  for (double x = -8.0; x <= 10.0; x += 0.25) {
+    const double c = m.Cdf(x);
+    EXPECT_GE(c, prev - 1e-12);
+    prev = c;
+  }
+  EXPECT_NEAR(m.Cdf(-50.0), 0.0, 1e-9);
+  EXPECT_NEAR(m.Cdf(50.0), 1.0, 1e-9);
+}
+
+TEST(GaussianMixtureTest, LogPdfConsistent) {
+  const GaussianMixture m = Bimodal();
+  for (double x : {-2.0, 0.5, 3.0}) {
+    EXPECT_NEAR(m.LogPdf(x), std::log(m.Pdf(x)), 1e-10);
+  }
+}
+
+TEST(GaussianMixtureTest, QuantileInvertsCdf) {
+  const GaussianMixture m = Bimodal();
+  for (double p : {0.05, 0.3, 0.5, 0.7, 0.95}) {
+    EXPECT_NEAR(m.Cdf(m.Quantile(p)), p, 1e-8);
+  }
+}
+
+TEST(GaussianMixtureTest, CfIsWeightedSumOfComponentCfs) {
+  const GaussianMixture m = Bimodal();
+  const Gaussian a(-2.0, 0.5), b(3.0, 1.0);
+  for (double t : {-0.5, 0.1, 0.7}) {
+    const auto expected = 0.4 * a.Cf(t) + 0.6 * b.Cf(t);
+    const auto got = m.Cf(t);
+    EXPECT_NEAR(got.real(), expected.real(), 1e-12);
+    EXPECT_NEAR(got.imag(), expected.imag(), 1e-12);
+  }
+}
+
+TEST(GaussianMixtureTest, SamplingHitsBothModes) {
+  const GaussianMixture m = Bimodal();
+  common::Rng rng(5);
+  int low = 0, high = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    (m.Sample(&rng) < 0.5 ? low : high)++;
+  }
+  EXPECT_NEAR(low / static_cast<double>(n), 0.4, 0.02);
+  EXPECT_NEAR(high / static_cast<double>(n), 0.6, 0.02);
+}
+
+TEST(GaussianMixtureTest, AffineTransformMoments) {
+  const GaussianMixture m = Bimodal();
+  const GaussianMixture t = m.AffineTransform(2.0, -1.0);
+  EXPECT_NEAR(t.Mean(), 2.0 * m.Mean() - 1.0, 1e-10);
+  EXPECT_NEAR(t.Variance(), 4.0 * m.Variance(), 1e-10);
+}
+
+TEST(GaussianMixtureTest, SumOfIndependentMoments) {
+  const GaussianMixture a = Bimodal();
+  const auto b =
+      GaussianMixture::Make({{0.5, 0.0, 1.0}, {0.5, 4.0, 2.0}})
+          .MoveValueUnsafe();
+  const GaussianMixture s = GaussianMixture::SumOfIndependent(a, b);
+  EXPECT_EQ(s.num_components(), 4u);
+  EXPECT_NEAR(s.Mean(), a.Mean() + b.Mean(), 1e-10);
+  EXPECT_NEAR(s.Variance(), a.Variance() + b.Variance(), 1e-10);
+}
+
+TEST(GaussianMixtureTest, ReducedPreservesMoments) {
+  const GaussianMixture a = Bimodal();
+  const auto b =
+      GaussianMixture::Make({{0.5, 0.0, 1.0}, {0.5, 4.0, 2.0}})
+          .MoveValueUnsafe();
+  const GaussianMixture s = GaussianMixture::SumOfIndependent(a, b);
+  const GaussianMixture r = s.Reduced(2);
+  EXPECT_EQ(r.num_components(), 2u);
+  EXPECT_NEAR(r.Mean(), s.Mean(), 1e-9);
+  EXPECT_NEAR(r.Variance(), s.Variance(), 1e-9);
+}
+
+TEST(GaussianMixtureTest, ReducedToOneEqualsMomentMatchedGaussian) {
+  const GaussianMixture m = Bimodal();
+  const GaussianMixture r = m.Reduced(1);
+  ASSERT_EQ(r.num_components(), 1u);
+  EXPECT_NEAR(r.components()[0].mean, m.Mean(), 1e-10);
+  EXPECT_NEAR(r.components()[0].stddev * r.components()[0].stddev,
+              m.Variance(), 1e-10);
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace usp

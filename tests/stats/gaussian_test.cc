@@ -1,0 +1,124 @@
+#include "stats/gaussian.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace usp {
+namespace stats {
+namespace {
+
+TEST(GaussianTest, MakeRejectsBadParams) {
+  EXPECT_FALSE(Gaussian::Make(0.0, 0.0).ok());
+  EXPECT_FALSE(Gaussian::Make(0.0, -1.0).ok());
+  EXPECT_FALSE(Gaussian::Make(NAN, 1.0).ok());
+  EXPECT_TRUE(Gaussian::Make(0.0, 1.0).ok());
+}
+
+TEST(GaussianTest, StandardNormalValues) {
+  const Gaussian g(0.0, 1.0);
+  EXPECT_NEAR(g.Pdf(0.0), 0.3989422804014327, 1e-12);
+  EXPECT_NEAR(g.Cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(g.Cdf(1.96), 0.9750021048517795, 1e-9);
+  EXPECT_NEAR(g.Mean(), 0.0, 1e-15);
+  EXPECT_NEAR(g.Variance(), 1.0, 1e-15);
+}
+
+TEST(GaussianTest, LogPdfConsistentWithPdf) {
+  const Gaussian g(1.5, 2.0);
+  for (double x : {-3.0, 0.0, 1.5, 4.0}) {
+    EXPECT_NEAR(g.LogPdf(x), std::log(g.Pdf(x)), 1e-12);
+  }
+}
+
+TEST(GaussianTest, QuantileInvertsCdf) {
+  const Gaussian g(-2.0, 0.5);
+  for (double p : {0.01, 0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_NEAR(g.Cdf(g.Quantile(p)), p, 1e-10);
+  }
+}
+
+TEST(GaussianTest, CfMatchesClosedForm) {
+  const Gaussian g(2.0, 3.0);
+  for (double t : {-1.0, -0.1, 0.0, 0.1, 0.5}) {
+    const std::complex<double> expected =
+        std::exp(std::complex<double>(-0.5 * 9.0 * t * t, 2.0 * t));
+    const std::complex<double> got = g.Cf(t);
+    EXPECT_NEAR(got.real(), expected.real(), 1e-12) << "t=" << t;
+    EXPECT_NEAR(got.imag(), expected.imag(), 1e-12) << "t=" << t;
+  }
+}
+
+TEST(GaussianTest, CfAtZeroIsOne) {
+  const Gaussian g(5.0, 2.0);
+  EXPECT_NEAR(std::abs(g.Cf(0.0)), 1.0, 1e-15);
+}
+
+TEST(GaussianTest, SampleMomentsMatch) {
+  const Gaussian g(10.0, 4.0);
+  common::Rng rng(77);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = g.Sample(&rng);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(sum2 / n - mean * mean, 16.0, 0.4);
+}
+
+TEST(GaussianTest, ConfidenceRegionCoversMass) {
+  const Gaussian g(0.0, 1.0);
+  const auto region = g.ConfidenceRegion(0.9);
+  EXPECT_NEAR(region.lo, -1.6448536269514722, 1e-8);
+  EXPECT_NEAR(region.hi, 1.6448536269514722, 1e-8);
+}
+
+TEST(GaussianTest, KlToSelfIsZero) {
+  const Gaussian g(3.0, 2.0);
+  EXPECT_NEAR(g.KlTo(g), 0.0, 1e-14);
+}
+
+TEST(GaussianTest, KlIsPositiveForDifferentDists) {
+  const Gaussian p(0.0, 1.0), q(1.0, 2.0);
+  EXPECT_GT(p.KlTo(q), 0.0);
+  // Known closed form: 0.5*(1/4 + 1/4 - 1 - ln(1/4)).
+  EXPECT_NEAR(p.KlTo(q), 0.5 * (0.25 + 0.25 - 1.0 + std::log(4.0)), 1e-12);
+}
+
+TEST(GaussianTest, AffineTransform) {
+  const Gaussian g(2.0, 3.0);
+  const Gaussian h = g.AffineTransform(-2.0, 1.0);
+  EXPECT_NEAR(h.Mean(), -3.0, 1e-12);
+  EXPECT_NEAR(h.Stddev(), 6.0, 1e-12);
+}
+
+TEST(GaussianTest, SumOfIndependent) {
+  const Gaussian a(1.0, 3.0), b(2.0, 4.0);
+  const Gaussian s = Gaussian::SumOfIndependent(a, b);
+  EXPECT_NEAR(s.Mean(), 3.0, 1e-12);
+  EXPECT_NEAR(s.Stddev(), 5.0, 1e-12);
+}
+
+TEST(GaussianTest, NumericSupportCoversAllButTinyMass) {
+  const Gaussian g(7.0, 0.1);
+  const Support s = g.NumericSupport();
+  EXPECT_LT(g.Cdf(s.lo), 1e-9);
+  EXPECT_GT(g.Cdf(s.hi), 1.0 - 1e-9);
+}
+
+TEST(GaussianTest, CloneIsIndependentCopy) {
+  const Gaussian g(1.0, 2.0);
+  const auto c = g.Clone();
+  EXPECT_EQ(c->type(), DistType::kGaussian);
+  EXPECT_NEAR(c->Mean(), 1.0, 1e-15);
+  EXPECT_NEAR(c->Variance(), 4.0, 1e-15);
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace usp

@@ -1,0 +1,143 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "stats/gaussian.h"
+#include "stats/uniform.h"
+
+namespace usp {
+namespace stats {
+namespace {
+
+TEST(HistogramTest, FromMassesValidation) {
+  EXPECT_FALSE(Histogram::FromMasses(1.0, 0.0, {1.0}).ok());
+  EXPECT_FALSE(Histogram::FromMasses(0.0, 1.0, {}).ok());
+  EXPECT_FALSE(Histogram::FromMasses(0.0, 1.0, {-1.0, 2.0}).ok());
+  EXPECT_FALSE(Histogram::FromMasses(0.0, 1.0, {0.0, 0.0}).ok());
+  EXPECT_TRUE(Histogram::FromMasses(0.0, 1.0, {1.0, 3.0}).ok());
+}
+
+TEST(HistogramTest, MassesNormalizedToUnitTotal) {
+  const auto h = Histogram::FromMasses(0.0, 2.0, {1.0, 3.0}).MoveValueUnsafe();
+  EXPECT_NEAR(h.BinMass(0) + h.BinMass(1), 1.0, 1e-12);
+  EXPECT_NEAR(h.BinMass(0), 0.25, 1e-12);
+  EXPECT_NEAR(h.Pdf(0.5), 0.25, 1e-12);  // density = mass / width
+  EXPECT_NEAR(h.Pdf(1.5), 0.75, 1e-12);
+}
+
+TEST(HistogramTest, PdfZeroOutsideRange) {
+  const auto h = Histogram::FromMasses(0.0, 1.0, {1.0}).MoveValueUnsafe();
+  EXPECT_EQ(h.Pdf(-0.1), 0.0);
+  EXPECT_EQ(h.Pdf(1.0), 0.0);
+}
+
+TEST(HistogramTest, CdfPiecewiseLinear) {
+  const auto h =
+      Histogram::FromMasses(0.0, 2.0, {1.0, 1.0}).MoveValueUnsafe();
+  EXPECT_NEAR(h.Cdf(0.5), 0.25, 1e-12);
+  EXPECT_NEAR(h.Cdf(1.0), 0.5, 1e-12);
+  EXPECT_NEAR(h.Cdf(1.5), 0.75, 1e-12);
+  EXPECT_EQ(h.Cdf(-1.0), 0.0);
+  EXPECT_EQ(h.Cdf(3.0), 1.0);
+}
+
+TEST(HistogramTest, QuantileInvertsCdf) {
+  const auto h =
+      Histogram::FromMasses(0.0, 4.0, {1.0, 2.0, 3.0, 2.0}).MoveValueUnsafe();
+  for (double p : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    EXPECT_NEAR(h.Cdf(h.Quantile(p)), p, 1e-10);
+  }
+}
+
+TEST(HistogramTest, DiscretizeGaussianPreservesMoments) {
+  const Gaussian g(3.0, 1.5);
+  const Histogram h = Histogram::Discretize(g, 512);
+  EXPECT_NEAR(h.Mean(), 3.0, 0.01);
+  EXPECT_NEAR(h.Variance(), 2.25, 0.05);
+}
+
+TEST(HistogramTest, DiscretizeMatchesSourceCdf) {
+  const Gaussian g(0.0, 1.0);
+  const Histogram h = Histogram::Discretize(g, 1024);
+  for (double x : {-2.0, -1.0, 0.0, 0.5, 2.0}) {
+    EXPECT_NEAR(h.Cdf(x), g.Cdf(x), 0.005) << "x=" << x;
+  }
+}
+
+TEST(HistogramTest, FromSamplesRecoversShape) {
+  common::Rng rng(21);
+  const Gaussian g(5.0, 2.0);
+  std::vector<double> samples;
+  for (int i = 0; i < 50000; ++i) samples.push_back(g.Sample(&rng));
+  const auto h = Histogram::FromSamples(samples, 64).MoveValueUnsafe();
+  EXPECT_NEAR(h.Mean(), 5.0, 0.1);
+  EXPECT_NEAR(h.Variance(), 4.0, 0.3);
+}
+
+TEST(HistogramTest, FromSamplesDegenerateInput) {
+  const auto h = Histogram::FromSamples({2.0, 2.0, 2.0}, 8).MoveValueUnsafe();
+  EXPECT_NEAR(h.Mean(), 2.0, 0.2);
+  EXPECT_NEAR(h.Cdf(2.6), 1.0, 1e-9);
+}
+
+TEST(HistogramTest, SampleRespectsBinMasses) {
+  const auto h =
+      Histogram::FromMasses(0.0, 2.0, {1.0, 3.0}).MoveValueUnsafe();
+  common::Rng rng(22);
+  int second = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    if (h.Sample(&rng) >= 1.0) ++second;
+  }
+  EXPECT_NEAR(second / static_cast<double>(n), 0.75, 0.01);
+}
+
+TEST(HistogramTest, ConvolveUniformsGivesTriangle) {
+  const Uniform u(0.0, 1.0);
+  const Histogram ha = Histogram::Discretize(u, 256, 0.0, 1.0);
+  const Histogram hb = Histogram::Discretize(u, 256, 0.0, 1.0);
+  const Histogram sum = Histogram::ConvolveIndependent(ha, hb, 256);
+  // Sum of two U(0,1) is triangular on [0,2] peaking at 1 with density 1.
+  EXPECT_NEAR(sum.Pdf(1.0), 1.0, 0.05);
+  EXPECT_NEAR(sum.Pdf(0.5), 0.5, 0.05);
+  EXPECT_NEAR(sum.Pdf(1.5), 0.5, 0.05);
+  EXPECT_NEAR(sum.Mean(), 1.0, 0.01);
+  EXPECT_NEAR(sum.Variance(), 2.0 / 12.0, 0.01);
+}
+
+TEST(HistogramTest, ConvolveGaussiansMatchesClosedForm) {
+  const Gaussian a(1.0, 1.0), b(2.0, 2.0);
+  const Histogram ha = Histogram::Discretize(a, 512);
+  const Histogram hb = Histogram::Discretize(b, 512);
+  const Histogram sum = Histogram::ConvolveIndependent(ha, hb, 512);
+  const Gaussian expected = Gaussian::SumOfIndependent(a, b);
+  EXPECT_NEAR(sum.Mean(), expected.Mean(), 0.05);
+  EXPECT_NEAR(sum.Variance(), expected.Variance(), 0.2);
+  for (double x : {0.0, 3.0, 6.0}) {
+    EXPECT_NEAR(sum.Cdf(x), expected.Cdf(x), 0.02) << "x=" << x;
+  }
+}
+
+class HistogramBinCountSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(HistogramBinCountSweep, DiscretizationErrorShrinksWithBins) {
+  const size_t bins = GetParam();
+  const Gaussian g(0.0, 1.0);
+  const Histogram h = Histogram::Discretize(g, bins);
+  // Max cdf deviation bounded by ~one bin of mass.
+  double worst = 0.0;
+  for (double x = -4.0; x <= 4.0; x += 0.05) {
+    worst = std::max(worst, std::fabs(h.Cdf(x) - g.Cdf(x)));
+  }
+  EXPECT_LT(worst, 3.0 / static_cast<double>(bins));
+}
+
+INSTANTIATE_TEST_SUITE_P(BinSweep, HistogramBinCountSweep,
+                         ::testing::Values(16, 32, 64, 128, 256, 1024));
+
+}  // namespace
+}  // namespace stats
+}  // namespace usp

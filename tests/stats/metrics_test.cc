@@ -1,0 +1,99 @@
+#include "stats/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/gaussian.h"
+#include "stats/gaussian_mixture.h"
+#include "stats/histogram.h"
+#include "stats/uniform.h"
+
+namespace usp {
+namespace stats {
+namespace {
+
+TEST(MetricsTest, IdenticalDistributionsHaveZeroDistance) {
+  const Gaussian g(1.0, 2.0);
+  EXPECT_NEAR(TotalVariationDistance(g, g), 0.0, 1e-9);
+  EXPECT_NEAR(HellingerDistanceSquared(g, g), 0.0, 1e-6);
+  EXPECT_NEAR(KsDistance(g, g), 0.0, 1e-12);
+  EXPECT_NEAR(KlDivergenceGrid(g, g), 0.0, 1e-9);
+  EXPECT_NEAR(VarianceDistance(g, g), 0.0, 1e-9);
+}
+
+TEST(MetricsTest, DisjointSupportsGiveMaximalTv) {
+  const Uniform a(0.0, 1.0), b(10.0, 11.0);
+  EXPECT_NEAR(TotalVariationDistance(a, b), 1.0, 0.01);
+  EXPECT_NEAR(KsDistance(a, b), 1.0, 1e-9);
+  EXPECT_NEAR(HellingerDistanceSquared(a, b), 1.0, 0.01);
+}
+
+TEST(MetricsTest, AllMetricsBoundedInUnitInterval) {
+  const Gaussian a(0.0, 1.0);
+  const Gaussian b(0.5, 1.5);
+  for (double v : {TotalVariationDistance(a, b),
+                   HellingerDistanceSquared(a, b), KsDistance(a, b)}) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(MetricsTest, TvSymmetric) {
+  const Gaussian a(0.0, 1.0), b(2.0, 0.5);
+  EXPECT_NEAR(TotalVariationDistance(a, b), TotalVariationDistance(b, a),
+              1e-9);
+}
+
+TEST(MetricsTest, KlAsymmetric) {
+  const Gaussian a(0.0, 1.0), b(0.0, 3.0);
+  const double ab = KlDivergenceGrid(a, b);
+  const double ba = KlDivergenceGrid(b, a);
+  EXPECT_GT(ab, 0.0);
+  EXPECT_GT(ba, 0.0);
+  EXPECT_GT(std::fabs(ab - ba), 1e-3);
+}
+
+TEST(MetricsTest, KlMatchesGaussianClosedForm) {
+  const Gaussian a(0.0, 1.0), b(1.0, 2.0);
+  EXPECT_NEAR(KlDivergenceGrid(a, b), a.KlTo(b), 1e-3);
+}
+
+TEST(MetricsTest, TvDetectsCloseButDifferent) {
+  const Gaussian a(0.0, 1.0), b(0.1, 1.0);
+  const double d = TotalVariationDistance(a, b);
+  EXPECT_GT(d, 0.01);
+  EXPECT_LT(d, 0.1);
+}
+
+TEST(MetricsTest, OrderingByDivergence) {
+  // b is closer to a than c is.
+  const Gaussian a(0.0, 1.0), b(0.2, 1.0), c(2.0, 1.0);
+  EXPECT_LT(TotalVariationDistance(a, b), TotalVariationDistance(a, c));
+  EXPECT_LT(KsDistance(a, b), KsDistance(a, c));
+  EXPECT_LT(HellingerDistanceSquared(a, b), HellingerDistanceSquared(a, c));
+}
+
+TEST(MetricsTest, WorksAcrossRepresentations) {
+  // A fine histogram discretization of a Gaussian is close to it.
+  const Gaussian g(0.0, 1.0);
+  const Histogram h = Histogram::Discretize(g, 1024);
+  EXPECT_LT(TotalVariationDistance(g, h), 0.01);
+  // A mixture equal to a single Gaussian is exactly it.
+  const auto m =
+      GaussianMixture::Make({{1.0, 0.0, 1.0}}).MoveValueUnsafe();
+  EXPECT_NEAR(TotalVariationDistance(g, m), 0.0, 1e-9);
+}
+
+TEST(MetricsTest, GridResolutionOptionRespected) {
+  const Gaussian a(0.0, 1.0), b(0.5, 1.0);
+  MetricOptions coarse;
+  coarse.grid_points = 64;
+  MetricOptions fine;
+  fine.grid_points = 8192;
+  // Both resolve the same distance within a small tolerance.
+  EXPECT_NEAR(TotalVariationDistance(a, b, coarse),
+              TotalVariationDistance(a, b, fine), 0.02);
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace usp

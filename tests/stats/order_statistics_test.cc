@@ -1,0 +1,131 @@
+#include "stats/order_statistics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "stats/gaussian.h"
+#include "stats/uniform.h"
+
+namespace usp {
+namespace stats {
+namespace {
+
+TEST(OrderStatisticsTest, MaxCdfIsProductOfCdfs) {
+  const Gaussian a(0.0, 1.0), b(1.0, 2.0);
+  const std::vector<const Distribution*> d = {&a, &b};
+  for (double x : {-1.0, 0.5, 2.0}) {
+    EXPECT_NEAR(CdfOfMax(d, x), a.Cdf(x) * b.Cdf(x), 1e-12);
+  }
+}
+
+TEST(OrderStatisticsTest, MaxOfUniformsClosedForm) {
+  // Max of n iid U(0,1) has cdf x^n and pdf n x^{n-1}.
+  const Uniform u(0.0, 1.0);
+  const std::vector<const Distribution*> d = {&u, &u, &u};
+  for (double x : {0.2, 0.5, 0.9}) {
+    EXPECT_NEAR(CdfOfMax(d, x), x * x * x, 1e-12);
+    EXPECT_NEAR(PdfOfMax(d, x), 3.0 * x * x, 1e-9);
+  }
+}
+
+TEST(OrderStatisticsTest, MinOfUniformsClosedForm) {
+  const Uniform u(0.0, 1.0);
+  const std::vector<const Distribution*> d = {&u, &u};
+  for (double x : {0.1, 0.5, 0.8}) {
+    EXPECT_NEAR(CdfOfMin(d, x), 1.0 - (1.0 - x) * (1.0 - x), 1e-12);
+    EXPECT_NEAR(PdfOfMin(d, x), 2.0 * (1.0 - x), 1e-9);
+  }
+}
+
+TEST(OrderStatisticsTest, PdfHandlesZeroCdfRegions) {
+  // At x below b's support, F_b(x) = 0; pdf of max must be 0 there.
+  const Uniform a(0.0, 1.0), b(2.0, 3.0);
+  const std::vector<const Distribution*> d = {&a, &b};
+  EXPECT_EQ(PdfOfMax(d, 0.5), 0.0);
+  // Above both supports the pdf is 0 too.
+  EXPECT_NEAR(PdfOfMax(d, 3.5), 0.0, 1e-12);
+  // Inside b's support only b contributes: f_max = f_b * F_a = f_b.
+  EXPECT_NEAR(PdfOfMax(d, 2.5), b.Pdf(2.5), 1e-9);
+}
+
+TEST(OrderStatisticsTest, MaxDistributionMatchesMonteCarlo) {
+  const Gaussian a(0.0, 1.0), b(0.5, 0.5), c(-1.0, 2.0);
+  const std::vector<const Distribution*> d = {&a, &b, &c};
+  const auto hist = MaxDistribution(d, 512);
+  ASSERT_TRUE(hist.ok());
+  common::Rng rng(13);
+  const int n = 200000;
+  double sum = 0.0;
+  int below_one = 0;
+  for (int i = 0; i < n; ++i) {
+    const double m = std::max({a.Sample(&rng), b.Sample(&rng),
+                               c.Sample(&rng)});
+    sum += m;
+    if (m <= 1.0) ++below_one;
+  }
+  EXPECT_NEAR(hist.value().Mean(), sum / n, 0.02);
+  EXPECT_NEAR(hist.value().Cdf(1.0), below_one / static_cast<double>(n),
+              0.01);
+}
+
+TEST(OrderStatisticsTest, MinDistributionMatchesMonteCarlo) {
+  const Gaussian a(2.0, 1.0);
+  const Uniform b(0.0, 5.0);
+  const std::vector<const Distribution*> d = {&a, &b};
+  const auto hist = MinDistribution(d, 512);
+  ASSERT_TRUE(hist.ok());
+  common::Rng rng(14);
+  const int n = 200000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    sum += std::min(a.Sample(&rng), b.Sample(&rng));
+  }
+  EXPECT_NEAR(hist.value().Mean(), sum / n, 0.02);
+}
+
+TEST(OrderStatisticsTest, EmptyInputIsError) {
+  EXPECT_FALSE(MaxDistribution({}, 64).ok());
+  EXPECT_FALSE(MinDistribution({}, 64).ok());
+}
+
+TEST(OrderStatisticsTest, SingleInputIsIdentity) {
+  const Gaussian g(3.0, 1.0);
+  const std::vector<const Distribution*> d = {&g};
+  const auto hist = MaxDistribution(d, 1024);
+  ASSERT_TRUE(hist.ok());
+  EXPECT_NEAR(hist.value().Mean(), 3.0, 0.02);
+  EXPECT_NEAR(hist.value().Variance(), 1.0, 0.05);
+}
+
+TEST(CdfOfOrderStatisticIidTest, ExtremesMatchMaxMin) {
+  const Uniform u(0.0, 1.0);
+  const std::vector<const Distribution*> d = {&u, &u, &u, &u};
+  for (double x : {0.3, 0.6}) {
+    EXPECT_NEAR(CdfOfOrderStatisticIid(u, 4, 4, x), CdfOfMax(d, x), 1e-10);
+    EXPECT_NEAR(CdfOfOrderStatisticIid(u, 4, 1, x), CdfOfMin(d, x), 1e-10);
+  }
+}
+
+TEST(CdfOfOrderStatisticIidTest, MedianOfThreeUniforms) {
+  // P(X_(2) <= x) for n=3 U(0,1): 3x^2 - 2x^3.
+  const Uniform u(0.0, 1.0);
+  for (double x : {0.25, 0.5, 0.75}) {
+    EXPECT_NEAR(CdfOfOrderStatisticIid(u, 3, 2, x),
+                3.0 * x * x - 2.0 * x * x * x, 1e-10);
+  }
+}
+
+TEST(CdfOfOrderStatisticIidTest, LargeNIsStable) {
+  const Gaussian g(0.0, 1.0);
+  const double c = CdfOfOrderStatisticIid(g, 500, 500, 3.0);
+  EXPECT_GT(c, 0.0);
+  EXPECT_LT(c, 1.0);
+  // P(max of 500 <= 3.0) = Phi(3)^500 ~ 0.509
+  EXPECT_NEAR(c, std::pow(g.Cdf(3.0), 500.0), 1e-9);
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace usp

@@ -1,0 +1,122 @@
+#include "stats/particle_set.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "stats/gaussian.h"
+
+namespace usp {
+namespace stats {
+namespace {
+
+TEST(ParticleSetTest, Validation) {
+  EXPECT_FALSE(ParticleSet::Make({}).ok());
+  EXPECT_FALSE(ParticleSet::Make({1.0}, {1.0, 2.0}).ok());
+  EXPECT_FALSE(ParticleSet::Make({1.0, 2.0}, {-1.0, 1.0}).ok());
+  EXPECT_FALSE(ParticleSet::Make({1.0, 2.0}, {0.0, 0.0}).ok());
+  EXPECT_TRUE(ParticleSet::Make({1.0, 2.0}).ok());
+}
+
+TEST(ParticleSetTest, UniformWeightsWhenOmitted) {
+  const auto ps = ParticleSet::Make({1.0, 3.0}).MoveValueUnsafe();
+  EXPECT_NEAR(ps.weights()[0], 0.5, 1e-12);
+  EXPECT_NEAR(ps.Mean(), 2.0, 1e-12);
+}
+
+TEST(ParticleSetTest, WeightedMoments) {
+  const auto ps =
+      ParticleSet::Make({0.0, 10.0}, {3.0, 1.0}).MoveValueUnsafe();
+  EXPECT_NEAR(ps.Mean(), 2.5, 1e-12);
+  // var = 0.75*(2.5)^2 + 0.25*(7.5)^2 = 18.75
+  EXPECT_NEAR(ps.Variance(), 18.75, 1e-9);
+}
+
+TEST(ParticleSetTest, EmpiricalCdfSteps) {
+  const auto ps =
+      ParticleSet::Make({1.0, 2.0, 3.0}, {1.0, 1.0, 2.0}).MoveValueUnsafe();
+  EXPECT_NEAR(ps.Cdf(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(ps.Cdf(1.0), 0.25, 1e-12);
+  EXPECT_NEAR(ps.Cdf(2.5), 0.5, 1e-12);
+  EXPECT_NEAR(ps.Cdf(3.0), 1.0, 1e-12);
+}
+
+TEST(ParticleSetTest, EffectiveSampleSize) {
+  const auto uniform =
+      ParticleSet::Make({1.0, 2.0, 3.0, 4.0}).MoveValueUnsafe();
+  EXPECT_NEAR(uniform.EffectiveSampleSize(), 4.0, 1e-9);
+  const auto skewed =
+      ParticleSet::Make({1.0, 2.0}, {0.99, 0.01}).MoveValueUnsafe();
+  EXPECT_LT(skewed.EffectiveSampleSize(), 1.1);
+}
+
+TEST(ParticleSetTest, KdePdfIntegratesToOne) {
+  common::Rng rng(5);
+  std::vector<double> v;
+  for (int i = 0; i < 200; ++i) v.push_back(rng.Gaussian(0.0, 1.0));
+  const auto ps = ParticleSet::Make(std::move(v)).MoveValueUnsafe();
+  const Support s = ps.NumericSupport();
+  const int n = 4000;
+  const double dx = s.Width() / n;
+  double mass = 0.0;
+  for (int i = 0; i < n; ++i) mass += ps.Pdf(s.lo + (i + 0.5) * dx) * dx;
+  EXPECT_NEAR(mass, 1.0, 0.02);
+}
+
+TEST(ParticleSetTest, ResampledPreservesDistribution) {
+  common::Rng rng(6);
+  const Gaussian g(4.0, 2.0);
+  std::vector<double> values;
+  std::vector<double> weights;
+  for (int i = 0; i < 2000; ++i) {
+    values.push_back(g.Sample(&rng));
+    weights.push_back(0.1 + rng.Uniform());
+  }
+  const auto ps =
+      ParticleSet::Make(std::move(values), std::move(weights))
+          .MoveValueUnsafe();
+  const ParticleSet rs = ps.Resampled(2000, &rng);
+  EXPECT_EQ(rs.size(), 2000u);
+  EXPECT_NEAR(rs.Mean(), ps.Mean(), 0.2);
+  EXPECT_NEAR(rs.Variance(), ps.Variance(), 0.6);
+  // Resampled weights are uniform: ESS == n.
+  EXPECT_NEAR(rs.EffectiveSampleSize(), 2000.0, 1e-6);
+}
+
+TEST(ParticleSetTest, SampleDrawsFromParticles) {
+  const auto ps =
+      ParticleSet::Make({1.0, 5.0}, {0.25, 0.75}).MoveValueUnsafe();
+  common::Rng rng(7);
+  int high = 0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    const double x = ps.Sample(&rng);
+    EXPECT_TRUE(x == 1.0 || x == 5.0);
+    if (x == 5.0) ++high;
+  }
+  EXPECT_NEAR(high / static_cast<double>(n), 0.75, 0.01);
+}
+
+TEST(ParticleSetTest, EmpiricalCfMatchesGaussianForLargeN) {
+  common::Rng rng(8);
+  const Gaussian g(1.0, 1.0);
+  std::vector<double> v;
+  for (int i = 0; i < 20000; ++i) v.push_back(g.Sample(&rng));
+  const auto ps = ParticleSet::Make(std::move(v)).MoveValueUnsafe();
+  for (double t : {0.2, 0.5, 1.0}) {
+    EXPECT_NEAR(std::abs(ps.Cf(t) - g.Cf(t)), 0.0, 0.03) << "t=" << t;
+  }
+}
+
+TEST(ParticleSetTest, QuantileMatchesEmpirical) {
+  const auto ps =
+      ParticleSet::Make({10.0, 20.0, 30.0, 40.0}).MoveValueUnsafe();
+  EXPECT_EQ(ps.Quantile(0.2), 10.0);
+  EXPECT_EQ(ps.Quantile(0.26), 20.0);
+  EXPECT_EQ(ps.Quantile(0.99), 40.0);
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace usp

@@ -1,0 +1,100 @@
+#include "stats/quadrature.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace usp {
+namespace stats {
+namespace {
+
+TEST(AdaptiveSimpsonTest, Polynomial) {
+  // Int_0^1 x^3 dx = 1/4 (Simpson is exact for cubics).
+  const auto r = AdaptiveSimpson([](double x) { return x * x * x; }, 0.0,
+                                 1.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.value, 0.25, 1e-12);
+}
+
+TEST(AdaptiveSimpsonTest, EmptyInterval) {
+  const auto r = AdaptiveSimpson([](double) { return 1.0; }, 2.0, 2.0);
+  EXPECT_EQ(r.value, 0.0);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(AdaptiveSimpsonTest, GaussianBump) {
+  // Int_{-10}^{10} e^{-x^2} dx = sqrt(pi).
+  const auto r = AdaptiveSimpson(
+      [](double x) { return std::exp(-x * x); }, -10.0, 10.0, 1e-12);
+  EXPECT_NEAR(r.value, std::sqrt(M_PI), 1e-9);
+}
+
+TEST(AdaptiveSimpsonTest, NarrowSpikeFound) {
+  // A spike of width 1e-3 centered at 0.37 with unit mass.
+  const double c = 0.37, w = 1e-3;
+  const auto r = AdaptiveSimpson(
+      [&](double x) {
+        const double z = (x - c) / w;
+        return std::exp(-0.5 * z * z) / (w * std::sqrt(2.0 * M_PI));
+      },
+      0.0, 1.0, 1e-10);
+  EXPECT_NEAR(r.value, 1.0, 1e-6);
+}
+
+TEST(AdaptiveSimpsonTest, ReversedIntervalIsNegative) {
+  const auto fwd = AdaptiveSimpson([](double x) { return x; }, 0.0, 2.0);
+  const auto rev = AdaptiveSimpson([](double x) { return x; }, 2.0, 0.0);
+  EXPECT_NEAR(fwd.value, 2.0, 1e-12);
+  EXPECT_NEAR(rev.value, -2.0, 1e-12);
+}
+
+class GaussLegendreOrderTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GaussLegendreOrderTest, ExactForPolynomialsUpTo2NMinus1) {
+  const int order = GetParam();
+  // GL with n points integrates degree 2n-1 exactly; test degree 7 which
+  // every supported order >= 4 handles.
+  const double got =
+      GaussLegendre([](double x) { return std::pow(x, 7.0) + x * x; }, 0.0,
+                    2.0, order);
+  const double expected = std::pow(2.0, 8.0) / 8.0 + 8.0 / 3.0;
+  EXPECT_NEAR(got, expected, 1e-10);
+}
+
+TEST_P(GaussLegendreOrderTest, SinIntegral) {
+  const int order = GetParam();
+  const double got =
+      GaussLegendre([](double x) { return std::sin(x); }, 0.0, M_PI, order);
+  // GL error decays spectrally with order; order 4 on [0, pi] still has
+  // ~1e-5 absolute error.
+  const double tol = order >= 8 ? 1e-9 : 1e-4;
+  EXPECT_NEAR(got, 2.0, tol);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, GaussLegendreOrderTest,
+                         ::testing::Values(4, 8, 16, 32, 64));
+
+TEST(CompositeGaussLegendreTest, OscillatoryIntegrand) {
+  // Int_0^{20pi} sin(x) dx = 0; one rule struggles, panels succeed.
+  const double got = CompositeGaussLegendre(
+      [](double x) { return std::sin(x); }, 0.0, 20.0 * M_PI, 64, 16);
+  EXPECT_NEAR(got, 0.0, 1e-9);
+}
+
+TEST(CompositeGaussLegendreTest, MatchesSinglePanelOnSmooth) {
+  const auto f = [](double x) { return std::exp(-x) * x; };
+  const double a = GaussLegendre(f, 0.0, 3.0, 32);
+  const double b = CompositeGaussLegendre(f, 0.0, 3.0, 8, 16);
+  EXPECT_NEAR(a, b, 1e-10);
+}
+
+TEST(GaussLegendreTest, UnsupportedOrderFallsBackGracefully) {
+  // order=10 should behave at least as well as order=16.
+  const double got =
+      GaussLegendre([](double x) { return x * x; }, -1.0, 1.0, 10);
+  EXPECT_NEAR(got, 2.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace usp

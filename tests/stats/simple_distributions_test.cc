@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "stats/exponential.h"
+#include "stats/gamma_dist.h"
+#include "stats/uniform.h"
+
+namespace usp {
+namespace stats {
+namespace {
+
+// ---- Uniform ----
+
+TEST(UniformTest, Validation) {
+  EXPECT_FALSE(Uniform::Make(1.0, 1.0).ok());
+  EXPECT_FALSE(Uniform::Make(2.0, 1.0).ok());
+  EXPECT_TRUE(Uniform::Make(0.0, 1.0).ok());
+}
+
+TEST(UniformTest, PdfCdfQuantile) {
+  const Uniform u(2.0, 6.0);
+  EXPECT_NEAR(u.Pdf(3.0), 0.25, 1e-12);
+  EXPECT_EQ(u.Pdf(1.0), 0.0);
+  EXPECT_EQ(u.Pdf(7.0), 0.0);
+  EXPECT_NEAR(u.Cdf(4.0), 0.5, 1e-12);
+  EXPECT_NEAR(u.Quantile(0.25), 3.0, 1e-12);
+  EXPECT_NEAR(u.Mean(), 4.0, 1e-12);
+  EXPECT_NEAR(u.Variance(), 16.0 / 12.0, 1e-12);
+}
+
+TEST(UniformTest, CfMatchesSinc) {
+  const Uniform u(-1.0, 1.0);
+  // CF of U(-1,1) is sin(t)/t.
+  for (double t : {0.5, 1.0, 3.0}) {
+    EXPECT_NEAR(u.Cf(t).real(), std::sin(t) / t, 1e-12);
+    EXPECT_NEAR(u.Cf(t).imag(), 0.0, 1e-12);
+  }
+  EXPECT_NEAR(u.Cf(0.0).real(), 1.0, 1e-15);
+}
+
+TEST(UniformTest, SamplesInRange) {
+  const Uniform u(5.0, 7.0);
+  common::Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = u.Sample(&rng);
+    EXPECT_GE(x, 5.0);
+    EXPECT_LT(x, 7.0);
+  }
+}
+
+// ---- Exponential ----
+
+TEST(ExponentialTest, Validation) {
+  EXPECT_FALSE(Exponential::Make(0.0).ok());
+  EXPECT_FALSE(Exponential::Make(-1.0).ok());
+  EXPECT_TRUE(Exponential::Make(2.0).ok());
+}
+
+TEST(ExponentialTest, PdfCdfMoments) {
+  const Exponential e(2.0);
+  EXPECT_NEAR(e.Pdf(0.0), 2.0, 1e-12);
+  EXPECT_NEAR(e.Pdf(1.0), 2.0 * std::exp(-2.0), 1e-12);
+  EXPECT_EQ(e.Pdf(-0.5), 0.0);
+  EXPECT_NEAR(e.Cdf(1.0), 1.0 - std::exp(-2.0), 1e-12);
+  EXPECT_NEAR(e.Mean(), 0.5, 1e-12);
+  EXPECT_NEAR(e.Variance(), 0.25, 1e-12);
+}
+
+TEST(ExponentialTest, QuantileClosedForm) {
+  const Exponential e(0.5);
+  for (double p : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(e.Cdf(e.Quantile(p)), p, 1e-12);
+  }
+  EXPECT_NEAR(e.Quantile(0.5), std::log(2.0) / 0.5, 1e-12);
+}
+
+TEST(ExponentialTest, CfClosedForm) {
+  const Exponential e(3.0);
+  for (double t : {-2.0, 0.0, 1.0, 5.0}) {
+    const std::complex<double> expected =
+        3.0 / std::complex<double>(3.0, -t);
+    EXPECT_NEAR(e.Cf(t).real(), expected.real(), 1e-12);
+    EXPECT_NEAR(e.Cf(t).imag(), expected.imag(), 1e-12);
+  }
+}
+
+// ---- Gamma ----
+
+TEST(GammaTest, Validation) {
+  EXPECT_FALSE(GammaDist::Make(0.0, 1.0).ok());
+  EXPECT_FALSE(GammaDist::Make(1.0, 0.0).ok());
+  EXPECT_TRUE(GammaDist::Make(2.0, 3.0).ok());
+}
+
+TEST(GammaTest, ShapeOneIsExponential) {
+  const GammaDist g(1.0, 2.0);  // == Exp(rate 0.5)
+  const Exponential e(0.5);
+  for (double x : {0.1, 1.0, 3.0, 10.0}) {
+    EXPECT_NEAR(g.Pdf(x), e.Pdf(x), 1e-10);
+    EXPECT_NEAR(g.Cdf(x), e.Cdf(x), 1e-10);
+  }
+}
+
+TEST(GammaTest, Moments) {
+  const GammaDist g(3.0, 2.0);
+  EXPECT_NEAR(g.Mean(), 6.0, 1e-12);
+  EXPECT_NEAR(g.Variance(), 12.0, 1e-12);
+}
+
+TEST(GammaTest, CdfAtMeanIsReasonable) {
+  // For k=3 the cdf at the mean is ~0.576.
+  const GammaDist g(3.0, 1.0);
+  EXPECT_NEAR(g.Cdf(3.0), 0.5768099, 1e-5);
+}
+
+TEST(GammaTest, CfClosedForm) {
+  const GammaDist g(2.0, 0.5);
+  // (1 - i theta t)^{-k}; check modulus and phase at t=1:
+  const std::complex<double> expected =
+      std::pow(std::complex<double>(1.0, -0.5), -2.0);
+  EXPECT_NEAR(g.Cf(1.0).real(), expected.real(), 1e-12);
+  EXPECT_NEAR(g.Cf(1.0).imag(), expected.imag(), 1e-12);
+}
+
+TEST(RegularizedGammaPTest, KnownValues) {
+  // P(1, x) = 1 - e^{-x}
+  for (double x : {0.5, 1.0, 3.0}) {
+    EXPECT_NEAR(RegularizedGammaP(1.0, x), 1.0 - std::exp(-x), 1e-12);
+  }
+  // P(a, 0) = 0, P(a, inf) -> 1
+  EXPECT_EQ(RegularizedGammaP(2.5, 0.0), 0.0);
+  EXPECT_NEAR(RegularizedGammaP(2.5, 100.0), 1.0, 1e-12);
+}
+
+class GammaCdfPdfConsistency
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(GammaCdfPdfConsistency, DerivativeOfCdfIsPdf) {
+  const auto [shape, scale] = GetParam();
+  const GammaDist g(shape, scale);
+  const double x = g.Mean();
+  const double h = 1e-5 * x;
+  const double numeric = (g.Cdf(x + h) - g.Cdf(x - h)) / (2.0 * h);
+  EXPECT_NEAR(numeric, g.Pdf(x), 1e-5 * (1.0 + g.Pdf(x)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapeScaleSweep, GammaCdfPdfConsistency,
+    ::testing::Values(std::pair{0.5, 1.0}, std::pair{1.0, 2.0},
+                      std::pair{2.0, 0.5}, std::pair{5.0, 1.5},
+                      std::pair{20.0, 0.1}));
+
+}  // namespace
+}  // namespace stats
+}  // namespace usp

@@ -1,0 +1,213 @@
+#include "stats/timeseries.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace usp {
+namespace stats {
+namespace {
+
+std::vector<double> WhiteNoise(size_t n, uint64_t seed, double sd = 1.0) {
+  common::Rng rng(seed);
+  std::vector<double> out(n);
+  for (double& x : out) x = rng.Gaussian(0.0, sd);
+  return out;
+}
+
+TEST(AutocovarianceTest, WhiteNoiseLagZeroDominates) {
+  const auto series = WhiteNoise(20000, 1);
+  const auto g = Autocovariance(series, 5);
+  EXPECT_NEAR(g[0], 1.0, 0.05);
+  for (size_t k = 1; k <= 5; ++k) {
+    EXPECT_NEAR(g[k], 0.0, 0.05) << "lag " << k;
+  }
+}
+
+TEST(AutocorrelationTest, LagZeroIsOne) {
+  const auto series = WhiteNoise(100, 2);
+  const auto rho = Autocorrelation(series, 3);
+  EXPECT_EQ(rho[0], 1.0);
+}
+
+TEST(AutocorrelationTest, ConstantSeriesHandled) {
+  const std::vector<double> series(50, 3.0);
+  const auto rho = Autocorrelation(series, 3);
+  EXPECT_EQ(rho[0], 1.0);
+  EXPECT_EQ(rho[1], 0.0);
+}
+
+TEST(AutocorrelationTest, Ma1HasTheoreticalLag1) {
+  // MA(1): rho_1 = theta / (1 + theta^2).
+  MaModel model;
+  model.theta = {0.8};
+  model.sigma2 = 1.0;
+  common::Rng rng(3);
+  const auto series = model.Simulate(100000, &rng);
+  const auto rho = Autocorrelation(series, 4);
+  EXPECT_NEAR(rho[1], 0.8 / 1.64, 0.02);
+  EXPECT_NEAR(rho[2], 0.0, 0.02);
+  EXPECT_NEAR(rho[3], 0.0, 0.02);
+}
+
+TEST(LjungBoxTest, DoesNotRejectWhiteNoiseInMostReplicates) {
+  // The test has a 5% false-positive rate by construction; check the
+  // rejection frequency over replicates rather than a single unlucky seed.
+  int rejections = 0;
+  for (int r = 0; r < 20; ++r) {
+    const auto series = WhiteNoise(5000, 400 + r);
+    if (LjungBox(series, 10).reject_iid) ++rejections;
+  }
+  EXPECT_LE(rejections, 3);
+}
+
+TEST(LjungBoxTest, RejectsCorrelatedSeries) {
+  MaModel model;
+  model.theta = {0.9, 0.5};
+  model.sigma2 = 1.0;
+  common::Rng rng(5);
+  const auto series = model.Simulate(5000, &rng);
+  const auto res = LjungBox(series, 10);
+  EXPECT_TRUE(res.reject_iid);
+  EXPECT_LT(res.p_value, 1e-6);
+}
+
+TEST(ChiSquaredSfTest, KnownValues) {
+  // P(chi2_1 > 3.841) ~ 0.05; P(chi2_10 > 18.307) ~ 0.05.
+  EXPECT_NEAR(ChiSquaredSf(3.841, 1.0), 0.05, 0.002);
+  EXPECT_NEAR(ChiSquaredSf(18.307, 10.0), 0.05, 0.002);
+  EXPECT_EQ(ChiSquaredSf(-1.0, 3.0), 1.0);
+}
+
+class MaOrderIdentificationTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(MaOrderIdentificationTest, BartlettCutoffFindsTrueOrder) {
+  const size_t q = GetParam();
+  MaModel model;
+  model.theta.assign(q, 0.0);
+  for (size_t j = 0; j < q; ++j) {
+    model.theta[j] = 0.9 * std::pow(0.85, static_cast<double>(j));
+  }
+  model.sigma2 = 1.0;
+  common::Rng rng(100 + q);
+  const auto series = model.Simulate(60000, &rng);
+  const size_t found = IdentifyMaOrder(series, 10);
+  // Allow +-1: the tail coefficient is small and can fall inside the band.
+  EXPECT_GE(found + 1, q);
+  EXPECT_LE(found, q + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, MaOrderIdentificationTest,
+                         ::testing::Values(0, 1, 2, 3, 5));
+
+TEST(IdentifyMaOrderTest, WhiteNoiseIsOrderZero) {
+  const auto series = WhiteNoise(20000, 6);
+  EXPECT_EQ(IdentifyMaOrder(series, 8), 0u);
+}
+
+TEST(MaModelTest, ImpliedAutocovariance) {
+  MaModel model;
+  model.theta = {0.5};
+  model.sigma2 = 2.0;
+  // gamma_0 = sigma2 (1 + theta^2) = 2.5; gamma_1 = sigma2 theta = 1.0.
+  EXPECT_NEAR(model.ImpliedAutocovariance(0), 2.5, 1e-12);
+  EXPECT_NEAR(model.ImpliedAutocovariance(1), 1.0, 1e-12);
+  EXPECT_EQ(model.ImpliedAutocovariance(2), 0.0);
+}
+
+TEST(MaModelTest, SimulateMatchesImpliedMoments) {
+  MaModel model;
+  model.mean = 10.0;
+  model.theta = {0.6, 0.3};
+  model.sigma2 = 1.0;
+  common::Rng rng(7);
+  const auto series = model.Simulate(100000, &rng);
+  EXPECT_NEAR(SampleMean(series), 10.0, 0.05);
+  const auto g = Autocovariance(series, 2);
+  EXPECT_NEAR(g[0], model.ImpliedAutocovariance(0), 0.05);
+  EXPECT_NEAR(g[1], model.ImpliedAutocovariance(1), 0.05);
+  EXPECT_NEAR(g[2], model.ImpliedAutocovariance(2), 0.05);
+}
+
+TEST(FitMaInnovationsTest, Validation) {
+  EXPECT_FALSE(FitMaInnovations({1.0, 2.0}, 3).ok());
+}
+
+TEST(FitMaInnovationsTest, RecoversMa1Coefficient) {
+  MaModel truth;
+  truth.theta = {0.7};
+  truth.sigma2 = 1.0;
+  common::Rng rng(8);
+  const auto series = truth.Simulate(80000, &rng);
+  const auto fit = FitMaInnovations(series, 1);
+  ASSERT_TRUE(fit.ok()) << fit.status().ToString();
+  EXPECT_NEAR(fit.value().theta[0], 0.7, 0.05);
+  EXPECT_NEAR(fit.value().sigma2, 1.0, 0.05);
+}
+
+TEST(FitMaInnovationsTest, OrderZeroIsVariance) {
+  const auto series = WhiteNoise(10000, 9, 2.0);
+  const auto fit = FitMaInnovations(series, 0);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit.value().sigma2, 4.0, 0.2);
+}
+
+TEST(CltMeanOfMaSeriesTest, WhiteNoiseMatchesClassicClt) {
+  const auto series = WhiteNoise(10000, 10, 3.0);
+  const auto g = CltMeanOfMaSeries(series, 0);
+  ASSERT_TRUE(g.ok());
+  EXPECT_NEAR(g.value().Mean(), SampleMean(series), 1e-12);
+  EXPECT_NEAR(g.value().Variance(), 9.0 / 10000.0, 2e-4);
+}
+
+TEST(CltMeanOfMaSeriesTest, PositiveCorrelationInflatesVariance) {
+  MaModel model;
+  model.theta = {0.9};
+  model.sigma2 = 1.0;
+  common::Rng rng(11);
+  const auto series = model.Simulate(50000, &rng);
+  const auto with_corr = CltMeanOfMaSeries(series, 1);
+  const auto naive = CltMeanOfMaSeries(series, 0);
+  ASSERT_TRUE(with_corr.ok());
+  ASSERT_TRUE(naive.ok());
+  // Long-run variance gamma0 + 2 gamma1 > gamma0 for positive theta.
+  EXPECT_GT(with_corr.value().Variance(), 1.4 * naive.value().Variance());
+}
+
+TEST(CltMeanOfMaSeriesTest, CoversTrueMeanAcrossReplicates) {
+  // Property: the 95% interval from the CLT should cover the true mean in
+  // most replicates.
+  MaModel model;
+  model.mean = 5.0;
+  model.theta = {0.5, 0.25};
+  model.sigma2 = 1.0;
+  int covered = 0;
+  const int reps = 60;
+  for (int r = 0; r < reps; ++r) {
+    common::Rng rng(1000 + r);
+    const auto series = model.Simulate(2000, &rng);
+    const auto g = CltMeanOfMaSeries(series, 2);
+    ASSERT_TRUE(g.ok());
+    const auto ci = g.value().ConfidenceRegion(0.95);
+    if (ci.lo <= 5.0 && 5.0 <= ci.hi) ++covered;
+  }
+  EXPECT_GE(covered, 48);  // ~80%+ of 60 allows for estimator noise
+}
+
+TEST(CltSumOfMaSeriesTest, ScalesMeanByN) {
+  const auto series = WhiteNoise(5000, 12);
+  const auto mean_dist = CltMeanOfMaSeries(series, 0);
+  const auto sum_dist = CltSumOfMaSeries(series, 0);
+  ASSERT_TRUE(mean_dist.ok());
+  ASSERT_TRUE(sum_dist.ok());
+  EXPECT_NEAR(sum_dist.value().Mean(), mean_dist.value().Mean() * 5000.0,
+              1e-6);
+  EXPECT_NEAR(sum_dist.value().Variance(),
+              mean_dist.value().Variance() * 5000.0 * 5000.0, 1e-3);
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace usp

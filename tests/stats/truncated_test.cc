@@ -1,0 +1,114 @@
+#include "stats/truncated.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "stats/exponential.h"
+#include "stats/gaussian.h"
+#include "stats/gaussian_mixture.h"
+
+namespace usp {
+namespace stats {
+namespace {
+
+const double kInf = std::numeric_limits<double>::infinity();
+
+DistributionPtr StdNormal() {
+  return std::make_shared<Gaussian>(0.0, 1.0);
+}
+
+TEST(TruncatedTest, Validation) {
+  EXPECT_FALSE(Truncated::Make(nullptr, 0.0, 1.0).ok());
+  EXPECT_FALSE(Truncated::Make(StdNormal(), 1.0, 1.0).ok());
+  EXPECT_FALSE(Truncated::Make(StdNormal(), 2.0, 1.0).ok());
+  // Zero-mass event: far tail.
+  EXPECT_FALSE(Truncated::Make(StdNormal(), 50.0, 60.0).ok());
+  EXPECT_TRUE(Truncated::Make(StdNormal(), 0.0, kInf).ok());
+}
+
+TEST(TruncatedTest, HalfNormalMoments) {
+  // N(0,1) | X > 0: mean sqrt(2/pi), var 1 - 2/pi.
+  const auto t = Truncated::Make(StdNormal(), 0.0, kInf).MoveValueUnsafe();
+  EXPECT_NEAR(t.Mean(), std::sqrt(2.0 / common::kPi), 1e-3);
+  EXPECT_NEAR(t.Variance(), 1.0 - 2.0 / common::kPi, 1e-3);
+  EXPECT_NEAR(t.conditioning_mass(), 0.5, 1e-12);
+}
+
+TEST(TruncatedTest, PdfRenormalized) {
+  const auto t = Truncated::Make(StdNormal(), 0.0, kInf).MoveValueUnsafe();
+  const Gaussian g(0.0, 1.0);
+  EXPECT_EQ(t.Pdf(-0.5), 0.0);
+  EXPECT_NEAR(t.Pdf(0.5), 2.0 * g.Pdf(0.5), 1e-12);
+  // Integrates to 1.
+  const Support s = t.NumericSupport();
+  double mass = 0.0;
+  const int n = 20000;
+  const double dx = s.Width() / n;
+  for (int i = 0; i < n; ++i) mass += t.Pdf(s.lo + (i + 0.5) * dx) * dx;
+  EXPECT_NEAR(mass, 1.0, 0.01);
+}
+
+TEST(TruncatedTest, CdfQuantileRoundTrip) {
+  const auto t =
+      Truncated::Make(StdNormal(), -1.0, 2.0).MoveValueUnsafe();
+  EXPECT_EQ(t.Cdf(-1.5), 0.0);
+  EXPECT_EQ(t.Cdf(2.5), 1.0);
+  for (double p : {0.05, 0.3, 0.5, 0.8, 0.95}) {
+    EXPECT_NEAR(t.Cdf(t.Quantile(p)), p, 1e-9);
+  }
+}
+
+TEST(TruncatedTest, SamplesStayInRegion) {
+  const auto t =
+      Truncated::Make(StdNormal(), 0.5, 1.5).MoveValueUnsafe();
+  common::Rng rng(4);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = t.Sample(&rng);
+    ASSERT_GE(x, 0.5);
+    ASSERT_LE(x, 1.5);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, t.Mean(), 0.01);
+}
+
+TEST(TruncatedTest, CfAtZeroIsOne) {
+  const auto t =
+      Truncated::Make(StdNormal(), -0.5, kInf).MoveValueUnsafe();
+  EXPECT_NEAR(std::abs(t.Cf(0.0)), 1.0, 1e-6);
+  EXPECT_LE(std::abs(t.Cf(1.3)), 1.0 + 1e-9);
+}
+
+TEST(TruncatedTest, WorksOnSkewedBase) {
+  // Exp(1) | X > 1 is Exp(1) shifted by 1 (memorylessness).
+  const auto base = std::make_shared<Exponential>(1.0);
+  const auto t = Truncated::Make(base, 1.0, kInf).MoveValueUnsafe();
+  EXPECT_NEAR(t.Mean(), 2.0, 0.01);
+  EXPECT_NEAR(t.Variance(), 1.0, 0.05);
+  EXPECT_NEAR(t.Cdf(2.0), 1.0 - std::exp(-1.0), 1e-6);
+}
+
+TEST(TruncatedTest, SelectsOneModeOfMixture) {
+  const auto base = std::make_shared<GaussianMixture>(
+      GaussianMixture::Make({{0.5, -5.0, 1.0}, {0.5, 5.0, 1.0}})
+          .MoveValueUnsafe());
+  const auto t = Truncated::Make(base, 0.0, kInf).MoveValueUnsafe();
+  // Conditioning on X > 0 keeps (almost) only the right mode.
+  EXPECT_NEAR(t.Mean(), 5.0, 0.05);
+  EXPECT_NEAR(t.Variance(), 1.0, 0.1);
+  EXPECT_NEAR(t.conditioning_mass(), 0.5, 1e-6);
+}
+
+TEST(TruncatedTest, ToStringMentionsRegion) {
+  const auto t = Truncated::Make(StdNormal(), 0.0, 1.0).MoveValueUnsafe();
+  EXPECT_NE(t.ToString().find("| x in"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace usp

@@ -1,0 +1,148 @@
+#include "stream/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "stream/basic_operators.h"
+#include "stream/window.h"
+
+namespace usp {
+namespace stream {
+namespace {
+
+Tuple V(int64_t ts, double v) {
+  Tuple t(ts, {Value(v)});
+  t.InitBaseLineage();
+  return t;
+}
+
+TEST(PipelineTest, EmptyPipelinePassesThrough) {
+  Pipeline p;
+  VectorCollector out;
+  ASSERT_TRUE(p.Push(V(1, 2.0), &out).ok());
+  ASSERT_TRUE(p.Close(&out).ok());
+  ASSERT_EQ(out.tuples().size(), 1u);
+}
+
+TEST(PipelineTest, FilterThenMap) {
+  Pipeline p;
+  p.Add(std::make_unique<FilterOperator>(
+       "pos", [](const Tuple& t) { return t.value(0).AsDouble() > 0.0; }))
+      .Add(std::make_unique<MapOperator>(
+          "double", [](const Tuple& t) -> common::Result<Tuple> {
+            Tuple out = t;
+            out.mutable_value(0) = Value(t.value(0).AsDouble() * 2.0);
+            return out;
+          }));
+  VectorCollector out;
+  ASSERT_TRUE(p.Run({V(0, 1.0), V(1, -1.0), V(2, 3.0)}, &out).ok());
+  ASSERT_EQ(out.tuples().size(), 2u);
+  EXPECT_EQ(out.tuples()[0].value(0).AsDouble(), 2.0);
+  EXPECT_EQ(out.tuples()[1].value(0).AsDouble(), 6.0);
+}
+
+TEST(PipelineTest, MapNotFoundDropsTuple) {
+  Pipeline p;
+  p.Add(std::make_unique<MapOperator>(
+      "drop_neg", [](const Tuple& t) -> common::Result<Tuple> {
+        if (t.value(0).AsDouble() < 0.0) {
+          return common::Status::NotFound("dropped");
+        }
+        return t;
+      }));
+  VectorCollector out;
+  ASSERT_TRUE(p.Run({V(0, 1.0), V(1, -2.0)}, &out).ok());
+  EXPECT_EQ(out.tuples().size(), 1u);
+}
+
+TEST(PipelineTest, MapErrorAborts) {
+  Pipeline p;
+  p.Add(std::make_unique<MapOperator>(
+      "fail", [](const Tuple&) -> common::Result<Tuple> {
+        return common::Status::Internal("boom");
+      }));
+  VectorCollector out;
+  EXPECT_FALSE(p.Push(V(0, 1.0), &out).ok());
+}
+
+TEST(PipelineTest, WindowedStageFlushesOnClose) {
+  Pipeline p;
+  p.Add(std::make_unique<WindowCountOperator>("count",
+                                              WindowSpec::Tumbling(10)));
+  VectorCollector out;
+  ASSERT_TRUE(p.Run({V(0, 1.0), V(2, 1.0), V(11, 1.0)}, &out).ok());
+  ASSERT_EQ(out.tuples().size(), 2u);
+  EXPECT_EQ(out.tuples()[0].value(0).AsInt(), 2);
+  EXPECT_EQ(out.tuples()[1].value(0).AsInt(), 1);
+}
+
+TEST(PipelineTest, FlushOutputTraversesLaterStages) {
+  // The window's flush output must still pass the downstream filter.
+  Pipeline p;
+  p.Add(std::make_unique<WindowCountOperator>("count",
+                                              WindowSpec::Tumbling(10)))
+      .Add(std::make_unique<FilterOperator>("gt1", [](const Tuple& t) {
+        return t.value(0).AsInt() > 1;
+      }));
+  VectorCollector out;
+  ASSERT_TRUE(p.Run({V(0, 1.0), V(1, 1.0), V(12, 1.0)}, &out).ok());
+  ASSERT_EQ(out.tuples().size(), 1u);
+  EXPECT_EQ(out.tuples()[0].value(0).AsInt(), 2);
+}
+
+TEST(PipelineTest, TapObservesWithoutModifying) {
+  int seen = 0;
+  Pipeline p;
+  p.Add(std::make_unique<TapOperator>("tap",
+                                      [&seen](const Tuple&) { ++seen; }));
+  VectorCollector out;
+  ASSERT_TRUE(p.Run({V(0, 1.0), V(1, 2.0)}, &out).ok());
+  EXPECT_EQ(seen, 2);
+  EXPECT_EQ(out.tuples().size(), 2u);
+}
+
+TEST(PipelineTest, MetricsSnapshotPerStage) {
+  Pipeline p;
+  p.Add(std::make_unique<FilterOperator>(
+      "half", [](const Tuple& t) { return t.value(0).AsDouble() > 1.5; }));
+  VectorCollector out;
+  ASSERT_TRUE(p.Run({V(0, 1.0), V(1, 2.0)}, &out).ok());
+  const auto metrics = p.MetricsSnapshot();
+  ASSERT_EQ(metrics.size(), 1u);
+  EXPECT_EQ(metrics[0].tuples_in, 2u);
+  EXPECT_EQ(metrics[0].tuples_out, 1u);
+}
+
+TEST(TupleArchiveTest, ArchiveAndLookup) {
+  TupleArchive archive;
+  const Tuple t = V(5, 1.0);
+  archive.Archive(t);
+  ASSERT_TRUE(archive.Lookup(t.id()).ok());
+  EXPECT_EQ(archive.Lookup(t.id()).value().timestamp(), 5);
+  EXPECT_FALSE(archive.Lookup(t.id() + 999999).ok());
+}
+
+TEST(TupleArchiveTest, ResolveLineageSkipsMissing) {
+  TupleArchive archive;
+  const Tuple a = V(1, 1.0);
+  const Tuple b = V(2, 2.0);
+  archive.Archive(a);
+  archive.Archive(b);
+  const auto resolved = archive.ResolveLineage({a.id(), 999999999, b.id()});
+  EXPECT_EQ(resolved.size(), 2u);
+}
+
+TEST(TupleArchiveTest, EvictBeforeDropsOldTuples) {
+  TupleArchive archive;
+  const Tuple a = V(1, 1.0);
+  const Tuple b = V(100, 2.0);
+  archive.Archive(a);
+  archive.Archive(b);
+  archive.EvictBefore(50);
+  EXPECT_EQ(archive.size(), 1u);
+  EXPECT_FALSE(archive.Lookup(a.id()).ok());
+  EXPECT_TRUE(archive.Lookup(b.id()).ok());
+}
+
+}  // namespace
+}  // namespace stream
+}  // namespace usp

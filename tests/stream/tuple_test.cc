@@ -1,0 +1,79 @@
+#include "stream/tuple.h"
+
+#include <gtest/gtest.h>
+
+namespace usp {
+namespace stream {
+namespace {
+
+TEST(TupleTest, IdsAreUnique) {
+  const Tuple a(0, {});
+  const Tuple b(0, {});
+  EXPECT_NE(a.id(), b.id());
+}
+
+TEST(TupleTest, TimestampAndValues) {
+  Tuple t(1000, {Value(int64_t{1}), Value(2.0)});
+  EXPECT_EQ(t.timestamp(), 1000);
+  EXPECT_EQ(t.num_values(), 2u);
+  EXPECT_EQ(t.value(0).AsInt(), 1);
+  t.AppendValue(Value(std::string("x")));
+  EXPECT_EQ(t.num_values(), 3u);
+  t.set_timestamp(2000);
+  EXPECT_EQ(t.timestamp(), 2000);
+}
+
+TEST(TupleTest, BaseLineageIsOwnId) {
+  Tuple t(0, {});
+  EXPECT_TRUE(t.lineage().empty());
+  t.InitBaseLineage();
+  ASSERT_EQ(t.lineage().size(), 1u);
+  EXPECT_EQ(t.lineage()[0], t.id());
+}
+
+TEST(TupleTest, SetLineageSortsAndDedups) {
+  Tuple t(0, {});
+  t.SetLineage({5, 3, 5, 1, 3});
+  EXPECT_EQ(t.lineage(), (std::vector<TupleId>{1, 3, 5}));
+}
+
+TEST(TupleTest, MergeLineageUnions) {
+  Tuple a(0, {});
+  a.SetLineage({1, 3});
+  Tuple b(0, {});
+  b.SetLineage({2, 3, 7});
+  a.MergeLineageFrom(b);
+  EXPECT_EQ(a.lineage(), (std::vector<TupleId>{1, 2, 3, 7}));
+}
+
+TEST(TupleTest, SharesLineageDetectsOverlap) {
+  Tuple a(0, {}), b(0, {}), c(0, {});
+  a.SetLineage({1, 2});
+  b.SetLineage({2, 3});
+  c.SetLineage({4});
+  EXPECT_TRUE(a.SharesLineageWith(b));
+  EXPECT_FALSE(a.SharesLineageWith(c));
+  EXPECT_FALSE(b.SharesLineageWith(c));
+}
+
+TEST(TupleTest, SharesLineageEmptyIsFalse) {
+  Tuple a(0, {}), b(0, {});
+  EXPECT_FALSE(a.SharesLineageWith(b));
+}
+
+TEST(TupleTest, ToStringContainsIdAndValues) {
+  Tuple t(42, {Value(int64_t{9})});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("@42"), std::string::npos);
+  EXPECT_NE(s.find("9"), std::string::npos);
+}
+
+TEST(NextTupleIdTest, MonotonicallyIncreasing) {
+  const TupleId a = NextTupleId();
+  const TupleId b = NextTupleId();
+  EXPECT_GT(b, a);
+}
+
+}  // namespace
+}  // namespace stream
+}  // namespace usp

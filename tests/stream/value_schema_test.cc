@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "stats/gaussian.h"
+#include "stream/schema.h"
+#include "stream/value.h"
+
+namespace usp {
+namespace stream {
+namespace {
+
+TEST(ValueTest, KindsAndAccessors) {
+  const Value null_v;
+  const Value int_v(int64_t{42});
+  const Value dbl_v(3.5);
+  const Value str_v(std::string("abc"));
+  const Value dist_v(
+      stats::DistributionPtr(std::make_shared<stats::Gaussian>(1.0, 2.0)));
+
+  EXPECT_TRUE(null_v.is_null());
+  EXPECT_TRUE(int_v.is_int());
+  EXPECT_TRUE(dbl_v.is_double());
+  EXPECT_TRUE(str_v.is_string());
+  EXPECT_TRUE(dist_v.is_distribution());
+  EXPECT_TRUE(int_v.is_numeric());
+  EXPECT_TRUE(dbl_v.is_numeric());
+  EXPECT_FALSE(dist_v.is_numeric());
+
+  EXPECT_EQ(int_v.AsInt(), 42);
+  EXPECT_EQ(dbl_v.AsDouble(), 3.5);
+  EXPECT_EQ(int_v.AsDouble(), 42.0);  // int coerces
+  EXPECT_EQ(str_v.AsString(), "abc");
+  EXPECT_EQ(dist_v.AsDistribution()->Mean(), 1.0);
+}
+
+TEST(ValueTest, ExpectedValue) {
+  EXPECT_EQ(Value(int64_t{7}).ExpectedValue(), 7.0);
+  EXPECT_EQ(Value(2.5).ExpectedValue(), 2.5);
+  const Value dist_v(
+      stats::DistributionPtr(std::make_shared<stats::Gaussian>(4.0, 1.0)));
+  EXPECT_EQ(dist_v.ExpectedValue(), 4.0);
+}
+
+TEST(ValueTest, ToStringRendersAllKinds) {
+  EXPECT_EQ(Value().ToString(), "null");
+  EXPECT_EQ(Value(int64_t{5}).ToString(), "5");
+  EXPECT_EQ(Value(std::string("x")).ToString(), "\"x\"");
+  const Value dist_v(
+      stats::DistributionPtr(std::make_shared<stats::Gaussian>(0.0, 1.0)));
+  EXPECT_NE(dist_v.ToString().find("N("), std::string::npos);
+}
+
+TEST(ValueTest, EqualityByKindAndContent) {
+  EXPECT_EQ(Value(int64_t{1}), Value(int64_t{1}));
+  EXPECT_FALSE(Value(int64_t{1}) == Value(1.0));
+  EXPECT_FALSE(Value(int64_t{1}) == Value(int64_t{2}));
+  const auto d = stats::DistributionPtr(
+      std::make_shared<stats::Gaussian>(0.0, 1.0));
+  EXPECT_EQ(Value(d), Value(d));  // same handle
+  const auto d2 = stats::DistributionPtr(
+      std::make_shared<stats::Gaussian>(0.0, 1.0));
+  EXPECT_FALSE(Value(d) == Value(d2));  // identity, not structure
+}
+
+TEST(SchemaTest, IndexLookup) {
+  const Schema s({{"time", ValueKind::kInt},
+                  {"x", ValueKind::kDistribution},
+                  {"name", ValueKind::kString}});
+  EXPECT_EQ(s.num_fields(), 3u);
+  ASSERT_TRUE(s.IndexOf("x").ok());
+  EXPECT_EQ(s.IndexOf("x").value(), 1u);
+  EXPECT_FALSE(s.IndexOf("missing").ok());
+  EXPECT_EQ(s.IndexOf("missing").status().code(),
+            common::StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, ExtendedAppendsFields) {
+  const Schema s({{"a", ValueKind::kInt}});
+  const Schema e = s.Extended({{"b", ValueKind::kDouble}});
+  EXPECT_EQ(e.num_fields(), 2u);
+  EXPECT_EQ(e.field(1).name, "b");
+  // Original unchanged.
+  EXPECT_EQ(s.num_fields(), 1u);
+}
+
+TEST(SchemaTest, ToStringListsFields) {
+  const Schema s({{"a", ValueKind::kInt}, {"b", ValueKind::kDistribution}});
+  EXPECT_EQ(s.ToString(), "(a: int, b: distribution)");
+}
+
+}  // namespace
+}  // namespace stream
+}  // namespace usp

@@ -1,0 +1,185 @@
+#include "uncertain/aggregates.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/gaussian.h"
+
+namespace usp {
+namespace uncertain {
+namespace {
+
+using stream::Tuple;
+using stream::Value;
+
+Value Dist(double mean, double sd) {
+  return Value(stats::DistributionPtr(
+      std::make_shared<stats::Gaussian>(mean, sd)));
+}
+
+std::vector<const Tuple*> Ptrs(const std::vector<Tuple>& ts) {
+  std::vector<const Tuple*> out;
+  for (const auto& t : ts) out.push_back(&t);
+  return out;
+}
+
+TEST(SumAggregateTest, AllUncertainInputs) {
+  CltSum clt;
+  const auto spec = MakeSumAggregate("total", 0, &clt);
+  std::vector<Tuple> tuples;
+  tuples.emplace_back(0, std::vector<Value>{Dist(1.0, 1.0)});
+  tuples.emplace_back(1, std::vector<Value>{Dist(2.0, 2.0)});
+  const auto v = spec.fn(Ptrs(tuples));
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(v.value().is_distribution());
+  EXPECT_NEAR(v.value().AsDistribution()->Mean(), 3.0, 1e-9);
+  EXPECT_NEAR(v.value().AsDistribution()->Variance(), 5.0, 1e-9);
+}
+
+TEST(SumAggregateTest, MixedCertainAndUncertain) {
+  CltSum clt;
+  const auto spec = MakeSumAggregate("total", 0, &clt);
+  std::vector<Tuple> tuples;
+  tuples.emplace_back(0, std::vector<Value>{Value(10.0)});
+  tuples.emplace_back(1, std::vector<Value>{Dist(1.0, 1.0)});
+  tuples.emplace_back(2, std::vector<Value>{Value(int64_t{5})});
+  const auto v = spec.fn(Ptrs(tuples));
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(v.value().is_distribution());
+  EXPECT_NEAR(v.value().AsDistribution()->Mean(), 16.0, 1e-9);
+  EXPECT_NEAR(v.value().AsDistribution()->Variance(), 1.0, 1e-9);
+}
+
+TEST(SumAggregateTest, AllCertainGivesScalar) {
+  CltSum clt;
+  const auto spec = MakeSumAggregate("total", 0, &clt);
+  std::vector<Tuple> tuples;
+  tuples.emplace_back(0, std::vector<Value>{Value(2.0)});
+  tuples.emplace_back(1, std::vector<Value>{Value(3.0)});
+  const auto v = spec.fn(Ptrs(tuples));
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(v.value().is_double());
+  EXPECT_EQ(v.value().AsDouble(), 5.0);
+}
+
+TEST(SumAggregateTest, IndexOutOfRangeErrors) {
+  CltSum clt;
+  const auto spec = MakeSumAggregate("total", 3, &clt);
+  std::vector<Tuple> tuples;
+  tuples.emplace_back(0, std::vector<Value>{Value(1.0)});
+  EXPECT_FALSE(spec.fn(Ptrs(tuples)).ok());
+}
+
+TEST(SumAggregateTest, NonNumericAttributeErrors) {
+  CltSum clt;
+  const auto spec = MakeSumAggregate("total", 0, &clt);
+  std::vector<Tuple> tuples;
+  tuples.emplace_back(0, std::vector<Value>{Value(std::string("oops"))});
+  EXPECT_FALSE(spec.fn(Ptrs(tuples)).ok());
+}
+
+TEST(AvgAggregateTest, DividesByGroupSize) {
+  CltSum clt;
+  const auto spec = MakeAvgAggregate("avg", 0, &clt);
+  std::vector<Tuple> tuples;
+  tuples.emplace_back(0, std::vector<Value>{Dist(2.0, 1.0)});
+  tuples.emplace_back(1, std::vector<Value>{Dist(6.0, 1.0)});
+  const auto v = spec.fn(Ptrs(tuples));
+  ASSERT_TRUE(v.ok());
+  EXPECT_NEAR(v.value().AsDistribution()->Mean(), 4.0, 1e-9);
+  EXPECT_NEAR(v.value().AsDistribution()->Variance(), 0.5, 1e-9);
+}
+
+TEST(MaxAggregateTest, UncertainMaxMatchesOrderStatistics) {
+  const auto spec = MakeMaxAggregate("mx", 0, 512);
+  std::vector<Tuple> tuples;
+  tuples.emplace_back(0, std::vector<Value>{Dist(0.0, 1.0)});
+  tuples.emplace_back(1, std::vector<Value>{Dist(1.0, 1.0)});
+  const auto v = spec.fn(Ptrs(tuples));
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(v.value().is_distribution());
+  // E[max of N(0,1), N(1,1)] > 1.
+  EXPECT_GT(v.value().AsDistribution()->Mean(), 1.0);
+  // Cdf at x is product of cdfs.
+  const stats::Gaussian a(0.0, 1.0), b(1.0, 1.0);
+  const double x = 1.5;
+  EXPECT_NEAR(v.value().AsDistribution()->Cdf(x), a.Cdf(x) * b.Cdf(x), 0.02);
+}
+
+TEST(MaxAggregateTest, CertainValueClipsDistribution) {
+  const auto spec = MakeMaxAggregate("mx", 0, 512);
+  std::vector<Tuple> tuples;
+  tuples.emplace_back(0, std::vector<Value>{Dist(0.0, 1.0)});
+  tuples.emplace_back(1, std::vector<Value>{Value(0.5)});
+  const auto v = spec.fn(Ptrs(tuples));
+  ASSERT_TRUE(v.ok());
+  const auto& d = *v.value().AsDistribution();
+  // Max can never be below 0.5.
+  EXPECT_LT(d.Cdf(0.45), 0.01);
+  // P(max <= 1.0) = P(N(0,1) <= 1) since 1 > 0.5.
+  EXPECT_NEAR(d.Cdf(1.0), stats::Gaussian(0.0, 1.0).Cdf(1.0), 0.03);
+}
+
+TEST(MaxAggregateTest, AllCertainGivesScalar) {
+  const auto spec = MakeMaxAggregate("mx", 0);
+  std::vector<Tuple> tuples;
+  tuples.emplace_back(0, std::vector<Value>{Value(1.0)});
+  tuples.emplace_back(1, std::vector<Value>{Value(7.0)});
+  const auto v = spec.fn(Ptrs(tuples));
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().AsDouble(), 7.0);
+}
+
+TEST(MinAggregateTest, UncertainMin) {
+  const auto spec = MakeMinAggregate("mn", 0, 512);
+  std::vector<Tuple> tuples;
+  tuples.emplace_back(0, std::vector<Value>{Dist(0.0, 1.0)});
+  tuples.emplace_back(1, std::vector<Value>{Dist(1.0, 1.0)});
+  const auto v = spec.fn(Ptrs(tuples));
+  ASSERT_TRUE(v.ok());
+  EXPECT_LT(v.value().AsDistribution()->Mean(), 0.0);
+}
+
+TEST(MinAggregateTest, CertainValueCaps) {
+  const auto spec = MakeMinAggregate("mn", 0, 512);
+  std::vector<Tuple> tuples;
+  tuples.emplace_back(0, std::vector<Value>{Dist(5.0, 1.0)});
+  tuples.emplace_back(1, std::vector<Value>{Value(4.0)});
+  const auto v = spec.fn(Ptrs(tuples));
+  ASSERT_TRUE(v.ok());
+  const auto& d = *v.value().AsDistribution();
+  // Min can never exceed 4.0.
+  EXPECT_GT(d.Cdf(4.05), 0.99);
+}
+
+TEST(CountAggregateTest, CountsTuples) {
+  const auto spec = MakeCountAggregate("n");
+  std::vector<Tuple> tuples;
+  tuples.emplace_back(0, std::vector<Value>{Value(1.0)});
+  tuples.emplace_back(1, std::vector<Value>{Value(2.0)});
+  tuples.emplace_back(2, std::vector<Value>{Value(3.0)});
+  const auto v = spec.fn(Ptrs(tuples));
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().AsInt(), 3);
+}
+
+TEST(ProbGreaterThanTest, CertainAndUncertain) {
+  EXPECT_EQ(ProbGreaterThan(Value(5.0), 4.0), 1.0);
+  EXPECT_EQ(ProbGreaterThan(Value(3.0), 4.0), 0.0);
+  EXPECT_NEAR(ProbGreaterThan(Dist(0.0, 1.0), 0.0), 0.5, 1e-9);
+  EXPECT_NEAR(ProbGreaterThan(Dist(0.0, 1.0), -10.0), 1.0, 1e-9);
+  EXPECT_EQ(ProbGreaterThan(Value(std::string("x")), 0.0), 0.0);
+}
+
+TEST(HavingProbGreaterTest, ThresholdsOnConfidence) {
+  const auto having = MakeHavingProbGreater(1, 200.0, 0.9);
+  Tuple pass(0, {Value(std::string("area1")), Dist(250.0, 10.0)});
+  Tuple borderline(0, {Value(std::string("area2")), Dist(201.0, 10.0)});
+  Tuple fail(0, {Value(std::string("area3")), Dist(150.0, 10.0)});
+  EXPECT_TRUE(having(pass));
+  EXPECT_FALSE(having(borderline));  // P ~ 0.54 < 0.9
+  EXPECT_FALSE(having(fail));
+}
+
+}  // namespace
+}  // namespace uncertain
+}  // namespace usp

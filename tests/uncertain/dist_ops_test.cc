@@ -1,0 +1,117 @@
+#include "uncertain/dist_ops.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/exponential.h"
+#include "stats/gamma_dist.h"
+#include "stats/gaussian.h"
+#include "stats/gaussian_mixture.h"
+#include "stats/histogram.h"
+#include "stats/particle_set.h"
+#include "stats/uniform.h"
+
+namespace usp {
+namespace uncertain {
+namespace {
+
+TEST(AffineOfTest, RejectsDegenerateParams) {
+  const stats::Gaussian g(0.0, 1.0);
+  EXPECT_FALSE(AffineOf(g, 0.0, 1.0).ok());
+  EXPECT_FALSE(AffineOf(g, NAN, 0.0).ok());
+  EXPECT_FALSE(AffineOf(g, 1.0, INFINITY).ok());
+}
+
+TEST(AffineOfTest, GaussianExact) {
+  const stats::Gaussian g(2.0, 3.0);
+  const auto r = AffineOf(g, -2.0, 5.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()->type(), stats::DistType::kGaussian);
+  EXPECT_NEAR(r.value()->Mean(), 1.0, 1e-12);
+  EXPECT_NEAR(r.value()->Stddev(), 6.0, 1e-12);
+}
+
+TEST(AffineOfTest, MixtureExact) {
+  const auto m = stats::GaussianMixture::Make({{0.5, -1.0, 1.0},
+                                               {0.5, 1.0, 2.0}})
+                     .MoveValueUnsafe();
+  const auto r = AffineOf(m, 3.0, 1.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value()->Mean(), 3.0 * m.Mean() + 1.0, 1e-10);
+  EXPECT_NEAR(r.value()->Variance(), 9.0 * m.Variance(), 1e-10);
+}
+
+TEST(AffineOfTest, UniformFlipsWhenNegativeScale) {
+  const stats::Uniform u(1.0, 2.0);
+  const auto r = AffineOf(u, -1.0, 0.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()->type(), stats::DistType::kUniform);
+  EXPECT_NEAR(r.value()->Quantile(0.5), -1.5, 1e-9);
+}
+
+TEST(AffineOfTest, ExponentialPositiveScaleStaysExponential) {
+  const stats::Exponential e(2.0);
+  const auto r = AffineOf(e, 4.0, 0.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()->type(), stats::DistType::kExponential);
+  EXPECT_NEAR(r.value()->Mean(), 2.0, 1e-12);
+}
+
+TEST(AffineOfTest, ExponentialShiftFallsBackToHistogram) {
+  const stats::Exponential e(1.0);
+  const auto r = AffineOf(e, 1.0, 10.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()->type(), stats::DistType::kHistogram);
+  EXPECT_NEAR(r.value()->Mean(), 11.0, 0.05);
+}
+
+TEST(AffineOfTest, GammaScale) {
+  const stats::GammaDist g(2.0, 1.0);
+  const auto r = AffineOf(g, 3.0, 0.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()->type(), stats::DistType::kGamma);
+  EXPECT_NEAR(r.value()->Mean(), 6.0, 1e-12);
+  EXPECT_NEAR(r.value()->Variance(), 18.0, 1e-12);
+}
+
+TEST(AffineOfTest, HistogramGridTransforms) {
+  const auto h =
+      stats::Histogram::FromMasses(0.0, 2.0, {1.0, 3.0}).MoveValueUnsafe();
+  const auto r = AffineOf(h, 2.0, 1.0);
+  ASSERT_TRUE(r.ok());
+  // Mass 0.25 on [1,3), mass 0.75 on [3,5).
+  EXPECT_NEAR(r.value()->Cdf(3.0), 0.25, 1e-9);
+  EXPECT_NEAR(r.value()->Mean(), 2.0 * h.Mean() + 1.0, 1e-9);
+}
+
+TEST(AffineOfTest, HistogramNegativeScaleReverses) {
+  const auto h =
+      stats::Histogram::FromMasses(0.0, 2.0, {1.0, 3.0}).MoveValueUnsafe();
+  const auto r = AffineOf(h, -1.0, 0.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value()->Mean(), -h.Mean(), 1e-9);
+  // The heavy bin [1,2) maps to (-2,-1].
+  EXPECT_NEAR(r.value()->Cdf(-1.0), 0.75, 1e-9);
+}
+
+TEST(AffineOfTest, ParticleSetTransformsValues) {
+  const auto ps =
+      stats::ParticleSet::Make({1.0, 2.0}, {0.5, 0.5}).MoveValueUnsafe();
+  const auto r = AffineOf(ps, 10.0, -5.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()->type(), stats::DistType::kParticleSet);
+  EXPECT_NEAR(r.value()->Mean(), 10.0, 1e-9);
+}
+
+TEST(ShiftScaleHelpersTest, ComposeCorrectly) {
+  const stats::Gaussian g(1.0, 1.0);
+  const auto shifted = ShiftOf(g, 2.0);
+  ASSERT_TRUE(shifted.ok());
+  EXPECT_NEAR(shifted.value()->Mean(), 3.0, 1e-12);
+  const auto scaled = ScaleOf(g, 4.0);
+  ASSERT_TRUE(scaled.ok());
+  EXPECT_NEAR(scaled.value()->Variance(), 16.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace uncertain
+}  // namespace usp

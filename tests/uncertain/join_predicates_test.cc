@@ -1,0 +1,134 @@
+#include "uncertain/join_predicates.h"
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "stats/gaussian.h"
+#include "stats/uniform.h"
+
+namespace usp {
+namespace uncertain {
+namespace {
+
+using stream::Tuple;
+using stream::Value;
+
+Value G(double mean, double sd) {
+  return Value(stats::DistributionPtr(
+      std::make_shared<stats::Gaussian>(mean, sd)));
+}
+
+TEST(ProbAbsDiffWithinTest, CertainCertain) {
+  EXPECT_EQ(ProbAbsDiffWithin(Value(1.0), Value(1.5), 1.0), 1.0);
+  EXPECT_EQ(ProbAbsDiffWithin(Value(1.0), Value(3.0), 1.0), 0.0);
+}
+
+TEST(ProbAbsDiffWithinTest, GaussianGaussianClosedForm) {
+  // X ~ N(0,1), Y ~ N(0,1): X - Y ~ N(0, 2); P(|D| <= 1) = 2 Phi(1/sqrt2)-1.
+  const double p = ProbAbsDiffWithin(G(0.0, 1.0), G(0.0, 1.0), 1.0);
+  const double expected =
+      2.0 * common::StdNormalCdf(1.0 / std::sqrt(2.0)) - 1.0;
+  EXPECT_NEAR(p, expected, 1e-9);
+}
+
+TEST(ProbAbsDiffWithinTest, FarApartGaussiansNearZero) {
+  EXPECT_LT(ProbAbsDiffWithin(G(0.0, 1.0), G(100.0, 1.0), 1.0), 1e-9);
+}
+
+TEST(ProbAbsDiffWithinTest, CertainVsGaussian) {
+  // P(|c - Y| <= eps) = F(c+eps) - F(c-eps).
+  const stats::Gaussian y(0.0, 1.0);
+  const double p = ProbAbsDiffWithin(Value(0.5), G(0.0, 1.0), 0.5);
+  EXPECT_NEAR(p, y.Cdf(1.0) - y.Cdf(0.0), 1e-9);
+  // Symmetric in argument order.
+  EXPECT_NEAR(ProbAbsDiffWithin(G(0.0, 1.0), Value(0.5), 0.5), p, 1e-9);
+}
+
+TEST(ProbAbsDiffWithinTest, GenericQuadraturePathMatchesGaussianPath) {
+  // Force the numeric path by using a Uniform against a Gaussian, and
+  // compare with Monte Carlo.
+  const Value u(stats::DistributionPtr(
+      std::make_shared<stats::Uniform>(-1.0, 1.0)));
+  const Value g = G(0.0, 1.0);
+  const double p = ProbAbsDiffWithin(u, g, 0.5);
+  common::Rng rng(9);
+  const stats::Uniform ud(-1.0, 1.0);
+  const stats::Gaussian gd(0.0, 1.0);
+  int hits = 0;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) {
+    if (std::fabs(ud.Sample(&rng) - gd.Sample(&rng)) <= 0.5) ++hits;
+  }
+  EXPECT_NEAR(p, hits / static_cast<double>(n), 0.005);
+}
+
+TEST(ProbAbsDiffWithinTest, NullValuesGiveZero) {
+  EXPECT_EQ(ProbAbsDiffWithin(Value(), G(0.0, 1.0), 1.0), 0.0);
+}
+
+TEST(ProbLocEqualsTest, ProductAcrossAxes) {
+  const std::vector<Value> a = {G(0.0, 1.0), G(0.0, 1.0)};
+  const std::vector<Value> b = {G(0.0, 1.0), G(0.0, 1.0)};
+  const double per_axis = ProbAbsDiffWithin(a[0], b[0], 1.0);
+  EXPECT_NEAR(ProbLocEquals(a, b, 1.0), per_axis * per_axis, 1e-9);
+}
+
+TEST(ProbLocEqualsTest, ZeroShortCircuits) {
+  const std::vector<Value> a = {G(0.0, 0.1), G(0.0, 0.1)};
+  const std::vector<Value> b = {G(1000.0, 0.1), G(0.0, 0.1)};
+  EXPECT_EQ(ProbLocEquals(a, b, 0.5), 0.0);
+}
+
+TEST(ProbabilisticEqualityMatchTest, JoinsCloseLocations) {
+  EqualityJoinSpec spec;
+  spec.left_attrs = {0, 1};
+  spec.right_attrs = {0, 1};
+  spec.eps = 2.0;
+  spec.min_confidence = 0.5;
+  auto match = MakeProbabilisticEqualityMatch(spec);
+
+  Tuple l(0, {G(5.0, 0.5), G(5.0, 0.5)});
+  l.InitBaseLineage();
+  Tuple r_close(1, {G(5.1, 0.5), G(4.9, 0.5)});
+  r_close.InitBaseLineage();
+  Tuple r_far(2, {G(50.0, 0.5), G(5.0, 0.5)});
+  r_far.InitBaseLineage();
+
+  const auto joined = match(l, r_close);
+  ASSERT_TRUE(joined.has_value());
+  // 2 + 2 values + appended probability.
+  EXPECT_EQ(joined->num_values(), 5u);
+  EXPECT_GT(joined->value(4).AsDouble(), 0.5);
+  EXPECT_EQ(joined->lineage().size(), 2u);
+
+  EXPECT_FALSE(match(l, r_far).has_value());
+}
+
+TEST(ProbabilisticEqualityMatchTest, NoAnnotationWhenDisabled) {
+  EqualityJoinSpec spec;
+  spec.left_attrs = {0};
+  spec.right_attrs = {0};
+  spec.eps = 5.0;
+  spec.min_confidence = 0.1;
+  spec.annotate_probability = false;
+  auto match = MakeProbabilisticEqualityMatch(spec);
+  Tuple l(0, {G(0.0, 1.0)});
+  Tuple r(1, {G(0.0, 1.0)});
+  const auto joined = match(l, r);
+  ASSERT_TRUE(joined.has_value());
+  EXPECT_EQ(joined->num_values(), 2u);
+}
+
+TEST(ProbabilisticEqualityMatchTest, BadIndicesRejectPair) {
+  EqualityJoinSpec spec;
+  spec.left_attrs = {7};
+  spec.right_attrs = {0};
+  auto match = MakeProbabilisticEqualityMatch(spec);
+  Tuple l(0, {G(0.0, 1.0)});
+  Tuple r(1, {G(0.0, 1.0)});
+  EXPECT_FALSE(match(l, r).has_value());
+}
+
+}  // namespace
+}  // namespace uncertain
+}  // namespace usp

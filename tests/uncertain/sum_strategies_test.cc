@@ -1,0 +1,253 @@
+#include "uncertain/sum_strategies.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "stats/exponential.h"
+#include "stats/gaussian.h"
+#include "stats/gaussian_mixture.h"
+#include "stats/metrics.h"
+
+namespace usp {
+namespace uncertain {
+namespace {
+
+// Shared workload: a window of mixture-distributed tuples, mirroring the
+// Table 2 setup ("input distributions ... generated from mixture Gaussian
+// distributions to simulate arbitrary real-world distributions").
+std::vector<std::shared_ptr<const stats::Distribution>> MakeWindow(
+    size_t n, uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<std::shared_ptr<const stats::Distribution>> out;
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<stats::GaussianMixture::Component> comps;
+    const size_t k = 1 + rng.UniformInt(3);
+    for (size_t c = 0; c < k; ++c) {
+      comps.push_back({0.2 + rng.Uniform(),
+                       rng.Uniform(-5.0, 5.0),
+                       0.3 + rng.Uniform()});
+    }
+    out.push_back(std::make_shared<stats::GaussianMixture>(
+        stats::GaussianMixture::Make(std::move(comps)).MoveValueUnsafe()));
+  }
+  return out;
+}
+
+std::vector<const stats::Distribution*> Raw(
+    const std::vector<std::shared_ptr<const stats::Distribution>>& in) {
+  std::vector<const stats::Distribution*> out;
+  for (const auto& d : in) out.push_back(d.get());
+  return out;
+}
+
+double TotalMean(const std::vector<const stats::Distribution*>& in) {
+  double m = 0.0;
+  for (auto* d : in) m += d->Mean();
+  return m;
+}
+
+double TotalVar(const std::vector<const stats::Distribution*>& in) {
+  double v = 0.0;
+  for (auto* d : in) v += d->Variance();
+  return v;
+}
+
+class SumStrategyContractTest
+    : public ::testing::TestWithParam<SumStrategyKind> {};
+
+TEST_P(SumStrategyContractTest, EmptyInputIsError) {
+  auto strategy = MakeSumStrategy(GetParam());
+  EXPECT_FALSE(strategy->SumOf({}).ok());
+}
+
+TEST_P(SumStrategyContractTest, NullInputIsError) {
+  auto strategy = MakeSumStrategy(GetParam());
+  EXPECT_FALSE(strategy->SumOf({nullptr}).ok());
+}
+
+TEST_P(SumStrategyContractTest, MomentsOfSumAreAdditive) {
+  auto strategy = MakeSumStrategy(GetParam());
+  const auto window = MakeWindow(20, 11);
+  const auto raw = Raw(window);
+  const auto sum = strategy->SumOf(raw);
+  ASSERT_TRUE(sum.ok()) << sum.status().ToString();
+  // The histogram baseline re-grids to 64 bins after every convolution and
+  // legitimately loses ~10% of the variance — that loss is the paper's
+  // argument against it — so the contract tolerance is loose.
+  const double tol_mean = 0.35;
+  const double tol_var = 0.15 * TotalVar(raw) + 1.0;
+  EXPECT_NEAR(sum.value()->Mean(), TotalMean(raw), tol_mean);
+  EXPECT_NEAR(sum.value()->Variance(), TotalVar(raw), tol_var);
+}
+
+TEST_P(SumStrategyContractTest, SingleInputIsNearIdentity) {
+  auto strategy = MakeSumStrategy(GetParam());
+  const stats::Gaussian g(3.0, 2.0);
+  const auto sum = strategy->SumOf({&g});
+  ASSERT_TRUE(sum.ok());
+  EXPECT_NEAR(sum.value()->Mean(), 3.0, 0.15);
+  EXPECT_NEAR(sum.value()->Stddev(), 2.0, 0.2);
+}
+
+TEST_P(SumStrategyContractTest, MeanOfDividesByN) {
+  auto strategy = MakeSumStrategy(GetParam());
+  const stats::Gaussian g(4.0, 1.0);
+  const std::vector<const stats::Distribution*> in(4, &g);
+  const auto avg = strategy->MeanOf(in);
+  ASSERT_TRUE(avg.ok());
+  EXPECT_NEAR(avg.value()->Mean(), 4.0, 0.1);
+  EXPECT_NEAR(avg.value()->Variance(), 0.25, 0.08);
+}
+
+TEST_P(SumStrategyContractTest, GaussianInputsGiveGaussianShapedSum) {
+  auto strategy = MakeSumStrategy(GetParam());
+  std::vector<std::shared_ptr<const stats::Distribution>> window;
+  common::Rng rng(5);
+  for (int i = 0; i < 30; ++i) {
+    window.push_back(std::make_shared<stats::Gaussian>(
+        rng.Uniform(-1.0, 1.0), 0.5 + rng.Uniform()));
+  }
+  const auto raw = Raw(window);
+  const auto sum = strategy->SumOf(raw);
+  ASSERT_TRUE(sum.ok());
+  const stats::Gaussian expected(TotalMean(raw),
+                                 std::sqrt(TotalVar(raw)));
+  EXPECT_LT(stats::TotalVariationDistance(*sum.value(), expected), 0.2)
+      << SumStrategyKindName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, SumStrategyContractTest,
+    ::testing::Values(SumStrategyKind::kHistogram,
+                      SumStrategyKind::kCfInversion,
+                      SumStrategyKind::kCfApprox,
+                      SumStrategyKind::kMonteCarlo, SumStrategyKind::kClt),
+    [](const ::testing::TestParamInfo<SumStrategyKind>& info) {
+      switch (info.param) {
+        case SumStrategyKind::kHistogram:
+          return std::string("Histogram");
+        case SumStrategyKind::kCfInversion:
+          return std::string("CfInversion");
+        case SumStrategyKind::kCfApprox:
+          return std::string("CfApprox");
+        case SumStrategyKind::kMonteCarlo:
+          return std::string("MonteCarlo");
+        case SumStrategyKind::kClt:
+          return std::string("Clt");
+      }
+      return std::string("Unknown");
+    });
+
+TEST(CfInversionSumTest, ExactOnMixtures) {
+  // Ground truth for two mixtures via the exact component-product sum.
+  const auto a = stats::GaussianMixture::Make({{0.5, -2.0, 0.5},
+                                               {0.5, 2.0, 1.0}})
+                     .MoveValueUnsafe();
+  const auto b = stats::GaussianMixture::Make({{0.3, 0.0, 0.8},
+                                               {0.7, 3.0, 0.6}})
+                     .MoveValueUnsafe();
+  const stats::GaussianMixture truth =
+      stats::GaussianMixture::SumOfIndependent(a, b);
+  CfInversionSum strategy(2048);
+  const auto sum = strategy.SumOf({&a, &b});
+  ASSERT_TRUE(sum.ok());
+  EXPECT_LT(stats::TotalVariationDistance(*sum.value(), truth), 0.01);
+}
+
+TEST(Table2OrderingTest, AccuracyOrdering) {
+  // The paper's qualitative result: CF inversion exact (distance ~0);
+  // CF approx small error; histogram clearly worse than CF approx.
+  const auto window = MakeWindow(100, 42);
+  const auto raw = Raw(window);
+
+  CfInversionSum exact(2048);
+  const auto truth = exact.SumOf(raw);
+  ASSERT_TRUE(truth.ok());
+
+  HistogramSum hist(64);
+  CfApproxSum approx(1);
+  const auto h = hist.SumOf(raw);
+  const auto a = approx.SumOf(raw);
+  ASSERT_TRUE(h.ok());
+  ASSERT_TRUE(a.ok());
+
+  const double dist_hist =
+      stats::VarianceDistance(*h.value(), *truth.value());
+  const double dist_approx =
+      stats::VarianceDistance(*a.value(), *truth.value());
+  EXPECT_LT(dist_approx, dist_hist);
+  EXPECT_LT(dist_approx, 0.05);
+}
+
+TEST(CltSumTest, ConvergesToTruthAsWindowGrows) {
+  // CLT error shrinks with N for skewed inputs.
+  const stats::Exponential e(1.0);
+  CltSum clt;
+  CfInversionSum exact(2048);
+  double prev_tv = 1.0;
+  for (size_t n : {5, 25, 125}) {
+    const std::vector<const stats::Distribution*> in(n, &e);
+    const auto c = clt.SumOf(in);
+    const auto t = exact.SumOf(in);
+    ASSERT_TRUE(c.ok());
+    ASSERT_TRUE(t.ok());
+    const double tv = stats::TotalVariationDistance(*c.value(), *t.value());
+    EXPECT_LT(tv, prev_tv);
+    prev_tv = tv;
+  }
+  EXPECT_LT(prev_tv, 0.05);
+}
+
+TEST(MonteCarloSumTest, MoreSamplesMoreAccurate) {
+  const auto window = MakeWindow(10, 123);
+  const auto raw = Raw(window);
+  CfInversionSum exact(2048);
+  const auto truth = exact.SumOf(raw);
+  ASSERT_TRUE(truth.ok());
+  MonteCarloSum few(50, 1);
+  MonteCarloSum many(20000, 1);
+  const auto f = few.SumOf(raw);
+  const auto m = many.SumOf(raw);
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(m.ok());
+  EXPECT_LT(stats::KsDistance(*m.value(), *truth.value()),
+            stats::KsDistance(*f.value(), *truth.value()));
+}
+
+TEST(CfApproxSumTest, MixtureComponentsHelpOnBimodalSum) {
+  // Two far-separated-mode inputs: the sum is multi-modal; a one-Gaussian
+  // approximation cannot capture it but a mixture fit can.
+  const auto a = stats::GaussianMixture::Make({{0.5, -10.0, 0.5},
+                                               {0.5, 10.0, 0.5}})
+                     .MoveValueUnsafe();
+  const stats::Gaussian b(0.0, 0.5);
+  CfInversionSum exact(2048);
+  const auto truth = exact.SumOf({&a, &b});
+  ASSERT_TRUE(truth.ok());
+  CfApproxSum one(1);
+  CfApproxSum four(4);
+  const auto g1 = one.SumOf({&a, &b});
+  const auto g4 = four.SumOf({&a, &b});
+  ASSERT_TRUE(g1.ok());
+  ASSERT_TRUE(g4.ok());
+  EXPECT_LT(stats::TotalVariationDistance(*g4.value(), *truth.value()),
+            stats::TotalVariationDistance(*g1.value(), *truth.value()));
+}
+
+TEST(MakeSumStrategyTest, ReturnsMatchingKinds) {
+  for (auto kind :
+       {SumStrategyKind::kHistogram, SumStrategyKind::kCfInversion,
+        SumStrategyKind::kCfApprox, SumStrategyKind::kMonteCarlo,
+        SumStrategyKind::kClt}) {
+    auto s = MakeSumStrategy(kind);
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->kind(), kind);
+    EXPECT_FALSE(s->name().empty());
+  }
+}
+
+}  // namespace
+}  // namespace uncertain
+}  // namespace usp

@@ -1,0 +1,120 @@
+#include "uncertain/temporal.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace usp {
+namespace uncertain {
+namespace {
+
+Ar1Chain DefaultChain() {
+  Ar1Chain c;
+  c.initial = stats::Gaussian(10.0, 2.0);
+  c.c0 = 1.0;
+  c.c1 = 0.9;
+  c.noise_sd = 1.0;
+  return c;
+}
+
+TEST(Ar1ChainTest, Validation) {
+  EXPECT_FALSE(SumOfAr1Chain(DefaultChain(), 0).ok());
+  Ar1Chain bad = DefaultChain();
+  bad.noise_sd = -1.0;
+  EXPECT_FALSE(SumOfAr1Chain(bad, 5).ok());
+}
+
+TEST(Ar1ChainTest, MarginalRecursion) {
+  const Ar1Chain c = DefaultChain();
+  const auto m1 = c.MarginalAt(1);
+  EXPECT_NEAR(m1.Mean(), 10.0, 1e-12);
+  EXPECT_NEAR(m1.Variance(), 4.0, 1e-12);
+  const auto m2 = c.MarginalAt(2);
+  EXPECT_NEAR(m2.Mean(), 1.0 + 0.9 * 10.0, 1e-12);
+  EXPECT_NEAR(m2.Variance(), 0.81 * 4.0 + 1.0, 1e-12);
+}
+
+TEST(Ar1ChainTest, CovarianceDecaysGeometrically) {
+  const Ar1Chain c = DefaultChain();
+  const double v = c.MarginalAt(3).Variance();
+  EXPECT_NEAR(c.Covariance(3, 0), v, 1e-12);
+  EXPECT_NEAR(c.Covariance(3, 2), 0.81 * v, 1e-12);
+}
+
+TEST(Ar1ChainTest, SumOfOneIsInitial) {
+  const auto s = SumOfAr1Chain(DefaultChain(), 1);
+  ASSERT_TRUE(s.ok());
+  EXPECT_NEAR(s.value().Mean(), 10.0, 1e-12);
+  EXPECT_NEAR(s.value().Variance(), 4.0, 1e-12);
+}
+
+TEST(Ar1ChainTest, IndependentChainMatchesIndependentSum) {
+  Ar1Chain c = DefaultChain();
+  c.c1 = 0.0;  // X_{t+1} = c0 + noise: independent across t
+  const auto s = SumOfAr1Chain(c, 5);
+  ASSERT_TRUE(s.ok());
+  // Var = Var(X1) + 4 * noise^2.
+  EXPECT_NEAR(s.value().Variance(), 4.0 + 4.0 * 1.0, 1e-12);
+  const auto ratio = IndependenceVarianceRatio(c, 5);
+  ASSERT_TRUE(ratio.ok());
+  EXPECT_NEAR(ratio.value(), 1.0, 1e-12);
+}
+
+TEST(Ar1ChainTest, TwoStepSumClosedForm) {
+  // S_2 = X1 + X2 with X2 = c0 + c1 X1 + e:
+  // Var = Var(X1) (1 + c1)^2 + noise^2.
+  const Ar1Chain c = DefaultChain();
+  const auto s = SumOfAr1Chain(c, 2);
+  ASSERT_TRUE(s.ok());
+  EXPECT_NEAR(s.value().Mean(), 10.0 + 1.0 + 9.0, 1e-12);
+  EXPECT_NEAR(s.value().Variance(), 4.0 * 1.9 * 1.9 + 1.0, 1e-12);
+}
+
+TEST(Ar1ChainTest, ExactSumMatchesMonteCarlo) {
+  const Ar1Chain c = DefaultChain();
+  const size_t n = 25;
+  const auto exact = SumOfAr1Chain(c, n);
+  ASSERT_TRUE(exact.ok());
+  common::Rng rng(17);
+  const auto mc = MonteCarloSumOfAr1(c, n, 200000, &rng);
+  ASSERT_TRUE(mc.ok());
+  const double se_mean =
+      exact.value().Stddev() / std::sqrt(200000.0);
+  EXPECT_NEAR(mc.value()->Mean(), exact.value().Mean(), 6.0 * se_mean);
+  EXPECT_NEAR(mc.value()->Variance(), exact.value().Variance(),
+              0.02 * exact.value().Variance());
+}
+
+TEST(Ar1ChainTest, PositiveCorrelationInflatesVariance) {
+  const auto ratio = IndependenceVarianceRatio(DefaultChain(), 50);
+  ASSERT_TRUE(ratio.ok());
+  // c1 = 0.9: long-run inflation factor approaches (1+c1)/(1-c1) = 19.
+  EXPECT_GT(ratio.value(), 5.0);
+}
+
+TEST(Ar1ChainTest, NegativeCorrelationDeflatesVariance) {
+  Ar1Chain c = DefaultChain();
+  c.c1 = -0.8;
+  const auto ratio = IndependenceVarianceRatio(c, 50);
+  ASSERT_TRUE(ratio.ok());
+  EXPECT_LT(ratio.value(), 0.5);
+}
+
+TEST(Ar1ChainTest, MeanOfChainScales) {
+  const Ar1Chain c = DefaultChain();
+  const auto sum = SumOfAr1Chain(c, 10);
+  const auto mean = MeanOfAr1Chain(c, 10);
+  ASSERT_TRUE(sum.ok());
+  ASSERT_TRUE(mean.ok());
+  EXPECT_NEAR(mean.value().Mean(), sum.value().Mean() / 10.0, 1e-9);
+  EXPECT_NEAR(mean.value().Variance(), sum.value().Variance() / 100.0,
+              1e-9);
+}
+
+TEST(Ar1ChainTest, MonteCarloValidation) {
+  EXPECT_FALSE(MonteCarloSumOfAr1(DefaultChain(), 5, 0, nullptr).ok());
+}
+
+}  // namespace
+}  // namespace uncertain
+}  // namespace usp

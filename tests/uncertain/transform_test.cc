@@ -1,0 +1,124 @@
+#include "uncertain/transform.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/uniform.h"
+
+namespace usp {
+namespace uncertain {
+namespace {
+
+TEST(DeltaMethodTest, LinearFunctionIsExact) {
+  const stats::Gaussian x(2.0, 3.0);
+  const auto g = DeltaMethodTransform(
+      x, [](double v) { return 5.0 * v - 1.0; });
+  ASSERT_TRUE(g.ok());
+  EXPECT_NEAR(g.value().Mean(), 9.0, 1e-9);
+  EXPECT_NEAR(g.value().Stddev(), 15.0, 1e-4);
+}
+
+TEST(DeltaMethodTest, ExplicitDerivativeUsed) {
+  const stats::Gaussian x(1.0, 0.1);
+  const auto g = DeltaMethodTransform(
+      x, [](double v) { return v * v; }, [](double v) { return 2.0 * v; });
+  ASSERT_TRUE(g.ok());
+  EXPECT_NEAR(g.value().Mean(), 1.0, 1e-12);
+  EXPECT_NEAR(g.value().Variance(), 4.0 * 0.01, 1e-8);
+}
+
+TEST(DeltaMethodTest, GoodApproximationForSmallVariance) {
+  // exp(X), X ~ N(0, 0.05^2): compare against exact lognormal moments.
+  const stats::Gaussian x(0.0, 0.05);
+  const auto g =
+      DeltaMethodTransform(x, [](double v) { return std::exp(v); });
+  ASSERT_TRUE(g.ok());
+  const double exact_mean = std::exp(0.5 * 0.0025);
+  EXPECT_NEAR(g.value().Mean(), exact_mean, 0.01);
+}
+
+TEST(DeltaMethodMultiTest, SumOfIndependentGaussians) {
+  const stats::Gaussian a(1.0, 1.0), b(2.0, 2.0);
+  const auto g = DeltaMethodTransformMulti(
+      {&a, &b}, [](const std::vector<double>& v) { return v[0] + v[1]; });
+  ASSERT_TRUE(g.ok());
+  EXPECT_NEAR(g.value().Mean(), 3.0, 1e-9);
+  EXPECT_NEAR(g.value().Variance(), 5.0, 1e-4);
+}
+
+TEST(DeltaMethodMultiTest, ProductRule) {
+  // g(x, y) = x * y at (2, 3): grad = (3, 2); var = 9 s1^2 + 4 s2^2.
+  const stats::Gaussian a(2.0, 0.1), b(3.0, 0.2);
+  const auto g = DeltaMethodTransformMulti(
+      {&a, &b}, [](const std::vector<double>& v) { return v[0] * v[1]; });
+  ASSERT_TRUE(g.ok());
+  EXPECT_NEAR(g.value().Mean(), 6.0, 1e-9);
+  EXPECT_NEAR(g.value().Variance(), 9.0 * 0.01 + 4.0 * 0.04, 1e-5);
+}
+
+TEST(DeltaMethodMultiTest, EmptyInputErrors) {
+  EXPECT_FALSE(DeltaMethodTransformMulti(
+                   {}, [](const std::vector<double>&) { return 0.0; })
+                   .ok());
+}
+
+TEST(GridTransformTest, IdentityPreservesDistribution) {
+  const stats::Gaussian x(1.0, 2.0);
+  const auto h = GridTransform(x, [](double v) { return v; });
+  ASSERT_TRUE(h.ok());
+  EXPECT_NEAR(h.value().Mean(), 1.0, 0.05);
+  EXPECT_NEAR(h.value().Variance(), 4.0, 0.2);
+}
+
+TEST(GridTransformTest, SquareOfUniformMatchesClosedForm) {
+  // X ~ U(0,1): Y = X^2 has cdf sqrt(y).
+  const stats::Uniform x(0.0, 1.0);
+  const auto h = GridTransform(x, [](double v) { return v * v; }, 8192, 512);
+  ASSERT_TRUE(h.ok());
+  for (double y : {0.04, 0.25, 0.64}) {
+    EXPECT_NEAR(h.value().Cdf(y), std::sqrt(y), 0.01) << "y=" << y;
+  }
+}
+
+TEST(GridTransformTest, NonMonotoneFunctionFoldsMass) {
+  // X ~ N(0,1): Y = X^2 is chi-squared(1); P(Y <= 1) = P(|X| <= 1).
+  const stats::Gaussian x(0.0, 1.0);
+  const auto h = GridTransform(x, [](double v) { return v * v; }, 8192, 512);
+  ASSERT_TRUE(h.ok());
+  EXPECT_NEAR(h.value().Cdf(1.0), 0.6826894921, 0.01);
+  EXPECT_NEAR(h.value().Mean(), 1.0, 0.05);
+}
+
+TEST(GridTransformTest, ConstantFunctionHandled) {
+  const stats::Gaussian x(0.0, 1.0);
+  const auto h = GridTransform(x, [](double) { return 7.0; });
+  ASSERT_TRUE(h.ok());
+  EXPECT_NEAR(h.value().Mean(), 7.0, 0.5);
+}
+
+TEST(GridTransformTest, ZeroBinsError) {
+  const stats::Gaussian x(0.0, 1.0);
+  EXPECT_FALSE(GridTransform(x, [](double v) { return v; }, 0, 10).ok());
+  EXPECT_FALSE(GridTransform(x, [](double v) { return v; }, 10, 0).ok());
+}
+
+TEST(TransformComparisonTest, GridBeatsDeltaOnHighCurvature) {
+  // exp(X) with large variance: Delta method misses the skew; the grid
+  // transform captures the lognormal mean e^{sigma^2/2}.
+  const stats::Gaussian x(0.0, 1.0);
+  const double exact_mean = std::exp(0.5);
+  const auto delta =
+      DeltaMethodTransform(x, [](double v) { return std::exp(v); });
+  const auto grid =
+      GridTransform(x, [](double v) { return std::exp(v); }, 16384, 1024);
+  ASSERT_TRUE(delta.ok());
+  ASSERT_TRUE(grid.ok());
+  const double delta_err = std::fabs(delta.value().Mean() - exact_mean);
+  const double grid_err = std::fabs(grid.value().Mean() - exact_mean);
+  EXPECT_LT(grid_err, delta_err);
+}
+
+}  // namespace
+}  // namespace uncertain
+}  // namespace usp
