@@ -1,0 +1,136 @@
+// Throughput scaling of the sharded DAG executor on the paper's Q1 plan
+// shape: a keyed group-by-SUM over uncertain weights,
+//
+//   src -> annotate P(w > limit) -> group_by(key) + CF-approx SUM -> sink
+//
+// hash-partitioned by key across 1/2/4/8 shard worker threads. All tuples
+// of one key land on one shard, so the sharded results are identical to
+// the single-threaded ones; the bench reports tuples/sec per shard count
+// (items_per_second) — the ROADMAP "sharding, batching, async" claim is
+// that this scales near-linearly until ingest partitioning saturates.
+//
+// Run:  ./build/bench/bench_dag_sharding
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "stats/gaussian.h"
+#include "stream/basic_operators.h"
+#include "stream/group_by.h"
+#include "stream/sharded_executor.h"
+#include "uncertain/aggregates.h"
+#include "uncertain/selection.h"
+#include "uncertain/sum_strategies.h"
+
+namespace {
+
+using usp::stats::DistributionPtr;
+using usp::stream::ExecGraph;
+using usp::stream::ShardContext;
+using usp::stream::ShardedExecutor;
+using usp::stream::Tuple;
+using usp::stream::TupleBatch;
+using usp::stream::Value;
+
+constexpr size_t kNumKeys = 64;
+constexpr size_t kTuplesPerRun = 64 * 1024;
+constexpr size_t kIngestBatch = 4096;
+constexpr int64_t kWindowUs = 1000;
+
+// (key:int, weight:distribution) tuples, timestamps advancing 1 us each,
+// keys round-robin so every shard count gets balanced load.
+std::vector<TupleBatch> MakeInput() {
+  usp::common::Rng rng(42);
+  std::vector<TupleBatch> batches;
+  TupleBatch batch;
+  batch.Reserve(kIngestBatch);
+  for (size_t i = 0; i < kTuplesPerRun; ++i) {
+    Tuple t(static_cast<int64_t>(i),
+            {Value(static_cast<int64_t>(i % kNumKeys)),
+             Value(DistributionPtr(std::make_shared<usp::stats::Gaussian>(
+                 20.0 + rng.Uniform(-5.0, 5.0), 1.0 + rng.Uniform())))});
+    t.InitBaseLineage();
+    batch.Append(std::move(t));
+    if (batch.size() == kIngestBatch) {
+      batches.push_back(std::move(batch));
+      batch = TupleBatch();
+      batch.Reserve(kIngestBatch);
+    }
+  }
+  if (!batch.empty()) batches.push_back(std::move(batch));
+  return batches;
+}
+
+void BM_DagSharding(benchmark::State& state) {
+  const size_t num_shards = static_cast<size_t>(state.range(0));
+  const std::vector<TupleBatch> input = MakeInput();
+
+  for (auto _ : state) {
+    ShardedExecutor::Options opts;
+    opts.num_shards = num_shards;
+    opts.queue_capacity = 64;
+    // One strategy per shard; aggregate state never crosses threads.
+    std::vector<std::unique_ptr<usp::uncertain::CfApproxSum>> strategies(
+        num_shards);
+    ExecGraph::NodeId source = 0, sink = 0;
+    auto exec_or = ShardedExecutor::Create(
+        opts, usp::stream::KeyByIntValue(0),
+        [&](ExecGraph* g, const ShardContext& ctx) {
+          strategies[ctx.shard_index] =
+              std::make_unique<usp::uncertain::CfApproxSum>();
+          source = g->AddSource("src");
+          const auto annotate = g->AddOperator(
+              source, usp::uncertain::MakeProbabilityAnnotator(
+                          "p_over", 1,
+                          usp::uncertain::PredicateOp::kGreaterThan, 22.0));
+          const auto group = g->AddOperator(
+              annotate,
+              std::make_unique<usp::stream::GroupByAggregateOperator>(
+                  "sum_by_key", usp::stream::WindowSpec::Tumbling(kWindowUs),
+                  [](const Tuple& t) {
+                    return std::to_string(t.value(0).AsInt());
+                  },
+                  std::vector<usp::stream::AggregateSpec>{
+                      usp::uncertain::MakeSumAggregate(
+                          "total", 1, strategies[ctx.shard_index].get())}));
+          sink = g->AddSink(group, "sink");
+          return usp::common::Status::OK();
+        });
+    if (!exec_or.ok()) {
+      state.SkipWithError(exec_or.status().ToString().c_str());
+      return;
+    }
+    auto exec = exec_or.MoveValueUnsafe();
+    for (const TupleBatch& batch : input) {
+      if (auto st = exec->PushBatch(source, batch); !st.ok()) {
+        state.SkipWithError(st.ToString().c_str());
+        return;
+      }
+    }
+    if (auto st = exec->Finish(); !st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(exec->sink_output(sink).size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kTuplesPerRun));
+  state.counters["shards"] = static_cast<double>(num_shards);
+}
+
+}  // namespace
+
+BENCHMARK(BM_DagSharding)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

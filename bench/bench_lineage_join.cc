@@ -14,6 +14,7 @@
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "stats/gaussian.h"
+#include "stream/exec_graph.h"
 #include "stream/join.h"
 #include "uncertain/join_predicates.h"
 #include "uncertain/lineage_aggregate.h"
@@ -25,7 +26,8 @@ using usp::stream::Tuple;
 using usp::stream::Value;
 
 // Run the Q2-style join for one temperature cell against `fanout` objects
-// and return the joined temperature attributes.
+// and return the joined temperature attributes. The join runs as a fan-in
+// node of the batch DAG executor (the production plan shape).
 std::vector<DistributionPtr> JoinedTemps(size_t fanout, uint64_t seed) {
   usp::common::Rng rng(seed);
   usp::uncertain::EqualityJoinSpec spec;
@@ -33,16 +35,25 @@ std::vector<DistributionPtr> JoinedTemps(size_t fanout, uint64_t seed) {
   spec.right_attrs = {0, 1};
   spec.eps = 3.0;
   spec.min_confidence = 0.2;
-  usp::stream::SlidingWindowJoin join(
-      "bench", 10'000'000,
-      usp::uncertain::MakeProbabilisticEqualityMatch(spec));
-  usp::stream::VectorCollector out;
+
+  auto graph = std::make_unique<usp::stream::ExecGraph>();
+  const auto objects = graph->AddSource("objects");
+  const auto readings = graph->AddSource("temps");
+  const auto join = graph->AddJoin(
+      objects, readings,
+      std::make_unique<usp::stream::SlidingWindowJoin>(
+          "bench", 10'000'000,
+          usp::uncertain::MakeProbabilisticEqualityMatch(spec)));
+  const auto sink = graph->AddSink(join, "joined");
+  usp::stream::DagExecutor exec(std::move(graph));
 
   Tuple temp(0, {Value(10.0), Value(10.0),
                  Value(DistributionPtr(std::make_shared<usp::stats::Gaussian>(
                      70.0, 4.0)))});
   temp.InitBaseLineage();
-  (void)join.PushRight(temp, &out);
+  (void)exec.Push(readings, temp);
+  usp::stream::TupleBatch objs;
+  objs.Reserve(fanout);
   for (size_t i = 0; i < fanout; ++i) {
     Tuple obj(static_cast<int64_t>(i + 1),
               {Value(static_cast<int64_t>(i)),
@@ -51,10 +62,12 @@ std::vector<DistributionPtr> JoinedTemps(size_t fanout, uint64_t seed) {
                Value(DistributionPtr(std::make_shared<usp::stats::Gaussian>(
                    10.0 + rng.Gaussian(0.0, 0.3), 0.5)))});
     obj.InitBaseLineage();
-    (void)join.PushLeft(obj, &out);
+    objs.Append(std::move(obj));
   }
+  (void)exec.PushBatch(objects, objs);
+  (void)exec.Close();
   std::vector<DistributionPtr> temps;
-  for (const Tuple& t : out.tuples()) {
+  for (const Tuple& t : exec.sink_output(sink)) {
     temps.push_back(t.value(5).AsDistribution());
   }
   return temps;

@@ -14,21 +14,45 @@
 // example resolves areas by expected location and reports the violation
 // probability P(sum > 200) per emitted group.
 //
+// The plan runs on the sharded DAG executor: tuples are hash-partitioned
+// by area cell, each shard runs a private map -> group-by plan on its own
+// worker thread, and the per-area sums are exact because one area's
+// tuples always land on one shard.
+//
 // Build & run:  ./build/examples/fire_code_monitoring
 
 #include <cstdio>
 #include <string>
+#include <utility>
 
 #include "rfid/model.h"
 #include "rfid/transform_operator.h"
 #include "stream/basic_operators.h"
 #include "stream/group_by.h"
-#include "stream/pipeline.h"
+#include "stream/sharded_executor.h"
 #include "uncertain/aggregates.h"
 #include "uncertain/sum_strategies.h"
 
 using usp::stream::Tuple;
 using usp::stream::Value;
+
+namespace {
+
+// 10 ft grid cell of a location tuple's expected position. The shard key
+// hashes the same cell numerically (no string formatting on the ingest
+// hot path); the GROUP BY key is the cell's display name. Same cell =>
+// same shard AND same group, so grouping stays shard-local.
+std::pair<int, int> AreaCellOf(const Tuple& t) {
+  return {int(t.value(1).AsDistribution()->Mean() / 10.0),
+          int(t.value(2).AsDistribution()->Mean() / 10.0)};
+}
+
+std::string AreaOf(const Tuple& t) {
+  const auto [cx, cy] = AreaCellOf(t);
+  return "area_" + std::to_string(cx) + "_" + std::to_string(cy);
+}
+
+}  // namespace
 
 int main() {
   // --- world + T operator ------------------------------------------------
@@ -52,62 +76,96 @@ int main() {
     weight_by_tag[i] = (i % 7 == 0) ? 120.0 : 25.0;
   }
 
-  // --- Q1 pipeline --------------------------------------------------------
-  // Inner select: annotate area (10 ft grid cells) and weight.
-  usp::stream::Pipeline q1;
-  q1.Add(std::make_unique<usp::stream::MapOperator>(
-      "annotate_area_weight",
-      [&weight_by_tag](const Tuple& t) -> usp::common::Result<Tuple> {
-        Tuple out = t;
-        const double x = t.value(1).AsDistribution()->Mean();
-        const double y = t.value(2).AsDistribution()->Mean();
-        out.AppendValue(Value("area_" + std::to_string(int(x / 10.0)) + "_" +
-                              std::to_string(int(y / 10.0))));
-        out.AppendValue(
-            Value(weight_by_tag[size_t(t.value(0).AsInt())]));
-        return out;
-      }));
-  // Outer select: 5 s window, group by area, SUM(weight), HAVING > 200 lb
-  // with 50% confidence.
-  usp::uncertain::CfApproxSum sum_strategy;
-  q1.Add(std::make_unique<usp::stream::GroupByAggregateOperator>(
-      "q1_group_sum", usp::stream::WindowSpec::Tumbling(5'000'000),
-      [](const Tuple& t) { return t.value(3).AsString(); },
-      std::vector<usp::stream::AggregateSpec>{
-          usp::uncertain::MakeSumAggregate("total_weight", 4,
-                                           &sum_strategy)},
-      usp::uncertain::MakeHavingProbGreater(1, 200.0, 0.5)));
+  // --- Q1 as a sharded keyed plan ----------------------------------------
+  usp::stream::ShardedExecutor::Options opts;
+  opts.num_shards = 4;
+  // One strategy instance per shard: aggregate state never crosses threads.
+  std::vector<std::unique_ptr<usp::uncertain::CfApproxSum>> strategies(
+      opts.num_shards);
+  usp::stream::ExecGraph::NodeId source = 0, group = 0, sink = 0;
+  auto exec_or = usp::stream::ShardedExecutor::Create(
+      opts,
+      [](const Tuple& t) {
+        const auto [cx, cy] = AreaCellOf(t);
+        return std::hash<int64_t>{}((static_cast<int64_t>(cx) << 32) ^
+                                    static_cast<uint32_t>(cy));
+      },
+      [&](usp::stream::ExecGraph* g, const usp::stream::ShardContext& ctx) {
+        strategies[ctx.shard_index] =
+            std::make_unique<usp::uncertain::CfApproxSum>();
+        usp::uncertain::CfApproxSum* sum_strategy =
+            strategies[ctx.shard_index].get();
+        source = g->AddSource("rfid_stream");
+        // Inner select: annotate area (10 ft grid cells) and weight.
+        const auto annotate = g->AddOperator(
+            source,
+            std::make_unique<usp::stream::MapOperator>(
+                "annotate_area_weight",
+                [&weight_by_tag](const Tuple& t)
+                    -> usp::common::Result<Tuple> {
+                  Tuple out = t;
+                  out.AppendValue(Value(AreaOf(t)));
+                  out.AppendValue(
+                      Value(weight_by_tag[size_t(t.value(0).AsInt())]));
+                  return out;
+                }));
+        // Outer select: 5 s window, group by area, SUM(weight),
+        // HAVING > 200 lb with 50% confidence.
+        group = g->AddOperator(
+            annotate,
+            std::make_unique<usp::stream::GroupByAggregateOperator>(
+                "q1_group_sum", usp::stream::WindowSpec::Tumbling(5'000'000),
+                [](const Tuple& t) { return t.value(3).AsString(); },
+                std::vector<usp::stream::AggregateSpec>{
+                    usp::uncertain::MakeSumAggregate("total_weight", 4,
+                                                     sum_strategy)},
+                usp::uncertain::MakeHavingProbGreater(1, 200.0, 0.5)));
+        sink = g->AddSink(group, "alerts");
+        return usp::common::Status::OK();
+      });
+  if (!exec_or.ok()) {
+    fprintf(stderr, "plan failed: %s\n",
+            exec_or.status().ToString().c_str());
+    return 1;
+  }
+  auto exec = exec_or.MoveValueUnsafe();
 
   // --- run 2 simulated minutes -------------------------------------------
-  printf("== Q1: fire-code monitoring (areas over 200 lb) ==\n\n");
-  usp::stream::VectorCollector alerts;
-  usp::stream::VectorCollector locations;
+  printf("== Q1: fire-code monitoring (areas over 200 lb, %zu shards) ==\n\n",
+         exec->num_shards());
   for (int scan = 0; scan < 240; ++scan) {
-    locations.Clear();
-    if (auto st = t_op.ProcessReading(sim.Step(), &locations); !st.ok()) {
-      fprintf(stderr, "T operator failed: %s\n", st.ToString().c_str());
+    auto locations = t_op.ProcessReadingBatch(sim.Step());
+    if (!locations.ok()) {
+      fprintf(stderr, "T operator failed: %s\n",
+              locations.status().ToString().c_str());
       return 1;
     }
-    for (const Tuple& t : locations.tuples()) {
-      if (auto st = q1.Push(t, &alerts); !st.ok()) {
-        fprintf(stderr, "pipeline failed: %s\n", st.ToString().c_str());
-        return 1;
-      }
+    if (auto st = exec->PushBatch(source, locations.MoveValueUnsafe());
+        !st.ok()) {
+      fprintf(stderr, "plan failed: %s\n", st.ToString().c_str());
+      return 1;
     }
   }
-  (void)q1.Close(&alerts);
+  if (auto st = exec->Finish(); !st.ok()) {
+    fprintf(stderr, "plan failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
 
+  const auto& alerts = exec->sink_output(sink);
   printf("%-12s %-12s %-14s %s\n", "time(s)", "area", "E[weight](lb)",
          "P(weight > 200)");
-  for (const Tuple& alert : alerts.tuples()) {
+  for (const Tuple& alert : alerts) {
     const Value& total = alert.value(1);
     printf("%-12.1f %-12s %-14.1f %.3f\n",
            static_cast<double>(alert.timestamp()) / 1e6,
            alert.value(0).AsString().c_str(), total.ExpectedValue(),
            usp::uncertain::ProbGreaterThan(total, 200.0));
   }
-  printf("\n%zu violation alerts from %llu location tuples\n",
-         alerts.tuples().size(),
-         static_cast<unsigned long long>(q1.op(1).metrics().tuples_in));
+  uint64_t group_in = 0;
+  for (const auto& m : exec->MetricsSnapshot()) {
+    if (m.name == "q1_group_sum") group_in = m.metrics.tuples_in;
+  }
+  printf("\n%zu violation alerts from %llu location tuples\n", alerts.size(),
+         static_cast<unsigned long long>(group_in));
   return 0;
 }

@@ -12,6 +12,13 @@
 // probabilistic predicate and every alert carries a match probability and
 // a temperature-exceedance probability.
 //
+// The plan runs as a box-arrow ExecGraph with fan-in: two sources (RFID
+// and temperature) meet at a sliding-window join node —
+//
+//   rfid_src -> flammable_filter -\
+//                                  join -> hot_filter -> sink
+//   temp_src ---------------------/
+//
 // Build & run:  ./build/examples/flammable_alert
 
 #include <cstdio>
@@ -19,6 +26,8 @@
 #include "rfid/model.h"
 #include "rfid/transform_operator.h"
 #include "stats/gaussian.h"
+#include "stream/basic_operators.h"
+#include "stream/exec_graph.h"
 #include "stream/join.h"
 #include "uncertain/join_predicates.h"
 #include "uncertain/selection.h"
@@ -42,8 +51,6 @@ int main() {
   usp::rfid::RfidTransformOperator t_op(config.num_objects,
                                         sim.shelf_positions(),
                                         config.sensing, t_opts);
-  // Every third object is flammable.
-  const auto is_flammable = [](int64_t tag) { return tag % 3 == 0; };
 
   // --- temperature side ------------------------------------------------
   // A thermal hotspot around (15, 15) ft; sensors on a 15 ft grid report
@@ -54,35 +61,60 @@ int main() {
     return 25.0 + 55.0 * std::exp(-d2 / (2.0 * 12.0 * 12.0));
   };
 
-  // --- Q2 join -----------------------------------------------------------
+  // --- Q2 plan as a fan-in DAG -------------------------------------------
   usp::uncertain::EqualityJoinSpec spec;
   spec.left_attrs = {1, 2};   // object (x, y)
   spec.right_attrs = {0, 1};  // sensor (x, y)
   spec.eps = 8.0;             // co-location tolerance (ft)
   spec.min_confidence = 0.5;
-  usp::stream::SlidingWindowJoin q2(
-      "q2", 3'000'000, usp::uncertain::MakeProbabilisticEqualityMatch(spec));
+
+  auto graph = std::make_unique<usp::stream::ExecGraph>();
+  const auto rfid_src = graph->AddSource("rfid_stream");
+  const auto temp_src = graph->AddSource("temp_stream");
+  const auto flammable = graph->AddOperator(
+      rfid_src, std::make_unique<usp::stream::FilterOperator>(
+                    "flammable", [](const Tuple& t) {
+                      return t.value(0).AsInt() % 3 == 0;
+                    }));
+  const auto join = graph->AddJoin(
+      flammable, temp_src,
+      std::make_unique<usp::stream::SlidingWindowJoin>(
+          "q2", 3'000'000,
+          usp::uncertain::MakeProbabilisticEqualityMatch(spec)));
+  // HAVING-style tail: annotate P(temp > 60 C), keep alerts above 90%.
+  const auto annotate = graph->AddOperator(
+      join, usp::uncertain::MakeProbabilityAnnotator(
+                "p_hot", 5, usp::uncertain::PredicateOp::kGreaterThan, 60.0));
+  const auto hot = graph->AddOperator(
+      annotate, std::make_unique<usp::stream::FilterOperator>(
+                    "hot", [](const Tuple& t) {
+                      return t.value(7).AsDouble() >= 0.9;
+                    }));
+  const auto sink = graph->AddSink(hot, "alerts");
+  if (auto st = graph->Validate(); !st.ok()) {
+    fprintf(stderr, "invalid plan: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  usp::stream::DagExecutor exec(std::move(graph));
 
   printf("== Q2: flammable objects in hot areas ==\n\n");
-  printf("%-8s %-7s %-18s %-12s %-11s %s\n", "time(s)", "tag",
-         "E[location] (ft)", "E[temp] (C)", "P(match)", "P(temp > 60)");
 
-  usp::stream::VectorCollector alerts;
-  size_t alert_count = 0;
   for (int scan = 0; scan < 240; ++scan) {
-    // RFID readings -> location tuples -> flammable filter -> join left.
-    usp::stream::VectorCollector locations;
-    if (auto st = t_op.ProcessReading(sim.Step(), &locations); !st.ok()) {
-      fprintf(stderr, "T operator failed: %s\n", st.ToString().c_str());
+    // RFID readings -> location tuple batch -> left source.
+    auto locations = t_op.ProcessReadingBatch(sim.Step());
+    if (!locations.ok()) {
+      fprintf(stderr, "T operator failed: %s\n",
+              locations.status().ToString().c_str());
       return 1;
     }
-    for (const Tuple& t : locations.tuples()) {
-      if (!is_flammable(t.value(0).AsInt())) continue;
-      (void)q2.PushLeft(t, &alerts);
+    if (auto st = exec.PushBatch(rfid_src, locations.value()); !st.ok()) {
+      fprintf(stderr, "plan failed: %s\n", st.ToString().c_str());
+      return 1;
     }
-    // Temperature tuples every 4 scans (2 s).
+    // Temperature tuple batch every 4 scans (2 s) -> right source.
     if (scan % 4 == 0) {
       const int64_t ts = static_cast<int64_t>(sim.now_s() * 1e6);
+      usp::stream::TupleBatch temps;
       for (double x = 7.5; x < config.width_ft; x += 15.0) {
         for (double y = 7.5; y < config.height_ft; y += 15.0) {
           const double measured =
@@ -93,32 +125,41 @@ int main() {
                           std::make_shared<usp::stats::Gaussian>(measured,
                                                                  1.5)))});
           temp.InitBaseLineage();
-          (void)q2.PushRight(temp, &alerts);
+          temps.Append(std::move(temp));
         }
       }
-    }
-    // Drain alerts: apply the temp > 60 C predicate with 90% confidence.
-    for (const Tuple& a : alerts.tuples()) {
-      const double p_hot = usp::uncertain::PredicateProbability(
-          a.value(5), usp::uncertain::PredicateOp::kGreaterThan, 60.0);
-      if (p_hot < 0.9) continue;
-      ++alert_count;
-      if (alert_count <= 12) {  // keep the demo output short
-        printf("%-8.1f %-7lld (%5.1f, %5.1f)     %-12.1f %-11.2f %.3f\n",
-               static_cast<double>(a.timestamp()) / 1e6,
-               static_cast<long long>(a.value(0).AsInt()),
-               a.value(1).AsDistribution()->Mean(),
-               a.value(2).AsDistribution()->Mean(),
-               a.value(5).AsDistribution()->Mean(),
-               a.value(6).AsDouble(), p_hot);
+      if (auto st = exec.PushBatch(temp_src, temps); !st.ok()) {
+        fprintf(stderr, "plan failed: %s\n", st.ToString().c_str());
+        return 1;
       }
     }
-    alerts.Clear();
+  }
+  (void)exec.Close();
+
+  printf("%-8s %-7s %-18s %-12s %-11s %s\n", "time(s)", "tag",
+         "E[location] (ft)", "E[temp] (C)", "P(match)", "P(temp > 60)");
+  const auto& alerts = exec.sink_output(sink);
+  size_t shown = 0;
+  for (const Tuple& a : alerts) {
+    if (++shown > 12) break;  // keep the demo output short
+    printf("%-8.1f %-7lld (%5.1f, %5.1f)     %-12.1f %-11.2f %.3f\n",
+           static_cast<double>(a.timestamp()) / 1e6,
+           static_cast<long long>(a.value(0).AsInt()),
+           a.value(1).AsDistribution()->Mean(),
+           a.value(2).AsDistribution()->Mean(),
+           a.value(5).AsDistribution()->Mean(), a.value(6).AsDouble(),
+           a.value(7).AsDouble());
+  }
+  uint64_t join_in = 0, join_out = 0;
+  for (const auto& m : exec.MetricsSnapshot()) {
+    if (m.name == "q2") {
+      join_in = m.metrics.tuples_in;
+      join_out = m.metrics.tuples_out;
+    }
   }
   printf("\n%zu alerts in 120 simulated seconds "
          "(join saw %llu tuples in, %llu matches)\n",
-         alert_count,
-         static_cast<unsigned long long>(q2.metrics().tuples_in),
-         static_cast<unsigned long long>(q2.metrics().tuples_out));
+         alerts.size(), static_cast<unsigned long long>(join_in),
+         static_cast<unsigned long long>(join_out));
   return 0;
 }

@@ -15,6 +15,7 @@
 #include "stats/gaussian.h"
 #include "stats/gaussian_mixture.h"
 #include "stream/group_by.h"
+#include "stream/pipeline.h"
 #include "uncertain/aggregates.h"
 #include "uncertain/sum_strategies.h"
 
@@ -37,6 +38,8 @@ int main() {
 
   // --- 2. windowed SUM under uncertainty --------------------------------
   // Tuples: (zone, weight). One 5-second tumbling window, grouped by zone.
+  // The plan runs as a Pipeline — a path-shaped graph on the batched DAG
+  // executor — so the whole tuple vector flows through in one batch.
   const auto make_tuple = [](int64_t ts, const char* zone,
                              DistributionPtr w) {
     Tuple t(ts, {Value(std::string(zone)), Value(std::move(w))});
@@ -50,18 +53,18 @@ int main() {
         usp::uncertain::SumStrategyKind::kHistogram,
         usp::uncertain::SumStrategyKind::kClt}) {
     auto strategy = usp::uncertain::MakeSumStrategy(kind);
-    usp::stream::GroupByAggregateOperator sum_op(
+    usp::stream::Pipeline plan;
+    plan.Add(std::make_unique<usp::stream::GroupByAggregateOperator>(
         "sum_by_zone", usp::stream::WindowSpec::Tumbling(5'000'000),
         [](const Tuple& t) { return t.value(0).AsString(); },
-        {usp::uncertain::MakeSumAggregate("total", 1, strategy.get())});
+        std::vector<usp::stream::AggregateSpec>{
+            usp::uncertain::MakeSumAggregate("total", 1, strategy.get())}));
     usp::stream::VectorCollector out;
-    (void)sum_op.Push(make_tuple(1'000'000, "A", w1), &out);
-    (void)sum_op.Push(make_tuple(2'000'000, "A", w2), &out);
-    (void)sum_op.Push(
-        make_tuple(3'000'000, "B",
-                   std::make_shared<usp::stats::Gaussian>(120.0, 5.0)),
+    (void)plan.Run(
+        {make_tuple(1'000'000, "A", w1), make_tuple(2'000'000, "A", w2),
+         make_tuple(3'000'000, "B",
+                    std::make_shared<usp::stats::Gaussian>(120.0, 5.0))},
         &out);
-    (void)sum_op.Close(&out);
 
     printf("strategy %-18s ->", strategy->name().c_str());
     for (const Tuple& t : out.tuples()) {

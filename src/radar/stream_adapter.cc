@@ -54,5 +54,22 @@ common::Status ScanToTuples(const std::vector<MomentBeam>& beams,
   return common::Status::OK();
 }
 
+common::Result<stream::TupleBatch> BeamToBatch(
+    const MomentBeam& beam, const BeamTupleOptions& options) {
+  stream::TupleBatch batch;
+  batch.Reserve(beam.gates.size());
+  stream::BatchCollector collector(&batch);
+  USP_RETURN_NOT_OK(BeamToTuples(beam, options, &collector));
+  return batch;
+}
+
+common::Result<stream::TupleBatch> ScanToBatch(
+    const std::vector<MomentBeam>& beams, const BeamTupleOptions& options) {
+  stream::TupleBatch batch;
+  stream::BatchCollector collector(&batch);
+  USP_RETURN_NOT_OK(ScanToTuples(beams, options, &collector));
+  return batch;
+}
+
 }  // namespace radar
 }  // namespace usp

@@ -9,6 +9,7 @@
 
 #include "common/status.h"
 #include "radar/types.h"
+#include "stream/batch.h"
 #include "stream/operator.h"
 #include "stream/schema.h"
 
@@ -39,6 +40,13 @@ common::Status BeamToTuples(const MomentBeam& beam,
 common::Status ScanToTuples(const std::vector<MomentBeam>& beams,
                             const BeamTupleOptions& options,
                             stream::Collector* out);
+
+/// Batch-native variants for the DAG runtime: one TupleBatch per beam /
+/// per scan, ready for DagExecutor::PushBatch or ShardedExecutor ingest.
+common::Result<stream::TupleBatch> BeamToBatch(
+    const MomentBeam& beam, const BeamTupleOptions& options);
+common::Result<stream::TupleBatch> ScanToBatch(
+    const std::vector<MomentBeam>& beams, const BeamTupleOptions& options);
 
 }  // namespace radar
 }  // namespace usp

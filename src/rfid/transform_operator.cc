@@ -86,5 +86,14 @@ common::Status RfidTransformOperator::ProcessReading(const Reading& reading,
   return common::Status::OK();
 }
 
+common::Result<stream::TupleBatch> RfidTransformOperator::ProcessReadingBatch(
+    const Reading& reading) {
+  stream::TupleBatch batch;
+  batch.Reserve(reading.observed_objects.size());
+  stream::BatchCollector collector(&batch);
+  USP_RETURN_NOT_OK(ProcessReading(reading, &collector));
+  return batch;
+}
+
 }  // namespace rfid
 }  // namespace usp

@@ -11,6 +11,7 @@
 #include <memory>
 
 #include "rfid/particle_filter.h"
+#include "stream/batch.h"
 #include "stream/operator.h"
 #include "stream/schema.h"
 
@@ -48,6 +49,11 @@ class RfidTransformOperator {
   /// Assimilate a reading and emit location tuples for detected objects.
   common::Status ProcessReading(const Reading& reading,
                                 stream::Collector* out);
+
+  /// Batch-native variant: the location tuples of one reading as a
+  /// TupleBatch, ready for DagExecutor / ShardedExecutor ingest.
+  common::Result<stream::TupleBatch> ProcessReadingBatch(
+      const Reading& reading);
 
   const FactoredParticleFilter& filter() const { return filter_; }
   static stream::SchemaPtr OutputSchema();

@@ -7,6 +7,7 @@
 
 #include <functional>
 
+#include "stream/batch.h"
 #include "stream/operator.h"
 
 namespace usp {
@@ -25,6 +26,14 @@ class FilterOperator final : public Operator {
     return common::Status::OK();
   }
 
+  common::Status ProcessBatch(const TupleBatch& batch,
+                              Collector* out) override {
+    for (const Tuple& t : batch) {
+      if (pred_(t)) out->Emit(t);
+    }
+    return common::Status::OK();
+  }
+
  private:
   Predicate pred_;
 };
@@ -40,6 +49,20 @@ class MapOperator final : public Operator {
 
  protected:
   common::Status Process(const Tuple& tuple, Collector* out) override {
+    return MapOne(tuple, out);
+  }
+
+  common::Status ProcessBatch(const TupleBatch& batch,
+                              Collector* out) override {
+    for (const Tuple& t : batch) {
+      USP_RETURN_NOT_OK(MapOne(t, out));
+    }
+    return common::Status::OK();
+  }
+
+ private:
+  // Single drop-on-NotFound / abort-on-error policy for both paths.
+  common::Status MapOne(const Tuple& tuple, Collector* out) {
     auto res = fn_(tuple);
     if (!res.ok()) {
       if (res.status().code() == common::StatusCode::kNotFound) {
@@ -51,7 +74,6 @@ class MapOperator final : public Operator {
     return common::Status::OK();
   }
 
- private:
   MapFn fn_;
 };
 
@@ -67,6 +89,15 @@ class TapOperator final : public Operator {
   common::Status Process(const Tuple& tuple, Collector* out) override {
     fn_(tuple);
     out->Emit(tuple);
+    return common::Status::OK();
+  }
+
+  common::Status ProcessBatch(const TupleBatch& batch,
+                              Collector* out) override {
+    for (const Tuple& t : batch) {
+      fn_(t);
+      out->Emit(t);
+    }
     return common::Status::OK();
   }
 

@@ -1,0 +1,27 @@
+#include "stream/batch.h"
+
+#include <cstdint>
+#include <iterator>
+#include <limits>
+
+namespace usp {
+namespace stream {
+
+void TupleBatch::Concat(TupleBatch&& other) {
+  if (tuples_.empty()) {
+    tuples_ = std::move(other.tuples_);
+    return;
+  }
+  tuples_.insert(tuples_.end(), std::make_move_iterator(other.tuples_.begin()),
+                 std::make_move_iterator(other.tuples_.end()));
+  other.tuples_.clear();
+}
+
+int64_t TupleBatch::MaxTimestamp() const {
+  int64_t max_ts = std::numeric_limits<int64_t>::min();
+  for (const Tuple& t : tuples_) max_ts = std::max(max_ts, t.timestamp());
+  return max_ts;
+}
+
+}  // namespace stream
+}  // namespace usp

@@ -1,5 +1,7 @@
 #include "stream/operator.h"
 
+#include "stream/batch.h"
+
 namespace usp {
 namespace stream {
 
@@ -24,6 +26,24 @@ common::Status Operator::Push(const Tuple& tuple, Collector* out) {
   const common::Status st = Process(tuple, &counting);
   metrics_.processing_seconds += sw.ElapsedSeconds();
   return st;
+}
+
+common::Status Operator::PushBatch(const TupleBatch& batch, Collector* out) {
+  metrics_.tuples_in += batch.size();
+  ++metrics_.batches_in;
+  CountingCollector counting(out, &metrics_);
+  common::Stopwatch sw;
+  const common::Status st = ProcessBatch(batch, &counting);
+  metrics_.processing_seconds += sw.ElapsedSeconds();
+  return st;
+}
+
+common::Status Operator::ProcessBatch(const TupleBatch& batch,
+                                      Collector* out) {
+  for (const Tuple& t : batch) {
+    USP_RETURN_NOT_OK(Process(t, out));
+  }
+  return common::Status::OK();
 }
 
 common::Status Operator::Close(Collector* out) {

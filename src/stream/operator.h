@@ -17,6 +17,8 @@
 namespace usp {
 namespace stream {
 
+class TupleBatch;
+
 /// Downstream sink an operator emits into.
 class Collector {
  public:
@@ -48,10 +50,23 @@ class CallbackCollector final : public Collector {
 };
 
 /// Cumulative per-operator counters.
+///
+/// Under the sharded executor each shard owns a private operator instance
+/// (and therefore a private OperatorMetrics); snapshots merge the per-shard
+/// structs with MergeFrom rather than sharing one mutable struct across
+/// threads.
 struct OperatorMetrics {
   uint64_t tuples_in = 0;
   uint64_t tuples_out = 0;
+  uint64_t batches_in = 0;
   double processing_seconds = 0.0;
+
+  void MergeFrom(const OperatorMetrics& other) {
+    tuples_in += other.tuples_in;
+    tuples_out += other.tuples_out;
+    batches_in += other.batches_in;
+    processing_seconds += other.processing_seconds;
+  }
 };
 
 /// \brief Base class for unary stream operators.
@@ -72,11 +87,18 @@ class Operator {
 
   /// Consume one tuple, emitting zero or more results.
   common::Status Push(const Tuple& tuple, Collector* out);
+  /// Consume a whole batch. Metrics are metered once per batch, so this is
+  /// the hot path for the DAG executor; the default implementation calls
+  /// Process() per tuple, subclasses may override ProcessBatch() with a
+  /// vectorised loop.
+  common::Status PushBatch(const TupleBatch& batch, Collector* out);
   /// End-of-stream: flush buffered state.
   common::Status Close(Collector* out);
 
  protected:
   virtual common::Status Process(const Tuple& tuple, Collector* out) = 0;
+  /// Batch hook; default loops over Process(). Emissions go to `out`.
+  virtual common::Status ProcessBatch(const TupleBatch& batch, Collector* out);
   virtual common::Status Finish(Collector* out) {
     (void)out;
     return common::Status::OK();

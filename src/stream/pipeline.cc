@@ -1,56 +1,92 @@
 #include "stream/pipeline.h"
 
+#include <cstdlib>
+
+#include "common/logging.h"
+
 namespace usp {
 namespace stream {
 
 Pipeline& Pipeline::Add(std::unique_ptr<Operator> op) {
-  ops_.push_back(std::move(op));
+  if (exec_) {
+    // Fail loudly in every build type: silently dropping the operator
+    // would produce wrong results with no error.
+    USP_LOG(Error) << "Pipeline::Add('" << op->name()
+                   << "') after first Push; operators must be added before "
+                      "the pipeline runs";
+    std::abort();
+  }
+  pending_.push_back(std::move(op));
   return *this;
 }
 
-common::Status Pipeline::RunFromStage(size_t stage, const Tuple& tuple,
-                                      Collector* sink) {
-  if (stage == ops_.size()) {
-    sink->Emit(tuple);
-    return common::Status::OK();
+void Pipeline::EnsureBuilt() {
+  if (exec_) return;
+  auto graph = std::make_unique<ExecGraph>();
+  source_ = graph->AddSource("pipeline_source");
+  ExecGraph::NodeId tail = source_;
+  op_nodes_.reserve(pending_.size());
+  for (auto& op : pending_) {
+    tail = graph->AddOperator(tail, std::move(op));
+    op_nodes_.push_back(tail);
   }
-  VectorCollector buffer;
-  USP_RETURN_NOT_OK(ops_[stage]->Push(tuple, &buffer));
-  for (const Tuple& t : buffer.tuples()) {
-    USP_RETURN_NOT_OK(RunFromStage(stage + 1, t, sink));
+  pending_.clear();
+  sink_ = graph->AddSink(tail, "pipeline_sink");
+  exec_ = std::make_unique<DagExecutor>(std::move(graph));
+}
+
+common::Status Pipeline::Drain(Collector* sink) {
+  TupleBatch out = exec_->TakeSinkOutput(sink_);
+  for (Tuple& t : out.mutable_tuples()) {
+    sink->Emit(std::move(t));
   }
   return common::Status::OK();
 }
 
 common::Status Pipeline::Push(const Tuple& tuple, Collector* sink) {
-  return RunFromStage(0, tuple, sink);
+  EnsureBuilt();
+  // Drain even on error: tuples that cleared all stages before the failing
+  // one were already delivered under the seed per-tuple runtime.
+  const common::Status st = exec_->Push(source_, tuple);
+  USP_RETURN_NOT_OK(Drain(sink));
+  return st;
+}
+
+common::Status Pipeline::PushBatch(const TupleBatch& batch, Collector* sink) {
+  EnsureBuilt();
+  const common::Status st = exec_->PushBatch(source_, batch);
+  USP_RETURN_NOT_OK(Drain(sink));
+  return st;
 }
 
 common::Status Pipeline::Close(Collector* sink) {
-  // Flush stage by stage: stage i's flush output must traverse stages
-  // i+1..n before those stages are themselves flushed.
-  for (size_t i = 0; i < ops_.size(); ++i) {
-    VectorCollector buffer;
-    USP_RETURN_NOT_OK(ops_[i]->Close(&buffer));
-    for (const Tuple& t : buffer.tuples()) {
-      USP_RETURN_NOT_OK(RunFromStage(i + 1, t, sink));
-    }
-  }
-  return common::Status::OK();
+  EnsureBuilt();
+  const common::Status st = exec_->Close();
+  USP_RETURN_NOT_OK(Drain(sink));
+  return st;
 }
 
-common::Status Pipeline::Run(const std::vector<Tuple>& source,
-                             Collector* sink) {
-  for (const Tuple& t : source) {
-    USP_RETURN_NOT_OK(Push(t, sink));
-  }
+common::Status Pipeline::Run(std::vector<Tuple> source, Collector* sink) {
+  EnsureBuilt();
+  TupleBatch batch(std::move(source));
+  USP_RETURN_NOT_OK(PushBatch(batch, sink));
   return Close(sink);
+}
+
+size_t Pipeline::num_operators() const {
+  return exec_ ? op_nodes_.size() : pending_.size();
+}
+
+const Operator& Pipeline::op(size_t i) const {
+  return exec_ ? exec_->graph().op(op_nodes_[i]) : *pending_[i];
 }
 
 std::vector<OperatorMetrics> Pipeline::MetricsSnapshot() const {
   std::vector<OperatorMetrics> out;
-  out.reserve(ops_.size());
-  for (const auto& op : ops_) out.push_back(op->metrics());
+  out.reserve(num_operators());
+  for (size_t i = 0; i < num_operators(); ++i) {
+    out.push_back(op(i).metrics());
+  }
   return out;
 }
 

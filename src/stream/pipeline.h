@@ -1,7 +1,17 @@
 // Linear operator pipelines and an archive for lineage resolution.
 //
-// The Pipeline chains unary operators (a path in the box-arrow graph); the
-// TupleArchive implements §3's "archives these input tuples for later
+// Pipeline is now a thin compatibility wrapper over a path-shaped
+// ExecGraph run by the batch DagExecutor (exec_graph.h): Add() stages are
+// wired source -> op1 -> ... -> opN -> sink on first use. The per-tuple
+// Push/Close/Run API and its core semantics (flush output traverses later
+// stages, NotFound drops, other errors abort, pre-error results are still
+// delivered) match the seed runtime, so existing plans keep working while
+// new code targets ExecGraph or ShardedExecutor directly. Two contracts
+// are tightened versus the seed: Push after Close returns
+// FailedPrecondition, and Add after the first Push aborts loudly (the
+// graph is already materialised).
+//
+// The TupleArchive implements §3's "archives these input tuples for later
 // computation of the query result distributions": independent tuples are
 // stored by id so a downstream operator can resolve a lineage set back to
 // the distributions it needs.
@@ -13,41 +23,54 @@
 #include <unordered_map>
 #include <vector>
 
+#include "stream/exec_graph.h"
 #include "stream/operator.h"
 
 namespace usp {
 namespace stream {
 
-/// \brief A chain of unary operators executed synchronously per tuple.
+/// \brief A chain of unary operators; compatibility facade over ExecGraph.
 class Pipeline {
  public:
-  /// Append an operator; returns *this for chaining.
+  /// Append an operator; returns *this for chaining. Must not be called
+  /// after the first Push/Run.
   Pipeline& Add(std::unique_ptr<Operator> op);
 
   /// Push one source tuple through all stages into `sink`.
   common::Status Push(const Tuple& tuple, Collector* sink);
+  /// Push a whole batch through all stages into `sink` (amortised
+  /// metering; the batch-native fast path).
+  common::Status PushBatch(const TupleBatch& batch, Collector* sink);
   /// End-of-stream: flush every stage in order.
   common::Status Close(Collector* sink);
 
-  /// Convenience: push a whole ordered batch, then Close.
-  common::Status Run(const std::vector<Tuple>& source, Collector* sink);
+  /// Convenience: push a whole ordered batch, then Close. Taken by value
+  /// so temporaries are moved rather than copied tuple-by-tuple.
+  common::Status Run(std::vector<Tuple> source, Collector* sink);
 
-  size_t num_operators() const { return ops_.size(); }
-  const Operator& op(size_t i) const { return *ops_[i]; }
+  size_t num_operators() const;
+  const Operator& op(size_t i) const;
 
   /// Per-operator metrics snapshot, in stage order.
   std::vector<OperatorMetrics> MetricsSnapshot() const;
 
  private:
-  common::Status RunFromStage(size_t stage, const Tuple& tuple,
-                              Collector* sink);
+  void EnsureBuilt();
+  common::Status Drain(Collector* sink);
 
-  std::vector<std::unique_ptr<Operator>> ops_;
+  // Stages accumulate here until the graph is materialised on first use.
+  std::vector<std::unique_ptr<Operator>> pending_;
+  std::unique_ptr<DagExecutor> exec_;
+  std::vector<ExecGraph::NodeId> op_nodes_;
+  ExecGraph::NodeId source_ = ExecGraph::kInvalidNode;
+  ExecGraph::NodeId sink_ = ExecGraph::kInvalidNode;
 };
 
 /// \brief Id-addressable store of archived base tuples (§3, operator A4 /
 /// J1 example: the last operator "uses the tuple lineage and previously
 /// archived independent tuples to compute its result distributions").
+/// Under the sharded executor each shard owns a private archive, so
+/// lineage resolution stays shard-local and needs no locking.
 class TupleArchive {
  public:
   void Archive(const Tuple& tuple) { by_id_.emplace(tuple.id(), tuple); }

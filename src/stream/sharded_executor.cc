@@ -1,0 +1,249 @@
+#include "stream/sharded_executor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace usp {
+namespace stream {
+
+ShardedExecutor::ShardedExecutor(const Options& options, KeyFn key_fn)
+    : options_(options), key_fn_(std::move(key_fn)) {}
+
+ShardedExecutor::~ShardedExecutor() {
+  // Abandon politely if the caller forgot Finish().
+  for (auto& shard : shards_) {
+    shard->queue.Close();
+  }
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+}
+
+common::Result<std::unique_ptr<ShardedExecutor>> ShardedExecutor::Create(
+    const Options& options, KeyFn key_fn, const PlanBuilder& builder) {
+  if (options.num_shards == 0) {
+    return common::Status::InvalidArgument("num_shards must be >= 1");
+  }
+  if (options.queue_capacity == 0) {
+    return common::Status::InvalidArgument("queue_capacity must be >= 1");
+  }
+  if (!key_fn) {
+    return common::Status::InvalidArgument("key_fn is required");
+  }
+  std::unique_ptr<ShardedExecutor> exec(
+      new ShardedExecutor(options, std::move(key_fn)));
+  for (size_t i = 0; i < options.num_shards; ++i) {
+    auto shard = std::make_unique<Shard>(options.queue_capacity);
+    auto graph = std::make_unique<ExecGraph>();
+    ShardContext ctx;
+    ctx.shard_index = i;
+    ctx.num_shards = options.num_shards;
+    ctx.archive = &shard->archive;
+    USP_RETURN_NOT_OK(builder(graph.get(), ctx));
+    USP_RETURN_NOT_OK(graph->Validate());
+    if (i > 0) {
+      // Same node count, kinds, and names as shard 0, or the positional
+      // metrics merge (and the sink merge) would read mismatched plans.
+      const ExecGraph& first = exec->shards_[0]->exec->graph();
+      bool same = graph->num_nodes() == first.num_nodes();
+      for (ExecGraph::NodeId id = 0; same && id < first.num_nodes(); ++id) {
+        same = graph->kind(id) == first.kind(id) &&
+               graph->name(id) == first.name(id) &&
+               graph->outputs(id) == first.outputs(id) &&
+               graph->num_inputs(id) == first.num_inputs(id);
+      }
+      if (!same) {
+        return common::Status::FailedPrecondition(
+            "plan builder is not deterministic across shards");
+      }
+    }
+    shard->exec = std::make_unique<DagExecutor>(std::move(graph));
+    exec->shards_.push_back(std::move(shard));
+  }
+  // Pre-size the merged sink store so sink_output() before Finish() reads
+  // an empty batch instead of indexing out of bounds.
+  exec->merged_sinks_.assign(exec->shards_[0]->exec->graph().num_nodes(),
+                             TupleBatch());
+  for (auto& shard : exec->shards_) {
+    Shard* raw = shard.get();
+    shard->worker = std::thread([exec_ptr = exec.get(), raw] {
+      exec_ptr->WorkerLoop(raw);
+    });
+  }
+  return exec;
+}
+
+void ShardedExecutor::WorkerLoop(Shard* shard) {
+  while (auto msg = shard->queue.Pop()) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    if (!shard->status.ok()) continue;  // drain after failure
+    shard->status = shard->exec->PushBatch(msg->source, msg->batch);
+    shard->watermark = std::max(shard->watermark, msg->batch.MaxTimestamp());
+    // Evict only once the watermark has advanced at least a quarter of
+    // the retention span past the last eviction: EvictBefore scans the
+    // whole archive, so running it per message would be O(messages *
+    // archive size). No eviction until a non-empty batch has set the
+    // watermark (INT64_MIN - retention would underflow).
+    if (options_.archive_retention_us >= 0 &&
+        shard->watermark != INT64_MIN &&
+        (shard->last_evict_watermark == INT64_MIN ||
+         shard->watermark - shard->last_evict_watermark >=
+             std::max<int64_t>(1, options_.archive_retention_us / 4))) {
+      shard->archive.EvictBefore(shard->watermark -
+                                 options_.archive_retention_us);
+      shard->last_evict_watermark = shard->watermark;
+    }
+  }
+}
+
+common::Status ShardedExecutor::PushBatch(ExecGraph::NodeId source,
+                                          const TupleBatch& batch) {
+  TupleBatch copy = batch;
+  return PushBatch(source, std::move(copy));
+}
+
+common::Status ShardedExecutor::PushBatch(ExecGraph::NodeId source,
+                                          TupleBatch&& batch) {
+  if (finished_) {
+    return common::Status::FailedPrecondition("executor already finished");
+  }
+  if (batch.empty()) return common::Status::OK();
+  if (shards_.size() == 1) {
+    // Single shard: forward the whole batch without re-partitioning.
+    if (!shards_[0]->queue.Push(Message{source, std::move(batch)})) {
+      return common::Status::FailedPrecondition("shard queue closed");
+    }
+    return common::Status::OK();
+  }
+  std::vector<TupleBatch> partitions(shards_.size());
+  for (Tuple& t : batch.mutable_tuples()) {
+    partitions[key_fn_(t) % shards_.size()].Append(std::move(t));
+  }
+  batch.Clear();
+  for (size_t i = 0; i < partitions.size(); ++i) {
+    if (partitions[i].empty()) continue;
+    if (!shards_[i]->queue.Push(Message{source, std::move(partitions[i])})) {
+      return common::Status::FailedPrecondition("shard queue closed");
+    }
+  }
+  return common::Status::OK();
+}
+
+common::Status ShardedExecutor::Push(ExecGraph::NodeId source, Tuple tuple) {
+  TupleBatch batch;
+  batch.Append(std::move(tuple));
+  return PushBatch(source, std::move(batch));
+}
+
+common::Status ShardedExecutor::Finish() {
+  // Serialises concurrent Finish() calls: a second caller blocks until the
+  // first completes, then sees finished_ == true and the final status.
+  // finished_ itself only flips after the merge, so the archive()/
+  // watermark()/sink_output() guards stay closed while workers drain.
+  std::lock_guard<std::mutex> finish_lock(finish_mu_);
+  if (finished_) return final_status_;
+  for (auto& shard : shards_) {
+    shard->queue.Close();
+  }
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+  // Workers are gone; flush every graph and collect the first error. The
+  // shard lock is still taken: MetricsSnapshot() is documented as safe to
+  // call while running, and Close() mutates operator metrics.
+  final_status_ = common::Status::OK();
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    if (final_status_.ok() && !shard->status.ok()) {
+      final_status_ = shard->status;
+    }
+    const common::Status close_st = shard->exec->Close();
+    if (final_status_.ok() && !close_st.ok()) final_status_ = close_st;
+  }
+  // Merge sink outputs: concatenate in shard-index order, then stable-sort
+  // by timestamp. Per-shard output order is deterministic, so the merged
+  // order is too, independent of how the workers interleaved.
+  const ExecGraph& plan = shards_[0]->exec->graph();
+  merged_sinks_.assign(plan.num_nodes(), TupleBatch());
+  for (ExecGraph::NodeId id = 0; id < plan.num_nodes(); ++id) {
+    if (plan.kind(id) != ExecGraph::NodeKind::kSink) continue;
+    TupleBatch& merged = merged_sinks_[id];
+    for (auto& shard : shards_) {
+      merged.Concat(shard->exec->TakeSinkOutput(id));
+    }
+    std::stable_sort(
+        merged.mutable_tuples().begin(), merged.mutable_tuples().end(),
+        [](const Tuple& a, const Tuple& b) {
+          return a.timestamp() < b.timestamp();
+        });
+  }
+  finished_ = true;
+  return final_status_;
+}
+
+const TupleBatch& ShardedExecutor::sink_output(ExecGraph::NodeId sink) const {
+  assert(finished_ && "sink_output is only valid after Finish()");
+  return merged_sinks_[sink];
+}
+
+TupleBatch ShardedExecutor::TakeSinkOutput(ExecGraph::NodeId sink) {
+  assert(finished_ && "TakeSinkOutput is only valid after Finish()");
+  return std::move(merged_sinks_[sink]);
+}
+
+std::vector<NodeMetrics> ShardedExecutor::MetricsSnapshot() const {
+  std::vector<NodeMetrics> merged;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i]->mu);
+    const auto shard_metrics = shards_[i]->exec->MetricsSnapshot();
+    if (i == 0) {
+      merged = shard_metrics;
+    } else {
+      // Same plan per shard => same node numbering; merge positionally.
+      for (size_t j = 0; j < merged.size(); ++j) {
+        merged[j].metrics.MergeFrom(shard_metrics[j].metrics);
+      }
+    }
+  }
+  return merged;
+}
+
+const TupleArchive& ShardedExecutor::archive(size_t shard) const {
+  // Always-on check: before Finish() the worker thread still mutates the
+  // archive, so returning the reference would hand out a data race.
+  if (!finished_) {
+    USP_LOG(Error) << "ShardedExecutor::archive(" << shard
+                   << ") before Finish()";
+    std::abort();
+  }
+  return shards_[shard]->archive;
+}
+
+int64_t ShardedExecutor::watermark(size_t shard) const {
+  if (!finished_) {
+    USP_LOG(Error) << "ShardedExecutor::watermark(" << shard
+                   << ") before Finish()";
+    std::abort();
+  }
+  return shards_[shard]->watermark;
+}
+
+ShardedExecutor::KeyFn KeyByStringValue(size_t value_index) {
+  return [value_index](const Tuple& t) {
+    return static_cast<uint64_t>(
+        std::hash<std::string>{}(t.value(value_index).AsString()));
+  };
+}
+
+ShardedExecutor::KeyFn KeyByIntValue(size_t value_index) {
+  return [value_index](const Tuple& t) {
+    return static_cast<uint64_t>(
+        std::hash<int64_t>{}(t.value(value_index).AsInt()));
+  };
+}
+
+}  // namespace stream
+}  // namespace usp

@@ -1,0 +1,153 @@
+// Key-sharded, multi-threaded DAG runtime.
+//
+// The executor owns N shards; each shard runs a private copy of the plan
+// (its own ExecGraph + operator instances, its own TupleArchive) on a
+// dedicated worker thread fed by a bounded MPSC queue. Ingest threads hash
+// each tuple's shard key and enqueue per-shard sub-batches, so all tuples
+// of one key are processed by one shard: keyed plans (group-by, keyed
+// joins, lineage resolution against the shard archive) need no cross-shard
+// coordination, and the result SET is independent of the shard count
+// (merged output is timestamp-sorted; equal-timestamp tie order follows
+// shard assignment and may differ between shard counts).
+//
+// Metrics: every shard's operator instances accumulate private
+// OperatorMetrics; MetricsSnapshot() merges them under the shard locks, so
+// there is no shared mutable metrics struct between threads.
+//
+// Archives: each shard exposes a TupleArchive to the plan builder; the
+// worker advances a per-shard watermark (max timestamp seen) and evicts
+// archived tuples older than `watermark - archive_retention_us` after each
+// message, bounding archive memory without any global pause.
+
+#ifndef USP_STREAM_SHARDED_EXECUTOR_H_
+#define USP_STREAM_SHARDED_EXECUTOR_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "stream/bounded_queue.h"
+#include "stream/exec_graph.h"
+#include "stream/pipeline.h"
+
+namespace usp {
+namespace stream {
+
+/// Everything a plan builder may bind shard-locally.
+struct ShardContext {
+  size_t shard_index = 0;
+  size_t num_shards = 1;
+  /// Shard-private archive for lineage resolution; evicted by watermark.
+  TupleArchive* archive = nullptr;
+};
+
+class ShardedExecutor {
+ public:
+  struct Options {
+    size_t num_shards = 1;
+    /// Bounded queue depth, in batches, per shard (backpressure beyond).
+    size_t queue_capacity = 64;
+    /// Archived tuples older than watermark - retention are evicted after
+    /// each processed message; negative = keep everything.
+    int64_t archive_retention_us = -1;
+  };
+
+  /// Maps a tuple to a shard-key hash; the shard is `hash % num_shards`.
+  /// Must be pure: same tuple -> same key on every call and thread.
+  using KeyFn = std::function<uint64_t(const Tuple&)>;
+
+  /// Builds one shard's plan. Runs once per shard at Create() time; must
+  /// be deterministic so every shard gets the same node numbering.
+  using PlanBuilder =
+      std::function<common::Status(ExecGraph* graph, const ShardContext& ctx)>;
+
+  /// Builds the per-shard graphs (validated) and starts the workers.
+  static common::Result<std::unique_ptr<ShardedExecutor>> Create(
+      const Options& options, KeyFn key_fn, const PlanBuilder& builder);
+
+  ~ShardedExecutor();
+
+  ShardedExecutor(const ShardedExecutor&) = delete;
+  ShardedExecutor& operator=(const ShardedExecutor&) = delete;
+
+  /// Partition a batch by shard key and enqueue the per-shard sub-batches.
+  common::Status PushBatch(ExecGraph::NodeId source, const TupleBatch& batch);
+  /// Move ingest: tuples are moved into the partitions (and with a single
+  /// shard the whole batch is forwarded without copying). Prefer this for
+  /// batches the caller does not reuse.
+  common::Status PushBatch(ExecGraph::NodeId source, TupleBatch&& batch);
+  common::Status Push(ExecGraph::NodeId source, Tuple tuple);
+
+  /// Close the queues, join the workers, flush every shard's graph, and
+  /// merge the per-shard sink outputs. Idempotent; returns the first error
+  /// any shard hit. All producers must have quiesced before Finish() is
+  /// called: a Push racing Finish may be rejected or silently dropped.
+  common::Status Finish();
+
+  /// Merged output of a sink node: shard-index concatenation, then a
+  /// stable sort by timestamp — deterministic for any worker interleaving
+  /// at a fixed shard count; across shard counts the tuple SET and the
+  /// timestamp order are identical but equal-timestamp ties may reorder.
+  /// Empty until Finish().
+  const TupleBatch& sink_output(ExecGraph::NodeId sink) const;
+  TupleBatch TakeSinkOutput(ExecGraph::NodeId sink);
+
+  /// Per-node metrics merged across shards; safe to call while running.
+  std::vector<NodeMetrics> MetricsSnapshot() const;
+
+  /// Shard-local archive inspection (tests, lineage debugging). Only
+  /// valid after Finish().
+  const TupleArchive& archive(size_t shard) const;
+  /// Highest timestamp shard `shard` has processed. Only valid after
+  /// Finish().
+  int64_t watermark(size_t shard) const;
+
+  size_t num_shards() const { return shards_.size(); }
+
+ private:
+  struct Message {
+    ExecGraph::NodeId source;
+    TupleBatch batch;
+  };
+
+  struct Shard {
+    explicit Shard(size_t queue_capacity) : queue(queue_capacity) {}
+
+    std::unique_ptr<DagExecutor> exec;
+    TupleArchive archive;
+    BoundedQueue<Message> queue;
+    std::thread worker;
+    /// Guards exec/archive/watermark/status against snapshot readers.
+    mutable std::mutex mu;
+    common::Status status;
+    int64_t watermark = INT64_MIN;
+    int64_t last_evict_watermark = INT64_MIN;
+  };
+
+  ShardedExecutor(const Options& options, KeyFn key_fn);
+
+  void WorkerLoop(Shard* shard);
+
+  Options options_;
+  KeyFn key_fn_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<TupleBatch> merged_sinks_;  // indexed by NodeId, post-Finish
+  std::mutex finish_mu_;  // serialises Finish() calls
+  /// True only once workers are joined and sinks merged; gates the
+  /// archive()/watermark()/sink_output() accessors.
+  std::atomic<bool> finished_{false};
+  common::Status final_status_;
+};
+
+/// KeyFn helpers: shard by the hash of one attribute.
+ShardedExecutor::KeyFn KeyByStringValue(size_t value_index);
+ShardedExecutor::KeyFn KeyByIntValue(size_t value_index);
+
+}  // namespace stream
+}  // namespace usp
+
+#endif  // USP_STREAM_SHARDED_EXECUTOR_H_

@@ -92,6 +92,26 @@ TEST(StreamAdapterTest, ScanFeedsWindowedAggregation) {
   EXPECT_NEAR(dist.Variance(), 0.25 / 16.0, 1e-9);
 }
 
+TEST(StreamAdapterTest, BatchVariantsMatchCollectorPath) {
+  std::vector<MomentBeam> scan = {MakeBeam(0.5, 8), MakeBeam(1.0, 8)};
+  stream::VectorCollector tuples;
+  ASSERT_TRUE(ScanToTuples(scan, {}, &tuples).ok());
+
+  auto beam_batch = BeamToBatch(scan[0], {});
+  ASSERT_TRUE(beam_batch.ok());
+  EXPECT_EQ(beam_batch.value().size(), 8u);
+
+  auto scan_batch = ScanToBatch(scan, {});
+  ASSERT_TRUE(scan_batch.ok());
+  ASSERT_EQ(scan_batch.value().size(), tuples.tuples().size());
+  for (size_t i = 0; i < scan_batch.value().size(); ++i) {
+    EXPECT_EQ(scan_batch.value()[i].timestamp(),
+              tuples.tuples()[i].timestamp());
+    EXPECT_EQ(scan_batch.value()[i].value(1).AsDouble(),
+              tuples.tuples()[i].value(1).AsDouble());
+  }
+}
+
 }  // namespace
 }  // namespace radar
 }  // namespace usp

@@ -152,6 +152,27 @@ TEST(RfidTransformTest, GaussianPolicyEmitsGaussians) {
             stats::DistType::kGaussian);
 }
 
+TEST(RfidTransformTest, BatchVariantMatchesCollectorPath) {
+  const WarehouseConfig config = SmallConfig();
+  WarehouseSimulator sim(config);
+  RfidTransformOperator op(config.num_objects, sim.shelf_positions(),
+                           config.sensing,
+                           MakeOpts(TupleDistPolicy::kGaussian));
+  for (int i = 0; i < 20; ++i) {
+    auto batch = op.ProcessReadingBatch(sim.Step());
+    ASSERT_TRUE(batch.ok());
+    if (batch.value().empty()) continue;
+    // Layout matches the collector path: (tag, x-dist, y-dist).
+    const stream::Tuple& t = batch.value()[0];
+    ASSERT_EQ(t.num_values(), 3u);
+    EXPECT_TRUE(t.value(0).is_int());
+    EXPECT_TRUE(t.value(1).is_distribution());
+    EXPECT_TRUE(t.value(2).is_distribution());
+    return;
+  }
+  FAIL() << "no reading produced any tuples";
+}
+
 }  // namespace
 }  // namespace rfid
 }  // namespace usp

@@ -1,0 +1,250 @@
+// Sharded executor tests: shard-count determinism on keyed plans, merged
+// metrics, watermark-driven archive eviction, and error propagation.
+
+#include "stream/sharded_executor.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "stream/basic_operators.h"
+#include "stream/group_by.h"
+
+namespace usp {
+namespace stream {
+namespace {
+
+Tuple KV(int64_t ts, int64_t key, double v) {
+  Tuple t(ts, {Value(key), Value(v)});
+  t.InitBaseLineage();
+  return t;
+}
+
+// A keyed windowed plan: group by the int key, SUM the double attribute
+// over 100 us tumbling windows.
+common::Status BuildKeyedSumPlan(ExecGraph* g, ExecGraph::NodeId* source,
+                                 ExecGraph::NodeId* sink) {
+  *source = g->AddSource("src");
+  const auto group = g->AddOperator(
+      *source,
+      std::make_unique<GroupByAggregateOperator>(
+          "sum_by_key", WindowSpec::Tumbling(100),
+          [](const Tuple& t) { return std::to_string(t.value(0).AsInt()); },
+          std::vector<AggregateSpec>{
+              {"sum",
+               [](const std::vector<const Tuple*>& group_tuples)
+                   -> common::Result<Value> {
+                 double sum = 0.0;
+                 for (const Tuple* t : group_tuples) {
+                   sum += t->value(1).AsDouble();
+                 }
+                 return Value(sum);
+               }}}));
+  *sink = g->AddSink(group, "sink");
+  return common::Status::OK();
+}
+
+TupleBatch MakeKeyedStream(size_t n) {
+  TupleBatch batch;
+  for (size_t i = 0; i < n; ++i) {
+    batch.Append(KV(static_cast<int64_t>(i), static_cast<int64_t>(i % 17),
+                    static_cast<double>(i % 5) + 0.5));
+  }
+  return batch;
+}
+
+// (window_end, key) -> sum, canonical comparison form.
+std::vector<std::tuple<int64_t, std::string, double>> Canonical(
+    const TupleBatch& batch) {
+  std::vector<std::tuple<int64_t, std::string, double>> out;
+  out.reserve(batch.size());
+  for (const Tuple& t : batch) {
+    out.emplace_back(t.timestamp(), t.value(0).AsString(),
+                     t.value(1).AsDouble());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+common::Result<TupleBatch> RunKeyedPlan(size_t num_shards, size_t n) {
+  ShardedExecutor::Options opts;
+  opts.num_shards = num_shards;
+  ExecGraph::NodeId source = 0, sink = 0;
+  auto exec_or = ShardedExecutor::Create(
+      opts, KeyByIntValue(0),
+      [&](ExecGraph* g, const ShardContext&) {
+        return BuildKeyedSumPlan(g, &source, &sink);
+      });
+  USP_RETURN_NOT_OK(exec_or.status());
+  auto exec = exec_or.MoveValueUnsafe();
+  USP_RETURN_NOT_OK(exec->PushBatch(source, MakeKeyedStream(n)));
+  USP_RETURN_NOT_OK(exec->Finish());
+  return exec->TakeSinkOutput(sink);
+}
+
+TEST(ShardedExecutorTest, KeyedPlanIsDeterministicAcrossShardCounts) {
+  auto one = RunKeyedPlan(1, 2000);
+  ASSERT_TRUE(one.ok()) << one.status().ToString();
+  const auto reference = Canonical(one.value());
+  ASSERT_FALSE(reference.empty());
+  for (size_t shards : {2u, 4u, 8u}) {
+    auto many = RunKeyedPlan(shards, 2000);
+    ASSERT_TRUE(many.ok()) << many.status().ToString();
+    EXPECT_EQ(Canonical(many.value()), reference)
+        << "results differ at " << shards << " shards";
+  }
+}
+
+TEST(ShardedExecutorTest, MergedSinkOutputIsTimestampSorted) {
+  auto out = RunKeyedPlan(4, 2000);
+  ASSERT_TRUE(out.ok());
+  const auto& tuples = out.value().tuples();
+  ASSERT_FALSE(tuples.empty());
+  for (size_t i = 1; i < tuples.size(); ++i) {
+    EXPECT_LE(tuples[i - 1].timestamp(), tuples[i].timestamp());
+  }
+}
+
+TEST(ShardedExecutorTest, MetricsMergeAcrossShards) {
+  ShardedExecutor::Options opts;
+  opts.num_shards = 4;
+  ExecGraph::NodeId source = 0, sink = 0;
+  auto exec_or = ShardedExecutor::Create(
+      opts, KeyByIntValue(0), [&](ExecGraph* g, const ShardContext&) {
+        source = g->AddSource("src");
+        const auto pass = g->AddOperator(
+            source, std::make_unique<FilterOperator>(
+                        "pass", [](const Tuple&) { return true; }));
+        sink = g->AddSink(pass, "sink");
+        return common::Status::OK();
+      });
+  ASSERT_TRUE(exec_or.ok());
+  auto exec = exec_or.MoveValueUnsafe();
+  ASSERT_TRUE(exec->PushBatch(source, MakeKeyedStream(1000)).ok());
+  ASSERT_TRUE(exec->Finish().ok());
+  const auto metrics = exec->MetricsSnapshot();
+  ASSERT_EQ(metrics.size(), 1u);
+  EXPECT_EQ(metrics[0].name, "pass");
+  // Every pushed tuple was seen exactly once across the shard-private
+  // operator copies.
+  EXPECT_EQ(metrics[0].metrics.tuples_in, 1000u);
+  EXPECT_EQ(metrics[0].metrics.tuples_out, 1000u);
+  EXPECT_EQ(exec->sink_output(sink).size(), 1000u);
+}
+
+TEST(ShardedExecutorTest, WatermarkEvictsArchivedTuples) {
+  ShardedExecutor::Options opts;
+  opts.num_shards = 2;
+  opts.archive_retention_us = 100;
+  ExecGraph::NodeId source = 0;
+  auto exec_or = ShardedExecutor::Create(
+      opts, KeyByIntValue(0), [&](ExecGraph* g, const ShardContext& ctx) {
+        source = g->AddSource("src");
+        TupleArchive* archive = ctx.archive;
+        const auto tap = g->AddOperator(
+            source, std::make_unique<TapOperator>(
+                        "archive", [archive](const Tuple& t) {
+                          archive->Archive(t);
+                        }));
+        g->AddSink(tap, "sink");
+        return common::Status::OK();
+      });
+  ASSERT_TRUE(exec_or.ok());
+  auto exec = exec_or.MoveValueUnsafe();
+  // Timestamps 0..999: after the watermark reaches ~999, only tuples with
+  // ts >= watermark - 100 may survive in any shard archive.
+  ASSERT_TRUE(exec->PushBatch(source, MakeKeyedStream(1000)).ok());
+  ASSERT_TRUE(exec->Finish().ok());
+  size_t archived = 0;
+  for (size_t s = 0; s < exec->num_shards(); ++s) {
+    EXPECT_GT(exec->watermark(s), 0);
+    archived += exec->archive(s).size();
+    // At most retention+1 distinct timestamps can survive per shard.
+    EXPECT_LE(exec->archive(s).size(),
+              static_cast<size_t>(opts.archive_retention_us) + 1);
+  }
+  // Without eviction both shards together would hold all 1000 tuples.
+  EXPECT_LT(archived, 1000u);
+}
+
+TEST(ShardedExecutorTest, ShardLocalArchiveSeesOnlyOwnKeys) {
+  ShardedExecutor::Options opts;
+  opts.num_shards = 4;
+  ExecGraph::NodeId source = 0;
+  auto exec_or = ShardedExecutor::Create(
+      opts, KeyByIntValue(0), [&](ExecGraph* g, const ShardContext& ctx) {
+        source = g->AddSource("src");
+        TupleArchive* archive = ctx.archive;
+        const auto tap = g->AddOperator(
+            source, std::make_unique<TapOperator>(
+                        "archive", [archive](const Tuple& t) {
+                          archive->Archive(t);
+                        }));
+        g->AddSink(tap, "sink");
+        return common::Status::OK();
+      });
+  ASSERT_TRUE(exec_or.ok());
+  auto exec = exec_or.MoveValueUnsafe();
+  TupleBatch batch;
+  std::vector<Tuple> originals;
+  for (int i = 0; i < 64; ++i) {
+    Tuple t = KV(i, i % 8, 1.0);
+    originals.push_back(t);
+    batch.Append(std::move(t));
+  }
+  ASSERT_TRUE(exec->PushBatch(source, batch).ok());
+  ASSERT_TRUE(exec->Finish().ok());
+  // Every tuple is archived in exactly the shard its key hashes to.
+  size_t total = 0;
+  for (size_t s = 0; s < exec->num_shards(); ++s) {
+    total += exec->archive(s).size();
+  }
+  EXPECT_EQ(total, 64u);
+  for (const Tuple& t : originals) {
+    const size_t expected_shard =
+        std::hash<int64_t>{}(t.value(0).AsInt()) % exec->num_shards();
+    EXPECT_TRUE(exec->archive(expected_shard).Lookup(t.id()).ok());
+  }
+}
+
+TEST(ShardedExecutorTest, OperatorErrorSurfacesAtFinish) {
+  ShardedExecutor::Options opts;
+  opts.num_shards = 2;
+  ExecGraph::NodeId source = 0;
+  auto exec_or = ShardedExecutor::Create(
+      opts, KeyByIntValue(0), [&](ExecGraph* g, const ShardContext&) {
+        source = g->AddSource("src");
+        const auto boom = g->AddOperator(
+            source, std::make_unique<MapOperator>(
+                        "boom", [](const Tuple& t) -> common::Result<Tuple> {
+                          if (t.value(0).AsInt() == 3) {
+                            return common::Status::Internal("boom");
+                          }
+                          return t;
+                        }));
+        g->AddSink(boom, "sink");
+        return common::Status::OK();
+      });
+  ASSERT_TRUE(exec_or.ok());
+  auto exec = exec_or.MoveValueUnsafe();
+  (void)exec->PushBatch(source, MakeKeyedStream(100));
+  EXPECT_FALSE(exec->Finish().ok());
+}
+
+TEST(ShardedExecutorTest, CreateRejectsBadOptions) {
+  ShardedExecutor::Options opts;
+  opts.num_shards = 0;
+  auto r = ShardedExecutor::Create(
+      opts, KeyByIntValue(0),
+      [](ExecGraph* g, const ShardContext&) {
+        const auto s = g->AddSource("src");
+        g->AddSink(s, "sink");
+        return common::Status::OK();
+      });
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace stream
+}  // namespace usp
