@@ -1,0 +1,174 @@
+// Windowed-plan throughput: tuples/sec for Q1-style tumbling and sliding
+// group-by-aggregate plans driven through the DAG executor at batch sizes
+// 1 / 64 / 1024, comparing the naive per-window recompute operator against
+// the pane-incremental operator. Emits BENCH_window_throughput.json so the
+// perf trajectory is tracked across PRs. `--smoke` shrinks the stream for
+// sanitizer CI runs.
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "stats/characteristic_function.h"
+#include "stats/gaussian_mixture.h"
+#include "stream/batch.h"
+#include "stream/exec_graph.h"
+#include "stream/group_by.h"
+#include "stream/pane_window.h"
+#include "uncertain/aggregates.h"
+#include "uncertain/pane_aggregates.h"
+#include "uncertain/sum_strategies.h"
+
+namespace {
+
+using usp::stats::DistributionPtr;
+using usp::stats::GaussianMixture;
+using usp::stream::DagExecutor;
+using usp::stream::ExecGraph;
+using usp::stream::Tuple;
+using usp::stream::TupleBatch;
+using usp::stream::Value;
+using usp::stream::WindowSpec;
+using usp::uncertain::SumStrategyKind;
+
+size_t g_num_tuples = 20000;
+bool g_smoke = false;
+
+std::vector<Tuple> MakeStream(uint64_t seed) {
+  usp::common::Rng rng(seed);
+  std::vector<Tuple> out;
+  out.reserve(g_num_tuples);
+  const char* areas[] = {"A", "B", "C", "D"};
+  for (size_t i = 0; i < g_num_tuples; ++i) {
+    std::vector<GaussianMixture::Component> comps;
+    const size_t k = 1 + rng.UniformInt(2);
+    for (size_t c = 0; c < k; ++c) {
+      comps.push_back(
+          {0.2 + rng.Uniform(), rng.Uniform(-5.0, 5.0), 0.3 + rng.Uniform()});
+    }
+    Tuple t(static_cast<int64_t>(i),
+            {Value(std::string(areas[rng.UniformInt(4)])),
+             Value(DistributionPtr(std::make_shared<GaussianMixture>(
+                 GaussianMixture::Make(std::move(comps)).MoveValueUnsafe())))});
+    t.InitBaseLineage();
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+struct Measurement {
+  std::string plan;       // "tumbling" / "sliding"
+  std::string path;       // "naive" / "paned"
+  size_t batch_size;
+  double tuples_per_sec;
+};
+
+const auto kKeyFn = [](const Tuple& t) { return t.value(0).AsString(); };
+
+std::unique_ptr<usp::stream::Operator> MakeNaiveOp(
+    WindowSpec spec, usp::uncertain::SumStrategy* strategy) {
+  std::vector<usp::stream::AggregateSpec> aggs;
+  aggs.push_back(usp::uncertain::MakeSumAggregate("sum", 1, strategy));
+  aggs.push_back(usp::uncertain::MakeCountAggregate("cnt"));
+  return std::make_unique<usp::stream::GroupByAggregateOperator>(
+      "q1", spec, kKeyFn, std::move(aggs));
+}
+
+std::unique_ptr<usp::stream::Operator> MakePanedOp(
+    WindowSpec spec, usp::stats::CfInversionWorkspace* ws) {
+  usp::uncertain::PaneAggregateOptions opts;
+  opts.workspace = ws;
+  std::vector<usp::stream::PaneAggregateSpec> aggs;
+  aggs.push_back(usp::uncertain::MakePaneSumAggregate(
+      "sum", 1, SumStrategyKind::kClt, opts));
+  aggs.push_back(usp::uncertain::MakePaneCountAggregate("cnt"));
+  return std::make_unique<usp::stream::PanedGroupByAggregateOperator>(
+      "q1", spec, kKeyFn, std::move(aggs));
+}
+
+double RunPlan(std::unique_ptr<usp::stream::Operator> op,
+               const std::vector<Tuple>& stream, size_t batch_size) {
+  // Drive through the DAG executor so the measurement includes the batch
+  // transport (Deliver / Forward / sink append), not just the operator.
+  auto graph = std::make_unique<ExecGraph>();
+  const auto source = graph->AddSource("src");
+  const auto agg = graph->AddOperator(source, std::move(op));
+  graph->AddSink(agg, "sink");
+  DagExecutor exec(std::move(graph));
+  // Slice before starting the clock: measure the executor path, not the
+  // tuple copies that build the batches.
+  std::vector<TupleBatch> batches;
+  for (size_t i = 0; i < stream.size(); i += batch_size) {
+    TupleBatch batch;
+    for (size_t j = i; j < std::min(i + batch_size, stream.size()); ++j) {
+      batch.Append(stream[j]);
+    }
+    batches.push_back(std::move(batch));
+  }
+  usp::common::Stopwatch sw;
+  for (const TupleBatch& batch : batches) {
+    if (!exec.PushBatch(source, batch).ok()) return 0.0;
+  }
+  if (!exec.Close().ok()) return 0.0;
+  return static_cast<double>(stream.size()) / sw.ElapsedSeconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) g_smoke = true;
+  }
+  if (g_smoke) g_num_tuples = 1500;
+  const auto stream = MakeStream(7);
+  // Q1 shape: [Range 100 us] tumbling, and a 4-overlap sliding variant.
+  const WindowSpec tumbling = WindowSpec::Tumbling(100);
+  const WindowSpec sliding = WindowSpec::Sliding(100, 25);
+
+  std::vector<Measurement> results;
+  usp::uncertain::CltSum clt;
+  usp::stats::CfInversionWorkspace ws;
+  printf("=== Windowed group-by throughput (CLT SUM, %zu tuples) ===\n",
+         g_num_tuples);
+  printf("%-10s %-7s %-11s %14s\n", "plan", "path", "batch_size",
+         "tuples/sec");
+  for (const auto& [plan_name, spec] :
+       {std::pair<const char*, WindowSpec>{"tumbling", tumbling},
+        std::pair<const char*, WindowSpec>{"sliding", sliding}}) {
+    for (size_t batch_size : {size_t{1}, size_t{64}, size_t{1024}}) {
+      const double naive_tps =
+          RunPlan(MakeNaiveOp(spec, &clt), stream, batch_size);
+      const double paned_tps =
+          RunPlan(MakePanedOp(spec, &ws), stream, batch_size);
+      results.push_back({plan_name, "naive", batch_size, naive_tps});
+      results.push_back({plan_name, "paned", batch_size, paned_tps});
+      printf("%-10s %-7s %-11zu %14.0f\n", plan_name, "naive", batch_size,
+             naive_tps);
+      printf("%-10s %-7s %-11zu %14.0f\n", plan_name, "paned", batch_size,
+             paned_tps);
+    }
+  }
+
+  FILE* f = fopen("BENCH_window_throughput.json", "w");
+  if (f) {
+    fprintf(f, "{\n  \"bench\": \"window_throughput\",\n");
+    fprintf(f, "  \"smoke\": %s,\n  \"num_tuples\": %zu,\n",
+            g_smoke ? "true" : "false", g_num_tuples);
+    fprintf(f, "  \"results\": [\n");
+    for (size_t i = 0; i < results.size(); ++i) {
+      fprintf(f,
+              "    {\"plan\": \"%s\", \"path\": \"%s\", \"batch_size\": %zu, "
+              "\"tuples_per_sec\": %.1f}%s\n",
+              results[i].plan.c_str(), results[i].path.c_str(),
+              results[i].batch_size, results[i].tuples_per_sec,
+              i + 1 < results.size() ? "," : "");
+    }
+    fprintf(f, "  ]\n}\n");
+    fclose(f);
+  }
+  return 0;
+}

@@ -5,6 +5,7 @@
 
 #include <cmath>
 #include <complex>
+#include <cstdint>
 #include <vector>
 
 namespace usp {
@@ -53,6 +54,20 @@ void Fft(std::vector<std::complex<double>>& data, bool inverse);
 
 /// Smallest power of two >= n (n >= 1).
 size_t NextPow2(size_t n);
+
+/// Largest multiple of m <= v, for m > 0; floor semantics for negative v
+/// (unlike C++ truncating division). The single source of truth for the
+/// window/pane boundary arithmetic in the stream layer.
+inline int64_t FloorToMultiple(int64_t v, int64_t m) {
+  int64_t r = v % m;
+  if (r < 0) r += m;
+  return v - r;
+}
+
+/// Smallest multiple of m >= v, for m > 0.
+inline int64_t CeilToMultiple(int64_t v, int64_t m) {
+  return FloorToMultiple(v + m - 1, m);
+}
 
 }  // namespace common
 }  // namespace usp

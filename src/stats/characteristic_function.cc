@@ -24,6 +24,24 @@ CharFn ProductCf(const std::vector<const Distribution*>& dists) {
   };
 }
 
+void ProductCfGrid(const std::vector<const Distribution*>& dists,
+                   const double* t, size_t n, std::complex<double>* out,
+                   std::vector<std::complex<double>>* scratch) {
+  for (size_t i = 0; i < n; ++i) out[i] = std::complex<double>(1.0, 0.0);
+  if (dists.empty() || n == 0) return;
+  scratch->resize(n);
+  std::complex<double>* cf = scratch->data();
+  const std::complex<double> zero(0.0, 0.0);
+  for (const Distribution* d : dists) {
+    d->CfGrid(t, n, cf);
+    for (size_t i = 0; i < n; ++i) {
+      if (out[i] == zero) continue;  // underflowed earlier; stays pinned
+      out[i] *= cf[i];
+      if (std::norm(out[i]) < 1e-300) out[i] = zero;
+    }
+  }
+}
+
 CharFn AffineCf(CharFn phi, double a, double b) {
   return [phi = std::move(phi), a, b](double t) {
     return std::complex<double>(std::cos(b * t), std::sin(b * t)) *
@@ -46,40 +64,17 @@ double FindCfDecayPoint(const CharFn& phi, double eps) {
   return t;
 }
 
-common::Result<Histogram> InvertCfToDensity(const CharFn& phi,
-                                            const CfInversionOptions& opts) {
-  double lo = opts.lo;
-  double hi = opts.hi;
-  if (!(lo < hi)) {
-    if (!(opts.stddev > 0.0)) {
-      return common::Status::InvalidArgument(
-          "InvertCfToDensity: no range and non-positive stddev");
-    }
-    lo = opts.mean - opts.range_sigmas * opts.stddev;
-    hi = opts.mean + opts.range_sigmas * opts.stddev;
-  }
-  const double t_decay = FindCfDecayPoint(phi);
-  // The FFT couples grid spacing and frequency truncation: T = pi / dx.
-  // Grow N until the implied T covers the CF's decay point.
-  size_t n = common::NextPow2(std::max<size_t>(opts.grid_points, 64));
-  const size_t kMaxN = size_t{1} << 22;
-  while (n < kMaxN && kPi * static_cast<double>(n) / (hi - lo) < t_decay) {
-    n <<= 1;
-  }
+namespace {
+
+constexpr size_t kMaxFftN = size_t{1} << 22;
+
+// Shared tail of every inversion path: forward-FFT the phase-adjusted CF
+// samples in `a`, read off the density, clamp/renormalize, downsample.
+common::Result<Histogram> DensityFromFftBuffer(
+    std::vector<std::complex<double>>& a, double lo, double hi, size_t n,
+    double dt, double t_max, size_t requested_bins) {
   const double dx = (hi - lo) / static_cast<double>(n);
-  const double t_max = kPi / dx;
-  const double dt = 2.0 * t_max / static_cast<double>(n);
-
-  // a_k = phi(t_k) * e^{-i k dt lo} * e^{-i pi k / N},  t_k = -T + k dt.
-  std::vector<std::complex<double>> a(n);
-  for (size_t k = 0; k < n; ++k) {
-    const double tk = -t_max + static_cast<double>(k) * dt;
-    const double phase = -static_cast<double>(k) * dt * lo -
-                         kPi * static_cast<double>(k) / static_cast<double>(n);
-    a[k] = phi(tk) * std::complex<double>(std::cos(phase), std::sin(phase));
-  }
   common::Fft(a, /*inverse=*/false);
-
   std::vector<double> masses(n);
   double total = 0.0;
   for (size_t j = 0; j < n; ++j) {
@@ -94,13 +89,12 @@ common::Result<Histogram> InvertCfToDensity(const CharFn& phi,
   }
   if (total <= 0.0) {
     return common::Status::NumericError(
-        "InvertCfToDensity produced non-positive total mass; the output "
+        "CF inversion produced non-positive total mass; the output "
         "range likely misses the distribution");
   }
   // Downsample to the requested resolution to keep downstream costs fixed.
-  const size_t out_bins =
-      std::min<size_t>(common::NextPow2(std::max<size_t>(opts.grid_points, 2)),
-                       n);
+  const size_t out_bins = std::min<size_t>(
+      common::NextPow2(std::max<size_t>(requested_bins, 2)), n);
   if (out_bins < n) {
     const size_t factor = n / out_bins;
     std::vector<double> coarse(out_bins, 0.0);
@@ -108,6 +102,115 @@ common::Result<Histogram> InvertCfToDensity(const CharFn& phi,
     masses = std::move(coarse);
   }
   return Histogram::FromMasses(lo, hi, std::move(masses));
+}
+
+common::Status ResolveInversionRange(const CfInversionOptions& opts,
+                                     double* lo, double* hi) {
+  *lo = opts.lo;
+  *hi = opts.hi;
+  if (!(*lo < *hi)) {
+    if (!(opts.stddev > 0.0)) {
+      return common::Status::InvalidArgument(
+          "InvertCfToDensity: no range and non-positive stddev");
+    }
+    *lo = opts.mean - opts.range_sigmas * opts.stddev;
+    *hi = opts.mean + opts.range_sigmas * opts.stddev;
+  }
+  return common::Status::OK();
+}
+
+// The FFT couples grid spacing and frequency truncation: T = pi / dx.
+// Grow N until the implied T covers the CF's decay point.
+size_t PickFftN(size_t grid_points, double lo, double hi, double t_decay) {
+  size_t n = common::NextPow2(std::max<size_t>(grid_points, 64));
+  while (n < kMaxFftN &&
+         kPi * static_cast<double>(n) / (hi - lo) < t_decay) {
+    n <<= 1;
+  }
+  return n;
+}
+
+}  // namespace
+
+common::Result<Histogram> InvertCfToDensity(const CharFn& phi,
+                                            const CfInversionOptions& opts) {
+  double lo, hi;
+  USP_RETURN_NOT_OK(ResolveInversionRange(opts, &lo, &hi));
+  const double t_decay = FindCfDecayPoint(phi);
+  const size_t n = PickFftN(opts.grid_points, lo, hi, t_decay);
+  const double dx = (hi - lo) / static_cast<double>(n);
+  const double t_max = kPi / dx;
+  const double dt = 2.0 * t_max / static_cast<double>(n);
+
+  // a_k = phi(t_k) * e^{-i k dt lo} * e^{-i pi k / N},  t_k = -T + k dt.
+  std::vector<std::complex<double>> a(n);
+  for (size_t k = 0; k < n; ++k) {
+    const double tk = -t_max + static_cast<double>(k) * dt;
+    const double phase = -static_cast<double>(k) * dt * lo -
+                         kPi * static_cast<double>(k) / static_cast<double>(n);
+    a[k] = phi(tk) * std::complex<double>(std::cos(phase), std::sin(phase));
+  }
+  return DensityFromFftBuffer(a, lo, hi, n, dt, t_max, opts.grid_points);
+}
+
+common::Result<Histogram> InvertSumCfToDensity(
+    const std::vector<const Distribution*>& dists,
+    const CfInversionOptions& opts, CfInversionWorkspace* ws) {
+  CfInversionWorkspace local;
+  if (ws == nullptr) ws = &local;
+  double lo, hi;
+  USP_RETURN_NOT_OK(ResolveInversionRange(opts, &lo, &hi));
+  // The decay scan probes a handful of points; the closure is fine there.
+  // The n-point frequency grid below is where the closure path burned
+  // n * |dists| std::function calls — ProductCfGrid does |dists| CfGrid
+  // calls instead.
+  const double t_decay = FindCfDecayPoint(ProductCf(dists));
+  const size_t n = PickFftN(opts.grid_points, lo, hi, t_decay);
+  const double dx = (hi - lo) / static_cast<double>(n);
+  const double t_max = kPi / dx;
+  const double dt = 2.0 * t_max / static_cast<double>(n);
+
+  ws->t_grid.resize(n);
+  for (size_t k = 0; k < n; ++k) {
+    ws->t_grid[k] = -t_max + static_cast<double>(k) * dt;
+  }
+  ws->phi.resize(n);
+  ProductCfGrid(dists, ws->t_grid.data(), n, ws->phi.data(), &ws->dist_cf);
+  ws->fft.resize(n);
+  for (size_t k = 0; k < n; ++k) {
+    const double phase = -static_cast<double>(k) * dt * lo -
+                         kPi * static_cast<double>(k) / static_cast<double>(n);
+    ws->fft[k] =
+        ws->phi[k] * std::complex<double>(std::cos(phase), std::sin(phase));
+  }
+  return DensityFromFftBuffer(ws->fft, lo, hi, n, dt, t_max,
+                              opts.grid_points);
+}
+
+common::Result<Histogram> InvertCfGridToDensity(
+    const std::complex<double>* phi_values, size_t n, double lo, double hi,
+    size_t out_bins, CfInversionWorkspace* ws) {
+  CfInversionWorkspace local;
+  if (ws == nullptr) ws = &local;
+  if (n == 0 || (n & (n - 1)) != 0) {
+    return common::Status::InvalidArgument(
+        "InvertCfGridToDensity: n must be a power of two");
+  }
+  if (!(lo < hi)) {
+    return common::Status::InvalidArgument(
+        "InvertCfGridToDensity: lo must be < hi");
+  }
+  const double dx = (hi - lo) / static_cast<double>(n);
+  const double t_max = kPi / dx;
+  const double dt = 2.0 * t_max / static_cast<double>(n);
+  ws->fft.resize(n);
+  for (size_t k = 0; k < n; ++k) {
+    const double phase = -static_cast<double>(k) * dt * lo -
+                         kPi * static_cast<double>(k) / static_cast<double>(n);
+    ws->fft[k] = phi_values[k] *
+                 std::complex<double>(std::cos(phase), std::sin(phase));
+  }
+  return DensityFromFftBuffer(ws->fft, lo, hi, n, dt, t_max, out_bins);
 }
 
 double GilPelaezPdf(const CharFn& phi, double x, double t_max, int panels) {

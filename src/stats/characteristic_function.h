@@ -25,6 +25,34 @@ using CharFn = std::function<std::complex<double>(double)>;
 /// CFs. The inputs are captured by pointer; callers keep them alive.
 CharFn ProductCf(const std::vector<const Distribution*>& dists);
 
+/// Grid form of ProductCf: out[i] = prod_d Cf_d(t[i]) for i in [0, n),
+/// evaluated one distribution at a time through Distribution::CfGrid so the
+/// hot aggregation path makes |dists| virtual calls instead of n * |dists|
+/// closure calls. Applies the same underflow rule as the ProductCf closure
+/// (a point whose partial product drops below 1e-300 in squared magnitude
+/// is pinned to exactly zero), so results are bitwise-identical to calling
+/// the closure per point. `scratch` is resized to n and reused.
+void ProductCfGrid(const std::vector<const Distribution*>& dists,
+                   const double* t, size_t n, std::complex<double>* out,
+                   std::vector<std::complex<double>>* scratch);
+
+/// \brief Reusable scratch buffers for CF inversion and order-statistics
+/// grids.
+///
+/// One workspace serves one thread; the sharded executor owns one per shard
+/// (handed to plan builders through ShardContext) so the per-window hot
+/// loop of the CF-based aggregates is allocation-free. All vectors are
+/// resized on demand and keep their capacity across windows.
+struct CfInversionWorkspace {
+  std::vector<double> t_grid;                 ///< FFT frequency grid
+  std::vector<std::complex<double>> phi;      ///< product CF on t_grid
+  std::vector<std::complex<double>> fft;      ///< FFT input/output buffer
+  std::vector<std::complex<double>> dist_cf;  ///< per-distribution scratch
+  std::vector<double> x_grid;                 ///< order-statistics lattice
+  std::vector<double> cdf;                    ///< per-distribution cdf values
+  std::vector<double> log_cdf;                ///< accumulated log-cdf grid
+};
+
 /// CF of a*X + b given the CF of X: e^{itb} phi(a t).
 CharFn AffineCf(CharFn phi, double a, double b);
 
@@ -52,6 +80,24 @@ struct CfInversionOptions {
 common::Result<Histogram> InvertCfToDensity(const CharFn& phi,
                                             const CfInversionOptions& opts);
 
+/// Sum-of-independents inversion: same algorithm as InvertCfToDensity over
+/// ProductCf(dists), but the frequency grid is evaluated through
+/// ProductCfGrid (one CfGrid call per distribution) and all intermediate
+/// buffers live in `ws` (may be null for a one-shot local workspace).
+/// Produces bitwise-identical histograms to the closure path.
+common::Result<Histogram> InvertSumCfToDensity(
+    const std::vector<const Distribution*>& dists,
+    const CfInversionOptions& opts, CfInversionWorkspace* ws);
+
+/// Invert a CF already evaluated on the centered FFT frequency grid
+/// t_k = (k - n/2) * dt with dt = 2*pi/(hi - lo), k in [0, n), to a density
+/// histogram on [lo, hi] downsampled to `out_bins` bins. This is the
+/// assembly step of the pane-sharing sliding-window aggregates, which build
+/// the window CF as an elementwise product of cached per-pane grids.
+common::Result<Histogram> InvertCfGridToDensity(
+    const std::complex<double>* phi_values, size_t n, double lo, double hi,
+    size_t out_bins, CfInversionWorkspace* ws);
+
 /// Pointwise Gil-Pelaez density evaluation at a single x:
 /// f(x) = (1/pi) Int_0^T Re[e^{-itx} phi(t)] dt.
 /// Slower than the FFT path but grid-free; used for spot checks.
@@ -66,13 +112,18 @@ double GilPelaezCdf(const CharFn& phi, double x, double t_max,
 /// returns the truncation frequency T. Capped at 2^40.
 double FindCfDecayPoint(const CharFn& phi, double eps = 1e-12);
 
+/// Default finite-difference step of MomentsFromCf. Exported because the
+/// pane-incremental CF-approx aggregate evaluates per-tuple CFs at exactly
+/// +-this frequency to reproduce the probe products bitwise.
+inline constexpr double kCfMomentsDefaultStep = 1e-4;
+
 /// Mean and variance from the CF via central finite differences of the
 /// log-CF at 0 (cumulant derivatives). `h` is the step.
 struct CfMoments {
   double mean;
   double variance;
 };
-CfMoments MomentsFromCf(const CharFn& phi, double h = 1e-4);
+CfMoments MomentsFromCf(const CharFn& phi, double h = kCfMomentsDefaultStep);
 
 }  // namespace stats
 }  // namespace usp

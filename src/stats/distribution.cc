@@ -37,6 +37,15 @@ double Distribution::LogPdf(double x) const {
 
 double Distribution::Stddev() const { return std::sqrt(Variance()); }
 
+void Distribution::CfGrid(const double* t, size_t n,
+                          std::complex<double>* out) const {
+  for (size_t i = 0; i < n; ++i) out[i] = Cf(t[i]);
+}
+
+void Distribution::CdfGrid(const double* x, size_t n, double* out) const {
+  for (size_t i = 0; i < n; ++i) out[i] = Cdf(x[i]);
+}
+
 double Distribution::Quantile(double p) const {
   assert(p > 0.0 && p < 1.0);
   Support s = NumericSupport();

@@ -73,6 +73,16 @@ class Distribution {
   /// True when Cf() evaluates a closed form (vs. numeric integration).
   virtual bool HasClosedFormCf() const { return true; }
 
+  /// Grid form of Cf(): out[i] = Cf(t[i]) for i in [0, n). The default loops
+  /// Cf(); concrete distributions override it with a vectorised kernel that
+  /// hoists loop-invariant parameters and skips the per-point virtual
+  /// dispatch. Overrides must stay bitwise-identical to per-point Cf() so
+  /// the batched and scalar aggregation paths agree exactly.
+  virtual void CfGrid(const double* t, size_t n,
+                      std::complex<double>* out) const;
+  /// Grid form of Cdf(): out[i] = Cdf(x[i]). Same contract as CfGrid().
+  virtual void CdfGrid(const double* x, size_t n, double* out) const;
+
   /// Draw one sample.
   virtual double Sample(common::Rng* rng) const = 0;
 

@@ -33,6 +33,13 @@ std::complex<double> Exponential::Cf(double t) const {
   return rate_ / std::complex<double>(rate_, -t);
 }
 
+void Exponential::CfGrid(const double* t, size_t n,
+                         std::complex<double>* out) const {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = rate_ / std::complex<double>(rate_, -t[i]);
+  }
+}
+
 double Exponential::Sample(common::Rng* rng) const {
   return rng->Exponential(rate_);
 }

@@ -23,6 +23,8 @@ class Exponential final : public Distribution {
   double Mean() const override { return 1.0 / rate_; }
   double Variance() const override { return 1.0 / (rate_ * rate_); }
   std::complex<double> Cf(double t) const override;
+  void CfGrid(const double* t, size_t n,
+              std::complex<double>* out) const override;
   double Sample(common::Rng* rng) const override;
   Support NumericSupport() const override;
   std::unique_ptr<Distribution> Clone() const override;

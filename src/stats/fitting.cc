@@ -11,7 +11,7 @@ namespace usp {
 namespace stats {
 
 namespace {
-constexpr double kMinStddevFloor = 1e-9;
+constexpr double kMinStddevFloor = kFitStddevFloor;
 }
 
 Gaussian FitGaussianKl(const std::vector<double>& values,

@@ -74,6 +74,11 @@ double WeightedCrossEntropy(const std::vector<double>& values,
 /// Effective sample size of (possibly unnormalized) weights.
 double EffectiveSampleSize(const std::vector<double>& weights);
 
+/// Stddev floor applied by the fitting routines to keep degenerate fits
+/// valid densities. Exported because the pane-incremental CF-approx
+/// aggregate reproduces FitGaussianToCf's construction exactly.
+inline constexpr double kFitStddevFloor = 1e-9;
+
 /// Gaussian matched to the CF via cumulants at 0 (two CF evaluations).
 /// This is the fast path of the paper's "CF approx" algorithm.
 Gaussian FitGaussianToCf(const CharFn& phi);

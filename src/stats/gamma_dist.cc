@@ -87,6 +87,14 @@ std::complex<double> GammaDist::Cf(double t) const {
   return std::pow(base, -shape_);
 }
 
+void GammaDist::CfGrid(const double* t, size_t n,
+                       std::complex<double>* out) const {
+  for (size_t i = 0; i < n; ++i) {
+    const std::complex<double> base(1.0, -scale_ * t[i]);
+    out[i] = std::pow(base, -shape_);
+  }
+}
+
 double GammaDist::Sample(common::Rng* rng) const {
   return rng->Gamma(shape_, scale_);
 }

@@ -24,6 +24,8 @@ class GammaDist final : public Distribution {
   double Mean() const override { return shape_ * scale_; }
   double Variance() const override { return shape_ * scale_ * scale_; }
   std::complex<double> Cf(double t) const override;
+  void CfGrid(const double* t, size_t n,
+              std::complex<double>* out) const override;
   double Sample(common::Rng* rng) const override;
   Support NumericSupport() const override;
   std::unique_ptr<Distribution> Clone() const override;

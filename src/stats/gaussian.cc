@@ -48,6 +48,24 @@ std::complex<double> Gaussian::Cf(double t) const {
   return std::exp(re) * std::complex<double>(std::cos(im), std::sin(im));
 }
 
+void Gaussian::CfGrid(const double* t, size_t n,
+                      std::complex<double>* out) const {
+  // Same associativity as Cf(): c = (-0.5 * s) * s, re = (c * t) * t, so the
+  // grid kernel is bitwise-identical to the scalar path.
+  const double c = -0.5 * stddev_ * stddev_;
+  for (size_t i = 0; i < n; ++i) {
+    const double re = c * t[i] * t[i];
+    const double im = mean_ * t[i];
+    out[i] = std::exp(re) * std::complex<double>(std::cos(im), std::sin(im));
+  }
+}
+
+void Gaussian::CdfGrid(const double* x, size_t n, double* out) const {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = common::StdNormalCdf((x[i] - mean_) / stddev_);
+  }
+}
+
 double Gaussian::Sample(common::Rng* rng) const {
   return rng->Gaussian(mean_, stddev_);
 }

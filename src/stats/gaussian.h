@@ -27,6 +27,9 @@ class Gaussian final : public Distribution {
   double Mean() const override { return mean_; }
   double Variance() const override { return stddev_ * stddev_; }
   std::complex<double> Cf(double t) const override;
+  void CfGrid(const double* t, size_t n,
+              std::complex<double>* out) const override;
+  void CdfGrid(const double* x, size_t n, double* out) const override;
   double Sample(common::Rng* rng) const override;
   Support NumericSupport() const override;
   std::unique_ptr<Distribution> Clone() const override;

@@ -82,6 +82,32 @@ std::complex<double> GaussianMixture::Cf(double t) const {
   return s;
 }
 
+void GaussianMixture::CfGrid(const double* t, size_t n,
+                             std::complex<double>* out) const {
+  // Mirrors Cf() exactly (component order, associativity) but walks the
+  // grid in the inner loop so the per-component constants are hoisted once
+  // instead of once per (point, component) pair.
+  for (size_t i = 0; i < n; ++i) out[i] = std::complex<double>(0.0, 0.0);
+  for (const auto& c : comps_) {
+    const double k = -0.5 * c.stddev * c.stddev;
+    for (size_t i = 0; i < n; ++i) {
+      const double re = k * t[i] * t[i];
+      const double im = c.mean * t[i];
+      out[i] += c.weight * std::exp(re) *
+                std::complex<double>(std::cos(im), std::sin(im));
+    }
+  }
+}
+
+void GaussianMixture::CdfGrid(const double* x, size_t n, double* out) const {
+  for (size_t i = 0; i < n; ++i) out[i] = 0.0;
+  for (const auto& c : comps_) {
+    for (size_t i = 0; i < n; ++i) {
+      out[i] += c.weight * common::StdNormalCdf((x[i] - c.mean) / c.stddev);
+    }
+  }
+}
+
 double GaussianMixture::Sample(common::Rng* rng) const {
   double u = rng->Uniform();
   for (const auto& c : comps_) {

@@ -44,6 +44,21 @@ std::complex<double> Uniform::Cf(double t) const {
   return num / std::complex<double>(0.0, t * (hi_ - lo_));
 }
 
+void Uniform::CfGrid(const double* t, size_t n,
+                     std::complex<double>* out) const {
+  const double width = hi_ - lo_;
+  for (size_t i = 0; i < n; ++i) {
+    if (t[i] == 0.0) {
+      out[i] = {1.0, 0.0};
+      continue;
+    }
+    const std::complex<double> num =
+        std::complex<double>(std::cos(t[i] * hi_), std::sin(t[i] * hi_)) -
+        std::complex<double>(std::cos(t[i] * lo_), std::sin(t[i] * lo_));
+    out[i] = num / std::complex<double>(0.0, t[i] * width);
+  }
+}
+
 double Uniform::Sample(common::Rng* rng) const {
   return rng->Uniform(lo_, hi_);
 }

@@ -22,6 +22,8 @@ class Uniform final : public Distribution {
   double Mean() const override { return 0.5 * (lo_ + hi_); }
   double Variance() const override;
   std::complex<double> Cf(double t) const override;
+  void CfGrid(const double* t, size_t n,
+              std::complex<double>* out) const override;
   double Sample(common::Rng* rng) const override;
   Support NumericSupport() const override { return {lo_, hi_}; }
   std::unique_ptr<Distribution> Clone() const override;

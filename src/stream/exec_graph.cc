@@ -140,12 +140,10 @@ common::Status DagExecutor::Deliver(ExecGraph::NodeId id, int port,
     case ExecGraph::NodeKind::kJoin: {
       TupleBatch out;
       BatchCollector collector(&out);
-      common::Status st;
-      for (const Tuple& t : batch) {
-        st = port == ExecGraph::kLeftPort ? node.join->PushLeft(t, &collector)
-                                          : node.join->PushRight(t, &collector);
-        if (!st.ok()) break;
-      }
+      const common::Status st =
+          port == ExecGraph::kLeftPort
+              ? node.join->PushLeftBatch(batch, &collector)
+              : node.join->PushRightBatch(batch, &collector);
       const common::Status fwd = Forward(id, out);
       return st.ok() ? fwd : st;
     }

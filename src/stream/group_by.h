@@ -30,6 +30,10 @@ struct AggregateSpec {
 /// Output tuple layout: [group_key (string), agg_1, ..., agg_m], timestamp
 /// = window end (Rstream semantics: results are streamed when the window
 /// closes), lineage = union of the group's input lineage.
+///
+/// On the batch path, group keys are computed once per batch tuple and
+/// cached per window, so a sliding window with overlap k evaluates the key
+/// function once per tuple instead of k times at emit.
 class GroupByAggregateOperator final : public WindowedOperator {
  public:
   using KeyFn = std::function<std::string(const Tuple&)>;
@@ -44,14 +48,23 @@ class GroupByAggregateOperator final : public WindowedOperator {
         having_(std::move(having)) {}
 
  protected:
+  common::Status ProcessBatch(const TupleBatch& batch,
+                              Collector* out) override;
   common::Status EmitWindow(int64_t window_start, int64_t window_end,
                             const std::vector<Tuple>& tuples,
                             Collector* out) override;
+  void AppendRun(int64_t window_start, const Tuple* tuples, size_t count,
+                 size_t batch_offset) override;
 
  private:
   KeyFn key_fn_;
   std::vector<AggregateSpec> aggregates_;
   HavingFn having_;
+  /// Per-window cached group keys, aligned with the window's tuple buffer.
+  std::map<int64_t, std::vector<std::string>> open_keys_;
+  /// Keys of the batch currently inside WindowedOperator::ProcessBatch;
+  /// AppendRun slices it by batch offset. Empty on the per-tuple path.
+  std::vector<std::string> batch_keys_;
 };
 
 }  // namespace stream

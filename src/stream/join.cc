@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "stream/batch.h"
+
 namespace usp {
 namespace stream {
 
@@ -27,10 +29,8 @@ void SlidingWindowJoin::Expire(int64_t now) {
   }
 }
 
-common::Status SlidingWindowJoin::PushImpl(const Tuple& tuple, bool from_left,
-                                           Collector* out) {
-  ++metrics_.tuples_in;
-  common::Stopwatch sw;
+void SlidingWindowJoin::ProbeAndBuffer(const Tuple& tuple, bool from_left,
+                                       Collector* out) {
   Expire(tuple.timestamp());
   const std::deque<Tuple>& other = from_left ? right_ : left_;
   for (const Tuple& o : other) {
@@ -43,6 +43,24 @@ common::Status SlidingWindowJoin::PushImpl(const Tuple& tuple, bool from_left,
     }
   }
   (from_left ? left_ : right_).push_back(tuple);
+}
+
+common::Status SlidingWindowJoin::PushImpl(const Tuple& tuple, bool from_left,
+                                           Collector* out) {
+  ++metrics_.tuples_in;
+  common::Stopwatch sw;
+  ProbeAndBuffer(tuple, from_left, out);
+  metrics_.processing_seconds += sw.ElapsedSeconds();
+  return common::Status::OK();
+}
+
+common::Status SlidingWindowJoin::PushBatchImpl(const TupleBatch& batch,
+                                                bool from_left,
+                                                Collector* out) {
+  metrics_.tuples_in += batch.size();
+  ++metrics_.batches_in;
+  common::Stopwatch sw;
+  for (const Tuple& t : batch) ProbeAndBuffer(t, from_left, out);
   metrics_.processing_seconds += sw.ElapsedSeconds();
   return common::Status::OK();
 }
@@ -55,6 +73,16 @@ common::Status SlidingWindowJoin::PushLeft(const Tuple& tuple,
 common::Status SlidingWindowJoin::PushRight(const Tuple& tuple,
                                             Collector* out) {
   return PushImpl(tuple, /*from_left=*/false, out);
+}
+
+common::Status SlidingWindowJoin::PushLeftBatch(const TupleBatch& batch,
+                                                Collector* out) {
+  return PushBatchImpl(batch, /*from_left=*/true, out);
+}
+
+common::Status SlidingWindowJoin::PushRightBatch(const TupleBatch& batch,
+                                                 Collector* out) {
+  return PushBatchImpl(batch, /*from_left=*/false, out);
 }
 
 common::Status SlidingWindowJoin::Close() {

@@ -39,6 +39,10 @@ class SlidingWindowJoin {
 
   common::Status PushLeft(const Tuple& tuple, Collector* out);
   common::Status PushRight(const Tuple& tuple, Collector* out);
+  /// Batch forms: one metrics update and one Stopwatch read per batch
+  /// instead of per tuple. This is the DAG executor's hot path.
+  common::Status PushLeftBatch(const TupleBatch& batch, Collector* out);
+  common::Status PushRightBatch(const TupleBatch& batch, Collector* out);
   /// No buffered output exists at close (joins emit eagerly), but Close
   /// releases window state.
   common::Status Close();
@@ -48,6 +52,10 @@ class SlidingWindowJoin {
 
  private:
   common::Status PushImpl(const Tuple& tuple, bool from_left, Collector* out);
+  common::Status PushBatchImpl(const TupleBatch& batch, bool from_left,
+                               Collector* out);
+  /// Unmetered core: expire, probe the other side, buffer the tuple.
+  void ProbeAndBuffer(const Tuple& tuple, bool from_left, Collector* out);
   void Expire(int64_t now);
 
   std::string name_;

@@ -1,0 +1,185 @@
+#include "stream/pane_window.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+
+#include "stream/batch.h"
+
+namespace usp {
+namespace stream {
+
+using common::CeilToMultiple;
+using common::FloorToMultiple;
+
+PanedGroupByAggregateOperator::PanedGroupByAggregateOperator(
+    std::string name, WindowSpec spec, KeyFn key_fn,
+    std::vector<PaneAggregateSpec> aggregates, HavingFn having)
+    : Operator(std::move(name)),
+      spec_(spec),
+      pane_us_(std::gcd(spec.size_us, spec.slide_us)),
+      key_fn_(std::move(key_fn)),
+      aggregates_(std::move(aggregates)),
+      having_(std::move(having)),
+      next_close_end_(std::numeric_limits<int64_t>::max()),
+      last_emitted_start_(std::numeric_limits<int64_t>::min()) {
+  assert(spec.size_us > 0 && spec.slide_us > 0 &&
+         spec.slide_us <= spec.size_us);
+}
+
+int64_t PanedGroupByAggregateOperator::EarliestOpenWindowStart() const {
+  // Pane boundaries are multiples of gcd(size, slide), so window membership
+  // is uniform across a pane: pane [p, p+g) belongs to window [s, s+size)
+  // iff s <= p and p + g <= s + size. The earliest candidate derives from
+  // the earliest retained pane, bounded below by the emission cursor (a
+  // pane outlives windows it already served).
+  const int64_t p0 = panes_.begin()->first;
+  int64_t s = CeilToMultiple(p0 + pane_us_ - spec_.size_us, spec_.slide_us);
+  if (last_emitted_start_ != std::numeric_limits<int64_t>::min()) {
+    s = std::max(s, last_emitted_start_ + spec_.slide_us);
+  }
+  return s;
+}
+
+common::Status PanedGroupByAggregateOperator::AddToPane(
+    Pane& pane, const Tuple& tuple, const std::string& key) {
+  auto [it, inserted] = pane.groups.try_emplace(key);
+  GroupState& gs = it->second;
+  if (inserted) {
+    pane.order.push_back(&it->first);
+    gs.partials.reserve(aggregates_.size());
+    for (const PaneAggregateSpec& spec : aggregates_) {
+      gs.partials.push_back(spec.make_partial());
+    }
+  }
+  for (size_t a = 0; a < aggregates_.size(); ++a) {
+    USP_RETURN_NOT_OK(aggregates_[a].add(gs.partials[a].get(), tuple));
+  }
+  gs.lineage.insert(gs.lineage.end(), tuple.lineage().begin(),
+                    tuple.lineage().end());
+  return common::Status::OK();
+}
+
+common::Status PanedGroupByAggregateOperator::Add(const Tuple& tuple,
+                                                  const std::string& key) {
+  const int64_t pane_start = FloorToMultiple(tuple.timestamp(), pane_us_);
+  const bool was_empty = panes_.empty();
+  Pane& pane = panes_[pane_start];
+  if (was_empty) {
+    next_close_end_ = EarliestOpenWindowStart() + spec_.size_us;
+  }
+  return AddToPane(pane, tuple, key);
+}
+
+common::Status PanedGroupByAggregateOperator::EmitWindow(int64_t start,
+                                                         Collector* out) {
+  const int64_t end = start + spec_.size_us;
+  // Collect the window's groups in first-seen arrival order: panes are
+  // time-ordered and each pane records its own first-seen order, so the
+  // first pane mentioning a key determines its position.
+  std::vector<const std::string*> order;
+  std::map<std::string, std::vector<GroupState*>> groups;
+  const auto pane_end = panes_.lower_bound(end);
+  for (auto it = panes_.lower_bound(start); it != pane_end; ++it) {
+    for (const std::string* key : it->second.order) {
+      auto [git, inserted] = groups.try_emplace(*key);
+      if (inserted) order.push_back(&git->first);
+      git->second.push_back(&it->second.groups.at(*key));
+    }
+  }
+  std::vector<PanePartial*> partials;
+  for (const std::string* key : order) {
+    const std::vector<GroupState*>& states = groups[*key];
+    Tuple result(end, {Value(*key)});
+    for (size_t a = 0; a < aggregates_.size(); ++a) {
+      partials.clear();
+      for (GroupState* gs : states) partials.push_back(gs->partials[a].get());
+      auto v = aggregates_[a].finalize(partials);
+      if (!v.ok()) return v.status();
+      result.AppendValue(v.MoveValueUnsafe());
+    }
+    std::vector<TupleId> lineage;
+    for (const GroupState* gs : states) {
+      lineage.insert(lineage.end(), gs->lineage.begin(), gs->lineage.end());
+    }
+    result.SetLineage(std::move(lineage));
+    if (having_ && !having_(result)) continue;
+    out->Emit(std::move(result));
+  }
+  last_emitted_start_ = start;
+  return common::Status::OK();
+}
+
+common::Status PanedGroupByAggregateOperator::CloseWindowsBefore(
+    int64_t ts, Collector* out) {
+  while (!panes_.empty()) {
+    const int64_t s = EarliestOpenWindowStart();
+    if (s + spec_.size_us > ts) {
+      next_close_end_ = s + spec_.size_us;
+      return common::Status::OK();
+    }
+    USP_RETURN_NOT_OK(EmitWindow(s, out));
+    // Evict panes whose last containing window (the largest slide multiple
+    // <= pane start) has now been emitted.
+    while (!panes_.empty() &&
+           FloorToMultiple(panes_.begin()->first, spec_.slide_us) <= s) {
+      panes_.erase(panes_.begin());
+    }
+  }
+  next_close_end_ = std::numeric_limits<int64_t>::max();
+  return common::Status::OK();
+}
+
+common::Status PanedGroupByAggregateOperator::Process(const Tuple& tuple,
+                                                      Collector* out) {
+  if (tuple.timestamp() >= next_close_end_) {
+    USP_RETURN_NOT_OK(CloseWindowsBefore(tuple.timestamp(), out));
+  }
+  return Add(tuple, key_fn_(tuple));
+}
+
+common::Status PanedGroupByAggregateOperator::ProcessBatch(
+    const TupleBatch& batch, Collector* out) {
+  // Same per-tuple logic, but consecutive tuples falling into the same
+  // pane reuse the pane map node (std::map nodes are stable; the cache is
+  // only dropped when a closing scan may evict panes).
+  Pane* pane = nullptr;
+  int64_t pane_start = 0;
+  for (const Tuple& tuple : batch) {
+    const int64_t ts = tuple.timestamp();
+    if (ts >= next_close_end_) {
+      USP_RETURN_NOT_OK(CloseWindowsBefore(ts, out));
+      pane = nullptr;
+    }
+    const int64_t start = FloorToMultiple(ts, pane_us_);
+    if (pane == nullptr || start != pane_start) {
+      const bool was_empty = panes_.empty();
+      pane = &panes_[start];
+      pane_start = start;
+      if (was_empty) {
+        next_close_end_ = EarliestOpenWindowStart() + spec_.size_us;
+      }
+    }
+    USP_RETURN_NOT_OK(AddToPane(*pane, tuple, key_fn_(tuple)));
+  }
+  return common::Status::OK();
+}
+
+common::Status PanedGroupByAggregateOperator::Finish(Collector* out) {
+  // End-of-stream: flush every remaining window unconditionally (no
+  // ts comparison, which would overflow near INT64_MAX).
+  while (!panes_.empty()) {
+    const int64_t s = EarliestOpenWindowStart();
+    USP_RETURN_NOT_OK(EmitWindow(s, out));
+    while (!panes_.empty() &&
+           FloorToMultiple(panes_.begin()->first, spec_.slide_us) <= s) {
+      panes_.erase(panes_.begin());
+    }
+  }
+  next_close_end_ = std::numeric_limits<int64_t>::max();
+  return common::Status::OK();
+}
+
+}  // namespace stream
+}  // namespace usp

@@ -1,0 +1,115 @@
+// Pane-based windowed group-by-aggregate: the incremental sliding-window
+// path. A pane is the gcd(size, slide)-aligned time segment; every window
+// is a union of consecutive panes, so per-tuple work (key extraction,
+// aggregate accumulation) happens once per pane instead of once per
+// overlapping window. Aggregates plug in as type-erased pane partials
+// (PaneAggregateSpec); the uncertain:: layer provides partials that exploit
+// additivity of the paper's §5.1 math — running cumulant sums for CLT /
+// CF-approx SUM, cached per-pane CF grids for CF-inversion SUM, and
+// accumulated log-CDF grids for MAX/MIN order statistics.
+//
+// Semantics match GroupByAggregateOperator exactly: windows close on event
+// time (a tuple with ts >= end arrives, or end-of-stream), outputs are
+// [group_key, agg_1..agg_m] with timestamp = window end, group order is
+// first-seen arrival order within the window, lineage is the group's input
+// lineage union, and HAVING filters emitted rows.
+
+#ifndef USP_STREAM_PANE_WINDOW_H_
+#define USP_STREAM_PANE_WINDOW_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stream/group_by.h"
+#include "stream/window.h"
+
+namespace usp {
+namespace stream {
+
+/// Opaque per-(pane, group) accumulator state. Concrete partials live in
+/// the layer that defines the aggregate (e.g. uncertain::).
+class PanePartial {
+ public:
+  virtual ~PanePartial() = default;
+};
+
+/// One output aggregate column computed from pane partials.
+struct PaneAggregateSpec {
+  std::string output_name;
+  /// Fresh empty partial for a new (pane, group) cell.
+  std::function<std::unique_ptr<PanePartial>()> make_partial;
+  /// Accumulate one tuple (arrival order within the pane).
+  std::function<common::Status(PanePartial*, const Tuple&)> add;
+  /// Combine the window's partials (ascending pane order; one entry per
+  /// pane where the group appeared) into the output value. Partials may
+  /// mutate (lazily computed caches shared across overlapping windows).
+  std::function<common::Result<Value>(const std::vector<PanePartial*>&)>
+      finalize;
+};
+
+/// \brief Windowed GROUP BY over pane-incremental aggregates.
+///
+/// Accepts any WindowSpec; pane width is gcd(size, slide), so tumbling
+/// windows degenerate to one pane per window and sliding windows with
+/// overlap k touch each pane from k windows while paying its accumulation
+/// cost once.
+class PanedGroupByAggregateOperator final : public Operator {
+ public:
+  using KeyFn = GroupByAggregateOperator::KeyFn;
+  using HavingFn = GroupByAggregateOperator::HavingFn;
+
+  PanedGroupByAggregateOperator(std::string name, WindowSpec spec,
+                                KeyFn key_fn,
+                                std::vector<PaneAggregateSpec> aggregates,
+                                HavingFn having = nullptr);
+
+  int64_t pane_us() const { return pane_us_; }
+
+ protected:
+  common::Status Process(const Tuple& tuple, Collector* out) override;
+  common::Status ProcessBatch(const TupleBatch& batch,
+                              Collector* out) override;
+  common::Status Finish(Collector* out) override;
+
+ private:
+  struct GroupState {
+    std::vector<std::unique_ptr<PanePartial>> partials;  // one per aggregate
+    std::vector<TupleId> lineage;
+  };
+  struct Pane {
+    std::map<std::string, GroupState> groups;
+    std::vector<const std::string*> order;  // first-seen group order
+  };
+
+  common::Status Add(const Tuple& tuple, const std::string& key);
+  /// Shared accumulation body of the per-tuple and batch paths.
+  common::Status AddToPane(Pane& pane, const Tuple& tuple,
+                           const std::string& key);
+  common::Status CloseWindowsBefore(int64_t ts, Collector* out);
+  common::Status EmitWindow(int64_t start, Collector* out);
+  /// Earliest window start that could still close, given the earliest
+  /// retained pane.
+  int64_t EarliestOpenWindowStart() const;
+
+  WindowSpec spec_;
+  int64_t pane_us_;
+  KeyFn key_fn_;
+  std::vector<PaneAggregateSpec> aggregates_;
+  HavingFn having_;
+  std::map<int64_t, Pane> panes_;  // pane start -> contents
+  /// Cached end of the earliest open window; tuples below it skip the
+  /// closing scan entirely. INT64_MAX while no pane exists.
+  int64_t next_close_end_;
+  /// Start of the last emitted window (INT64_MIN before the first): a pane
+  /// can outlive windows it already served, so closing must not revisit
+  /// starts at or below this.
+  int64_t last_emitted_start_;
+};
+
+}  // namespace stream
+}  // namespace usp
+
+#endif  // USP_STREAM_PANE_WINDOW_H_

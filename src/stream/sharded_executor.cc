@@ -42,6 +42,7 @@ common::Result<std::unique_ptr<ShardedExecutor>> ShardedExecutor::Create(
     ctx.shard_index = i;
     ctx.num_shards = options.num_shards;
     ctx.archive = &shard->archive;
+    ctx.cf_workspace = &shard->cf_workspace;
     USP_RETURN_NOT_OK(builder(graph.get(), ctx));
     USP_RETURN_NOT_OK(graph->Validate());
     if (i > 0) {
@@ -111,6 +112,31 @@ common::Status ShardedExecutor::PushBatch(ExecGraph::NodeId source,
     return common::Status::FailedPrecondition("executor already finished");
   }
   if (batch.empty()) return common::Status::OK();
+  // Oversized caller batches are split into target-sized slices before
+  // partitioning so one bulk push cannot occupy a whole queue slot per
+  // shard with an arbitrarily large message.
+  if (options_.target_batch_size > 0 &&
+      batch.size() > options_.target_batch_size) {
+    std::vector<Tuple>& tuples = batch.mutable_tuples();
+    for (size_t off = 0; off < tuples.size();
+         off += options_.target_batch_size) {
+      const size_t end =
+          std::min(off + options_.target_batch_size, tuples.size());
+      TupleBatch slice;
+      slice.Reserve(end - off);
+      for (size_t i = off; i < end; ++i) {
+        slice.Append(std::move(tuples[i]));
+      }
+      USP_RETURN_NOT_OK(PushSlice(source, std::move(slice)));
+    }
+    batch.Clear();
+    return common::Status::OK();
+  }
+  return PushSlice(source, std::move(batch));
+}
+
+common::Status ShardedExecutor::PushSlice(ExecGraph::NodeId source,
+                                          TupleBatch&& batch) {
   if (shards_.size() == 1) {
     // Single shard: forward the whole batch without re-partitioning.
     if (!shards_[0]->queue.Push(Message{source, std::move(batch)})) {

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "stats/characteristic_function.h"
 #include "stream/bounded_queue.h"
 #include "stream/exec_graph.h"
 #include "stream/pipeline.h"
@@ -43,6 +44,11 @@ struct ShardContext {
   size_t num_shards = 1;
   /// Shard-private archive for lineage resolution; evicted by watermark.
   TupleArchive* archive = nullptr;
+  /// Shard-private scratch for CF inversion / order-statistics grids.
+  /// Owned by the shard and touched only from its worker thread; plan
+  /// builders hand it to CfInversionSum::set_workspace or the pane
+  /// aggregates so the per-window hot loop is allocation-free.
+  stats::CfInversionWorkspace* cf_workspace = nullptr;
 };
 
 class ShardedExecutor {
@@ -54,6 +60,12 @@ class ShardedExecutor {
     /// Archived tuples older than watermark - retention are evicted after
     /// each processed message; negative = keep everything.
     int64_t archive_retention_us = -1;
+    /// When > 0, ingest splits caller batches larger than this into
+    /// target-sized slices before partitioning, bounding per-message queue
+    /// occupancy and shard latency for bulk pushes (first slice of the
+    /// adaptive-batch-sizing roadmap item). 0 forwards caller-sized
+    /// batches unchanged.
+    size_t target_batch_size = 0;
   };
 
   /// Maps a tuple to a shard-key hash; the shard is `hash % num_shards`.
@@ -119,6 +131,8 @@ class ShardedExecutor {
 
     std::unique_ptr<DagExecutor> exec;
     TupleArchive archive;
+    /// Reusable CF/order-statistics scratch; worker-thread-private.
+    stats::CfInversionWorkspace cf_workspace;
     BoundedQueue<Message> queue;
     std::thread worker;
     /// Guards exec/archive/watermark/status against snapshot readers.
@@ -131,6 +145,8 @@ class ShardedExecutor {
   ShardedExecutor(const Options& options, KeyFn key_fn);
 
   void WorkerLoop(Shard* shard);
+  /// Partition one (already target-sized) batch and enqueue per shard.
+  common::Status PushSlice(ExecGraph::NodeId source, TupleBatch&& batch);
 
   Options options_;
   KeyFn key_fn_;

@@ -2,21 +2,17 @@
 
 #include <cassert>
 
+#include "stream/batch.h"
+
 namespace usp {
 namespace stream {
 
 std::vector<int64_t> WindowSpec::AssignedWindowStarts(int64_t ts) const {
   assert(size_us > 0 && slide_us > 0 && slide_us <= size_us);
   std::vector<int64_t> starts;
-  // Latest window start containing ts (floor division robust for ts < 0).
-  int64_t k = ts / slide_us;
-  if (ts < 0 && ts % slide_us != 0) --k;
-  int64_t start = k * slide_us;
-  // Walk back while the window still contains ts.
-  while (start + size_us > ts) {
+  ForEachAssignedStart(ts, [&starts](int64_t start) {
     starts.push_back(start);
-    start -= slide_us;
-  }
+  });
   return starts;  // descending start order
 }
 
@@ -36,10 +32,46 @@ common::Status WindowedOperator::CloseWindowsBefore(int64_t ts,
   return common::Status::OK();
 }
 
+void WindowedOperator::AppendRun(int64_t window_start, const Tuple* tuples,
+                                 size_t count, size_t batch_offset) {
+  (void)batch_offset;
+  std::vector<Tuple>& buf = open_[window_start];
+  buf.insert(buf.end(), tuples, tuples + count);
+}
+
 common::Status WindowedOperator::Process(const Tuple& tuple, Collector* out) {
   USP_RETURN_NOT_OK(CloseWindowsBefore(tuple.timestamp(), out));
-  for (int64_t start : spec_.AssignedWindowStarts(tuple.timestamp())) {
-    open_[start].push_back(tuple);
+  spec_.ForEachAssignedStart(tuple.timestamp(), [this, &tuple](int64_t start) {
+    AppendRun(start, &tuple, 1, SIZE_MAX);
+  });
+  return common::Status::OK();
+}
+
+common::Status WindowedOperator::ProcessBatch(const TupleBatch& batch,
+                                              Collector* out) {
+  const size_t n = batch.size();
+  size_t i = 0;
+  while (i < n) {
+    const int64_t ts = batch[i].timestamp();
+    USP_RETURN_NOT_OK(CloseWindowsBefore(ts, out));
+    const int64_t first = spec_.FirstAssignedStart(ts);
+    const int64_t last = spec_.LastAssignedStart(ts);
+    // Extend the run while consecutive tuples land in the same window
+    // range. Tuples are timestamp-ordered, so the range is non-decreasing;
+    // equality of the (first, last) pair is the run condition. Deferring
+    // the closure check to the next run is safe: a window whose end falls
+    // inside the run cannot contain any run tuple (its start would be
+    // < first), appends emit nothing, and closures stay in ascending
+    // window order.
+    size_t j = i + 1;
+    while (j < n && spec_.LastAssignedStart(batch[j].timestamp()) == last &&
+           spec_.FirstAssignedStart(batch[j].timestamp()) == first) {
+      ++j;
+    }
+    for (int64_t start = last; start >= first; start -= spec_.slide_us) {
+      AppendRun(start, &batch.tuples()[i], j - i, i);
+    }
+    i = j;
   }
   return common::Status::OK();
 }

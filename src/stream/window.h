@@ -11,6 +11,7 @@
 #include <map>
 #include <vector>
 
+#include "common/math_util.h"
 #include "common/status.h"
 #include "stream/operator.h"
 
@@ -27,7 +28,33 @@ struct WindowSpec {
     return {size_us, slide_us};
   }
 
-  /// Start timestamps of all windows containing `ts`.
+  /// Latest window start containing `ts` (floor semantics, robust for
+  /// negative timestamps).
+  int64_t LastAssignedStart(int64_t ts) const {
+    return common::FloorToMultiple(ts, slide_us);
+  }
+
+  /// Earliest window start containing `ts`: the smallest multiple of
+  /// slide_us strictly greater than ts - size_us.
+  int64_t FirstAssignedStart(int64_t ts) const {
+    return common::FloorToMultiple(ts - size_us, slide_us) + slide_us;
+  }
+
+  /// Invoke `fn(start)` for every window start containing `ts`, in
+  /// descending start order (matching AssignedWindowStarts). Allocation-free
+  /// replacement for the vector form on the per-tuple hot path.
+  template <typename Fn>
+  void ForEachAssignedStart(int64_t ts, Fn&& fn) const {
+    const int64_t first = FirstAssignedStart(ts);
+    for (int64_t start = LastAssignedStart(ts); start >= first;
+         start -= slide_us) {
+      fn(start);
+    }
+  }
+
+  /// Start timestamps of all windows containing `ts`. Allocates; prefer
+  /// ForEachAssignedStart / FirstAssignedStart + LastAssignedStart on hot
+  /// paths.
   std::vector<int64_t> AssignedWindowStarts(int64_t ts) const;
 };
 
@@ -43,12 +70,27 @@ class WindowedOperator : public Operator {
 
  protected:
   common::Status Process(const Tuple& tuple, Collector* out) override;
+  /// Batch-native path: window closure is checked per run instead of per
+  /// tuple, window starts are computed arithmetically (no per-tuple vector
+  /// allocation), and runs of consecutive tuples sharing the same window
+  /// range are appended en bloc.
+  common::Status ProcessBatch(const TupleBatch& batch,
+                              Collector* out) override;
   common::Status Finish(Collector* out) override;
 
   /// Called once per closed window with its buffered tuples.
   virtual common::Status EmitWindow(int64_t window_start, int64_t window_end,
                                     const std::vector<Tuple>& tuples,
                                     Collector* out) = 0;
+
+  /// Append hook: `tuples[0..count)` (a run of consecutive batch tuples,
+  /// or a single tuple on the per-tuple path) joins the window starting at
+  /// `window_start`. `batch_offset` is the run's index into the batch being
+  /// processed, or SIZE_MAX on the per-tuple path. Subclasses that maintain
+  /// per-window side state (e.g. cached group keys) override this and must
+  /// call the base implementation.
+  virtual void AppendRun(int64_t window_start, const Tuple* tuples,
+                         size_t count, size_t batch_offset);
 
   const WindowSpec& spec() const { return spec_; }
 

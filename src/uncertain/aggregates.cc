@@ -95,16 +95,30 @@ Result<Value> ExtremeImpl(const std::vector<const Tuple*>& group,
   if (s.dists.empty()) {
     return Value(certain_ext);
   }
-  auto hist = is_max ? stats::MaxDistribution(s.dists, bins)
-                     : stats::MinDistribution(s.dists, bins);
+  return ExtremeDistributionValue(s.dists, has_certain, certain_ext, bins,
+                                  is_max);
+}
+
+}  // namespace
+
+common::Result<stream::Value> ExtremeDistributionValue(
+    const std::vector<const stats::Distribution*>& dists, bool has_certain,
+    double certain_ext, size_t bins, bool is_max) {
+  auto hist = is_max ? stats::MaxDistribution(dists, bins)
+                     : stats::MinDistribution(dists, bins);
   if (!hist.ok()) return hist.status();
   if (!has_certain) {
     return Value(stats::DistributionPtr(
         std::make_shared<stats::Histogram>(hist.MoveValueUnsafe())));
   }
+  return ClipExtremeWithCertain(hist.value(), certain_ext, is_max);
+}
+
+common::Result<stream::Value> ClipExtremeWithCertain(const stats::Histogram& h,
+                                                     double certain_ext,
+                                                     bool is_max) {
   // Clip against the certain extreme: for MAX, mass below certain_ext
   // collapses onto the bin containing certain_ext.
-  const stats::Histogram h = hist.MoveValueUnsafe();
   const size_t n = h.num_bins();
   std::vector<double> masses(n);
   for (size_t i = 0; i < n; ++i) masses[i] = h.BinMass(i);
@@ -162,8 +176,6 @@ Result<Value> ExtremeImpl(const std::vector<const Tuple*>& group,
   return Value(stats::DistributionPtr(
       std::make_shared<stats::Histogram>(out.MoveValueUnsafe())));
 }
-
-}  // namespace
 
 stream::AggregateSpec MakeSumAggregate(std::string output_name,
                                        size_t attr_index,

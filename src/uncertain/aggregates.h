@@ -9,6 +9,7 @@
 
 #include <memory>
 
+#include "stats/histogram.h"
 #include "stream/group_by.h"
 #include "uncertain/sum_strategies.h"
 
@@ -40,6 +41,22 @@ stream::AggregateSpec MakeMinAggregate(std::string output_name,
 
 /// COUNT of tuples in the group.
 stream::AggregateSpec MakeCountAggregate(std::string output_name);
+
+/// The per-window kernel behind MakeMax/MinAggregate, exposed so the
+/// pane-incremental path (pane_aggregates.h) reuses the exact same math on
+/// its single-pane (tumbling) fast path: exact order-statistics histogram
+/// over `dists` with an optional certain extreme folded in as a clip.
+/// `dists` must be non-empty (the all-certain case is the caller's).
+common::Result<stream::Value> ExtremeDistributionValue(
+    const std::vector<const stats::Distribution*>& dists, bool has_certain,
+    double certain_ext, size_t bins, bool is_max);
+
+/// Clip an order-statistics histogram against a certain extreme: for MAX,
+/// mass below `certain_ext` collapses onto its bin (the grid widens when
+/// the extreme lies outside the support). Shared by the naive and
+/// pane-incremental MAX/MIN paths.
+common::Result<stream::Value> ClipExtremeWithCertain(
+    const stats::Histogram& h, double certain_ext, bool is_max);
 
 /// Probability that the distribution-valued `v` exceeds `threshold`
 /// (1{v > threshold} for certain numerics). Used by HAVING clauses such as

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <vector>
 
 #include "common/math_util.h"
 #include "stats/gaussian.h"
@@ -92,17 +94,110 @@ double ProbLocEquals(const std::vector<Value>& xs,
   return p;
 }
 
+namespace {
+
+// One compared attribute, classified once per tuple instead of once per
+// candidate pair. The join probes one tuple against a whole window buffer,
+// so the probe side's virtual Mean()/Stddev() extraction and kind dispatch
+// amortize across the scan. Distribution handles are shared_ptr copies, so
+// a cached entry never dangles.
+struct PreparedAxis {
+  bool is_numeric = false;
+  bool is_gaussian = false;
+  double mean = 0.0;
+  double stddev = 0.0;
+  stats::DistributionPtr dist;  // set for any distribution-valued axis
+};
+
+struct PreparedTuple {
+  stream::TupleId id = 0;
+  const stream::Tuple* addr = nullptr;
+  bool valid = false;
+  std::vector<PreparedAxis> axes;
+};
+
+bool PrepareTuple(const stream::Tuple& t, const std::vector<size_t>& attrs,
+                  PreparedTuple* out) {
+  out->id = t.id();
+  out->addr = &t;
+  out->valid = false;  // only marked valid once fully extracted
+  out->axes.clear();
+  out->axes.reserve(attrs.size());
+  for (size_t idx : attrs) {
+    if (idx >= t.num_values()) return false;
+    PreparedAxis axis;
+    const Value& v = t.value(idx);
+    if (v.is_numeric()) {
+      axis.is_numeric = true;
+      axis.mean = v.AsDouble();
+      axis.stddev = 0.0;
+    } else if (v.is_distribution()) {
+      axis.dist = v.AsDistribution();
+      if (axis.dist->type() == stats::DistType::kGaussian) {
+        axis.is_gaussian = true;
+        axis.mean = axis.dist->Mean();
+        axis.stddev = axis.dist->Stddev();
+      }
+    }
+    out->axes.push_back(std::move(axis));
+  }
+  out->valid = true;
+  return true;
+}
+
+// Mirrors ProbAbsDiffWithin's decision tree on prepared axes.
+double PreparedAbsDiffWithin(const PreparedAxis& x, const PreparedAxis& y,
+                             double eps) {
+  if (x.is_numeric && y.is_numeric) {
+    return std::fabs(x.mean - y.mean) <= eps ? 1.0 : 0.0;
+  }
+  const bool xg = x.is_numeric || x.is_gaussian;
+  const bool yg = y.is_numeric || y.is_gaussian;
+  if (xg && yg) {
+    return GaussianAbsDiffWithin(x.mean, x.stddev, y.mean, y.stddev, eps);
+  }
+  if (x.is_numeric && y.dist) {
+    const double c = x.mean;
+    return std::max(0.0, y.dist->Cdf(c + eps) - y.dist->Cdf(c - eps));
+  }
+  if (y.is_numeric && x.dist) {
+    const double c = y.mean;
+    return std::max(0.0, x.dist->Cdf(c + eps) - x.dist->Cdf(c - eps));
+  }
+  if (x.dist && y.dist) {
+    return NumericAbsDiffWithin(*x.dist, *y.dist, eps);
+  }
+  return 0.0;
+}
+
+}  // namespace
+
 stream::SlidingWindowJoin::MatchFn MakeProbabilisticEqualityMatch(
     EqualityJoinSpec spec) {
-  return [spec = std::move(spec)](
+  // Mutable per-side caches are captured BY VALUE: every copy of the
+  // returned MatchFn (e.g. one per shard-private SlidingWindowJoin) owns
+  // its own caches, so copies never share state across threads. The join
+  // calls the match function with a fixed probe on one side for a whole
+  // window scan, so that side hits its cache on every pair after the
+  // first. One MatchFn *instance* is still single-threaded, like the
+  // operator that owns it.
+  return [spec = std::move(spec), lcache = PreparedTuple(),
+          rcache = PreparedTuple()](
              const stream::Tuple& l,
-             const stream::Tuple& r) -> std::optional<stream::Tuple> {
+             const stream::Tuple& r) mutable -> std::optional<stream::Tuple> {
+    if (!lcache.valid || lcache.id != l.id() || lcache.addr != &l) {
+      if (!PrepareTuple(l, spec.left_attrs, &lcache)) {
+        return std::nullopt;
+      }
+    }
+    if (!rcache.valid || rcache.id != r.id() || rcache.addr != &r) {
+      if (!PrepareTuple(r, spec.right_attrs, &rcache)) {
+        return std::nullopt;
+      }
+    }
     double p = 1.0;
     for (size_t i = 0; i < spec.left_attrs.size(); ++i) {
-      const size_t li = spec.left_attrs[i];
-      const size_t ri = spec.right_attrs[i];
-      if (li >= l.num_values() || ri >= r.num_values()) return std::nullopt;
-      p *= ProbAbsDiffWithin(l.value(li), r.value(ri), spec.eps);
+      p *= PreparedAbsDiffWithin(lcache.axes[i], rcache.axes[i], spec.eps);
       if (p < spec.min_confidence) return std::nullopt;
     }
     stream::Tuple joined = stream::ConcatJoinedTuple(l, r);

@@ -99,13 +99,13 @@ common::Result<DistributionPtr> HistogramSum::SumOf(
 common::Result<DistributionPtr> CfInversionSum::SumOf(
     const std::vector<const stats::Distribution*>& inputs) {
   USP_RETURN_NOT_OK(CheckInputs(inputs));
-  const stats::CharFn phi = stats::ProductCf(inputs);
   double mean, var;
   MomentTotals(inputs, &mean, &var);
   const double sd = std::sqrt(std::max(var, 1e-12));
   if (mode_ == Mode::kQuadrature) {
     // The paper's method: evaluate the single inversion integral at each
     // output point with numeric quadrature.
+    const stats::CharFn phi = stats::ProductCf(inputs);
     const double lo = mean - 8.0 * sd;
     const double hi = mean + 8.0 * sd;
     const size_t points = std::min<size_t>(grid_points_, 256);
@@ -127,7 +127,11 @@ common::Result<DistributionPtr> CfInversionSum::SumOf(
   opts.grid_points = grid_points_;
   opts.mean = mean;
   opts.stddev = sd;
-  auto hist = stats::InvertCfToDensity(phi, opts);
+  // Grid-kernel evaluation of the product CF (one CfGrid call per input
+  // instead of one closure call per (input, frequency) pair), reusing the
+  // caller-provided workspace when set. Bitwise-identical to the closure
+  // path.
+  auto hist = stats::InvertSumCfToDensity(inputs, opts, workspace_);
   if (!hist.ok()) return hist.status();
   return DistributionPtr(
       std::make_shared<stats::Histogram>(hist.MoveValueUnsafe()));

@@ -6,10 +6,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 #include <string>
 
+#include "stats/gaussian.h"
 #include "stream/basic_operators.h"
 #include "stream/group_by.h"
+#include "stream/pane_window.h"
+#include "uncertain/pane_aggregates.h"
 
 namespace usp {
 namespace stream {
@@ -230,6 +234,124 @@ TEST(ShardedExecutorTest, OperatorErrorSurfacesAtFinish) {
   auto exec = exec_or.MoveValueUnsafe();
   (void)exec->PushBatch(source, MakeKeyedStream(100));
   EXPECT_FALSE(exec->Finish().ok());
+}
+
+TEST(ShardedExecutorTest, ShardContextWorkspaceFeedsPaneAggregates) {
+  // A keyed pane-incremental CF-inversion plan bound to the shard's
+  // CfInversionWorkspace via ShardContext: results must be identical to a
+  // single-shard run (the workspace is scratch, never state).
+  auto build_stream = [] {
+    TupleBatch batch;
+    for (size_t i = 0; i < 400; ++i) {
+      Tuple t(static_cast<int64_t>(i),
+              {Value(static_cast<int64_t>(i % 3)),
+               Value(stats::DistributionPtr(std::make_shared<stats::Gaussian>(
+                   static_cast<double>(i % 7) - 3.0,
+                   0.5 + 0.1 * static_cast<double>(i % 4))))});
+      t.InitBaseLineage();
+      batch.Append(t);
+    }
+    return batch;
+  };
+  auto run = [&](size_t num_shards) {
+    ShardedExecutor::Options opts;
+    opts.num_shards = num_shards;
+    ExecGraph::NodeId source = 0, sink = 0;
+    auto exec_or = ShardedExecutor::Create(
+        opts, KeyByIntValue(0),
+        [&](ExecGraph* g, const ShardContext& ctx) {
+          EXPECT_NE(ctx.cf_workspace, nullptr);
+          source = g->AddSource("src");
+          uncertain::PaneAggregateOptions popts;
+          popts.grid_points = 256;
+          popts.workspace = ctx.cf_workspace;
+          std::vector<PaneAggregateSpec> aggs;
+          aggs.push_back(uncertain::MakePaneSumAggregate(
+              "sum", 1, uncertain::SumStrategyKind::kCfInversion, popts));
+          const auto agg = g->AddOperator(
+              source,
+              std::make_unique<PanedGroupByAggregateOperator>(
+                  "q1", WindowSpec::Sliding(40, 10),
+                  [](const Tuple& t) {
+                    return std::to_string(t.value(0).AsInt());
+                  },
+                  std::move(aggs)));
+          sink = g->AddSink(agg, "sink");
+          return common::Status::OK();
+        });
+    EXPECT_TRUE(exec_or.ok());
+    auto exec = exec_or.MoveValueUnsafe();
+    EXPECT_TRUE(exec->PushBatch(source, build_stream()).ok());
+    EXPECT_TRUE(exec->Finish().ok());
+    return exec->TakeSinkOutput(sink);
+  };
+  const TupleBatch one = run(1);
+  const TupleBatch four = run(4);
+  ASSERT_FALSE(one.empty());
+  ASSERT_EQ(one.size(), four.size());
+  auto canonical = [](const TupleBatch& batch) {
+    std::vector<std::tuple<int64_t, std::string, double, double>> out;
+    for (const Tuple& t : batch) {
+      const auto& d = *t.value(1).AsDistribution();
+      out.emplace_back(t.timestamp(), t.value(0).AsString(), d.Mean(),
+                       d.Variance());
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  EXPECT_EQ(canonical(one), canonical(four));
+}
+
+TEST(ShardedExecutorTest, TargetBatchSizeSplitsOversizedBatches) {
+  ShardedExecutor::Options opts;
+  opts.num_shards = 2;
+  opts.target_batch_size = 64;
+  ExecGraph::NodeId source = 0, sink = 0;
+  auto exec_or = ShardedExecutor::Create(
+      opts, KeyByIntValue(0), [&](ExecGraph* g, const ShardContext&) {
+        source = g->AddSource("src");
+        const auto pass = g->AddOperator(
+            source, std::make_unique<FilterOperator>(
+                        "pass", [](const Tuple&) { return true; }));
+        sink = g->AddSink(pass, "sink");
+        return common::Status::OK();
+      });
+  ASSERT_TRUE(exec_or.ok());
+  auto exec = exec_or.MoveValueUnsafe();
+  // One 1000-tuple push must arrive as target-sized slices (and lose no
+  // tuples, keep timestamp order in the merged sink).
+  ASSERT_TRUE(exec->PushBatch(source, MakeKeyedStream(1000)).ok());
+  ASSERT_TRUE(exec->Finish().ok());
+  EXPECT_EQ(exec->sink_output(sink).size(), 1000u);
+  const auto metrics = exec->MetricsSnapshot();
+  ASSERT_EQ(metrics.size(), 1u);
+  EXPECT_EQ(metrics[0].metrics.tuples_in, 1000u);
+  // ceil(1000 / 64) = 16 slices, each split across 2 shards => between 16
+  // and 32 batches observed by the shard-private operators.
+  EXPECT_GE(metrics[0].metrics.batches_in, 16u);
+  EXPECT_LE(metrics[0].metrics.batches_in, 32u);
+  const auto& tuples = exec->sink_output(sink).tuples();
+  for (size_t i = 1; i < tuples.size(); ++i) {
+    EXPECT_LE(tuples[i - 1].timestamp(), tuples[i].timestamp());
+  }
+}
+
+TEST(ShardedExecutorTest, TargetBatchSizeKeyedResultsUnchanged) {
+  ShardedExecutor::Options opts;
+  opts.num_shards = 4;
+  opts.target_batch_size = 32;
+  ExecGraph::NodeId source = 0, sink = 0;
+  auto exec_or = ShardedExecutor::Create(
+      opts, KeyByIntValue(0), [&](ExecGraph* g, const ShardContext&) {
+        return BuildKeyedSumPlan(g, &source, &sink);
+      });
+  ASSERT_TRUE(exec_or.ok());
+  auto exec = exec_or.MoveValueUnsafe();
+  ASSERT_TRUE(exec->PushBatch(source, MakeKeyedStream(2000)).ok());
+  ASSERT_TRUE(exec->Finish().ok());
+  auto unsplit = RunKeyedPlan(1, 2000);
+  ASSERT_TRUE(unsplit.ok());
+  EXPECT_EQ(Canonical(exec->TakeSinkOutput(sink)), Canonical(unsplit.value()));
 }
 
 TEST(ShardedExecutorTest, CreateRejectsBadOptions) {
