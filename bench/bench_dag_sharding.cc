@@ -9,6 +9,13 @@
 // (items_per_second) — the ROADMAP "sharding, batching, async" claim is
 // that this scales near-linearly until ingest partitioning saturates.
 //
+// The plan is declared with the query builder; PartitionBy() pins the
+// ingest key to a cheap int hash (the planner's derived key would replay
+// the annotate map per tuple on the ingest thread, which would bench the
+// replay, not the executor). Note the planner compiles num_shards == 1 to
+// the synchronous DagExecutor, so the 1-shard row is a true
+// single-threaded baseline with no queue hop.
+//
 // Run:  ./build/bench/bench_dag_sharding
 
 #include <benchmark/benchmark.h>
@@ -19,20 +26,16 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "query/planner.h"
+#include "query/query.h"
 #include "stats/gaussian.h"
-#include "stream/basic_operators.h"
-#include "stream/group_by.h"
 #include "stream/sharded_executor.h"
-#include "uncertain/aggregates.h"
 #include "uncertain/selection.h"
 #include "uncertain/sum_strategies.h"
 
 namespace {
 
 using usp::stats::DistributionPtr;
-using usp::stream::ExecGraph;
-using usp::stream::ShardContext;
-using usp::stream::ShardedExecutor;
 using usp::stream::Tuple;
 using usp::stream::TupleBatch;
 using usp::stream::Value;
@@ -70,42 +73,34 @@ void BM_DagSharding(benchmark::State& state) {
   const size_t num_shards = static_cast<size_t>(state.range(0));
   const std::vector<TupleBatch> input = MakeInput();
 
+  auto q1 =
+      usp::query::Query::From("src", 2)
+          .Map("annotate",
+               [](const Tuple& t) -> usp::common::Result<Tuple> {
+                 Tuple out = t;
+                 out.AppendValue(Value(usp::uncertain::PredicateProbability(
+                     t.value(1), usp::uncertain::PredicateOp::kGreaterThan,
+                     22.0)));
+                 return out;
+               },
+               3)
+          .Window(usp::stream::WindowSpec::Tumbling(kWindowUs))
+          .GroupBy(0)
+          .Sum("total", 1, usp::uncertain::SumStrategyKind::kCfApprox)
+          .Sink("sink")
+          .PartitionBy(usp::stream::KeyByIntValue(0));
+
   for (auto _ : state) {
-    ShardedExecutor::Options opts;
+    usp::query::PlannerOptions opts;
     opts.num_shards = num_shards;
     opts.queue_capacity = 64;
-    // One strategy per shard; aggregate state never crosses threads.
-    std::vector<std::unique_ptr<usp::uncertain::CfApproxSum>> strategies(
-        num_shards);
-    ExecGraph::NodeId source = 0, sink = 0;
-    auto exec_or = ShardedExecutor::Create(
-        opts, usp::stream::KeyByIntValue(0),
-        [&](ExecGraph* g, const ShardContext& ctx) {
-          strategies[ctx.shard_index] =
-              std::make_unique<usp::uncertain::CfApproxSum>();
-          source = g->AddSource("src");
-          const auto annotate = g->AddOperator(
-              source, usp::uncertain::MakeProbabilityAnnotator(
-                          "p_over", 1,
-                          usp::uncertain::PredicateOp::kGreaterThan, 22.0));
-          const auto group = g->AddOperator(
-              annotate,
-              std::make_unique<usp::stream::GroupByAggregateOperator>(
-                  "sum_by_key", usp::stream::WindowSpec::Tumbling(kWindowUs),
-                  [](const Tuple& t) {
-                    return std::to_string(t.value(0).AsInt());
-                  },
-                  std::vector<usp::stream::AggregateSpec>{
-                      usp::uncertain::MakeSumAggregate(
-                          "total", 1, strategies[ctx.shard_index].get())}));
-          sink = g->AddSink(group, "sink");
-          return usp::common::Status::OK();
-        });
+    auto exec_or = q1.Compile(opts);
     if (!exec_or.ok()) {
       state.SkipWithError(exec_or.status().ToString().c_str());
       return;
     }
     auto exec = exec_or.MoveValueUnsafe();
+    const auto source = exec->source("src");
     for (const TupleBatch& batch : input) {
       if (auto st = exec->PushBatch(source, batch); !st.ok()) {
         state.SkipWithError(st.ToString().c_str());
@@ -116,7 +111,7 @@ void BM_DagSharding(benchmark::State& state) {
       state.SkipWithError(st.ToString().c_str());
       return;
     }
-    benchmark::DoNotOptimize(exec->sink_output(sink).size());
+    benchmark::DoNotOptimize(exec->Result("sink").size());
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(kTuplesPerRun));

@@ -13,9 +13,9 @@
 
 #include "common/rng.h"
 #include "common/stopwatch.h"
+#include "query/planner.h"
+#include "query/query.h"
 #include "stats/gaussian.h"
-#include "stream/exec_graph.h"
-#include "stream/join.h"
 #include "uncertain/join_predicates.h"
 #include "uncertain/lineage_aggregate.h"
 
@@ -26,8 +26,9 @@ using usp::stream::Tuple;
 using usp::stream::Value;
 
 // Run the Q2-style join for one temperature cell against `fanout` objects
-// and return the joined temperature attributes. The join runs as a fan-in
-// node of the batch DAG executor (the production plan shape).
+// and return the joined temperature attributes. The fan-in plan is
+// declared with the query builder and compiled by the planner (the
+// production path for join plans: a single-shard batch DAG).
 std::vector<DistributionPtr> JoinedTemps(size_t fanout, uint64_t seed) {
   usp::common::Rng rng(seed);
   usp::uncertain::EqualityJoinSpec spec;
@@ -36,22 +37,22 @@ std::vector<DistributionPtr> JoinedTemps(size_t fanout, uint64_t seed) {
   spec.eps = 3.0;
   spec.min_confidence = 0.2;
 
-  auto graph = std::make_unique<usp::stream::ExecGraph>();
-  const auto objects = graph->AddSource("objects");
-  const auto readings = graph->AddSource("temps");
-  const auto join = graph->AddJoin(
-      objects, readings,
-      std::make_unique<usp::stream::SlidingWindowJoin>(
-          "bench", 10'000'000,
-          usp::uncertain::MakeProbabilisticEqualityMatch(spec)));
-  const auto sink = graph->AddSink(join, "joined");
-  usp::stream::DagExecutor exec(std::move(graph));
+  auto objects = usp::query::Query::From("objects", 3);
+  auto readings = usp::query::Query::From("temps", 3);
+  auto plan = objects
+                  .Join(readings, 10'000'000,
+                        usp::uncertain::MakeProbabilisticEqualityMatch(spec),
+                        "bench")
+                  .Sink("joined");
+  auto exec_or = plan.Compile();
+  if (!exec_or.ok()) return {};
+  auto exec = exec_or.MoveValueUnsafe();
 
   Tuple temp(0, {Value(10.0), Value(10.0),
                  Value(DistributionPtr(std::make_shared<usp::stats::Gaussian>(
                      70.0, 4.0)))});
   temp.InitBaseLineage();
-  (void)exec.Push(readings, temp);
+  (void)exec->Push(exec->source("temps"), temp);
   usp::stream::TupleBatch objs;
   objs.Reserve(fanout);
   for (size_t i = 0; i < fanout; ++i) {
@@ -64,10 +65,10 @@ std::vector<DistributionPtr> JoinedTemps(size_t fanout, uint64_t seed) {
     obj.InitBaseLineage();
     objs.Append(std::move(obj));
   }
-  (void)exec.PushBatch(objects, objs);
-  (void)exec.Close();
+  (void)exec->PushBatch(exec->source("objects"), objs);
+  (void)exec->Finish();
   std::vector<DistributionPtr> temps;
-  for (const Tuple& t : exec.sink_output(sink)) {
+  for (const Tuple& t : exec->Result("joined")) {
     temps.push_back(t.value(5).AsDistribution());
   }
   return temps;

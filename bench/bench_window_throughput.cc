@@ -1,9 +1,13 @@
 // Windowed-plan throughput: tuples/sec for Q1-style tumbling and sliding
-// group-by-aggregate plans driven through the DAG executor at batch sizes
-// 1 / 64 / 1024, comparing the naive per-window recompute operator against
-// the pane-incremental operator. Emits BENCH_window_throughput.json so the
-// perf trajectory is tracked across PRs. `--smoke` shrinks the stream for
-// sanitizer CI runs.
+// group-by-aggregate plans at batch sizes 1 / 64 / 1024, comparing the
+// naive per-window recompute path against the pane-incremental path.
+// Emits BENCH_window_throughput.json so the perf trajectory is tracked
+// across PRs. `--smoke` shrinks the stream for sanitizer CI runs.
+//
+// The plan is declared once with the query builder; the planner's
+// aggregate-path force knobs (kForceNaive / kForcePaned) select the
+// physical operator, which is exactly what an application would get from
+// kAuto on tumbling resp. sliding windows.
 
 #include <cstdio>
 #include <cstring>
@@ -13,27 +17,22 @@
 
 #include "common/rng.h"
 #include "common/stopwatch.h"
-#include "stats/characteristic_function.h"
+#include "query/planner.h"
+#include "query/query.h"
 #include "stats/gaussian_mixture.h"
 #include "stream/batch.h"
-#include "stream/exec_graph.h"
-#include "stream/group_by.h"
-#include "stream/pane_window.h"
-#include "uncertain/aggregates.h"
-#include "uncertain/pane_aggregates.h"
 #include "uncertain/sum_strategies.h"
 
 namespace {
 
+using usp::query::PlannerOptions;
+using usp::query::Query;
 using usp::stats::DistributionPtr;
 using usp::stats::GaussianMixture;
-using usp::stream::DagExecutor;
-using usp::stream::ExecGraph;
 using usp::stream::Tuple;
 using usp::stream::TupleBatch;
 using usp::stream::Value;
 using usp::stream::WindowSpec;
-using usp::uncertain::SumStrategyKind;
 
 size_t g_num_tuples = 20000;
 bool g_smoke = false;
@@ -67,38 +66,22 @@ struct Measurement {
   double tuples_per_sec;
 };
 
-const auto kKeyFn = [](const Tuple& t) { return t.value(0).AsString(); };
-
-std::unique_ptr<usp::stream::Operator> MakeNaiveOp(
-    WindowSpec spec, usp::uncertain::SumStrategy* strategy) {
-  std::vector<usp::stream::AggregateSpec> aggs;
-  aggs.push_back(usp::uncertain::MakeSumAggregate("sum", 1, strategy));
-  aggs.push_back(usp::uncertain::MakeCountAggregate("cnt"));
-  return std::make_unique<usp::stream::GroupByAggregateOperator>(
-      "q1", spec, kKeyFn, std::move(aggs));
-}
-
-std::unique_ptr<usp::stream::Operator> MakePanedOp(
-    WindowSpec spec, usp::stats::CfInversionWorkspace* ws) {
-  usp::uncertain::PaneAggregateOptions opts;
-  opts.workspace = ws;
-  std::vector<usp::stream::PaneAggregateSpec> aggs;
-  aggs.push_back(usp::uncertain::MakePaneSumAggregate(
-      "sum", 1, SumStrategyKind::kClt, opts));
-  aggs.push_back(usp::uncertain::MakePaneCountAggregate("cnt"));
-  return std::make_unique<usp::stream::PanedGroupByAggregateOperator>(
-      "q1", spec, kKeyFn, std::move(aggs));
-}
-
-double RunPlan(std::unique_ptr<usp::stream::Operator> op,
-               const std::vector<Tuple>& stream, size_t batch_size) {
-  // Drive through the DAG executor so the measurement includes the batch
-  // transport (Deliver / Forward / sink append), not just the operator.
-  auto graph = std::make_unique<ExecGraph>();
-  const auto source = graph->AddSource("src");
-  const auto agg = graph->AddOperator(source, std::move(op));
-  graph->AddSink(agg, "sink");
-  DagExecutor exec(std::move(graph));
+double RunPlan(WindowSpec spec, bool paned, const std::vector<Tuple>& stream,
+               size_t batch_size) {
+  // Q1 shape, declared once; the force knob picks the physical path.
+  auto q = Query::From("src", 2)
+               .Window(spec)
+               .GroupBy(0)
+               .Sum("sum", 1, usp::uncertain::SumStrategyKind::kClt)
+               .Count("cnt")
+               .Sink("sink");
+  PlannerOptions opts;
+  opts.aggregate_path = paned ? PlannerOptions::AggregatePath::kForcePaned
+                              : PlannerOptions::AggregatePath::kForceNaive;
+  auto compiled_or = q.Compile(opts);
+  if (!compiled_or.ok()) return 0.0;
+  auto compiled = compiled_or.MoveValueUnsafe();
+  const auto source = compiled->source("src");
   // Slice before starting the clock: measure the executor path, not the
   // tuple copies that build the batches.
   std::vector<TupleBatch> batches;
@@ -111,9 +94,9 @@ double RunPlan(std::unique_ptr<usp::stream::Operator> op,
   }
   usp::common::Stopwatch sw;
   for (const TupleBatch& batch : batches) {
-    if (!exec.PushBatch(source, batch).ok()) return 0.0;
+    if (!compiled->PushBatch(source, batch).ok()) return 0.0;
   }
-  if (!exec.Close().ok()) return 0.0;
+  if (!compiled->Finish().ok()) return 0.0;
   return static_cast<double>(stream.size()) / sw.ElapsedSeconds();
 }
 
@@ -130,8 +113,6 @@ int main(int argc, char** argv) {
   const WindowSpec sliding = WindowSpec::Sliding(100, 25);
 
   std::vector<Measurement> results;
-  usp::uncertain::CltSum clt;
-  usp::stats::CfInversionWorkspace ws;
   printf("=== Windowed group-by throughput (CLT SUM, %zu tuples) ===\n",
          g_num_tuples);
   printf("%-10s %-7s %-11s %14s\n", "plan", "path", "batch_size",
@@ -141,9 +122,9 @@ int main(int argc, char** argv) {
         std::pair<const char*, WindowSpec>{"sliding", sliding}}) {
     for (size_t batch_size : {size_t{1}, size_t{64}, size_t{1024}}) {
       const double naive_tps =
-          RunPlan(MakeNaiveOp(spec, &clt), stream, batch_size);
+          RunPlan(spec, /*paned=*/false, stream, batch_size);
       const double paned_tps =
-          RunPlan(MakePanedOp(spec, &ws), stream, batch_size);
+          RunPlan(spec, /*paned=*/true, stream, batch_size);
       results.push_back({plan_name, "naive", batch_size, naive_tps});
       results.push_back({plan_name, "paned", batch_size, paned_tps});
       printf("%-10s %-7s %-11zu %14.0f\n", plan_name, "naive", batch_size,

@@ -14,41 +14,35 @@
 // example resolves areas by expected location and reports the violation
 // probability P(sum > 200) per emitted group.
 //
-// The plan runs on the sharded DAG executor: tuples are hash-partitioned
-// by area cell, each shard runs a private map -> group-by plan on its own
-// worker thread, and the per-area sums are exact because one area's
-// tuples always land on one shard.
+// The query is DECLARED, not wired: the logical plan below says
+// map -> window -> group-by -> sum -> having, and `Compile({num_shards=4})`
+// makes every physical choice — it builds the per-shard graphs, keeps the
+// exact per-window SUM kernel (tumbling window), and derives the ingest
+// partition key from the group-by key by replaying the annotate map, so
+// one area's tuples always land on one shard and the per-area sums are
+// exact with zero cross-shard coordination.
 //
 // Build & run:  ./build/examples/fire_code_monitoring
 
 #include <cstdio>
 #include <string>
-#include <utility>
 
+#include "query/planner.h"
+#include "query/query.h"
 #include "rfid/model.h"
 #include "rfid/transform_operator.h"
-#include "stream/basic_operators.h"
-#include "stream/group_by.h"
-#include "stream/sharded_executor.h"
 #include "uncertain/aggregates.h"
-#include "uncertain/sum_strategies.h"
 
 using usp::stream::Tuple;
 using usp::stream::Value;
 
 namespace {
 
-// 10 ft grid cell of a location tuple's expected position. The shard key
-// hashes the same cell numerically (no string formatting on the ingest
-// hot path); the GROUP BY key is the cell's display name. Same cell =>
-// same shard AND same group, so grouping stays shard-local.
-std::pair<int, int> AreaCellOf(const Tuple& t) {
-  return {int(t.value(1).AsDistribution()->Mean() / 10.0),
-          int(t.value(2).AsDistribution()->Mean() / 10.0)};
-}
-
+// 10 ft grid cell display name of a location tuple's expected position:
+// the GROUP BY key (and therefore, derived by the planner, the shard key).
 std::string AreaOf(const Tuple& t) {
-  const auto [cx, cy] = AreaCellOf(t);
+  const int cx = int(t.value(1).AsDistribution()->Mean() / 10.0);
+  const int cy = int(t.value(2).AsDistribution()->Mean() / 10.0);
   return "area_" + std::to_string(cx) + "_" + std::to_string(cy);
 }
 
@@ -76,63 +70,43 @@ int main() {
     weight_by_tag[i] = (i % 7 == 0) ? 120.0 : 25.0;
   }
 
-  // --- Q1 as a sharded keyed plan ----------------------------------------
-  usp::stream::ShardedExecutor::Options opts;
-  opts.num_shards = 4;
-  // One strategy instance per shard: aggregate state never crosses threads.
-  std::vector<std::unique_ptr<usp::uncertain::CfApproxSum>> strategies(
-      opts.num_shards);
-  usp::stream::ExecGraph::NodeId source = 0, group = 0, sink = 0;
-  auto exec_or = usp::stream::ShardedExecutor::Create(
-      opts,
-      [](const Tuple& t) {
-        const auto [cx, cy] = AreaCellOf(t);
-        return std::hash<int64_t>{}((static_cast<int64_t>(cx) << 32) ^
-                                    static_cast<uint32_t>(cy));
-      },
-      [&](usp::stream::ExecGraph* g, const usp::stream::ShardContext& ctx) {
-        strategies[ctx.shard_index] =
-            std::make_unique<usp::uncertain::CfApproxSum>();
-        usp::uncertain::CfApproxSum* sum_strategy =
-            strategies[ctx.shard_index].get();
-        source = g->AddSource("rfid_stream");
-        // Inner select: annotate area (10 ft grid cells) and weight.
-        const auto annotate = g->AddOperator(
-            source,
-            std::make_unique<usp::stream::MapOperator>(
-                "annotate_area_weight",
-                [&weight_by_tag](const Tuple& t)
-                    -> usp::common::Result<Tuple> {
-                  Tuple out = t;
-                  out.AppendValue(Value(AreaOf(t)));
-                  out.AppendValue(
-                      Value(weight_by_tag[size_t(t.value(0).AsInt())]));
-                  return out;
-                }));
-        // Outer select: 5 s window, group by area, SUM(weight),
-        // HAVING > 200 lb with 50% confidence.
-        group = g->AddOperator(
-            annotate,
-            std::make_unique<usp::stream::GroupByAggregateOperator>(
-                "q1_group_sum", usp::stream::WindowSpec::Tumbling(5'000'000),
-                [](const Tuple& t) { return t.value(3).AsString(); },
-                std::vector<usp::stream::AggregateSpec>{
-                    usp::uncertain::MakeSumAggregate("total_weight", 4,
-                                                     sum_strategy)},
-                usp::uncertain::MakeHavingProbGreater(1, 200.0, 0.5)));
-        sink = g->AddSink(group, "alerts");
-        return usp::common::Status::OK();
-      });
+  // --- Q1, declared ------------------------------------------------------
+  // Inner select: annotate area + weight (tuple becomes
+  // (tag, x, y, area, weight)). Outer select: 5 s window, group by area,
+  // SUM(weight) via the CF-approximation strategy, HAVING > 200 lb with
+  // 50% confidence.
+  auto q1 =
+      usp::query::Query::From("rfid_stream", 3)
+          .Map("annotate_area_weight",
+               [&weight_by_tag](const Tuple& t)
+                   -> usp::common::Result<Tuple> {
+                 Tuple out = t;
+                 out.AppendValue(Value(AreaOf(t)));
+                 out.AppendValue(
+                     Value(weight_by_tag[size_t(t.value(0).AsInt())]));
+                 return out;
+               },
+               5)
+          .Window(usp::stream::WindowSpec::Tumbling(5'000'000))
+          .GroupBy(3)
+          .Sum("total_weight", 4, usp::uncertain::SumStrategyKind::kCfApprox)
+          .Having(usp::uncertain::MakeHavingProbGreater(1, 200.0, 0.5))
+          .Sink("alerts");
+
+  usp::query::PlannerOptions popts;
+  popts.num_shards = 4;
+  auto exec_or = q1.Compile(popts);
   if (!exec_or.ok()) {
-    fprintf(stderr, "plan failed: %s\n",
+    fprintf(stderr, "compile failed: %s\n",
             exec_or.status().ToString().c_str());
     return 1;
   }
   auto exec = exec_or.MoveValueUnsafe();
+  const auto source = exec->source("rfid_stream");
 
   // --- run 2 simulated minutes -------------------------------------------
-  printf("== Q1: fire-code monitoring (areas over 200 lb, %zu shards) ==\n\n",
-         exec->num_shards());
+  printf("== Q1: fire-code monitoring (areas over 200 lb) ==\n");
+  printf("plan: %s\n\n", exec->summary().ToString().c_str());
   for (int scan = 0; scan < 240; ++scan) {
     auto locations = t_op.ProcessReadingBatch(sim.Step());
     if (!locations.ok()) {
@@ -151,7 +125,7 @@ int main() {
     return 1;
   }
 
-  const auto& alerts = exec->sink_output(sink);
+  const auto& alerts = exec->Result("alerts");
   printf("%-12s %-12s %-14s %s\n", "time(s)", "area", "E[weight](lb)",
          "P(weight > 200)");
   for (const Tuple& alert : alerts) {
@@ -163,7 +137,7 @@ int main() {
   }
   uint64_t group_in = 0;
   for (const auto& m : exec->MetricsSnapshot()) {
-    if (m.name == "q1_group_sum") group_in = m.metrics.tuples_in;
+    if (m.name == "total_weight_agg") group_in = m.metrics.tuples_in;
   }
   printf("\n%zu violation alerts from %llu location tuples\n", alerts.size(),
          static_cast<unsigned long long>(group_in));

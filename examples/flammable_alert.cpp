@@ -12,23 +12,24 @@
 // probabilistic predicate and every alert carries a match probability and
 // a temperature-exceedance probability.
 //
-// The plan runs as a box-arrow ExecGraph with fan-in: two sources (RFID
-// and temperature) meet at a sliding-window join node —
+// The fan-in shape is declared with two builders joined into one plan —
 //
-//   rfid_src -> flammable_filter -\
-//                                  join -> hot_filter -> sink
-//   temp_src ---------------------/
+//   rfid_src -> flammable_filter --+
+//                                  +-> join -> p_hot -> hot filter -> sink
+//   temp_src ----------------------+
+//
+// — and the planner compiles it to the physical DAG (single shard: a
+// probabilistic join has no exact key to hash-partition on).
 //
 // Build & run:  ./build/examples/flammable_alert
 
 #include <cstdio>
 
+#include "query/planner.h"
+#include "query/query.h"
 #include "rfid/model.h"
 #include "rfid/transform_operator.h"
 #include "stats/gaussian.h"
-#include "stream/basic_operators.h"
-#include "stream/exec_graph.h"
-#include "stream/join.h"
 #include "uncertain/join_predicates.h"
 #include "uncertain/selection.h"
 
@@ -61,43 +62,45 @@ int main() {
     return 25.0 + 55.0 * std::exp(-d2 / (2.0 * 12.0 * 12.0));
   };
 
-  // --- Q2 plan as a fan-in DAG -------------------------------------------
+  // --- Q2, declared -------------------------------------------------------
   usp::uncertain::EqualityJoinSpec spec;
   spec.left_attrs = {1, 2};   // object (x, y)
   spec.right_attrs = {0, 1};  // sensor (x, y)
   spec.eps = 8.0;             // co-location tolerance (ft)
   spec.min_confidence = 0.5;
 
-  auto graph = std::make_unique<usp::stream::ExecGraph>();
-  const auto rfid_src = graph->AddSource("rfid_stream");
-  const auto temp_src = graph->AddSource("temp_stream");
-  const auto flammable = graph->AddOperator(
-      rfid_src, std::make_unique<usp::stream::FilterOperator>(
-                    "flammable", [](const Tuple& t) {
-                      return t.value(0).AsInt() % 3 == 0;
-                    }));
-  const auto join = graph->AddJoin(
-      flammable, temp_src,
-      std::make_unique<usp::stream::SlidingWindowJoin>(
-          "q2", 3'000'000,
-          usp::uncertain::MakeProbabilisticEqualityMatch(spec)));
-  // HAVING-style tail: annotate P(temp > 60 C), keep alerts above 90%.
-  const auto annotate = graph->AddOperator(
-      join, usp::uncertain::MakeProbabilityAnnotator(
-                "p_hot", 5, usp::uncertain::PredicateOp::kGreaterThan, 60.0));
-  const auto hot = graph->AddOperator(
-      annotate, std::make_unique<usp::stream::FilterOperator>(
-                    "hot", [](const Tuple& t) {
-                      return t.value(7).AsDouble() >= 0.9;
-                    }));
-  const auto sink = graph->AddSink(hot, "alerts");
-  if (auto st = graph->Validate(); !st.ok()) {
-    fprintf(stderr, "invalid plan: %s\n", st.ToString().c_str());
+  auto rfid = usp::query::Query::From("rfid_stream", 3);
+  auto temps = usp::query::Query::From("temp_stream", 3);
+  auto q2 =
+      rfid.Filter("flammable",
+                  [](const Tuple& t) { return t.value(0).AsInt() % 3 == 0; })
+          .Join(temps, 3'000'000,
+                usp::uncertain::MakeProbabilisticEqualityMatch(spec), "q2")
+          // HAVING-style tail: annotate P(temp > 60 C), keep >= 90%.
+          .Map("p_hot",
+               [](const Tuple& t) -> usp::common::Result<Tuple> {
+                 Tuple out = t;
+                 out.AppendValue(Value(usp::uncertain::PredicateProbability(
+                     t.value(5), usp::uncertain::PredicateOp::kGreaterThan,
+                     60.0)));
+                 return out;
+               })
+          .Filter("hot",
+                  [](const Tuple& t) { return t.value(7).AsDouble() >= 0.9; })
+          .Sink("alerts");
+
+  auto exec_or = q2.Compile();
+  if (!exec_or.ok()) {
+    fprintf(stderr, "compile failed: %s\n",
+            exec_or.status().ToString().c_str());
     return 1;
   }
-  usp::stream::DagExecutor exec(std::move(graph));
+  auto exec = exec_or.MoveValueUnsafe();
+  const auto rfid_src = exec->source("rfid_stream");
+  const auto temp_src = exec->source("temp_stream");
 
-  printf("== Q2: flammable objects in hot areas ==\n\n");
+  printf("== Q2: flammable objects in hot areas ==\n");
+  printf("plan: %s\n\n", exec->summary().ToString().c_str());
 
   for (int scan = 0; scan < 240; ++scan) {
     // RFID readings -> location tuple batch -> left source.
@@ -107,14 +110,15 @@ int main() {
               locations.status().ToString().c_str());
       return 1;
     }
-    if (auto st = exec.PushBatch(rfid_src, locations.value()); !st.ok()) {
+    if (auto st = exec->PushBatch(rfid_src, locations.MoveValueUnsafe());
+        !st.ok()) {
       fprintf(stderr, "plan failed: %s\n", st.ToString().c_str());
       return 1;
     }
     // Temperature tuple batch every 4 scans (2 s) -> right source.
     if (scan % 4 == 0) {
       const int64_t ts = static_cast<int64_t>(sim.now_s() * 1e6);
-      usp::stream::TupleBatch temps;
+      usp::stream::TupleBatch temps_batch;
       for (double x = 7.5; x < config.width_ft; x += 15.0) {
         for (double y = 7.5; y < config.height_ft; y += 15.0) {
           const double measured =
@@ -125,20 +129,21 @@ int main() {
                           std::make_shared<usp::stats::Gaussian>(measured,
                                                                  1.5)))});
           temp.InitBaseLineage();
-          temps.Append(std::move(temp));
+          temps_batch.Append(std::move(temp));
         }
       }
-      if (auto st = exec.PushBatch(temp_src, temps); !st.ok()) {
+      if (auto st = exec->PushBatch(temp_src, std::move(temps_batch));
+          !st.ok()) {
         fprintf(stderr, "plan failed: %s\n", st.ToString().c_str());
         return 1;
       }
     }
   }
-  (void)exec.Close();
+  (void)exec->Finish();
 
   printf("%-8s %-7s %-18s %-12s %-11s %s\n", "time(s)", "tag",
          "E[location] (ft)", "E[temp] (C)", "P(match)", "P(temp > 60)");
-  const auto& alerts = exec.sink_output(sink);
+  const auto& alerts = exec->Result("alerts");
   size_t shown = 0;
   for (const Tuple& a : alerts) {
     if (++shown > 12) break;  // keep the demo output short
@@ -151,7 +156,7 @@ int main() {
            a.value(7).AsDouble());
   }
   uint64_t join_in = 0, join_out = 0;
-  for (const auto& m : exec.MetricsSnapshot()) {
+  for (const auto& m : exec->MetricsSnapshot()) {
     if (m.name == "q2") {
       join_in = m.metrics.tuples_in;
       join_out = m.metrics.tuples_out;

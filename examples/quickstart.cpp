@@ -2,8 +2,8 @@
 //
 //  1. Build tuple-level distributions (the pdf every uncertain attribute
 //     carries).
-//  2. Push uncertain tuples through a windowed SUM with each aggregation
-//     strategy from the paper's Table 2.
+//  2. Declare a windowed SUM as a logical query plan and let the planner
+//     compile it, once per aggregation strategy from the paper's Table 2.
 //  3. Read out full result pdfs, confidence regions, and predicate
 //     probabilities.
 //
@@ -12,11 +12,10 @@
 #include <cstdio>
 #include <memory>
 
+#include "query/planner.h"
+#include "query/query.h"
 #include "stats/gaussian.h"
 #include "stats/gaussian_mixture.h"
-#include "stream/group_by.h"
-#include "stream/pipeline.h"
-#include "uncertain/aggregates.h"
 #include "uncertain/sum_strategies.h"
 
 using usp::stats::DistributionPtr;
@@ -37,9 +36,28 @@ int main() {
   printf("w2 = %s (mean %.1f)\n\n", w2->ToString().c_str(), w2->Mean());
 
   // --- 2. windowed SUM under uncertainty --------------------------------
+  //
+  // Building a query, step by step:
+  //
+  //   a. `Query::From("readings", 2)` names the external source and
+  //      declares its tuple arity (zone:string, weight:pdf) — the arity is
+  //      optional, but with it the compiler of the plan (the planner) can
+  //      reject bad attribute references before anything runs.
+  //   b. `.Window(...)` opens a windowed aggregate stage. Tumbling(5 s)
+  //      is Q1's `[Range 5 seconds]`; Sliding(size, slide) declares
+  //      overlap, and the PLANNER — not you — then picks the
+  //      pane-incremental operator automatically.
+  //   c. `.GroupBy(0)` groups by attribute 0 (the zone). Declaring the
+  //      key by attribute also lets the planner derive the ingest
+  //      partition key if you later compile with num_shards > 1.
+  //   d. `.Sum("total", 1, kind)` appends an aggregate column: SUM over
+  //      attribute 1 using one of Table 2's algorithms. (`.Having(...)`
+  //      would filter emitted groups, see the fire-code example.)
+  //   e. `.Sink("totals")` terminates the plan; `.Compile()` validates it
+  //      and materialises the physical runtime — a single-threaded DAG
+  //      executor here, a sharded executor when you ask for shards.
+  //
   // Tuples: (zone, weight). One 5-second tumbling window, grouped by zone.
-  // The plan runs as a Pipeline — a path-shaped graph on the batched DAG
-  // executor — so the whole tuple vector flows through in one batch.
   const auto make_tuple = [](int64_t ts, const char* zone,
                              DistributionPtr w) {
     Tuple t(ts, {Value(std::string(zone)), Value(std::move(w))});
@@ -52,22 +70,30 @@ int main() {
         usp::uncertain::SumStrategyKind::kCfInversion,
         usp::uncertain::SumStrategyKind::kHistogram,
         usp::uncertain::SumStrategyKind::kClt}) {
-    auto strategy = usp::uncertain::MakeSumStrategy(kind);
-    usp::stream::Pipeline plan;
-    plan.Add(std::make_unique<usp::stream::GroupByAggregateOperator>(
-        "sum_by_zone", usp::stream::WindowSpec::Tumbling(5'000'000),
-        [](const Tuple& t) { return t.value(0).AsString(); },
-        std::vector<usp::stream::AggregateSpec>{
-            usp::uncertain::MakeSumAggregate("total", 1, strategy.get())}));
-    usp::stream::VectorCollector out;
-    (void)plan.Run(
-        {make_tuple(1'000'000, "A", w1), make_tuple(2'000'000, "A", w2),
-         make_tuple(3'000'000, "B",
-                    std::make_shared<usp::stats::Gaussian>(120.0, 5.0))},
-        &out);
+    auto plan = usp::query::Query::From("readings", 2)
+                    .Window(usp::stream::WindowSpec::Tumbling(5'000'000))
+                    .GroupBy(0)
+                    .Sum("total", 1, kind)
+                    .Sink("totals");
+    auto compiled_or = plan.Compile();
+    if (!compiled_or.ok()) {
+      fprintf(stderr, "compile failed: %s\n",
+              compiled_or.status().ToString().c_str());
+      return 1;
+    }
+    auto compiled = compiled_or.MoveValueUnsafe();
 
-    printf("strategy %-18s ->", strategy->name().c_str());
-    for (const Tuple& t : out.tuples()) {
+    usp::stream::TupleBatch batch;
+    batch.Append(make_tuple(1'000'000, "A", w1));
+    batch.Append(make_tuple(2'000'000, "A", w2));
+    batch.Append(make_tuple(
+        3'000'000, "B", std::make_shared<usp::stats::Gaussian>(120.0, 5.0)));
+    (void)compiled->PushBatch(compiled->source("readings"), std::move(batch));
+    (void)compiled->Finish();
+
+    printf("strategy %-14s ->",
+           usp::uncertain::SumStrategyKindName(kind));
+    for (const Tuple& t : compiled->Result("totals")) {
       const auto& dist = *t.value(1).AsDistribution();
       printf("  zone %s: mean %.1f sd %.2f |", t.value(0).AsString().c_str(),
              dist.Mean(), dist.Stddev());

@@ -11,14 +11,14 @@
 #include <cmath>
 #include <cstdio>
 
+#include "query/planner.h"
+#include "query/query.h"
 #include "radar/experiment.h"
 #include "radar/grid.h"
 #include "radar/moments.h"
 #include "radar/pulse_simulator.h"
 #include "radar/stream_adapter.h"
 #include "radar/tornado_detector.h"
-#include "stream/basic_operators.h"
-#include "stream/exec_graph.h"
 
 using namespace usp::radar;
 
@@ -105,10 +105,12 @@ int main() {
            detections > 0 ? "TORNADO WARNING" : "no detection");
   }
 
-  // --- the same moment stream through the box-arrow DAG -------------------
+  // --- the same moment stream through a declared fan-out plan -------------
   // One radar's scan becomes a tuple batch (velocity carries the MA-CLT
   // Gaussian) feeding a fan-out plan: every gate is screened for storm
   // reflectivity and, independently, for tornado-strength velocity.
+  // Branching one Query cursor twice declares the fan-out; the planner
+  // compiles the shared plan to one DAG:
   //
   //           /-> storm_filter  -> storm_cells
   //   scan --+
@@ -124,31 +126,38 @@ int main() {
               batch.status().ToString().c_str());
       return 1;
     }
-    auto graph = std::make_unique<usp::stream::ExecGraph>();
-    const auto src = graph->AddSource("moment_stream");
-    const auto storm = graph->AddOperator(
-        src, std::make_unique<usp::stream::FilterOperator>(
-                 "storm_reflectivity", [](const usp::stream::Tuple& t) {
-                   return t.value(2).AsDouble() > 20.0;
-                 }));
-    const auto storm_sink = graph->AddSink(storm, "storm_cells");
-    const auto fast = graph->AddOperator(
-        src, std::make_unique<usp::stream::FilterOperator>(
-                 "tornadic_velocity", [](const usp::stream::Tuple& t) {
-                   return std::fabs(t.value(3).AsDistribution()->Mean()) >
-                          20.0;
-                 }));
-    const auto fast_sink = graph->AddSink(fast, "fast_cells");
-    usp::stream::DagExecutor exec(std::move(graph));
-    if (auto st = exec.PushBatch(src, batch.value()); !st.ok()) {
+    auto scan = usp::query::Query::From("moment_stream");
+    auto storm = scan.Filter("storm_reflectivity",
+                             [](const usp::stream::Tuple& t) {
+                               return t.value(2).AsDouble() > 20.0;
+                             })
+                     .Sink("storm_cells");
+    auto fast = scan.Filter("tornadic_velocity",
+                            [](const usp::stream::Tuple& t) {
+                              return std::fabs(
+                                         t.value(3).AsDistribution()->Mean()) >
+                                     20.0;
+                            })
+                    .Sink("fast_cells");
+    (void)storm;  // both branches live in the one shared plan
+    auto exec_or = fast.Compile();
+    if (!exec_or.ok()) {
+      fprintf(stderr, "compile failed: %s\n",
+              exec_or.status().ToString().c_str());
+      return 1;
+    }
+    auto exec = exec_or.MoveValueUnsafe();
+    if (auto st = exec->PushBatch(exec->source("moment_stream"),
+                                  batch.value());
+        !st.ok()) {
       fprintf(stderr, "plan failed: %s\n", st.ToString().c_str());
       return 1;
     }
-    (void)exec.Close();
+    (void)exec->Finish();
     printf("\nstream plan (fan-out over one 10 s scan): %zu gate tuples -> "
            "%zu storm cells, %zu tornadic-velocity cells\n",
-           batch.value().size(), exec.sink_output(storm_sink).size(),
-           exec.sink_output(fast_sink).size());
+           batch.value().size(), exec->Result("storm_cells").size(),
+           exec->Result("fast_cells").size());
   }
 
   printf("\nNote the Table 1 tradeoff: aggressive averaging shrinks the\n"

@@ -1,0 +1,274 @@
+#include "query/logical_plan.h"
+
+#include <set>
+#include <sstream>
+
+namespace usp {
+namespace query {
+
+const char* AggregateKindName(AggregateKind kind) {
+  switch (kind) {
+    case AggregateKind::kSum:
+      return "sum";
+    case AggregateKind::kAvg:
+      return "avg";
+    case AggregateKind::kMax:
+      return "max";
+    case AggregateKind::kMin:
+      return "min";
+    case AggregateKind::kCount:
+      return "count";
+  }
+  return "?";
+}
+
+namespace {
+
+const char* NodeKindName(LogicalPlan::NodeKind kind) {
+  switch (kind) {
+    case LogicalPlan::NodeKind::kSource:
+      return "source";
+    case LogicalPlan::NodeKind::kFilter:
+      return "filter";
+    case LogicalPlan::NodeKind::kMap:
+      return "map";
+    case LogicalPlan::NodeKind::kAggregate:
+      return "aggregate";
+    case LogicalPlan::NodeKind::kJoin:
+      return "join";
+    case LogicalPlan::NodeKind::kSink:
+      return "sink";
+  }
+  return "?";
+}
+
+size_t ExpectedInputs(LogicalPlan::NodeKind kind) {
+  switch (kind) {
+    case LogicalPlan::NodeKind::kSource:
+      return 0;
+    case LogicalPlan::NodeKind::kJoin:
+      return 2;
+    default:
+      return 1;
+  }
+}
+
+}  // namespace
+
+LogicalPlan::NodeId LogicalPlan::AddNode(Node node) {
+  nodes_.push_back(std::move(node));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+std::vector<std::optional<size_t>> LogicalPlan::OutputArities() const {
+  std::vector<std::optional<size_t>> arity(nodes_.size());
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    const Node& n = nodes_[id];
+    // Guard against malformed edges; Validate() reports them properly.
+    const bool inputs_ok = [&] {
+      for (NodeId in : n.inputs) {
+        if (in >= id) return false;
+      }
+      return !n.inputs.empty() || n.kind == NodeKind::kSource;
+    }();
+    if (!inputs_ok) continue;
+    switch (n.kind) {
+      case NodeKind::kSource:
+        if (n.declared_arity > 0) arity[id] = n.declared_arity;
+        break;
+      case NodeKind::kFilter:
+      case NodeKind::kSink:
+        arity[id] = arity[n.inputs[0]];
+        break;
+      case NodeKind::kMap:
+        if (n.map_output_arity > 0) arity[id] = n.map_output_arity;
+        break;
+      case NodeKind::kAggregate:
+        arity[id] = 1 + n.aggregates.size();
+        break;
+      case NodeKind::kJoin:
+        // The match function may append annotation attributes
+        // (e.g. the match probability), so the output arity is opaque.
+        break;
+    }
+  }
+  return arity;
+}
+
+common::Status LogicalPlan::Validate() const {
+  if (nodes_.empty()) {
+    return common::Status::InvalidArgument("logical plan has no nodes");
+  }
+  size_t num_sources = 0, num_sinks = 0;
+  std::set<std::string> source_names, sink_names;
+  std::vector<size_t> consumers(nodes_.size(), 0);
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    const Node& n = nodes_[id];
+    const std::string where =
+        std::string(NodeKindName(n.kind)) + " node '" + n.name + "'";
+    if (n.inputs.size() != ExpectedInputs(n.kind)) {
+      return common::Status::InvalidArgument(
+          where + " has " + std::to_string(n.inputs.size()) +
+          " inputs, expected " + std::to_string(ExpectedInputs(n.kind)));
+    }
+    for (NodeId in : n.inputs) {
+      if (in >= id) {
+        return common::Status::InvalidArgument(
+            where + " references input " + std::to_string(in) +
+            " that does not precede it");
+      }
+      if (nodes_[in].kind == NodeKind::kSink) {
+        return common::Status::InvalidArgument(
+            where + " consumes sink '" + nodes_[in].name +
+            "'; sinks are terminal");
+      }
+      ++consumers[in];
+    }
+    switch (n.kind) {
+      case NodeKind::kSource:
+        ++num_sources;
+        if (!source_names.insert(n.name).second) {
+          return common::Status::InvalidArgument("duplicate source name '" +
+                                                 n.name + "'");
+        }
+        break;
+      case NodeKind::kSink:
+        ++num_sinks;
+        if (!sink_names.insert(n.name).second) {
+          return common::Status::InvalidArgument("duplicate sink name '" +
+                                                 n.name + "'");
+        }
+        break;
+      case NodeKind::kFilter:
+        if (!n.filter) {
+          return common::Status::InvalidArgument(where +
+                                                 " has no predicate");
+        }
+        break;
+      case NodeKind::kMap:
+        if (!n.map) {
+          return common::Status::InvalidArgument(where +
+                                                 " has no map function");
+        }
+        break;
+      case NodeKind::kJoin:
+        if (n.inputs[0] == n.inputs[1]) {
+          return common::Status::InvalidArgument(
+              where + " joins a stream with itself; the two join inputs "
+                      "must be distinct nodes (branch the query first)");
+        }
+        if (!n.join_match) {
+          return common::Status::InvalidArgument(where +
+                                                 " has no match function");
+        }
+        if (n.join_range_us <= 0) {
+          return common::Status::InvalidArgument(
+              where + " needs a positive window range");
+        }
+        break;
+      case NodeKind::kAggregate: {
+        if (!n.window.has_value()) {
+          return common::Status::InvalidArgument(
+              where + " has no window; streaming aggregates are windowed — "
+                      "call Window(spec) before Aggregate()");
+        }
+        if (n.window->size_us <= 0 || n.window->slide_us <= 0 ||
+            n.window->slide_us > n.window->size_us) {
+          return common::Status::InvalidArgument(
+              where + " has an invalid window (need 0 < slide <= size)");
+        }
+        if (n.aggregates.empty()) {
+          return common::Status::InvalidArgument(
+              where + " declares no aggregate columns");
+        }
+        if (n.group_key_attr.has_value() && n.group_key_fn) {
+          return common::Status::InvalidArgument(
+              where + " declares both an attribute group key and a custom "
+                      "key function");
+        }
+        break;
+      }
+    }
+  }
+  if (num_sources == 0) {
+    return common::Status::InvalidArgument("logical plan has no source");
+  }
+  if (num_sinks == 0) {
+    return common::Status::InvalidArgument("logical plan has no sink");
+  }
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (nodes_[id].kind != NodeKind::kSink && consumers[id] == 0) {
+      return common::Status::InvalidArgument(
+          std::string(NodeKindName(nodes_[id].kind)) + " node '" +
+          nodes_[id].name + "' feeds nothing; every non-sink node needs a "
+                            "consumer");
+    }
+  }
+  // Attribute references must fit the arity where it is known.
+  const auto arity = OutputArities();
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    const Node& n = nodes_[id];
+    if (n.kind != NodeKind::kAggregate) continue;
+    const std::optional<size_t> in_arity = arity[n.inputs[0]];
+    if (!in_arity.has_value()) continue;
+    const std::string where = "aggregate node '" + n.name + "'";
+    if (n.group_key_attr.has_value() && *n.group_key_attr >= *in_arity) {
+      return common::Status::InvalidArgument(
+          where + " groups by unknown attribute " +
+          std::to_string(*n.group_key_attr) + " (input tuples have " +
+          std::to_string(*in_arity) + " attributes)");
+    }
+    for (const AggregateDecl& a : n.aggregates) {
+      if (a.kind != AggregateKind::kCount && a.attr_index >= *in_arity) {
+        return common::Status::InvalidArgument(
+            where + " aggregate '" + a.output_name +
+            "' reads unknown attribute " + std::to_string(a.attr_index) +
+            " (input tuples have " + std::to_string(*in_arity) +
+            " attributes)");
+      }
+    }
+  }
+  return common::Status::OK();
+}
+
+std::string LogicalPlan::ToString() const {
+  std::ostringstream out;
+  const auto arity = OutputArities();
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    const Node& n = nodes_[id];
+    out << id << ": " << NodeKindName(n.kind) << " '" << n.name << "'";
+    if (!n.inputs.empty()) {
+      out << " <-";
+      for (NodeId in : n.inputs) out << " " << in;
+    }
+    if (n.kind == NodeKind::kAggregate) {
+      if (n.window.has_value()) {
+        out << " [window " << n.window->size_us << "/" << n.window->slide_us
+            << " us]";
+      } else {
+        out << " [no window]";
+      }
+      if (n.group_key_attr.has_value()) {
+        out << " [key attr " << *n.group_key_attr << "]";
+      } else if (n.group_key_fn) {
+        out << " [custom key]";
+      } else {
+        out << " [global]";
+      }
+      for (const AggregateDecl& a : n.aggregates) {
+        out << " " << AggregateKindName(a.kind) << "(" << a.attr_index
+            << ")->" << a.output_name;
+      }
+      if (n.having) out << " [having]";
+    }
+    if (n.kind == NodeKind::kJoin) {
+      out << " [range " << n.join_range_us << " us]";
+    }
+    if (arity[id].has_value()) out << " (arity " << *arity[id] << ")";
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace query
+}  // namespace usp

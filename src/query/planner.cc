@@ -1,0 +1,482 @@
+#include "query/planner.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#include "query/query.h"
+#include "stream/group_by.h"
+#include "stream/pane_window.h"
+#include "uncertain/aggregates.h"
+#include "uncertain/pane_aggregates.h"
+
+namespace usp {
+namespace query {
+
+namespace {
+
+using stream::ExecGraph;
+using stream::ShardContext;
+using stream::ShardedExecutor;
+using stream::Tuple;
+using stream::TupleBatch;
+using stream::Value;
+
+/// Canonical grouping string of a Value, shared by the operator key and
+/// the derived ingest shard key so both always agree.
+std::string KeyStringOf(const Value& v) {
+  switch (v.kind()) {
+    case stream::ValueKind::kString:
+      return v.AsString();
+    case stream::ValueKind::kInt:
+      return std::to_string(v.AsInt());
+    case stream::ValueKind::kDouble: {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.17g", v.AsDouble());
+      return buf;
+    }
+    case stream::ValueKind::kNull:
+      return "null";
+    case stream::ValueKind::kDistribution:
+      return v.ToString();
+  }
+  return "?";
+}
+
+stream::GroupByAggregateOperator::KeyFn OperatorKeyFn(
+    const LogicalPlan::Node& node) {
+  if (node.group_key_fn) return node.group_key_fn;
+  if (node.group_key_attr.has_value()) {
+    const size_t attr = *node.group_key_attr;
+    return [attr](const Tuple& t) { return KeyStringOf(t.value(attr)); };
+  }
+  // Ungrouped aggregate: the whole window is one group.
+  return [](const Tuple&) { return std::string("all"); };
+}
+
+struct ShardKeyDecision {
+  ShardedExecutor::KeyFn fn;
+  PlanSummary::ShardKeySource source = PlanSummary::ShardKeySource::kNone;
+};
+
+/// Physical partition key for sharded execution. The caller's override
+/// wins; otherwise the key is derived from the (single) group-by so that
+/// one group's tuples always land on one shard: hash the group key
+/// directly when only filters precede the group-by, or replay the (pure)
+/// upstream map functions at ingest when maps sit in between.
+common::Result<ShardKeyDecision> DeriveShardKey(const LogicalPlan& plan) {
+  if (plan.partition_key()) {
+    ShardKeyDecision d;
+    d.fn = plan.partition_key();
+    d.source = PlanSummary::ShardKeySource::kExplicit;
+    return d;
+  }
+  size_t num_sources = 0;
+  bool has_join = false;
+  std::vector<LogicalPlan::NodeId> agg_nodes;
+  for (LogicalPlan::NodeId id = 0; id < plan.num_nodes(); ++id) {
+    switch (plan.kind(id)) {
+      case LogicalPlan::NodeKind::kSource:
+        ++num_sources;
+        break;
+      case LogicalPlan::NodeKind::kJoin:
+        has_join = true;
+        break;
+      case LogicalPlan::NodeKind::kAggregate:
+        agg_nodes.push_back(id);
+        break;
+      default:
+        break;
+    }
+  }
+  if (has_join) {
+    return common::Status::InvalidArgument(
+        "cannot derive a shard key for a plan with join nodes: "
+        "probabilistic matches have no exact key to co-partition both "
+        "inputs on — supply PartitionBy() (asserting matching pairs "
+        "co-locate) or compile with num_shards = 1");
+  }
+  if (agg_nodes.empty()) {
+    return common::Status::InvalidArgument(
+        "no group-by to derive a shard key from; stateless plans need an "
+        "explicit PartitionBy() or num_shards = 1");
+  }
+  if (agg_nodes.size() > 1) {
+    return common::Status::InvalidArgument(
+        "plan has " + std::to_string(agg_nodes.size()) +
+        " aggregate stages with possibly different keys; supply "
+        "PartitionBy() or num_shards = 1 (cross-shard exchange is a "
+        "ROADMAP item)");
+  }
+  if (num_sources > 1) {
+    return common::Status::InvalidArgument(
+        "plan has multiple sources with different tuple layouts; the "
+        "derived group key cannot be applied to all of them — supply "
+        "PartitionBy() or num_shards = 1");
+  }
+  const LogicalPlan::Node& agg = plan.node(agg_nodes[0]);
+  std::function<std::string(const Tuple&)> logical_key;
+  if (agg.group_key_attr.has_value()) {
+    const size_t attr = *agg.group_key_attr;
+    logical_key = [attr](const Tuple& t) {
+      return KeyStringOf(t.value(attr));
+    };
+  } else if (agg.group_key_fn) {
+    logical_key = agg.group_key_fn;
+  } else {
+    return common::Status::InvalidArgument(
+        "ungrouped (global) aggregate cannot be hash-sharded: every tuple "
+        "belongs to one group, so use num_shards = 1");
+  }
+  // Walk the path source -> group-by input, collecting the maps the key
+  // would need replayed (source-to-aggregate order).
+  std::vector<stream::MapOperator::MapFn> maps;
+  LogicalPlan::NodeId cur = agg.inputs[0];
+  while (plan.kind(cur) != LogicalPlan::NodeKind::kSource) {
+    const LogicalPlan::Node& n = plan.node(cur);
+    if (n.kind == LogicalPlan::NodeKind::kMap) {
+      maps.push_back(n.map);
+    } else if (n.kind != LogicalPlan::NodeKind::kFilter) {
+      return common::Status::InvalidArgument(
+          "cannot derive a shard key through '" + n.name +
+          "'; supply PartitionBy() or num_shards = 1");
+    }
+    cur = n.inputs[0];
+  }
+  std::reverse(maps.begin(), maps.end());
+  ShardKeyDecision d;
+  if (maps.empty()) {
+    d.fn = [logical_key](const Tuple& t) {
+      return static_cast<uint64_t>(std::hash<std::string>{}(logical_key(t)));
+    };
+    d.source = PlanSummary::ShardKeySource::kGroupKey;
+  } else {
+    // Maps must be pure (same contract as the operator path); a map that
+    // drops the tuple (NotFound) pins it to shard 0 — it will be dropped
+    // again by the in-graph map, so the placement is irrelevant.
+    d.fn = [maps, logical_key](const Tuple& t) {
+      Tuple cur_tuple = t;
+      for (const auto& m : maps) {
+        auto r = m(cur_tuple);
+        if (!r.ok()) return static_cast<uint64_t>(0);
+        cur_tuple = r.MoveValueUnsafe();
+      }
+      return static_cast<uint64_t>(
+          std::hash<std::string>{}(logical_key(cur_tuple)));
+    };
+    d.source = PlanSummary::ShardKeySource::kReplayedGroupKey;
+  }
+  return d;
+}
+
+/// Materialises one shard's ExecGraph from the logical plan. `record` is
+/// true exactly once (shard 0 / the single DAG) so the name maps and the
+/// summary are filled without duplicates.
+common::Status BuildGraph(const LogicalPlan& plan,
+                          const PlannerOptions& options,
+                          const ShardContext& ctx, CompiledQuery* owner,
+                          bool record, ExecGraph* graph,
+                          PlanSummary* summary,
+                          std::unordered_map<std::string, ExecGraph::NodeId>*
+                              sources,
+                          std::unordered_map<std::string, ExecGraph::NodeId>*
+                              sinks,
+                          std::function<uncertain::SumStrategy*(
+                              uncertain::SumStrategyKind)> new_strategy) {
+  std::vector<ExecGraph::NodeId> phys(plan.num_nodes(),
+                                      ExecGraph::kInvalidNode);
+  for (LogicalPlan::NodeId id = 0; id < plan.num_nodes(); ++id) {
+    const LogicalPlan::Node& n = plan.node(id);
+    switch (n.kind) {
+      case LogicalPlan::NodeKind::kSource:
+        phys[id] = graph->AddSource(n.name);
+        if (record) (*sources)[n.name] = phys[id];
+        break;
+      case LogicalPlan::NodeKind::kFilter:
+        phys[id] = graph->AddOperator(
+            phys[n.inputs[0]],
+            std::make_unique<stream::FilterOperator>(n.name, n.filter));
+        break;
+      case LogicalPlan::NodeKind::kMap:
+        phys[id] = graph->AddOperator(
+            phys[n.inputs[0]],
+            std::make_unique<stream::MapOperator>(n.name, n.map));
+        break;
+      case LogicalPlan::NodeKind::kAggregate: {
+        // The planner's headline decision: pane-incremental aggregation
+        // exactly when windows overlap (slide < size), where each tuple
+        // would otherwise be re-aggregated once per overlapping window;
+        // tumbling windows use the exact per-window kernels (bitwise-
+        // identical results, no pane bookkeeping).
+        const bool paned =
+            options.aggregate_path ==
+                PlannerOptions::AggregatePath::kForcePaned ||
+            (options.aggregate_path == PlannerOptions::AggregatePath::kAuto &&
+             n.window->slide_us < n.window->size_us);
+        auto key_fn = OperatorKeyFn(n);
+        std::unique_ptr<stream::Operator> op;
+        if (paned) {
+          uncertain::PaneAggregateOptions popts;
+          popts.grid_points = options.cf_grid_points;
+          popts.workspace = ctx.cf_workspace;
+          std::vector<stream::PaneAggregateSpec> specs;
+          specs.reserve(n.aggregates.size());
+          for (const AggregateDecl& a : n.aggregates) {
+            switch (a.kind) {
+              case AggregateKind::kSum:
+                specs.push_back(uncertain::MakePaneSumAggregate(
+                    a.output_name, a.attr_index, a.strategy, popts));
+                break;
+              case AggregateKind::kAvg:
+                specs.push_back(uncertain::MakePaneAvgAggregate(
+                    a.output_name, a.attr_index, a.strategy, popts));
+                break;
+              case AggregateKind::kMax:
+                specs.push_back(uncertain::MakePaneMaxAggregate(
+                    a.output_name, a.attr_index, a.bins, popts));
+                break;
+              case AggregateKind::kMin:
+                specs.push_back(uncertain::MakePaneMinAggregate(
+                    a.output_name, a.attr_index, a.bins, popts));
+                break;
+              case AggregateKind::kCount:
+                specs.push_back(
+                    uncertain::MakePaneCountAggregate(a.output_name));
+                break;
+            }
+          }
+          op = std::make_unique<stream::PanedGroupByAggregateOperator>(
+              n.name, *n.window, std::move(key_fn), std::move(specs),
+              n.having);
+        } else {
+          std::vector<stream::AggregateSpec> specs;
+          specs.reserve(n.aggregates.size());
+          for (const AggregateDecl& a : n.aggregates) {
+            switch (a.kind) {
+              case AggregateKind::kSum:
+                specs.push_back(uncertain::MakeSumAggregate(
+                    a.output_name, a.attr_index, new_strategy(a.strategy)));
+                break;
+              case AggregateKind::kAvg:
+                specs.push_back(uncertain::MakeAvgAggregate(
+                    a.output_name, a.attr_index, new_strategy(a.strategy)));
+                break;
+              case AggregateKind::kMax:
+                specs.push_back(uncertain::MakeMaxAggregate(
+                    a.output_name, a.attr_index, a.bins));
+                break;
+              case AggregateKind::kMin:
+                specs.push_back(uncertain::MakeMinAggregate(
+                    a.output_name, a.attr_index, a.bins));
+                break;
+              case AggregateKind::kCount:
+                specs.push_back(
+                    uncertain::MakeCountAggregate(a.output_name));
+                break;
+            }
+          }
+          op = std::make_unique<stream::GroupByAggregateOperator>(
+              n.name, *n.window, std::move(key_fn), std::move(specs),
+              n.having);
+        }
+        phys[id] = graph->AddOperator(phys[n.inputs[0]], std::move(op));
+        if (record) summary->aggregates.push_back({n.name, paned});
+        break;
+      }
+      case LogicalPlan::NodeKind::kJoin:
+        phys[id] = graph->AddJoin(
+            phys[n.inputs[0]], phys[n.inputs[1]],
+            std::make_unique<stream::SlidingWindowJoin>(
+                n.name, n.join_range_us, n.join_match));
+        break;
+      case LogicalPlan::NodeKind::kSink:
+        phys[id] = graph->AddSink(phys[n.inputs[0]], n.name);
+        if (record) (*sinks)[n.name] = phys[id];
+        break;
+    }
+  }
+  (void)owner;
+  return common::Status::OK();
+}
+
+const TupleBatch& EmptyBatch() {
+  static const TupleBatch* empty = new TupleBatch();
+  return *empty;
+}
+
+}  // namespace
+
+std::string PlanSummary::ToString() const {
+  std::ostringstream out;
+  out << num_shards << " shard" << (num_shards == 1 ? "" : "s") << " ("
+      << (sharded ? "sharded executor" : "single-threaded DAG executor")
+      << ")";
+  switch (shard_key_source) {
+    case ShardKeySource::kNone:
+      break;
+    case ShardKeySource::kExplicit:
+      out << ", partition key: caller override";
+      break;
+    case ShardKeySource::kGroupKey:
+      out << ", partition key: hashed group key";
+      break;
+    case ShardKeySource::kReplayedGroupKey:
+      out << ", partition key: group key via replayed maps";
+      break;
+  }
+  for (const AggregateChoice& a : aggregates) {
+    out << "; aggregate '" << a.node_name << "': "
+        << (a.paned ? "pane-incremental" : "exact per-window");
+  }
+  return out.str();
+}
+
+uncertain::SumStrategy* CompiledQuery::NewStrategy(
+    uncertain::SumStrategyKind kind, size_t cf_grid_points,
+    stats::CfInversionWorkspace* workspace) {
+  std::unique_ptr<uncertain::SumStrategy> strategy;
+  if (kind == uncertain::SumStrategyKind::kCfInversion) {
+    auto cf = std::make_unique<uncertain::CfInversionSum>(cf_grid_points);
+    cf->set_workspace(workspace);
+    strategy = std::move(cf);
+  } else {
+    strategy = uncertain::MakeSumStrategy(kind);
+  }
+  strategies_.push_back(std::move(strategy));
+  return strategies_.back().get();
+}
+
+stream::ExecGraph::NodeId CompiledQuery::source(
+    const std::string& name) const {
+  const auto it = sources_.find(name);
+  return it == sources_.end() ? ExecGraph::kInvalidNode : it->second;
+}
+
+stream::ExecGraph::NodeId CompiledQuery::sink(const std::string& name) const {
+  const auto it = sinks_.find(name);
+  return it == sinks_.end() ? ExecGraph::kInvalidNode : it->second;
+}
+
+common::Status CompiledQuery::Push(stream::ExecGraph::NodeId source,
+                                   stream::Tuple tuple) {
+  TupleBatch batch;
+  batch.Append(std::move(tuple));
+  return PushBatch(source, std::move(batch));
+}
+
+common::Status CompiledQuery::PushBatch(stream::ExecGraph::NodeId source,
+                                        const stream::TupleBatch& batch) {
+  TupleBatch copy = batch;
+  return PushBatch(source, std::move(copy));
+}
+
+common::Status CompiledQuery::PushBatch(stream::ExecGraph::NodeId source,
+                                        stream::TupleBatch&& batch) {
+  if (source == ExecGraph::kInvalidNode) {
+    return common::Status::InvalidArgument("unknown source node");
+  }
+  if (finished_) {
+    return common::Status::FailedPrecondition("query already finished");
+  }
+  if (dag_) return dag_->PushBatch(source, batch);
+  return sharded_->PushBatch(source, std::move(batch));
+}
+
+common::Status CompiledQuery::Finish() {
+  if (finished_) return finish_status_;
+  finish_status_ = dag_ ? dag_->Close() : sharded_->Finish();
+  finished_ = true;
+  return finish_status_;
+}
+
+const stream::TupleBatch& CompiledQuery::Result(
+    stream::ExecGraph::NodeId sink) const {
+  if (sink == ExecGraph::kInvalidNode) return EmptyBatch();
+  if (dag_) return dag_->sink_output(sink);
+  // The sharded merge only exists after Finish().
+  if (!finished_) return EmptyBatch();
+  return sharded_->sink_output(sink);
+}
+
+const stream::TupleBatch& CompiledQuery::Result(
+    const std::string& name) const {
+  return Result(sink(name));
+}
+
+stream::TupleBatch CompiledQuery::TakeResult(stream::ExecGraph::NodeId sink) {
+  if (sink == ExecGraph::kInvalidNode) return TupleBatch();
+  if (dag_) return dag_->TakeSinkOutput(sink);
+  if (!finished_) return TupleBatch();
+  return sharded_->TakeSinkOutput(sink);
+}
+
+std::vector<stream::NodeMetrics> CompiledQuery::MetricsSnapshot() const {
+  return dag_ ? dag_->MetricsSnapshot() : sharded_->MetricsSnapshot();
+}
+
+common::Result<std::unique_ptr<CompiledQuery>> Planner::Compile(
+    const LogicalPlan& plan, const PlannerOptions& options) {
+  USP_RETURN_NOT_OK(plan.Validate());
+  if (options.num_shards == 0) {
+    return common::Status::InvalidArgument("num_shards must be >= 1");
+  }
+  std::unique_ptr<CompiledQuery> compiled(new CompiledQuery());
+  compiled->summary_.num_shards = options.num_shards;
+  CompiledQuery* raw = compiled.get();
+
+  if (options.num_shards == 1) {
+    ShardContext ctx;
+    ctx.shard_index = 0;
+    ctx.num_shards = 1;
+    ctx.archive = &compiled->local_archive_;
+    ctx.cf_workspace = &compiled->local_workspace_;
+    auto graph = std::make_unique<ExecGraph>();
+    USP_RETURN_NOT_OK(BuildGraph(
+        plan, options, ctx, raw, /*record=*/true, graph.get(),
+        &compiled->summary_, &compiled->sources_, &compiled->sinks_,
+        [raw, &options, &ctx](uncertain::SumStrategyKind kind) {
+          return raw->NewStrategy(kind, options.cf_grid_points,
+                                  ctx.cf_workspace);
+        }));
+    USP_RETURN_NOT_OK(graph->Validate());
+    compiled->dag_ = std::make_unique<stream::DagExecutor>(std::move(graph));
+    return compiled;
+  }
+
+  USP_ASSIGN_OR_RETURN(ShardKeyDecision key, DeriveShardKey(plan));
+  compiled->summary_.sharded = true;
+  compiled->summary_.shard_key_source = key.source;
+  ShardedExecutor::Options sopts;
+  sopts.num_shards = options.num_shards;
+  sopts.queue_capacity = options.queue_capacity;
+  sopts.archive_retention_us = options.archive_retention_us;
+  sopts.target_batch_size = options.target_batch_size;
+  auto exec_or = ShardedExecutor::Create(
+      sopts, std::move(key.fn),
+      [&plan, &options, raw](ExecGraph* g, const ShardContext& ctx) {
+        return BuildGraph(
+            plan, options, ctx, raw, /*record=*/ctx.shard_index == 0, g,
+            &raw->summary_, &raw->sources_, &raw->sinks_,
+            [raw, &options, &ctx](uncertain::SumStrategyKind kind) {
+              return raw->NewStrategy(kind, options.cf_grid_points,
+                                      ctx.cf_workspace);
+            });
+      });
+  USP_RETURN_NOT_OK(exec_or.status());
+  compiled->sharded_ = exec_or.MoveValueUnsafe();
+  return compiled;
+}
+
+common::Result<std::unique_ptr<CompiledQuery>> Query::Compile() const {
+  return Compile(PlannerOptions{});
+}
+
+common::Result<std::unique_ptr<CompiledQuery>> Query::Compile(
+    const PlannerOptions& options) const {
+  USP_ASSIGN_OR_RETURN(LogicalPlan plan, Build());
+  return Planner::Compile(plan, options);
+}
+
+}  // namespace query
+}  // namespace usp

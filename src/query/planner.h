@@ -1,0 +1,164 @@
+// The physical half of the query layer: Planner::Compile turns a validated
+// LogicalPlan into the existing physical runtime and makes every physical
+// choice the repo's examples used to hand-wire —
+//
+//   * aggregation path: PanedGroupByAggregateOperator (pane-incremental)
+//     whenever the window overlaps (slide < size); the exact per-window
+//     GroupByAggregateOperator for tumbling windows, where naive and paned
+//     results are bitwise-identical anyway and naive avoids pane overhead;
+//   * SUM/AVG strategies: one SumStrategy instance per shard (aggregate
+//     state never crosses threads), with CF-inversion strategies wired to
+//     the shard's CfInversionWorkspace (ShardContext::cf_workspace) so the
+//     per-window FFT hot loop is allocation-free;
+//   * execution backend: a single-threaded DagExecutor at num_shards == 1,
+//     a ShardedExecutor otherwise;
+//   * ingest partition key (sharded only): the caller's PartitionBy()
+//     override if present, else derived from the group-by key — hashed
+//     directly when only filters sit between the source and the group-by,
+//     or by replaying the intermediate (pure) map functions on the ingest
+//     thread when maps do. Underivable cases (joins with no override,
+//     ungrouped aggregates, multiple group-bys) fail Compile() with an
+//     actionable Status instead of silently mis-partitioning.
+//
+// The result is a CompiledQuery: one ingest/finish/result facade over both
+// backends, plus a PlanSummary describing the decisions for logs, tests,
+// and examples.
+
+#ifndef USP_QUERY_PLANNER_H_
+#define USP_QUERY_PLANNER_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "query/logical_plan.h"
+#include "stats/characteristic_function.h"
+#include "stream/exec_graph.h"
+#include "stream/pipeline.h"
+#include "stream/sharded_executor.h"
+#include "uncertain/sum_strategies.h"
+
+namespace usp {
+namespace query {
+
+struct PlannerOptions {
+  /// Worker shards. 1 compiles to a single-threaded DagExecutor; more
+  /// compile to a ShardedExecutor with a derived (or overridden) key.
+  size_t num_shards = 1;
+  /// Per-shard ingest queue depth, in batches (backpressure beyond).
+  size_t queue_capacity = 64;
+  /// Archive retention for lineage resolution; negative keeps everything.
+  int64_t archive_retention_us = -1;
+  /// Sharded ingest merges undersized and splits oversized caller batches
+  /// toward this many tuples; 0 forwards caller-sized batches unchanged.
+  size_t target_batch_size = 0;
+
+  /// Physical aggregation path selection. kAuto implements the planner
+  /// rule (paned iff the window overlaps); the force knobs exist for
+  /// benchmarks and equivalence tests, not applications.
+  enum class AggregatePath { kAuto, kForceNaive, kForcePaned };
+  AggregatePath aggregate_path = AggregatePath::kAuto;
+
+  /// Grid resolution for CF-inversion SUM/AVG (FFT points / output bins).
+  size_t cf_grid_points = 1024;
+};
+
+/// What the planner decided, for inspection.
+struct PlanSummary {
+  size_t num_shards = 1;
+  bool sharded = false;
+
+  enum class ShardKeySource {
+    kNone,              ///< single shard, no partitioning
+    kExplicit,          ///< caller's PartitionBy() override
+    kGroupKey,          ///< hash of the group key, evaluated at ingest
+    kReplayedGroupKey,  ///< group key after replaying upstream maps
+  };
+  ShardKeySource shard_key_source = ShardKeySource::kNone;
+
+  struct AggregateChoice {
+    std::string node_name;
+    bool paned = false;  ///< pane-incremental vs. exact per-window
+  };
+  std::vector<AggregateChoice> aggregates;
+
+  std::string ToString() const;
+};
+
+/// \brief A compiled, runnable physical plan.
+///
+/// Push batches at sources (ids via source()), call Finish() exactly once
+/// after the last push, then read per-sink results. The facade hides
+/// whether a DagExecutor or a ShardedExecutor runs underneath; the only
+/// observable difference is the documented sharded-merge ordering (result
+/// sets are shard-count-independent, equal-timestamp tie order is not).
+class CompiledQuery {
+ public:
+  /// Source/sink handle by the name declared in the logical plan;
+  /// kInvalidNode if absent.
+  stream::ExecGraph::NodeId source(const std::string& name) const;
+  stream::ExecGraph::NodeId sink(const std::string& name) const;
+
+  common::Status Push(stream::ExecGraph::NodeId source, stream::Tuple tuple);
+  common::Status PushBatch(stream::ExecGraph::NodeId source,
+                           const stream::TupleBatch& batch);
+  common::Status PushBatch(stream::ExecGraph::NodeId source,
+                           stream::TupleBatch&& batch);
+
+  /// End-of-stream: flush windows/joins (and join + drain the shard
+  /// workers when sharded). Idempotent; returns the first error any part
+  /// of the plan hit.
+  common::Status Finish();
+
+  /// Accumulated output of a sink, by id or by name. Complete only after
+  /// Finish().
+  const stream::TupleBatch& Result(stream::ExecGraph::NodeId sink) const;
+  const stream::TupleBatch& Result(const std::string& name) const;
+  stream::TupleBatch TakeResult(stream::ExecGraph::NodeId sink);
+
+  /// Per-node metrics (merged across shards when sharded).
+  std::vector<stream::NodeMetrics> MetricsSnapshot() const;
+
+  const PlanSummary& summary() const { return summary_; }
+  size_t num_shards() const { return summary_.num_shards; }
+
+ private:
+  friend class Planner;
+  CompiledQuery() = default;
+
+  /// Creates (and owns) one SumStrategy instance for one shard's operator,
+  /// wiring CF-inversion strategies to the shard's workspace.
+  uncertain::SumStrategy* NewStrategy(uncertain::SumStrategyKind kind,
+                                      size_t cf_grid_points,
+                                      stats::CfInversionWorkspace* workspace);
+
+  PlanSummary summary_;
+  std::unordered_map<std::string, stream::ExecGraph::NodeId> sources_;
+  std::unordered_map<std::string, stream::ExecGraph::NodeId> sinks_;
+  /// All shards' strategy instances (stable addresses; operators hold raw
+  /// pointers into these).
+  std::vector<std::unique_ptr<uncertain::SumStrategy>> strategies_;
+  /// Shard context for the single-shard DagExecutor backend (the sharded
+  /// backend uses the per-shard context owned by ShardedExecutor).
+  stream::TupleArchive local_archive_;
+  stats::CfInversionWorkspace local_workspace_;
+  /// Exactly one of these backs the query.
+  std::unique_ptr<stream::DagExecutor> dag_;
+  std::unique_ptr<stream::ShardedExecutor> sharded_;
+  bool finished_ = false;
+  common::Status finish_status_;
+};
+
+class Planner {
+ public:
+  /// Validates `plan` and compiles it. The plan is copied where needed
+  /// (closures are shared); it does not need to outlive the result.
+  static common::Result<std::unique_ptr<CompiledQuery>> Compile(
+      const LogicalPlan& plan, const PlannerOptions& options = {});
+};
+
+}  // namespace query
+}  // namespace usp
+
+#endif  // USP_QUERY_PLANNER_H_

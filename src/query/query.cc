@@ -1,0 +1,328 @@
+#include "query/query.h"
+
+namespace usp {
+namespace query {
+
+/// The plan shared by every Query cursor spawned from one From() chain
+/// (and by plans merged through Join). Builder misuse latches the first
+/// error here; Build()/Compile() report it.
+struct Query::State {
+  LogicalPlan plan;
+  common::Status error;
+};
+
+/// Per-branch accumulator for one Window/GroupBy/Aggregate/Having stage;
+/// sealed into a kAggregate node by the next non-aggregate step.
+struct Query::PendingAgg {
+  std::string stage_name;
+  std::optional<stream::WindowSpec> window;
+  std::optional<size_t> key_attr;
+  stream::GroupByAggregateOperator::KeyFn key_fn;
+  std::vector<AggregateDecl> aggregates;
+  stream::GroupByAggregateOperator::HavingFn having;
+};
+
+// Shape problems in a sealed stage (no window, no aggregates, ...) are
+// intentionally left for LogicalPlan::Validate() so every failure surfaces
+// at Compile() with one consistent Status.
+LogicalPlan::NodeId Query::SealInto(const PendingAgg& pending,
+                                    LogicalPlan::NodeId input,
+                                    LogicalPlan* into) {
+  LogicalPlan::Node node;
+  node.kind = LogicalPlan::NodeKind::kAggregate;
+  node.name = pending.stage_name.empty()
+                  ? "aggregate@" + std::to_string(into->num_nodes())
+                  : pending.stage_name;
+  node.inputs = {input};
+  node.window = pending.window;
+  node.group_key_attr = pending.key_attr;
+  node.group_key_fn = pending.key_fn;
+  node.aggregates = pending.aggregates;
+  node.having = pending.having;
+  return into->AddNode(std::move(node));
+}
+
+Query Query::From(std::string source_name, size_t arity) {
+  Query q;
+  q.state_ = std::make_shared<State>();
+  LogicalPlan::Node node;
+  node.kind = LogicalPlan::NodeKind::kSource;
+  node.name = std::move(source_name);
+  node.declared_arity = arity;
+  q.cursor_ = q.state_->plan.AddNode(std::move(node));
+  return q;
+}
+
+Query Query::WithError(std::string msg) const {
+  if (state_ && state_->error.ok()) {
+    state_->error = common::Status::InvalidArgument(std::move(msg));
+  }
+  return *this;
+}
+
+bool Query::has_pending() const {
+  return pending_ != nullptr &&
+         (pending_->window.has_value() || pending_->key_attr.has_value() ||
+          pending_->key_fn || !pending_->aggregates.empty() ||
+          pending_->having != nullptr);
+}
+
+LogicalPlan::NodeId Query::SealPending(LogicalPlan* into) const {
+  return SealInto(*pending_, cursor_, into);
+}
+
+Query Query::Filter(std::string name,
+                    stream::FilterOperator::Predicate pred) const {
+  if (!state_) return *this;
+  if (at_sink_) return WithError("cannot add Filter after Sink");
+  Query next = *this;
+  if (has_pending()) {
+    next.cursor_ = SealPending(&state_->plan);
+    next.pending_.reset();
+  }
+  LogicalPlan::Node node;
+  node.kind = LogicalPlan::NodeKind::kFilter;
+  node.name = std::move(name);
+  node.inputs = {next.cursor_};
+  node.filter = std::move(pred);
+  next.cursor_ = state_->plan.AddNode(std::move(node));
+  return next;
+}
+
+Query Query::Map(std::string name, stream::MapOperator::MapFn fn,
+                 size_t output_arity) const {
+  if (!state_) return *this;
+  if (at_sink_) return WithError("cannot add Map after Sink");
+  Query next = *this;
+  if (has_pending()) {
+    next.cursor_ = SealPending(&state_->plan);
+    next.pending_.reset();
+  }
+  LogicalPlan::Node node;
+  node.kind = LogicalPlan::NodeKind::kMap;
+  node.name = std::move(name);
+  node.inputs = {next.cursor_};
+  node.map = std::move(fn);
+  node.map_output_arity = output_arity;
+  next.cursor_ = state_->plan.AddNode(std::move(node));
+  return next;
+}
+
+Query Query::Window(stream::WindowSpec spec) const {
+  if (!state_) return *this;
+  if (at_sink_) return WithError("cannot add Window after Sink");
+  Query next = *this;
+  if (pending_ && pending_->window.has_value()) {
+    // A second Window starts a new stage over the previous one's output.
+    next.cursor_ = SealPending(&state_->plan);
+    next.pending_.reset();
+  }
+  next.pending_ = next.pending_ ? std::make_shared<PendingAgg>(*next.pending_)
+                                : std::make_shared<PendingAgg>();
+  next.pending_->window = spec;
+  return next;
+}
+
+Query Query::GroupBy(size_t key_attr) const {
+  if (!state_) return *this;
+  if (at_sink_) return WithError("cannot add GroupBy after Sink");
+  if (pending_ && !pending_->aggregates.empty()) {
+    return WithError("GroupBy must precede Aggregate (declare the keys "
+                     "before the aggregates)");
+  }
+  if (pending_ && (pending_->key_attr.has_value() || pending_->key_fn)) {
+    return WithError("duplicate GroupBy in one aggregate stage");
+  }
+  Query next = *this;
+  next.pending_ = next.pending_ ? std::make_shared<PendingAgg>(*next.pending_)
+                                : std::make_shared<PendingAgg>();
+  next.pending_->key_attr = key_attr;
+  return next;
+}
+
+Query Query::GroupBy(stream::GroupByAggregateOperator::KeyFn key_fn) const {
+  if (!state_) return *this;
+  if (at_sink_) return WithError("cannot add GroupBy after Sink");
+  if (pending_ && !pending_->aggregates.empty()) {
+    return WithError("GroupBy must precede Aggregate (declare the keys "
+                     "before the aggregates)");
+  }
+  if (pending_ && (pending_->key_attr.has_value() || pending_->key_fn)) {
+    return WithError("duplicate GroupBy in one aggregate stage");
+  }
+  Query next = *this;
+  next.pending_ = next.pending_ ? std::make_shared<PendingAgg>(*next.pending_)
+                                : std::make_shared<PendingAgg>();
+  next.pending_->key_fn = std::move(key_fn);
+  return next;
+}
+
+Query Query::Aggregate(AggregateDecl decl) const {
+  if (!state_) return *this;
+  if (at_sink_) return WithError("cannot add Aggregate after Sink");
+  Query next = *this;
+  next.pending_ = next.pending_ ? std::make_shared<PendingAgg>(*next.pending_)
+                                : std::make_shared<PendingAgg>();
+  if (next.pending_->stage_name.empty()) {
+    next.pending_->stage_name = decl.output_name + "_agg";
+  }
+  next.pending_->aggregates.push_back(std::move(decl));
+  return next;
+}
+
+Query Query::Sum(std::string output_name, size_t attr_index,
+                 uncertain::SumStrategyKind strategy) const {
+  AggregateDecl decl;
+  decl.kind = AggregateKind::kSum;
+  decl.output_name = std::move(output_name);
+  decl.attr_index = attr_index;
+  decl.strategy = strategy;
+  return Aggregate(std::move(decl));
+}
+
+Query Query::Avg(std::string output_name, size_t attr_index,
+                 uncertain::SumStrategyKind strategy) const {
+  AggregateDecl decl;
+  decl.kind = AggregateKind::kAvg;
+  decl.output_name = std::move(output_name);
+  decl.attr_index = attr_index;
+  decl.strategy = strategy;
+  return Aggregate(std::move(decl));
+}
+
+Query Query::Max(std::string output_name, size_t attr_index,
+                 size_t bins) const {
+  AggregateDecl decl;
+  decl.kind = AggregateKind::kMax;
+  decl.output_name = std::move(output_name);
+  decl.attr_index = attr_index;
+  decl.bins = bins;
+  return Aggregate(std::move(decl));
+}
+
+Query Query::Min(std::string output_name, size_t attr_index,
+                 size_t bins) const {
+  AggregateDecl decl;
+  decl.kind = AggregateKind::kMin;
+  decl.output_name = std::move(output_name);
+  decl.attr_index = attr_index;
+  decl.bins = bins;
+  return Aggregate(std::move(decl));
+}
+
+Query Query::Count(std::string output_name) const {
+  AggregateDecl decl;
+  decl.kind = AggregateKind::kCount;
+  decl.output_name = std::move(output_name);
+  return Aggregate(std::move(decl));
+}
+
+Query Query::Having(
+    stream::GroupByAggregateOperator::HavingFn having) const {
+  if (!state_) return *this;
+  if (at_sink_) return WithError("cannot add Having after Sink");
+  if (!pending_ || pending_->aggregates.empty()) {
+    return WithError("Having requires a preceding Aggregate in the same "
+                     "window stage");
+  }
+  if (pending_->having) {
+    return WithError("duplicate Having in one aggregate stage");
+  }
+  Query next = *this;
+  next.pending_ = std::make_shared<PendingAgg>(*next.pending_);
+  next.pending_->having = std::move(having);
+  return next;
+}
+
+Query Query::Join(const Query& right, int64_t range_us,
+                  stream::SlidingWindowJoin::MatchFn match,
+                  std::string name) const {
+  if (!state_) return *this;
+  if (at_sink_) return WithError("cannot add Join after Sink");
+  if (!right.state_) return WithError("join input is an empty query");
+  if (right.at_sink_) {
+    return WithError("join input '" + name +
+                     "' ends at a Sink; branch before Sink instead");
+  }
+  if (right.state_ != state_ && !right.state_->error.ok()) {
+    if (state_->error.ok()) state_->error = right.state_->error;
+    return *this;
+  }
+  Query next = *this;
+  if (has_pending()) {
+    next.cursor_ = SealPending(&state_->plan);
+    next.pending_.reset();
+  }
+  LogicalPlan::NodeId right_cursor;
+  if (right.state_ == state_) {
+    right_cursor = right.has_pending() ? right.SealPending(&state_->plan)
+                                       : right.cursor_;
+  } else {
+    // Merge the other builder's plan: copy its nodes with re-based ids.
+    const LogicalPlan& rplan = right.state_->plan;
+    const LogicalPlan::NodeId offset =
+        static_cast<LogicalPlan::NodeId>(state_->plan.num_nodes());
+    for (LogicalPlan::NodeId id = 0; id < rplan.num_nodes(); ++id) {
+      LogicalPlan::Node copy = rplan.node(id);
+      for (LogicalPlan::NodeId& in : copy.inputs) in += offset;
+      state_->plan.AddNode(std::move(copy));
+    }
+    if (!state_->plan.partition_key() && rplan.partition_key()) {
+      state_->plan.SetPartitionKey(rplan.partition_key());
+    }
+    right_cursor = right.cursor_ + offset;
+    if (right.has_pending()) {
+      right_cursor =
+          SealInto(*right.pending_, right_cursor, &state_->plan);
+    }
+  }
+  if (right_cursor == next.cursor_) {
+    return WithError("join node '" + name +
+                     "' would join a stream with itself; the two inputs "
+                     "must be distinct");
+  }
+  LogicalPlan::Node node;
+  node.kind = LogicalPlan::NodeKind::kJoin;
+  node.name = std::move(name);
+  node.inputs = {next.cursor_, right_cursor};
+  node.join_range_us = range_us;
+  node.join_match = std::move(match);
+  next.cursor_ = state_->plan.AddNode(std::move(node));
+  return next;
+}
+
+Query Query::Sink(std::string name) const {
+  if (!state_) return *this;
+  if (at_sink_) return WithError("cannot add Sink after Sink");
+  Query next = *this;
+  if (has_pending()) {
+    next.cursor_ = SealPending(&state_->plan);
+    next.pending_.reset();
+  }
+  LogicalPlan::Node node;
+  node.kind = LogicalPlan::NodeKind::kSink;
+  node.name = std::move(name);
+  node.inputs = {next.cursor_};
+  next.cursor_ = state_->plan.AddNode(std::move(node));
+  next.at_sink_ = true;
+  return next;
+}
+
+Query Query::PartitionBy(stream::ShardedExecutor::KeyFn key_fn) const {
+  if (!state_) return *this;
+  state_->plan.SetPartitionKey(std::move(key_fn));
+  return *this;
+}
+
+common::Result<LogicalPlan> Query::Build() const {
+  if (!state_) {
+    return common::Status::InvalidArgument("empty query");
+  }
+  if (!state_->error.ok()) return state_->error;
+  LogicalPlan snapshot = state_->plan;
+  if (has_pending()) SealInto(*pending_, cursor_, &snapshot);
+  return snapshot;
+}
+
+}  // namespace query
+}  // namespace usp

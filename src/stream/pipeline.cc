@@ -4,6 +4,12 @@
 
 #include "common/logging.h"
 
+// Pipeline is deprecated in favour of the query:: layer but still
+// implemented here; its own member definitions are not migration sites.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+
 namespace usp {
 namespace stream {
 

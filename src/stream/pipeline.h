@@ -30,7 +30,16 @@ namespace usp {
 namespace stream {
 
 /// \brief A chain of unary operators; compatibility facade over ExecGraph.
-class Pipeline {
+///
+/// Deprecated: new code should describe plans declaratively with
+/// query::Query and compile them with query::Planner (src/query/), which
+/// picks the physical runtime (DagExecutor vs. ShardedExecutor, naive vs.
+/// pane-incremental aggregation) instead of hand-wiring it. Pipeline stays
+/// for the seed per-tuple API and its tests.
+class [[deprecated(
+    "build plans with query::Query and compile with query::Planner "
+    "(src/query/); Pipeline is the seed-era compatibility wrapper")]]
+Pipeline {
  public:
   /// Append an operator; returns *this for chaining. Must not be called
   /// after the first Push/Run.

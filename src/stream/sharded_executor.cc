@@ -112,16 +112,33 @@ common::Status ShardedExecutor::PushBatch(ExecGraph::NodeId source,
     return common::Status::FailedPrecondition("executor already finished");
   }
   if (batch.empty()) return common::Status::OK();
-  // Oversized caller batches are split into target-sized slices before
-  // partitioning so one bulk push cannot occupy a whole queue slot per
-  // shard with an arbitrarily large message.
-  if (options_.target_batch_size > 0 &&
-      batch.size() > options_.target_batch_size) {
+  if (options_.target_batch_size > 0) {
+    return PushRebatched(source, std::move(batch));
+  }
+  return PushSlice(source, std::move(batch));
+}
+
+common::Status ShardedExecutor::PushRebatched(ExecGraph::NodeId source,
+                                              TupleBatch&& batch) {
+  const size_t target = options_.target_batch_size;
+  if (batch.size() >= target) {
+    // Bulk path: deliver any buffered remainder first (arrival order),
+    // then split into target-sized slices outside the ingest lock — one
+    // move per tuple and no producer serialisation during backpressure,
+    // exactly like the split-only path this generalises. The undersized
+    // tail is forwarded directly rather than buffered: a bulk producer
+    // is not a trickle feed.
+    {
+      std::lock_guard<std::mutex> lock(ingest_mu_);
+      if (ingest_closed_) {
+        return common::Status::FailedPrecondition(
+            "executor already finished");
+      }
+      USP_RETURN_NOT_OK(FlushPendingLocked());
+    }
     std::vector<Tuple>& tuples = batch.mutable_tuples();
-    for (size_t off = 0; off < tuples.size();
-         off += options_.target_batch_size) {
-      const size_t end =
-          std::min(off + options_.target_batch_size, tuples.size());
+    for (size_t off = 0; off < tuples.size(); off += target) {
+      const size_t end = std::min(off + target, tuples.size());
       TupleBatch slice;
       slice.Reserve(end - off);
       for (size_t i = off; i < end; ++i) {
@@ -132,7 +149,45 @@ common::Status ShardedExecutor::PushBatch(ExecGraph::NodeId source,
     batch.Clear();
     return common::Status::OK();
   }
-  return PushSlice(source, std::move(batch));
+  // Trickle path: merge undersized consecutive same-source pushes in the
+  // pending buffer until a target-sized slice fills. The buffer is
+  // flushed when the source changes (so cross-source arrival order
+  // survives) and at Finish().
+  std::lock_guard<std::mutex> lock(ingest_mu_);
+  if (ingest_closed_) {
+    return common::Status::FailedPrecondition("executor already finished");
+  }
+  if (!pending_.empty() && pending_source_ != source) {
+    USP_RETURN_NOT_OK(FlushPendingLocked());
+  }
+  pending_source_ = source;
+  std::vector<Tuple>& buf = pending_.mutable_tuples();
+  buf.reserve(buf.size() + batch.size());
+  for (Tuple& t : batch.mutable_tuples()) {
+    buf.push_back(std::move(t));
+  }
+  batch.Clear();
+  size_t off = 0;
+  while (buf.size() - off >= target) {
+    TupleBatch slice;
+    slice.Reserve(target);
+    for (size_t i = off; i < off + target; ++i) {
+      slice.Append(std::move(buf[i]));
+    }
+    off += target;
+    USP_RETURN_NOT_OK(PushSlice(source, std::move(slice)));
+  }
+  if (off > 0) {
+    buf.erase(buf.begin(), buf.begin() + static_cast<ptrdiff_t>(off));
+  }
+  return common::Status::OK();
+}
+
+common::Status ShardedExecutor::FlushPendingLocked() {
+  if (pending_.empty()) return common::Status::OK();
+  TupleBatch out = std::move(pending_);
+  pending_ = TupleBatch();
+  return PushSlice(pending_source_, std::move(out));
 }
 
 common::Status ShardedExecutor::PushSlice(ExecGraph::NodeId source,
@@ -171,6 +226,16 @@ common::Status ShardedExecutor::Finish() {
   // watermark()/sink_output() guards stay closed while workers drain.
   std::lock_guard<std::mutex> finish_lock(finish_mu_);
   if (finished_) return final_status_;
+  // Close the re-batching ingest and deliver the merged remainder before
+  // closing the queues: a racing push from here on fails loudly
+  // (FailedPrecondition) instead of parking tuples in a buffer nobody
+  // will ever flush.
+  common::Status flush_status;
+  {
+    std::lock_guard<std::mutex> ingest_lock(ingest_mu_);
+    ingest_closed_ = true;
+    flush_status = FlushPendingLocked();
+  }
   for (auto& shard : shards_) {
     shard->queue.Close();
   }
@@ -180,7 +245,7 @@ common::Status ShardedExecutor::Finish() {
   // Workers are gone; flush every graph and collect the first error. The
   // shard lock is still taken: MetricsSnapshot() is documented as safe to
   // call while running, and Close() mutates operator metrics.
-  final_status_ = common::Status::OK();
+  final_status_ = flush_status;
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     if (final_status_.ok() && !shard->status.ok()) {

@@ -60,11 +60,16 @@ class ShardedExecutor {
     /// Archived tuples older than watermark - retention are evicted after
     /// each processed message; negative = keep everything.
     int64_t archive_retention_us = -1;
-    /// When > 0, ingest splits caller batches larger than this into
-    /// target-sized slices before partitioning, bounding per-message queue
-    /// occupancy and shard latency for bulk pushes (first slice of the
-    /// adaptive-batch-sizing roadmap item). 0 forwards caller-sized
-    /// batches unchanged.
+    /// When > 0, ingest re-batches caller pushes toward this many tuples
+    /// before partitioning: oversized batches are split into target-sized
+    /// slices (bounding per-message queue occupancy and shard latency for
+    /// bulk pushes), and undersized consecutive batches for the same
+    /// source are merged in an ingest-side buffer until a target-sized
+    /// slice fills (amortising per-batch queue/dispatch overhead for
+    /// trickle feeds). The buffer is flushed when the source changes
+    /// (preserving cross-source arrival order) and at Finish(), so merging
+    /// trades bounded latency — at most one flush — for throughput. 0
+    /// forwards caller-sized batches unchanged.
     size_t target_batch_size = 0;
   };
 
@@ -147,9 +152,24 @@ class ShardedExecutor {
   void WorkerLoop(Shard* shard);
   /// Partition one (already target-sized) batch and enqueue per shard.
   common::Status PushSlice(ExecGraph::NodeId source, TupleBatch&& batch);
+  /// Re-batching ingest path for target_batch_size > 0: merge + split
+  /// toward the target. Flushes the pending buffer on source change.
+  common::Status PushRebatched(ExecGraph::NodeId source, TupleBatch&& batch);
+  /// Enqueue whatever is buffered (requires ingest_mu_).
+  common::Status FlushPendingLocked();
 
   Options options_;
   KeyFn key_fn_;
+  /// Ingest-side merge buffer (target_batch_size > 0 only): undersized
+  /// consecutive batches for pending_source_ accumulate here until a
+  /// target-sized slice fills. Guarded by ingest_mu_ so concurrent
+  /// producers cannot interleave half-merged slices.
+  std::mutex ingest_mu_;
+  TupleBatch pending_;
+  ExecGraph::NodeId pending_source_ = ExecGraph::kInvalidNode;
+  /// Set by Finish() before the final flush so a racing re-batched push
+  /// fails loudly instead of buffering tuples nobody will flush.
+  bool ingest_closed_ = false;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<TupleBatch> merged_sinks_;  // indexed by NodeId, post-Finish
   std::mutex finish_mu_;  // serialises Finish() calls

@@ -11,6 +11,13 @@
 #include "stream/basic_operators.h"
 #include "uncertain/aggregates.h"
 
+// This suite predates the query:: layer and intentionally keeps running
+// the deprecated Pipeline wrapper (the builder-compiled Q1 is covered by
+// tests/query/planner_test.cc).
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+
 namespace usp {
 namespace {
 

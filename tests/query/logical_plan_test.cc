@@ -1,0 +1,257 @@
+// Builder + logical-plan tests: fluent construction produces the expected
+// typed nodes (including fan-out branches and fan-in joins), arity
+// propagates where derivable, and malformed plans are rejected with
+// actionable statuses (from Build() for builder misuse, from Validate()
+// for shape errors).
+
+#include "query/logical_plan.h"
+
+#include <gtest/gtest.h>
+
+#include "query/query.h"
+
+namespace usp {
+namespace query {
+namespace {
+
+using stream::Tuple;
+using stream::WindowSpec;
+
+TEST(QueryBuilderTest, LinearChainProducesTypedNodes) {
+  auto q = Query::From("src", 2)
+               .Filter("keep", [](const Tuple&) { return true; })
+               .Map("annotate",
+                    [](const Tuple& t) -> common::Result<Tuple> { return t; },
+                    3)
+               .Sink("out");
+  auto plan_or = q.Build();
+  ASSERT_TRUE(plan_or.ok()) << plan_or.status().ToString();
+  const LogicalPlan& plan = plan_or.value();
+  ASSERT_EQ(plan.num_nodes(), 4u);
+  EXPECT_EQ(plan.kind(0), LogicalPlan::NodeKind::kSource);
+  EXPECT_EQ(plan.kind(1), LogicalPlan::NodeKind::kFilter);
+  EXPECT_EQ(plan.kind(2), LogicalPlan::NodeKind::kMap);
+  EXPECT_EQ(plan.kind(3), LogicalPlan::NodeKind::kSink);
+  EXPECT_EQ(plan.name(0), "src");
+  EXPECT_EQ(plan.name(3), "out");
+  EXPECT_EQ(plan.inputs(3), std::vector<LogicalPlan::NodeId>{2});
+  EXPECT_TRUE(plan.Validate().ok());
+  // Arity: source declared 2, filter preserves, map declared 3.
+  const auto arity = plan.OutputArities();
+  EXPECT_EQ(arity[0], std::optional<size_t>(2));
+  EXPECT_EQ(arity[1], std::optional<size_t>(2));
+  EXPECT_EQ(arity[2], std::optional<size_t>(3));
+}
+
+TEST(QueryBuilderTest, AggregateStageSealsIntoOneNode) {
+  auto q = Query::From("src", 2)
+               .Window(WindowSpec::Tumbling(1000))
+               .GroupBy(0)
+               .Sum("total", 1, uncertain::SumStrategyKind::kClt)
+               .Count("n")
+               .Having([](const Tuple&) { return true; })
+               .Sink("out");
+  auto plan_or = q.Build();
+  ASSERT_TRUE(plan_or.ok()) << plan_or.status().ToString();
+  const LogicalPlan& plan = plan_or.value();
+  ASSERT_EQ(plan.num_nodes(), 3u);  // source, aggregate, sink
+  ASSERT_EQ(plan.kind(1), LogicalPlan::NodeKind::kAggregate);
+  const LogicalPlan::Node& agg = plan.node(1);
+  ASSERT_TRUE(agg.window.has_value());
+  EXPECT_EQ(agg.window->size_us, 1000);
+  EXPECT_EQ(agg.group_key_attr, std::optional<size_t>(0));
+  ASSERT_EQ(agg.aggregates.size(), 2u);
+  EXPECT_EQ(agg.aggregates[0].kind, AggregateKind::kSum);
+  EXPECT_EQ(agg.aggregates[0].output_name, "total");
+  EXPECT_EQ(agg.aggregates[1].kind, AggregateKind::kCount);
+  EXPECT_TRUE(static_cast<bool>(agg.having));
+  EXPECT_TRUE(plan.Validate().ok());
+  // Aggregate output arity = key + 2 aggregates.
+  EXPECT_EQ(plan.OutputArities()[1], std::optional<size_t>(3));
+}
+
+TEST(QueryBuilderTest, BranchingCreatesFanOut) {
+  auto src = Query::From("scan");
+  auto storm = src.Filter("storm", [](const Tuple&) { return true; })
+                   .Sink("storm_cells");
+  auto fast = src.Filter("fast", [](const Tuple&) { return true; })
+                  .Sink("fast_cells");
+  // Both branches grow one shared plan; either cursor can snapshot it.
+  auto plan_or = fast.Build();
+  ASSERT_TRUE(plan_or.ok()) << plan_or.status().ToString();
+  const LogicalPlan& plan = plan_or.value();
+  EXPECT_EQ(plan.num_nodes(), 5u);
+  EXPECT_TRUE(plan.Validate().ok());
+  // Both filters read the one source.
+  EXPECT_EQ(plan.inputs(1), std::vector<LogicalPlan::NodeId>{0});
+  EXPECT_EQ(plan.inputs(3), std::vector<LogicalPlan::NodeId>{0});
+  (void)storm;
+}
+
+TEST(QueryBuilderTest, JoinMergesTwoBuilders) {
+  auto left = Query::From("rfid").Filter("flammable",
+                                         [](const Tuple&) { return true; });
+  auto right = Query::From("temps");
+  auto q = left.Join(right, 3'000'000,
+                     [](const Tuple&, const Tuple&) {
+                       return std::optional<Tuple>();
+                     },
+                     "q2")
+               .Sink("alerts");
+  auto plan_or = q.Build();
+  ASSERT_TRUE(plan_or.ok()) << plan_or.status().ToString();
+  const LogicalPlan& plan = plan_or.value();
+  EXPECT_TRUE(plan.Validate().ok());
+  // rfid, flammable, temps (merged), join, sink.
+  ASSERT_EQ(plan.num_nodes(), 5u);
+  EXPECT_EQ(plan.kind(3), LogicalPlan::NodeKind::kJoin);
+  EXPECT_EQ(plan.inputs(3),
+            (std::vector<LogicalPlan::NodeId>{1, 2}));
+  EXPECT_EQ(plan.node(3).join_range_us, 3'000'000);
+}
+
+TEST(QueryBuilderTest, ToStringListsEveryNode) {
+  auto q = Query::From("src", 2)
+               .Window(WindowSpec::Sliding(100, 25))
+               .GroupBy(0)
+               .Sum("total", 1)
+               .Sink("out");
+  auto plan_or = q.Build();
+  ASSERT_TRUE(plan_or.ok());
+  const std::string s = plan_or.value().ToString();
+  EXPECT_NE(s.find("source 'src'"), std::string::npos) << s;
+  EXPECT_NE(s.find("window 100/25"), std::string::npos) << s;
+  EXPECT_NE(s.find("sum(1)->total"), std::string::npos) << s;
+  EXPECT_NE(s.find("sink 'out'"), std::string::npos) << s;
+}
+
+// --- invalid shapes ------------------------------------------------------
+
+TEST(QueryBuilderTest, AggregateWithoutWindowFailsValidation) {
+  auto q = Query::From("src", 2).GroupBy(0).Sum("total", 1).Sink("out");
+  auto plan_or = q.Build();
+  ASSERT_TRUE(plan_or.ok()) << plan_or.status().ToString();
+  const auto st = plan_or.value().Validate();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("no window"), std::string::npos)
+      << st.ToString();
+}
+
+TEST(QueryBuilderTest, WindowWithoutAggregateFailsValidation) {
+  auto q = Query::From("src", 2).Window(WindowSpec::Tumbling(100)).Sink("out");
+  auto plan_or = q.Build();
+  ASSERT_TRUE(plan_or.ok());
+  const auto st = plan_or.value().Validate();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("no aggregate columns"), std::string::npos)
+      << st.ToString();
+}
+
+TEST(QueryBuilderTest, UnknownGroupKeyAttributeFailsValidation) {
+  auto q = Query::From("src", 2)
+               .Window(WindowSpec::Tumbling(100))
+               .GroupBy(5)
+               .Sum("total", 1)
+               .Sink("out");
+  auto plan_or = q.Build();
+  ASSERT_TRUE(plan_or.ok());
+  const auto st = plan_or.value().Validate();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("unknown attribute 5"), std::string::npos)
+      << st.ToString();
+}
+
+TEST(QueryBuilderTest, UnknownAggregateAttributeFailsValidation) {
+  auto q = Query::From("src", 2)
+               .Window(WindowSpec::Tumbling(100))
+               .GroupBy(0)
+               .Sum("total", 7)
+               .Sink("out");
+  auto plan_or = q.Build();
+  ASSERT_TRUE(plan_or.ok());
+  const auto st = plan_or.value().Validate();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("unknown attribute 7"), std::string::npos)
+      << st.ToString();
+}
+
+TEST(QueryBuilderTest, UndeclaredAritySkipsAttributeChecks) {
+  // Without a declared source arity the attribute references cannot be
+  // checked; the plan must still validate (checked at runtime instead).
+  auto q = Query::From("src")
+               .Window(WindowSpec::Tumbling(100))
+               .GroupBy(5)
+               .Sum("total", 7)
+               .Sink("out");
+  auto plan_or = q.Build();
+  ASSERT_TRUE(plan_or.ok());
+  EXPECT_TRUE(plan_or.value().Validate().ok());
+}
+
+TEST(QueryBuilderTest, SelfJoinIsRejected) {
+  auto src = Query::From("src");
+  auto q = src.Join(src, 1000,
+                    [](const Tuple&, const Tuple&) {
+                      return std::optional<Tuple>();
+                    },
+                    "selfjoin");
+  auto plan_or = q.Build();
+  ASSERT_FALSE(plan_or.ok());
+  EXPECT_NE(plan_or.status().message().find("itself"), std::string::npos)
+      << plan_or.status().ToString();
+}
+
+TEST(QueryBuilderTest, GroupByAfterAggregateLatchesError) {
+  auto q = Query::From("src", 2)
+               .Window(WindowSpec::Tumbling(100))
+               .Sum("total", 1)
+               .GroupBy(0)
+               .Sink("out");
+  auto plan_or = q.Build();
+  ASSERT_FALSE(plan_or.ok());
+  EXPECT_NE(plan_or.status().message().find("GroupBy must precede"),
+            std::string::npos)
+      << plan_or.status().ToString();
+}
+
+TEST(QueryBuilderTest, HavingWithoutAggregateLatchesError) {
+  auto q = Query::From("src", 2)
+               .Having([](const Tuple&) { return true; })
+               .Sink("out");
+  auto plan_or = q.Build();
+  ASSERT_FALSE(plan_or.ok());
+  EXPECT_NE(plan_or.status().message().find("Having requires"),
+            std::string::npos);
+}
+
+TEST(QueryBuilderTest, ExtendingPastSinkLatchesError) {
+  auto q = Query::From("src").Sink("out").Filter(
+      "late", [](const Tuple&) { return true; });
+  auto plan_or = q.Build();
+  ASSERT_FALSE(plan_or.ok());
+  EXPECT_NE(plan_or.status().message().find("after Sink"), std::string::npos);
+}
+
+TEST(QueryBuilderTest, MissingSinkFailsValidation) {
+  auto q = Query::From("src").Filter("keep",
+                                     [](const Tuple&) { return true; });
+  auto plan_or = q.Build();
+  ASSERT_TRUE(plan_or.ok());
+  EXPECT_FALSE(plan_or.value().Validate().ok());
+}
+
+TEST(QueryBuilderTest, DuplicateSinkNameFailsValidation) {
+  auto src = Query::From("src");
+  auto a = src.Sink("out");
+  auto b = src.Sink("out");
+  auto plan_or = b.Build();
+  ASSERT_TRUE(plan_or.ok());
+  const auto st = plan_or.value().Validate();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("duplicate sink"), std::string::npos);
+  (void)a;
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace usp

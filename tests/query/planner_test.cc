@@ -1,0 +1,568 @@
+// Planner decision tests: builder-compiled plans are result-identical to
+// the hand-wired graphs they replaced (bitwise for tumbling windows,
+// tolerance for sliding), pane-incremental aggregation is chosen iff the
+// window overlaps, shard keys derive from the group-by (replaying
+// upstream maps when needed), and invalid logical plans fail at Compile()
+// with actionable statuses instead of failing at runtime.
+//
+// Hand-wired ExecGraph construction is allowed HERE (and inside the
+// planner) precisely because these are the graph-level equivalence
+// baselines; examples and benches go through the builder.
+
+#include "query/planner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "query/query.h"
+#include "stats/gaussian.h"
+#include "stream/basic_operators.h"
+#include "stream/exec_graph.h"
+#include "stream/group_by.h"
+#include "stream/join.h"
+#include "stream/sharded_executor.h"
+#include "uncertain/aggregates.h"
+#include "uncertain/join_predicates.h"
+#include "uncertain/sum_strategies.h"
+
+namespace usp {
+namespace query {
+namespace {
+
+using stream::DagExecutor;
+using stream::ExecGraph;
+using stream::ShardContext;
+using stream::ShardedExecutor;
+using stream::Tuple;
+using stream::TupleBatch;
+using stream::Value;
+using stream::WindowSpec;
+
+// ---- canonical result rendering (bitwise via %.17g round-trips) ---------
+
+std::string RenderValue(const Value& v) {
+  char buf[96];
+  switch (v.kind()) {
+    case stream::ValueKind::kString:
+      return v.AsString();
+    case stream::ValueKind::kInt:
+      return std::to_string(v.AsInt());
+    case stream::ValueKind::kDouble:
+      std::snprintf(buf, sizeof(buf), "%.17g", v.AsDouble());
+      return buf;
+    case stream::ValueKind::kDistribution: {
+      const auto& d = *v.AsDistribution();
+      std::snprintf(buf, sizeof(buf), "d(%.17g,%.17g)", d.Mean(),
+                    d.Variance());
+      return buf;
+    }
+    case stream::ValueKind::kNull:
+      return "null";
+  }
+  return "?";
+}
+
+std::string RenderTuple(const Tuple& t) {
+  std::string out = std::to_string(t.timestamp());
+  for (size_t i = 0; i < t.num_values(); ++i) {
+    out += "|" + RenderValue(t.value(i));
+  }
+  return out;
+}
+
+/// Exact result sequence (single-threaded plans: order is deterministic).
+std::vector<std::string> Rendered(const TupleBatch& batch) {
+  std::vector<std::string> out;
+  out.reserve(batch.size());
+  for (const Tuple& t : batch) out.push_back(RenderTuple(t));
+  return out;
+}
+
+/// Result set, sorted: shard merges only guarantee set identity plus
+/// timestamp order (equal-timestamp ties follow shard assignment).
+std::vector<std::string> Canonical(const TupleBatch& batch) {
+  auto out = Rendered(batch);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// ---- Q1: keyed tumbling group-by, hand-wired vs. builder ----------------
+
+// Location tuple (tag:int, x:dist, y:dist) with a deterministic layout.
+Tuple LocationTuple(int64_t ts, int64_t tag, double x, double y) {
+  Tuple t(ts, {Value(tag),
+               Value(stats::DistributionPtr(
+                   std::make_shared<stats::Gaussian>(x, 0.5))),
+               Value(stats::DistributionPtr(
+                   std::make_shared<stats::Gaussian>(y, 0.5)))});
+  t.InitBaseLineage();
+  return t;
+}
+
+std::vector<TupleBatch> Q1Input() {
+  std::vector<TupleBatch> batches;
+  TupleBatch batch;
+  for (int64_t i = 0; i < 600; ++i) {
+    const int64_t ts = i * 40'000;  // 24 s of stream, 5 s windows
+    const double x = 5.0 + 11.0 * static_cast<double>(i % 7);
+    const double y = 5.0 + 11.0 * static_cast<double>((i / 7) % 5);
+    batch.Append(LocationTuple(ts, i % 23, x, y));
+    if (batch.size() == 64) {
+      batches.push_back(std::move(batch));
+      batch = TupleBatch();
+    }
+  }
+  if (!batch.empty()) batches.push_back(std::move(batch));
+  return batches;
+}
+
+std::string AreaOf(double x, double y) {
+  return "area_" + std::to_string(static_cast<int>(x / 10.0)) + "_" +
+         std::to_string(static_cast<int>(y / 10.0));
+}
+
+common::Result<Tuple> AnnotateAreaWeight(const Tuple& t) {
+  Tuple out = t;
+  const double x = t.value(1).AsDistribution()->Mean();
+  const double y = t.value(2).AsDistribution()->Mean();
+  out.AppendValue(Value(AreaOf(x, y)));
+  // Uncertain weight derived from the tag (deterministic).
+  const double mean = 20.0 + static_cast<double>(t.value(0).AsInt() % 7);
+  out.AppendValue(Value(stats::DistributionPtr(
+      std::make_shared<stats::Gaussian>(mean, 1.5))));
+  return out;
+}
+
+// The pre-query-layer wiring, verbatim plan shape of the old
+// examples/fire_code_monitoring.cpp: hand-picked shard key, hand-chosen
+// naive operator, hand-managed per-shard strategy instances.
+TupleBatch RunQ1HandWired(size_t num_shards) {
+  ShardedExecutor::Options opts;
+  opts.num_shards = num_shards;
+  std::vector<std::unique_ptr<uncertain::CfApproxSum>> strategies(num_shards);
+  ExecGraph::NodeId source = 0, sink = 0;
+  auto exec_or = ShardedExecutor::Create(
+      opts,
+      [](const Tuple& t) {
+        const int cx = static_cast<int>(
+            t.value(1).AsDistribution()->Mean() / 10.0);
+        const int cy = static_cast<int>(
+            t.value(2).AsDistribution()->Mean() / 10.0);
+        return std::hash<int64_t>{}((static_cast<int64_t>(cx) << 32) ^
+                                    static_cast<uint32_t>(cy));
+      },
+      [&](ExecGraph* g, const ShardContext& ctx) {
+        strategies[ctx.shard_index] =
+            std::make_unique<uncertain::CfApproxSum>();
+        source = g->AddSource("rfid_stream");
+        const auto annotate = g->AddOperator(
+            source,
+            std::make_unique<stream::MapOperator>("annotate",
+                                                  AnnotateAreaWeight));
+        const auto group = g->AddOperator(
+            annotate,
+            std::make_unique<stream::GroupByAggregateOperator>(
+                "q1", WindowSpec::Tumbling(5'000'000),
+                [](const Tuple& t) { return t.value(3).AsString(); },
+                std::vector<stream::AggregateSpec>{
+                    uncertain::MakeSumAggregate(
+                        "total_weight", 4, strategies[ctx.shard_index].get())},
+                uncertain::MakeHavingProbGreater(1, 60.0, 0.5)));
+        sink = g->AddSink(group, "alerts");
+        return common::Status::OK();
+      });
+  EXPECT_TRUE(exec_or.ok()) << exec_or.status().ToString();
+  auto exec = exec_or.MoveValueUnsafe();
+  for (const TupleBatch& b : Q1Input()) {
+    EXPECT_TRUE(exec->PushBatch(source, b).ok());
+  }
+  EXPECT_TRUE(exec->Finish().ok());
+  return exec->TakeSinkOutput(sink);
+}
+
+Query Q1Builder() {
+  return Query::From("rfid_stream", 3)
+      .Map("annotate", AnnotateAreaWeight, 5)
+      .Window(WindowSpec::Tumbling(5'000'000))
+      .GroupBy(3)
+      .Sum("total_weight", 4, uncertain::SumStrategyKind::kCfApprox)
+      .Having(uncertain::MakeHavingProbGreater(1, 60.0, 0.5))
+      .Sink("alerts");
+}
+
+common::Result<TupleBatch> RunQ1Builder(size_t num_shards) {
+  PlannerOptions opts;
+  opts.num_shards = num_shards;
+  auto compiled_or = Q1Builder().Compile(opts);
+  USP_RETURN_NOT_OK(compiled_or.status());
+  auto compiled = compiled_or.MoveValueUnsafe();
+  const auto source = compiled->source("rfid_stream");
+  for (const TupleBatch& b : Q1Input()) {
+    USP_RETURN_NOT_OK(compiled->PushBatch(source, b));
+  }
+  USP_RETURN_NOT_OK(compiled->Finish());
+  return compiled->TakeResult(compiled->sink("alerts"));
+}
+
+TEST(PlannerTest, Q1BuilderMatchesHandWiredFourShards) {
+  const TupleBatch hand = RunQ1HandWired(4);
+  auto built_or = RunQ1Builder(4);
+  ASSERT_TRUE(built_or.ok()) << built_or.status().ToString();
+  ASSERT_FALSE(hand.empty());
+  // Tumbling window + per-shard arrival order preserved => the group
+  // contents and their order are identical, so the aggregates are bitwise
+  // equal; only equal-timestamp tie order may differ (different shard
+  // keys), hence the canonical (sorted) comparison.
+  EXPECT_EQ(Canonical(built_or.value()), Canonical(hand));
+}
+
+TEST(PlannerTest, Q1BuilderShardCountInvariant) {
+  auto one_or = RunQ1Builder(1);
+  auto four_or = RunQ1Builder(4);
+  ASSERT_TRUE(one_or.ok()) << one_or.status().ToString();
+  ASSERT_TRUE(four_or.ok()) << four_or.status().ToString();
+  ASSERT_FALSE(one_or.value().empty());
+  EXPECT_EQ(Canonical(one_or.value()), Canonical(four_or.value()));
+}
+
+TEST(PlannerTest, Q1ShardKeyIsReplayedGroupKey) {
+  // The group key reads attribute 3, which only exists after the
+  // annotate map: the planner must replay the map at ingest to derive
+  // the partition key.
+  PlannerOptions opts;
+  opts.num_shards = 4;
+  auto compiled_or = Q1Builder().Compile(opts);
+  ASSERT_TRUE(compiled_or.ok()) << compiled_or.status().ToString();
+  const PlanSummary& s = compiled_or.value()->summary();
+  EXPECT_TRUE(s.sharded);
+  EXPECT_EQ(s.num_shards, 4u);
+  EXPECT_EQ(s.shard_key_source,
+            PlanSummary::ShardKeySource::kReplayedGroupKey);
+  ASSERT_EQ(s.aggregates.size(), 1u);
+  EXPECT_FALSE(s.aggregates[0].paned);  // tumbling => exact per-window
+}
+
+// ---- Q2: fan-in join, hand-wired vs. builder ----------------------------
+
+Tuple ObjectTuple(int64_t ts, int64_t tag, double x, double y) {
+  Tuple t(ts, {Value(tag),
+               Value(stats::DistributionPtr(
+                   std::make_shared<stats::Gaussian>(x, 0.8))),
+               Value(stats::DistributionPtr(
+                   std::make_shared<stats::Gaussian>(y, 0.8)))});
+  t.InitBaseLineage();
+  return t;
+}
+
+Tuple TempTuple(int64_t ts, double x, double y, double temp) {
+  Tuple t(ts, {Value(x), Value(y),
+               Value(stats::DistributionPtr(
+                   std::make_shared<stats::Gaussian>(temp, 2.0)))});
+  t.InitBaseLineage();
+  return t;
+}
+
+uncertain::EqualityJoinSpec Q2Spec() {
+  uncertain::EqualityJoinSpec spec;
+  spec.left_attrs = {1, 2};
+  spec.right_attrs = {0, 1};
+  spec.eps = 3.0;
+  spec.min_confidence = 0.3;
+  return spec;
+}
+
+bool FlammablePred(const Tuple& t) { return t.value(0).AsInt() % 3 == 0; }
+
+// Interleaved object/temperature pushes in global timestamp order.
+void DriveQ2(const std::function<void(bool /*left*/, Tuple)>& push) {
+  for (int64_t i = 0; i < 200; ++i) {
+    const int64_t ts = i * 500'000;
+    push(true, ObjectTuple(ts, i % 9, 5.0 + static_cast<double>(i % 4),
+                           5.0 + static_cast<double>(i % 3)));
+    if (i % 4 == 0) {
+      push(false, TempTuple(ts + 1, 6.0, 6.0,
+                            55.0 + static_cast<double>(i % 20)));
+    }
+  }
+}
+
+TupleBatch RunQ2HandWired() {
+  auto graph = std::make_unique<ExecGraph>();
+  const auto rfid_src = graph->AddSource("rfid_stream");
+  const auto temp_src = graph->AddSource("temp_stream");
+  const auto flammable = graph->AddOperator(
+      rfid_src,
+      std::make_unique<stream::FilterOperator>("flammable", FlammablePred));
+  const auto join = graph->AddJoin(
+      flammable, temp_src,
+      std::make_unique<stream::SlidingWindowJoin>(
+          "q2", 3'000'000,
+          uncertain::MakeProbabilisticEqualityMatch(Q2Spec())));
+  const auto sink = graph->AddSink(join, "alerts");
+  EXPECT_TRUE(graph->Validate().ok());
+  DagExecutor exec(std::move(graph));
+  DriveQ2([&](bool left, Tuple t) {
+    EXPECT_TRUE(exec.Push(left ? rfid_src : temp_src, t).ok());
+  });
+  EXPECT_TRUE(exec.Close().ok());
+  return exec.TakeSinkOutput(sink);
+}
+
+common::Result<TupleBatch> RunQ2Builder() {
+  auto rfid = Query::From("rfid_stream", 3);
+  auto temps = Query::From("temp_stream", 3);
+  auto q2 = rfid.Filter("flammable", FlammablePred)
+                .Join(temps, 3'000'000,
+                      uncertain::MakeProbabilisticEqualityMatch(Q2Spec()),
+                      "q2")
+                .Sink("alerts");
+  auto compiled_or = q2.Compile();
+  USP_RETURN_NOT_OK(compiled_or.status());
+  auto compiled = compiled_or.MoveValueUnsafe();
+  const auto rfid_id = compiled->source("rfid_stream");
+  const auto temp_id = compiled->source("temp_stream");
+  common::Status push_status;
+  DriveQ2([&](bool left, Tuple t) {
+    const auto st = compiled->Push(left ? rfid_id : temp_id, std::move(t));
+    if (push_status.ok() && !st.ok()) push_status = st;
+  });
+  USP_RETURN_NOT_OK(push_status);
+  USP_RETURN_NOT_OK(compiled->Finish());
+  return compiled->TakeResult(compiled->sink("alerts"));
+}
+
+TEST(PlannerTest, Q2BuilderMatchesHandWiredFanInJoin) {
+  const TupleBatch hand = RunQ2HandWired();
+  auto built_or = RunQ2Builder();
+  ASSERT_TRUE(built_or.ok()) << built_or.status().ToString();
+  ASSERT_FALSE(hand.empty());
+  // Single-threaded DAG on both sides: sequences must match exactly,
+  // including order.
+  EXPECT_EQ(Rendered(built_or.value()), Rendered(hand));
+}
+
+// ---- planner decisions --------------------------------------------------
+
+TupleBatch MakeKeyedGaussianStream(size_t n) {
+  TupleBatch batch;
+  for (size_t i = 0; i < n; ++i) {
+    Tuple t(static_cast<int64_t>(i * 7),
+            {Value(static_cast<int64_t>(i % 4)),
+             Value(stats::DistributionPtr(std::make_shared<stats::Gaussian>(
+                 static_cast<double>(i % 9) - 4.0,
+                 0.5 + 0.1 * static_cast<double>(i % 3))))});
+    t.InitBaseLineage();
+    batch.Append(std::move(t));
+  }
+  return batch;
+}
+
+Query KeyedSumQuery(WindowSpec spec) {
+  return Query::From("src", 2)
+      .Window(spec)
+      .GroupBy(0)
+      .Sum("total", 1, uncertain::SumStrategyKind::kClt)
+      .Sink("out");
+}
+
+common::Result<TupleBatch> RunKeyedSum(WindowSpec spec,
+                                       const PlannerOptions& opts) {
+  auto compiled_or = KeyedSumQuery(spec).Compile(opts);
+  USP_RETURN_NOT_OK(compiled_or.status());
+  auto compiled = compiled_or.MoveValueUnsafe();
+  USP_RETURN_NOT_OK(compiled->PushBatch(compiled->source("src"),
+                                        MakeKeyedGaussianStream(500)));
+  USP_RETURN_NOT_OK(compiled->Finish());
+  return compiled->TakeResult(compiled->sink("out"));
+}
+
+TEST(PlannerTest, PanedAggregationChosenIffWindowOverlaps) {
+  auto sliding = KeyedSumQuery(WindowSpec::Sliding(100, 25)).Compile();
+  auto tumbling = KeyedSumQuery(WindowSpec::Tumbling(100)).Compile();
+  ASSERT_TRUE(sliding.ok());
+  ASSERT_TRUE(tumbling.ok());
+  ASSERT_EQ(sliding.value()->summary().aggregates.size(), 1u);
+  EXPECT_TRUE(sliding.value()->summary().aggregates[0].paned);
+  EXPECT_FALSE(tumbling.value()->summary().aggregates[0].paned);
+}
+
+TEST(PlannerTest, ForceKnobsOverrideAggregatePath) {
+  PlannerOptions force_paned;
+  force_paned.aggregate_path = PlannerOptions::AggregatePath::kForcePaned;
+  PlannerOptions force_naive;
+  force_naive.aggregate_path = PlannerOptions::AggregatePath::kForceNaive;
+  auto paned = KeyedSumQuery(WindowSpec::Tumbling(100)).Compile(force_paned);
+  auto naive =
+      KeyedSumQuery(WindowSpec::Sliding(100, 25)).Compile(force_naive);
+  ASSERT_TRUE(paned.ok());
+  ASSERT_TRUE(naive.ok());
+  EXPECT_TRUE(paned.value()->summary().aggregates[0].paned);
+  EXPECT_FALSE(naive.value()->summary().aggregates[0].paned);
+}
+
+TEST(PlannerTest, TumblingPanedAndNaiveAreBitwiseIdentical) {
+  PlannerOptions force_paned;
+  force_paned.aggregate_path = PlannerOptions::AggregatePath::kForcePaned;
+  auto naive = RunKeyedSum(WindowSpec::Tumbling(100), PlannerOptions{});
+  auto paned = RunKeyedSum(WindowSpec::Tumbling(100), force_paned);
+  ASSERT_TRUE(naive.ok());
+  ASSERT_TRUE(paned.ok());
+  ASSERT_FALSE(naive.value().empty());
+  EXPECT_EQ(Rendered(naive.value()), Rendered(paned.value()));
+}
+
+TEST(PlannerTest, SlidingPanedMatchesNaiveWithinTolerance) {
+  PlannerOptions force_naive;
+  force_naive.aggregate_path = PlannerOptions::AggregatePath::kForceNaive;
+  auto naive = RunKeyedSum(WindowSpec::Sliding(100, 25), force_naive);
+  auto paned = RunKeyedSum(WindowSpec::Sliding(100, 25), PlannerOptions{});
+  ASSERT_TRUE(naive.ok());
+  ASSERT_TRUE(paned.ok());
+  const TupleBatch& a = naive.value();
+  const TupleBatch& b = paned.value();
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].timestamp(), b[i].timestamp());
+    EXPECT_EQ(a[i].value(0).AsString(), b[i].value(0).AsString());
+    const auto& da = *a[i].value(1).AsDistribution();
+    const auto& db = *b[i].value(1).AsDistribution();
+    EXPECT_NEAR(da.Mean(), db.Mean(), 1e-6);
+    EXPECT_NEAR(da.Stddev(), db.Stddev(), 1e-6);
+  }
+}
+
+TEST(PlannerTest, ShardedKeyedSumMatchesSingleShard) {
+  // Filters-only upstream: the shard key is the hashed group key itself.
+  PlannerOptions four;
+  four.num_shards = 4;
+  auto compiled_or = KeyedSumQuery(WindowSpec::Tumbling(100)).Compile(four);
+  ASSERT_TRUE(compiled_or.ok()) << compiled_or.status().ToString();
+  EXPECT_EQ(compiled_or.value()->summary().shard_key_source,
+            PlanSummary::ShardKeySource::kGroupKey);
+  auto one = RunKeyedSum(WindowSpec::Tumbling(100), PlannerOptions{});
+  auto sharded = RunKeyedSum(WindowSpec::Tumbling(100), four);
+  ASSERT_TRUE(one.ok());
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  EXPECT_EQ(Canonical(one.value()), Canonical(sharded.value()));
+}
+
+TEST(PlannerTest, CfInversionWorkspaceWiredIntoShardedPlan) {
+  // CF-inversion SUM needs the per-shard CfInversionWorkspace; result
+  // must be shard-count-invariant if the wiring is scratch-only.
+  auto query = Query::From("src", 2)
+                   .Window(WindowSpec::Sliding(40, 10))
+                   .GroupBy(0)
+                   .Sum("total", 1, uncertain::SumStrategyKind::kCfInversion)
+                   .Sink("out");
+  auto run = [&](size_t shards) {
+    PlannerOptions opts;
+    opts.num_shards = shards;
+    opts.cf_grid_points = 256;
+    auto compiled_or = query.Compile(opts);
+    EXPECT_TRUE(compiled_or.ok()) << compiled_or.status().ToString();
+    auto compiled = compiled_or.MoveValueUnsafe();
+    EXPECT_TRUE(compiled
+                    ->PushBatch(compiled->source("src"),
+                                MakeKeyedGaussianStream(300))
+                    .ok());
+    EXPECT_TRUE(compiled->Finish().ok());
+    return compiled->TakeResult(compiled->sink("out"));
+  };
+  const TupleBatch one = run(1);
+  const TupleBatch four = run(4);
+  ASSERT_FALSE(one.empty());
+  EXPECT_EQ(Canonical(one), Canonical(four));
+}
+
+// ---- compile-time failures ----------------------------------------------
+
+TEST(PlannerTest, AggregateWithoutWindowFailsAtCompile) {
+  auto q = Query::From("src", 2).GroupBy(0).Sum("total", 1).Sink("out");
+  auto compiled = q.Compile();
+  ASSERT_FALSE(compiled.ok());
+  EXPECT_EQ(compiled.status().code(), common::StatusCode::kInvalidArgument);
+  EXPECT_NE(compiled.status().message().find("no window"), std::string::npos)
+      << compiled.status().ToString();
+}
+
+TEST(PlannerTest, UnknownKeyFailsAtCompile) {
+  auto q = Query::From("src", 2)
+               .Window(WindowSpec::Tumbling(100))
+               .GroupBy(9)
+               .Sum("total", 1)
+               .Sink("out");
+  auto compiled = q.Compile();
+  ASSERT_FALSE(compiled.ok());
+  EXPECT_NE(compiled.status().message().find("unknown attribute 9"),
+            std::string::npos)
+      << compiled.status().ToString();
+}
+
+TEST(PlannerTest, ShardedJoinWithoutPartitionKeyFailsAtCompile) {
+  auto left = Query::From("a", 2);
+  auto right = Query::From("b", 2);
+  auto q = left.Join(right, 1000,
+                     [](const Tuple& l, const Tuple& r) {
+                       return std::optional<Tuple>(
+                           stream::ConcatJoinedTuple(l, r));
+                     },
+                     "j")
+               .Sink("out");
+  PlannerOptions opts;
+  opts.num_shards = 4;
+  auto compiled = q.Compile(opts);
+  ASSERT_FALSE(compiled.ok());
+  EXPECT_NE(compiled.status().message().find("join"), std::string::npos)
+      << compiled.status().ToString();
+  // The same plan compiles single-shard.
+  EXPECT_TRUE(q.Compile().ok());
+}
+
+TEST(PlannerTest, UngroupedAggregateCannotShard) {
+  auto q = Query::From("src", 2)
+               .Window(WindowSpec::Tumbling(100))
+               .Sum("total", 1)
+               .Sink("out");
+  PlannerOptions opts;
+  opts.num_shards = 2;
+  auto compiled = q.Compile(opts);
+  ASSERT_FALSE(compiled.ok());
+  EXPECT_NE(compiled.status().message().find("ungrouped"), std::string::npos)
+      << compiled.status().ToString();
+  EXPECT_TRUE(q.Compile().ok());
+}
+
+TEST(PlannerTest, StatelessShardedPlanNeedsExplicitKey) {
+  auto q = Query::From("src", 2)
+               .Filter("keep", [](const Tuple&) { return true; })
+               .Sink("out");
+  PlannerOptions opts;
+  opts.num_shards = 2;
+  auto without = q.Compile(opts);
+  ASSERT_FALSE(without.ok());
+  EXPECT_NE(without.status().message().find("PartitionBy"),
+            std::string::npos);
+  auto with = q.PartitionBy(stream::KeyByIntValue(0)).Compile(opts);
+  ASSERT_TRUE(with.ok()) << with.status().ToString();
+  EXPECT_EQ(with.value()->summary().shard_key_source,
+            PlanSummary::ShardKeySource::kExplicit);
+}
+
+TEST(PlannerTest, UnknownSourceAndSinkNamesAreInvalid) {
+  auto compiled_or = KeyedSumQuery(WindowSpec::Tumbling(100)).Compile();
+  ASSERT_TRUE(compiled_or.ok());
+  auto& compiled = *compiled_or.value();
+  EXPECT_EQ(compiled.source("nope"), ExecGraph::kInvalidNode);
+  EXPECT_EQ(compiled.sink("nope"), ExecGraph::kInvalidNode);
+  EXPECT_FALSE(compiled.Push(ExecGraph::kInvalidNode, Tuple(0, {})).ok());
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace usp

@@ -5,6 +5,12 @@
 #include "stream/basic_operators.h"
 #include "stream/window.h"
 
+// Pipeline is deprecated (new code targets query::Query + Planner); this
+// suite deliberately exercises the compatibility wrapper.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+
 namespace usp {
 namespace stream {
 namespace {
