@@ -76,6 +76,9 @@ double RunPlan(WindowSpec spec, bool paned, const std::vector<Tuple>& stream,
                .Count("cnt")
                .Sink("sink");
   PlannerOptions opts;
+  // Pin one shard: this bench measures the window kernels themselves, so
+  // the planner's auto-sharding (machine-dependent) must not kick in.
+  opts.num_shards = 1;
   opts.aggregate_path = paned ? PlannerOptions::AggregatePath::kForcePaned
                               : PlannerOptions::AggregatePath::kForceNaive;
   auto compiled_or = q.Compile(opts);

@@ -93,6 +93,15 @@ int main() {
           .Having(usp::uncertain::MakeHavingProbGreater(1, 200.0, 0.5))
           .Sink("alerts");
 
+  // num_shards is pinned to 4 so the demo behaves identically on any
+  // machine; leaving it at the default (kAutoShards) lets the planner
+  // size the executor from the machine's cores instead. target_batch_size
+  // stays at its default, kAutoBatchSize: the executor's feedback tuner
+  // re-derives the ingest batch target from the observed per-tuple
+  // operator cost while the query runs (see the line printed after the
+  // run). Override either only when you know better than the planner —
+  // e.g. pinning shards for reproducible benchmarks, or pinning the batch
+  // target for a hard per-batch latency bound.
   usp::query::PlannerOptions popts;
   popts.num_shards = 4;
   auto exec_or = q1.Compile(popts);
@@ -136,10 +145,15 @@ int main() {
            usp::uncertain::ProbGreaterThan(total, 200.0));
   }
   uint64_t group_in = 0;
+  double blocked = 0.0;
   for (const auto& m : exec->MetricsSnapshot()) {
     if (m.name == "total_weight_agg") group_in = m.metrics.tuples_in;
+    if (m.name == "rfid_stream") blocked = m.metrics.producer_block_seconds;
   }
   printf("\n%zu violation alerts from %llu location tuples\n", alerts.size(),
          static_cast<unsigned long long>(group_in));
+  printf("ingest: auto batch target settled at %zu tuples, producer "
+         "blocked %.1f ms on backpressure\n",
+         exec->current_target_batch_size(), blocked * 1e3);
   return 0;
 }

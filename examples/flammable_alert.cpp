@@ -18,12 +18,20 @@
 //                                  +-> join -> p_hot -> hot filter -> sink
 //   temp_src ----------------------+
 //
-// — and the planner compiles it to the physical DAG (single shard: a
-// probabilistic join has no exact key to hash-partition on).
+// — and the planner compiles it to the physical runtime (single shard: a
+// probabilistic join has no exact key to hash-partition on). The two
+// sensor feeds are real parallel producers here: the RFID pipeline and
+// the temperature grid each push from THEIR OWN thread through their own
+// ingest lane (num_ingest_lanes = 2), the multi-producer shape the
+// engine's lock-free ingest rings exist for. The join tolerates the
+// resulting cross-feed skew — each side expires against the other side's
+// clock — so the alert set is the same as a single-threaded run.
 //
 // Build & run:  ./build/examples/flammable_alert
 
 #include <cstdio>
+#include <thread>
+#include <vector>
 
 #include "query/planner.h"
 #include "query/query.h"
@@ -89,7 +97,12 @@ int main() {
                   [](const Tuple& t) { return t.value(7).AsDouble() >= 0.9; })
           .Sink("alerts");
 
-  auto exec_or = q2.Compile();
+  // Two ingest lanes: the planner routes rfid_stream and temp_stream to
+  // their own lane, so the two feed threads below never share a queue (a
+  // lock-free SPSC ring pair per lane connects them to the worker).
+  usp::query::PlannerOptions popts;
+  popts.num_ingest_lanes = 2;
+  auto exec_or = q2.Compile(popts);
   if (!exec_or.ok()) {
     fprintf(stderr, "compile failed: %s\n",
             exec_or.status().ToString().c_str());
@@ -102,20 +115,20 @@ int main() {
   printf("== Q2: flammable objects in hot areas ==\n");
   printf("plan: %s\n\n", exec->summary().ToString().c_str());
 
+  // The simulator and particle filter are sequential, so the feeds are
+  // materialised first; the pushing — the part the runtime parallelises —
+  // then happens from one thread per sensor.
+  std::vector<usp::stream::TupleBatch> rfid_feed;
+  std::vector<usp::stream::TupleBatch> temp_feed;
   for (int scan = 0; scan < 240; ++scan) {
-    // RFID readings -> location tuple batch -> left source.
     auto locations = t_op.ProcessReadingBatch(sim.Step());
     if (!locations.ok()) {
       fprintf(stderr, "T operator failed: %s\n",
               locations.status().ToString().c_str());
       return 1;
     }
-    if (auto st = exec->PushBatch(rfid_src, locations.MoveValueUnsafe());
-        !st.ok()) {
-      fprintf(stderr, "plan failed: %s\n", st.ToString().c_str());
-      return 1;
-    }
-    // Temperature tuple batch every 4 scans (2 s) -> right source.
+    rfid_feed.push_back(locations.MoveValueUnsafe());
+    // Temperature tuple batch every 4 scans (2 s).
     if (scan % 4 == 0) {
       const int64_t ts = static_cast<int64_t>(sim.now_s() * 1e6);
       usp::stream::TupleBatch temps_batch;
@@ -132,13 +145,22 @@ int main() {
           temps_batch.Append(std::move(temp));
         }
       }
-      if (auto st = exec->PushBatch(temp_src, std::move(temps_batch));
-          !st.ok()) {
-        fprintf(stderr, "plan failed: %s\n", st.ToString().c_str());
-        return 1;
-      }
+      temp_feed.push_back(std::move(temps_batch));
     }
   }
+  auto push_feed = [&exec](usp::stream::ExecGraph::NodeId source,
+                           std::vector<usp::stream::TupleBatch>* feed) {
+    for (usp::stream::TupleBatch& batch : *feed) {
+      if (auto st = exec->PushBatch(source, std::move(batch)); !st.ok()) {
+        fprintf(stderr, "plan failed: %s\n", st.ToString().c_str());
+        return;
+      }
+    }
+  };
+  std::thread rfid_thread(push_feed, rfid_src, &rfid_feed);
+  std::thread temp_thread(push_feed, temp_src, &temp_feed);
+  rfid_thread.join();
+  temp_thread.join();
   (void)exec->Finish();
 
   printf("%-8s %-7s %-18s %-12s %-11s %s\n", "time(s)", "tag",

@@ -54,8 +54,21 @@ int main() {
   //      attribute 1 using one of Table 2's algorithms. (`.Having(...)`
   //      would filter emitted groups, see the fire-code example.)
   //   e. `.Sink("totals")` terminates the plan; `.Compile()` validates it
-  //      and materialises the physical runtime — a single-threaded DAG
-  //      executor here, a sharded executor when you ask for shards.
+  //      and materialises the physical runtime. The planner auto-tunes
+  //      the physical knobs by default: the shard count comes from the
+  //      machine's cores (falling back to one shard when no partition
+  //      key is derivable), each source gets its own ingest lane on
+  //      sharded plans, and the ingest batch target is re-derived from
+  //      observed operator cost while the query runs. Every decision is
+  //      visible in `summary()` (printed below for the first plan).
+  //
+  //      When to override in PlannerOptions: pin `num_shards` when you
+  //      need machine-independent results/benchmarks (num_shards = 1
+  //      keeps the exact single-threaded emission order) or when the
+  //      query shares the host with other work; pin `target_batch_size`
+  //      when you need a hard per-batch latency bound instead of the
+  //      tuner's throughput-oriented choice (0 disables re-batching
+  //      entirely). Explicit values always win over auto-tuning.
   //
   // Tuples: (zone, weight). One 5-second tumbling window, grouped by zone.
   const auto make_tuple = [](int64_t ts, const char* zone,
@@ -65,6 +78,7 @@ int main() {
     return t;
   };
 
+  bool printed_summary = false;
   for (const auto kind :
        {usp::uncertain::SumStrategyKind::kCfApprox,
         usp::uncertain::SumStrategyKind::kCfInversion,
@@ -82,6 +96,11 @@ int main() {
       return 1;
     }
     auto compiled = compiled_or.MoveValueUnsafe();
+    if (!printed_summary) {
+      printf("planner decisions: %s\n\n",
+             compiled->summary().ToString().c_str());
+      printed_summary = true;
+    }
 
     usp::stream::TupleBatch batch;
     batch.Append(make_tuple(1'000'000, "A", w1));

@@ -2,6 +2,7 @@
 
 #include <set>
 #include <sstream>
+#include <utility>
 
 namespace usp {
 namespace query {
@@ -58,6 +59,60 @@ size_t ExpectedInputs(LogicalPlan::NodeKind kind) {
 LogicalPlan::NodeId LogicalPlan::AddNode(Node node) {
   nodes_.push_back(std::move(node));
   return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+size_t LogicalPlan::PushFiltersBelowMaps(
+    std::vector<std::pair<std::string, std::string>>* moved) {
+  size_t total = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Consumer counts guard against fan-out: pushing a filter below a map
+    // someone else also reads would filter that other branch too.
+    std::vector<size_t> consumers(nodes_.size(), 0);
+    for (const Node& n : nodes_) {
+      for (NodeId in : n.inputs) {
+        if (in < nodes_.size()) ++consumers[in];
+      }
+    }
+    for (NodeId f = 0; f < nodes_.size() && !changed; ++f) {
+      const Node& filter = nodes_[f];
+      if (filter.kind != NodeKind::kFilter ||
+          !filter.filter_reads.has_value() || filter.inputs.size() != 1) {
+        continue;
+      }
+      const NodeId m = filter.inputs[0];
+      if (m >= f) continue;  // malformed edge; Validate() reports it
+      const Node& map = nodes_[m];
+      if (map.kind != NodeKind::kMap || map.map_preserved_prefix == 0 ||
+          map.inputs.size() != 1 || consumers[m] != 1) {
+        continue;
+      }
+      bool reads_preserved = true;
+      for (size_t attr : *filter.filter_reads) {
+        if (attr >= map.map_preserved_prefix) {
+          reads_preserved = false;
+          break;
+        }
+      }
+      if (!reads_preserved) continue;
+      // Swap the two nodes' payloads in place: id m becomes the filter
+      // (consuming the map's old input), id f becomes the map (consuming
+      // the filter). Downstream consumers of f keep their edge and now
+      // read the map — same content, computed on fewer tuples. Ids stay
+      // creation-ordered, so the topological invariant holds.
+      const std::vector<NodeId> map_inputs = nodes_[m].inputs;
+      std::swap(nodes_[f], nodes_[m]);
+      nodes_[m].inputs = map_inputs;
+      nodes_[f].inputs = {m};
+      if (moved != nullptr) {
+        moved->emplace_back(nodes_[m].name, nodes_[f].name);
+      }
+      ++total;
+      changed = true;  // rescan: the filter may sink below another map
+    }
+  }
+  return total;
 }
 
 std::vector<std::optional<size_t>> LogicalPlan::OutputArities() const {
@@ -208,6 +263,39 @@ common::Status LogicalPlan::Validate() const {
   const auto arity = OutputArities();
   for (NodeId id = 0; id < nodes_.size(); ++id) {
     const Node& n = nodes_[id];
+    if (n.kind == NodeKind::kFilter && n.filter_reads.has_value()) {
+      const std::optional<size_t> in_arity = arity[n.inputs[0]];
+      if (in_arity.has_value()) {
+        for (size_t attr : *n.filter_reads) {
+          if (attr >= *in_arity) {
+            return common::Status::InvalidArgument(
+                "filter node '" + n.name + "' declares it reads attribute " +
+                std::to_string(attr) + " (input tuples have " +
+                std::to_string(*in_arity) + " attributes)");
+          }
+        }
+      }
+      continue;
+    }
+    if (n.kind == NodeKind::kMap && n.map_preserved_prefix > 0) {
+      const std::optional<size_t> in_arity = arity[n.inputs[0]];
+      if (in_arity.has_value() && n.map_preserved_prefix > *in_arity) {
+        return common::Status::InvalidArgument(
+            "map node '" + n.name + "' declares a preserved prefix of " +
+            std::to_string(n.map_preserved_prefix) +
+            " but its input tuples have only " + std::to_string(*in_arity) +
+            " attributes");
+      }
+      if (n.map_output_arity > 0 &&
+          n.map_preserved_prefix > n.map_output_arity) {
+        return common::Status::InvalidArgument(
+            "map node '" + n.name + "' declares a preserved prefix of " +
+            std::to_string(n.map_preserved_prefix) +
+            " wider than its declared output arity " +
+            std::to_string(n.map_output_arity));
+      }
+      continue;
+    }
     if (n.kind != NodeKind::kAggregate) continue;
     const std::optional<size_t> in_arity = arity[n.inputs[0]];
     if (!in_arity.has_value()) continue;

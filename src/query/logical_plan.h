@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -83,13 +84,20 @@ class LogicalPlan {
     // (arity-dependent validation is skipped downstream of it).
     size_t declared_arity = 0;
 
-    // kFilter
+    // kFilter. `filter_reads` (optional) declares which attribute indices
+    // the predicate reads; with it the planner may push the filter below
+    // an upstream map whose preserved prefix covers every read attribute.
+    // Unset = opaque predicate, never reordered.
     stream::FilterOperator::Predicate filter;
+    std::optional<std::vector<size_t>> filter_reads;
 
     // kMap: the transform plus the (optional) arity of its output tuples;
-    // 0 = undeclared.
+    // 0 = undeclared. `map_preserved_prefix` declares that input
+    // attributes [0, prefix) pass through unchanged at the same indices
+    // (the common annotate-by-appending shape); 0 = no such guarantee.
     stream::MapOperator::MapFn map;
     size_t map_output_arity = 0;
+    size_t map_preserved_prefix = 0;
 
     // kAggregate. Exactly one of group_key_attr / group_key_fn may be set;
     // neither means a single global group.
@@ -111,6 +119,11 @@ class LogicalPlan {
 
   size_t num_nodes() const { return nodes_.size(); }
   const Node& node(NodeId id) const { return nodes_[id]; }
+  /// Builder-side annotation hook (e.g. attaching a filter's read set to
+  /// the node just appended); nullptr when `id` is out of range.
+  Node* mutable_node(NodeId id) {
+    return id < nodes_.size() ? &nodes_[id] : nullptr;
+  }
   NodeKind kind(NodeId id) const { return nodes_[id].kind; }
   const std::string& name(NodeId id) const { return nodes_[id].name; }
   const std::vector<NodeId>& inputs(NodeId id) const {
@@ -132,6 +145,18 @@ class LogicalPlan {
   /// emit [key, agg_1..agg_m], joins and undeclared maps are unknown
   /// (nullopt).
   std::vector<std::optional<size_t>> OutputArities() const;
+
+  /// Planner rewrite: swap each filter below its upstream map when the
+  /// filter declares the attributes it reads (`filter_reads`), the map
+  /// declares a preserved prefix covering all of them, and the filter is
+  /// the map's only consumer — then the (possibly expensive) map runs
+  /// only on tuples that survive the filter. Semantics-preserving for
+  /// pure maps: the predicate reads only attributes the map passes
+  /// through unchanged. Iterates to a fixpoint, so one filter can sink
+  /// below a whole map chain. Appends (filter_name, map_name) per swap to
+  /// `moved` (if non-null) and returns the number of swaps.
+  size_t PushFiltersBelowMaps(
+      std::vector<std::pair<std::string, std::string>>* moved = nullptr);
 
   /// Shape validation: at least one source and sink, edges respect
   /// creation order, joins have two distinct non-sink inputs, every

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "query/query.h"
@@ -288,7 +289,8 @@ common::Status BuildGraph(const LogicalPlan& plan,
         phys[id] = graph->AddJoin(
             phys[n.inputs[0]], phys[n.inputs[1]],
             std::make_unique<stream::SlidingWindowJoin>(
-                n.name, n.join_range_us, n.join_match));
+                n.name, n.join_range_us, n.join_match,
+                options.join_max_skew_us));
         break;
       case LogicalPlan::NodeKind::kSink:
         phys[id] = graph->AddSink(phys[n.inputs[0]], n.name);
@@ -309,9 +311,29 @@ const TupleBatch& EmptyBatch() {
 
 std::string PlanSummary::ToString() const {
   std::ostringstream out;
-  out << num_shards << " shard" << (num_shards == 1 ? "" : "s") << " ("
+  out << num_shards << " shard" << (num_shards == 1 ? "" : "s")
+      << (auto_num_shards ? " [auto]" : "") << " ("
       << (sharded ? "sharded executor" : "single-threaded DAG executor")
       << ")";
+  if (!auto_shard_note.empty()) {
+    out << " — " << auto_shard_note;
+  }
+  if (sharded) {
+    out << ", " << num_ingest_lanes << " ingest lane"
+        << (num_ingest_lanes == 1 ? "" : "s")
+        << (auto_num_ingest_lanes ? " [auto]" : "");
+    if (!auto_lane_note.empty()) {
+      out << " (" << auto_lane_note << ")";
+    }
+    out << ", target batch ";
+    if (auto_target_batch_size) {
+      out << "auto (initial " << target_batch_size << ")";
+    } else if (target_batch_size == 0) {
+      out << "pass-through";
+    } else {
+      out << target_batch_size;
+    }
+  }
   switch (shard_key_source) {
     case ShardKeySource::kNone:
       break;
@@ -328,6 +350,10 @@ std::string PlanSummary::ToString() const {
   for (const AggregateChoice& a : aggregates) {
     out << "; aggregate '" << a.node_name << "': "
         << (a.paned ? "pane-incremental" : "exact per-window");
+  }
+  for (const auto& [filter_name, map_name] : pushed_filters) {
+    out << "; filter '" << filter_name << "' pushed below map '" << map_name
+        << "'";
   }
   return out.str();
 }
@@ -371,6 +397,15 @@ common::Status CompiledQuery::PushBatch(stream::ExecGraph::NodeId source,
   return PushBatch(source, std::move(copy));
 }
 
+size_t CompiledQuery::ingest_lane(stream::ExecGraph::NodeId source) const {
+  const auto it = lane_of_source_.find(source);
+  return it == lane_of_source_.end() ? 0 : it->second;
+}
+
+size_t CompiledQuery::current_target_batch_size() const {
+  return sharded_ ? sharded_->current_target_batch_size() : 0;
+}
+
 common::Status CompiledQuery::PushBatch(stream::ExecGraph::NodeId source,
                                         stream::TupleBatch&& batch) {
   if (source == ExecGraph::kInvalidNode) {
@@ -380,7 +415,7 @@ common::Status CompiledQuery::PushBatch(stream::ExecGraph::NodeId source,
     return common::Status::FailedPrecondition("query already finished");
   }
   if (dag_) return dag_->PushBatch(source, batch);
-  return sharded_->PushBatch(source, std::move(batch));
+  return sharded_->PushBatch(ingest_lane(source), source, std::move(batch));
 }
 
 common::Status CompiledQuery::Finish() {
@@ -416,16 +451,129 @@ std::vector<stream::NodeMetrics> CompiledQuery::MetricsSnapshot() const {
 }
 
 common::Result<std::unique_ptr<CompiledQuery>> Planner::Compile(
-    const LogicalPlan& plan, const PlannerOptions& options) {
-  USP_RETURN_NOT_OK(plan.Validate());
-  if (options.num_shards == 0) {
-    return common::Status::InvalidArgument("num_shards must be >= 1");
-  }
+    const LogicalPlan& logical, const PlannerOptions& options) {
+  USP_RETURN_NOT_OK(logical.Validate());
   std::unique_ptr<CompiledQuery> compiled(new CompiledQuery());
-  compiled->summary_.num_shards = options.num_shards;
+  PlanSummary& summary = compiled->summary_;
   CompiledQuery* raw = compiled.get();
 
-  if (options.num_shards == 1) {
+  // Logical rewrite first: push declared-read filters below
+  // preserved-prefix maps so the (often expensive) map runs only on
+  // surviving tuples. Everything downstream — key derivation included —
+  // sees the rewritten plan.
+  LogicalPlan plan = logical;
+  if (options.filter_pushdown) {
+    plan.PushFiltersBelowMaps(&summary.pushed_filters);
+  }
+
+  size_t num_sources = 0;
+  for (LogicalPlan::NodeId id = 0; id < plan.num_nodes(); ++id) {
+    if (plan.kind(id) == LogicalPlan::NodeKind::kSource) ++num_sources;
+  }
+
+  // --- resolve num_shards -------------------------------------------------
+  // Auto: as many shards as the machine has cores (capped) when a
+  // partition key exists; plans with no derivable key degrade to one
+  // shard with the reason recorded, instead of failing a default compile.
+  // Explicit values keep the strict behaviour: N > 1 without a key fails.
+  summary.auto_num_shards = options.num_shards == PlannerOptions::kAutoShards;
+  size_t num_shards = options.num_shards;
+  ShardKeyDecision key;
+  bool have_key = false;
+  if (summary.auto_num_shards) {
+    const size_t hw = options.hardware_concurrency_override > 0
+                          ? options.hardware_concurrency_override
+                          : std::max(1u, std::thread::hardware_concurrency());
+    num_shards = std::min(hw, PlannerOptions::kMaxAutoShards);
+    if (num_shards > 1) {
+      auto key_or = DeriveShardKey(plan);
+      if (key_or.ok()) {
+        key = key_or.MoveValueUnsafe();
+        have_key = true;
+      } else {
+        summary.auto_shard_note =
+            "auto-sharding fell back to 1 shard: " +
+            key_or.status().message();
+        num_shards = 1;
+      }
+    }
+  } else if (num_shards > 1) {
+    USP_ASSIGN_OR_RETURN(key, DeriveShardKey(plan));
+    have_key = true;
+  }
+  summary.num_shards = num_shards;
+
+  // --- resolve ingest lanes ----------------------------------------------
+  // Auto: one lane per source on sharded plans (each sensor feed pushes
+  // from its own thread), one lane otherwise — a single-shard,
+  // single-lane plan keeps the zero-thread DagExecutor backend and its
+  // exact emission order.
+  summary.auto_num_ingest_lanes =
+      options.num_ingest_lanes == PlannerOptions::kAutoLanes;
+  size_t num_lanes = summary.auto_num_ingest_lanes
+                         ? (num_shards > 1 ? num_sources : 1)
+                         : options.num_ingest_lanes;
+  // Multi-lane ingest only guarantees PER-SOURCE timestamp order. A join
+  // tolerates cross-source skew (its matched-pair set is skew-invariant),
+  // but its emission order then regresses in timestamp — which a windowed
+  // aggregate downstream of the join cannot absorb: it would close and
+  // re-emit windows. Such plans must ingest single-lane (the caller's
+  // global push order is then preserved end to end).
+  if (num_lanes > 1) {
+    std::vector<char> join_upstream(plan.num_nodes(), 0);
+    std::string blocked;  // "kind 'name'" of the first order-sensitive node
+    for (LogicalPlan::NodeId id = 0; id < plan.num_nodes(); ++id) {
+      const LogicalPlan::Node& n = plan.node(id);
+      char up_in = 0;
+      for (LogicalPlan::NodeId in : n.inputs) {
+        if (join_upstream[in]) up_in = 1;
+      }
+      // Order-sensitive consumers of join output: a windowed aggregate
+      // needs timestamp order outright, and a second join needs each of
+      // ITS inputs in timestamp order (its per-side expiry clocks would
+      // otherwise overshoot and silently drop matches).
+      if (up_in && blocked.empty()) {
+        if (n.kind == LogicalPlan::NodeKind::kAggregate) {
+          blocked = "windowed aggregate '" + n.name + "'";
+        } else if (n.kind == LogicalPlan::NodeKind::kJoin) {
+          blocked = "join '" + n.name + "'";
+        }
+      }
+      join_upstream[id] =
+          up_in || n.kind == LogicalPlan::NodeKind::kJoin ? 1 : 0;
+    }
+    if (!blocked.empty()) {
+      if (summary.auto_num_ingest_lanes) {
+        num_lanes = 1;
+        summary.auto_lane_note =
+            "single-lane ingest: " + blocked +
+            " sits downstream of a join and needs cross-source "
+            "timestamp order";
+      } else {
+        return common::Status::InvalidArgument(
+            "num_ingest_lanes > 1 is unsafe here: " + blocked +
+            " sits downstream of a join, and multi-lane ingest only "
+            "preserves per-source timestamp order — the skewed join "
+            "output would corrupt it; use num_ingest_lanes = 1");
+      }
+    }
+  }
+  summary.num_ingest_lanes = num_lanes;
+
+  const bool use_sharded = num_shards > 1 || num_lanes > 1;
+
+  // --- resolve the re-batching target ------------------------------------
+  summary.auto_target_batch_size =
+      options.target_batch_size == PlannerOptions::kAutoBatchSize;
+  size_t target_batch_size = 0;
+  if (use_sharded) {
+    target_batch_size = summary.auto_target_batch_size
+                            ? ShardedExecutor::kDefaultInitialBatch
+                            : options.target_batch_size;
+  }
+  summary.target_batch_size = target_batch_size;
+
+  if (!use_sharded) {
     ShardContext ctx;
     ctx.shard_index = 0;
     ctx.num_shards = 1;
@@ -444,14 +592,20 @@ common::Result<std::unique_ptr<CompiledQuery>> Planner::Compile(
     return compiled;
   }
 
-  USP_ASSIGN_OR_RETURN(ShardKeyDecision key, DeriveShardKey(plan));
   compiled->summary_.sharded = true;
   compiled->summary_.shard_key_source = key.source;
   ShardedExecutor::Options sopts;
-  sopts.num_shards = options.num_shards;
+  sopts.num_shards = num_shards;
+  sopts.num_ingest_lanes = num_lanes;
   sopts.queue_capacity = options.queue_capacity;
   sopts.archive_retention_us = options.archive_retention_us;
-  sopts.target_batch_size = options.target_batch_size;
+  sopts.target_batch_size = target_batch_size;
+  sopts.auto_target_batch_size = summary.auto_target_batch_size;
+  if (!have_key) {
+    // Single shard behind a multi-lane ingest: partitioning is a no-op,
+    // but the executor still requires a key function.
+    key.fn = [](const Tuple&) { return uint64_t{0}; };
+  }
   auto exec_or = ShardedExecutor::Create(
       sopts, std::move(key.fn),
       [&plan, &options, raw](ExecGraph* g, const ShardContext& ctx) {
@@ -465,6 +619,17 @@ common::Result<std::unique_ptr<CompiledQuery>> Planner::Compile(
       });
   USP_RETURN_NOT_OK(exec_or.status());
   compiled->sharded_ = exec_or.MoveValueUnsafe();
+  // Route each source to its lane, round-robin in declaration order (the
+  // identity mapping when lanes were auto-chosen as one per source).
+  size_t source_index = 0;
+  for (LogicalPlan::NodeId id = 0; id < plan.num_nodes(); ++id) {
+    if (plan.kind(id) != LogicalPlan::NodeKind::kSource) continue;
+    const auto it = compiled->sources_.find(plan.node(id).name);
+    if (it != compiled->sources_.end()) {
+      compiled->lane_of_source_[it->second] = source_index % num_lanes;
+    }
+    ++source_index;
+  }
   return compiled;
 }
 

@@ -18,7 +18,16 @@
 //     or by replaying the intermediate (pure) map functions on the ingest
 //     thread when maps do. Underivable cases (joins with no override,
 //     ungrouped aggregates, multiple group-bys) fail Compile() with an
-//     actionable Status instead of silently mis-partitioning.
+//     actionable Status instead of silently mis-partitioning — unless the
+//     shard count itself was auto, in which case the planner falls back
+//     to one shard and says why in the summary;
+//   * physical auto-tuning (each overridable in PlannerOptions): shard
+//     count from std::thread::hardware_concurrency(), one ingest lane per
+//     source on sharded plans so multi-sensor feeds push from their own
+//     threads, the ingest re-batching target from observed per-tuple
+//     operator cost (the executor's feedback tuner), and filters pushed
+//     below maps whenever the filter's declared read set lies inside the
+//     map's preserved prefix.
 //
 // The result is a CompiledQuery: one ingest/finish/result facade over both
 // backends, plus a PlanSummary describing the decisions for logs, tests,
@@ -30,6 +39,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "query/logical_plan.h"
@@ -43,16 +53,41 @@ namespace usp {
 namespace query {
 
 struct PlannerOptions {
-  /// Worker shards. 1 compiles to a single-threaded DagExecutor; more
-  /// compile to a ShardedExecutor with a derived (or overridden) key.
-  size_t num_shards = 1;
-  /// Per-shard ingest queue depth, in batches (backpressure beyond).
+  /// Auto markers: the planner picks the value from the machine and the
+  /// plan, reports it in PlanSummary, and any explicit value still wins.
+  static constexpr size_t kAutoShards = 0;
+  static constexpr size_t kAutoLanes = 0;
+  static constexpr size_t kAutoBatchSize = static_cast<size_t>(-1);
+
+  /// Worker shards. kAutoShards (the default) derives the count from
+  /// std::thread::hardware_concurrency() (capped at kMaxAutoShards) when
+  /// the plan's partition key is derivable, falling back to 1 — with the
+  /// reason recorded in PlanSummary — when it is not (joins, ungrouped
+  /// aggregates). An explicit 1 compiles to a single-threaded
+  /// DagExecutor; an explicit N > 1 fails Compile() if no key can be
+  /// derived or supplied.
+  size_t num_shards = kAutoShards;
+  /// Parallel ingest lanes (single producer thread each). kAutoLanes
+  /// gives every source its own lane when the plan is sharded — radar A,
+  /// radar B, and the RFID feed each push from their own thread — and 1
+  /// lane otherwise. Sources are assigned round-robin in declaration
+  /// order when there are fewer lanes than sources.
+  size_t num_ingest_lanes = kAutoLanes;
+  /// Per-(lane, shard) ingest ring depth, in batches (backpressure
+  /// beyond).
   size_t queue_capacity = 64;
   /// Archive retention for lineage resolution; negative keeps everything.
   int64_t archive_retention_us = -1;
   /// Sharded ingest merges undersized and splits oversized caller batches
   /// toward this many tuples; 0 forwards caller-sized batches unchanged.
-  size_t target_batch_size = 0;
+  /// kAutoBatchSize (the default) turns on the executor's feedback tuner:
+  /// the target is re-derived from observed per-tuple operator cost so
+  /// one batch carries roughly a fixed cost budget of downstream work.
+  size_t target_batch_size = kAutoBatchSize;
+  /// Push filters below maps when the filter declares a read set fully
+  /// inside the map's preserved prefix (see Query::Filter/Map). On by
+  /// default; semantics-preserving for pure maps.
+  bool filter_pushdown = true;
 
   /// Physical aggregation path selection. kAuto implements the planner
   /// rule (paned iff the window overlaps); the force knobs exist for
@@ -62,12 +97,44 @@ struct PlannerOptions {
 
   /// Grid resolution for CF-inversion SUM/AVG (FFT points / output bins).
   size_t cf_grid_points = 1024;
+
+  /// Memory bound for join buffers when one input stalls: a join side
+  /// also expires once its own stream has advanced range + this many us
+  /// past a tuple (asserting the two inputs' clocks never diverge
+  /// further; matches beyond the divergence are dropped). Negative
+  /// (default) keeps exact unbounded-skew semantics — a silent input
+  /// then grows the other buffer until it speaks again.
+  int64_t join_max_skew_us = -1;
+
+  /// Auto shard counts are capped here: past ~8 shards ingest
+  /// partitioning saturates before the workers do.
+  static constexpr size_t kMaxAutoShards = 8;
+  /// Test hook: pretend the machine has this many cores (0 = ask the OS).
+  size_t hardware_concurrency_override = 0;
 };
 
-/// What the planner decided, for inspection.
+/// What the planner decided, for inspection. Every auto-tuned value is
+/// reported here alongside whether it was chosen or explicitly supplied.
 struct PlanSummary {
   size_t num_shards = 1;
+  bool auto_num_shards = false;
   bool sharded = false;
+  /// Why an auto shard choice fell back to 1 (e.g. underivable key);
+  /// empty when it did not.
+  std::string auto_shard_note;
+
+  size_t num_ingest_lanes = 1;
+  bool auto_num_ingest_lanes = false;
+  /// Why an auto lane choice was reduced (e.g. a windowed aggregate
+  /// downstream of a join needs cross-source order); empty otherwise.
+  std::string auto_lane_note;
+
+  /// Resolved ingest re-batching target (0 = pass-through / single DAG).
+  size_t target_batch_size = 0;
+  /// True when the executor's feedback tuner owns the target; the
+  /// reported value is then the initial seed, see
+  /// CompiledQuery::current_target_batch_size() for the live value.
+  bool auto_target_batch_size = false;
 
   enum class ShardKeySource {
     kNone,              ///< single shard, no partitioning
@@ -82,6 +149,9 @@ struct PlanSummary {
     bool paned = false;  ///< pane-incremental vs. exact per-window
   };
   std::vector<AggregateChoice> aggregates;
+
+  /// Filters the planner pushed below maps: (filter_name, map_name).
+  std::vector<std::pair<std::string, std::string>> pushed_filters;
 
   std::string ToString() const;
 };
@@ -100,11 +170,22 @@ class CompiledQuery {
   stream::ExecGraph::NodeId source(const std::string& name) const;
   stream::ExecGraph::NodeId sink(const std::string& name) const;
 
+  /// Ingest lane a source is routed through. Pushes for sources on
+  /// DIFFERENT lanes may run concurrently from different threads (the
+  /// multi-producer contract); pushes for one source — or two sources
+  /// sharing a lane — must be externally serialised. Single-DAG plans
+  /// report lane 0 for every source and are single-threaded throughout.
+  size_t ingest_lane(stream::ExecGraph::NodeId source) const;
+
   common::Status Push(stream::ExecGraph::NodeId source, stream::Tuple tuple);
   common::Status PushBatch(stream::ExecGraph::NodeId source,
                            const stream::TupleBatch& batch);
   common::Status PushBatch(stream::ExecGraph::NodeId source,
                            stream::TupleBatch&& batch);
+
+  /// Live ingest re-batching target (moves under the feedback tuner when
+  /// PlannerOptions::kAutoBatchSize is in effect; 0 on single-DAG plans).
+  size_t current_target_batch_size() const;
 
   /// End-of-stream: flush windows/joins (and join + drain the shard
   /// workers when sharded). Idempotent; returns the first error any part
@@ -136,6 +217,8 @@ class CompiledQuery {
   PlanSummary summary_;
   std::unordered_map<std::string, stream::ExecGraph::NodeId> sources_;
   std::unordered_map<std::string, stream::ExecGraph::NodeId> sinks_;
+  /// Ingest lane per source node id (sharded backend only).
+  std::unordered_map<stream::ExecGraph::NodeId, size_t> lane_of_source_;
   /// All shards' strategy instances (stable addresses; operators hold raw
   /// pointers into these).
   std::vector<std::unique_ptr<uncertain::SumStrategy>> strategies_;

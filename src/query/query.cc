@@ -89,8 +89,22 @@ Query Query::Filter(std::string name,
   return next;
 }
 
+Query Query::Filter(std::string name, stream::FilterOperator::Predicate pred,
+                    std::vector<size_t> reads_attrs) const {
+  Query next = Filter(std::move(name), std::move(pred));
+  if (!next.state_ || !next.state_->error.ok() || next.at_sink_) return next;
+  // The node just appended is the filter; annotate its read set so the
+  // planner may push it below preserved-prefix maps.
+  LogicalPlan::Node* node =
+      next.state_->plan.mutable_node(next.cursor_);
+  if (node != nullptr && node->kind == LogicalPlan::NodeKind::kFilter) {
+    node->filter_reads = std::move(reads_attrs);
+  }
+  return next;
+}
+
 Query Query::Map(std::string name, stream::MapOperator::MapFn fn,
-                 size_t output_arity) const {
+                 size_t output_arity, size_t preserved_prefix) const {
   if (!state_) return *this;
   if (at_sink_) return WithError("cannot add Map after Sink");
   Query next = *this;
@@ -104,6 +118,7 @@ Query Query::Map(std::string name, stream::MapOperator::MapFn fn,
   node.inputs = {next.cursor_};
   node.map = std::move(fn);
   node.map_output_arity = output_arity;
+  node.map_preserved_prefix = preserved_prefix;
   next.cursor_ = state_->plan.AddNode(std::move(node));
   return next;
 }

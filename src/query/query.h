@@ -49,11 +49,21 @@ class Query {
   /// Selection on a caller predicate (certain attributes or probability
   /// thresholds; see uncertain::PredicateProbability for the latter).
   Query Filter(std::string name, stream::FilterOperator::Predicate pred) const;
+  /// Same, declaring the attribute indices the predicate reads. The
+  /// declaration is what lets the planner push the filter below an
+  /// upstream Map whose preserved prefix covers every read attribute, so
+  /// the map runs only on surviving tuples.
+  Query Filter(std::string name, stream::FilterOperator::Predicate pred,
+               std::vector<size_t> reads_attrs) const;
 
   /// Projection / derived attributes. `output_arity` (optional) declares
   /// the transformed tuple width for downstream validation; 0 = unknown.
+  /// `preserved_prefix` (optional) declares that input attributes
+  /// [0, preserved_prefix) pass through unchanged at the same indices —
+  /// the usual annotate-by-appending shape — which enables the planner's
+  /// filter pushdown for filters that read only those attributes.
   Query Map(std::string name, stream::MapOperator::MapFn fn,
-            size_t output_arity = 0) const;
+            size_t output_arity = 0, size_t preserved_prefix = 0) const;
 
   /// Opens a pending aggregate stage over `spec` windows.
   Query Window(stream::WindowSpec spec) const;

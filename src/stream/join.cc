@@ -19,21 +19,57 @@ Tuple ConcatJoinedTuple(const Tuple& left, const Tuple& right) {
   return joined;
 }
 
-void SlidingWindowJoin::Expire(int64_t now) {
-  const int64_t horizon = now - range_us_;
-  while (!left_.empty() && left_.front().timestamp() < horizon) {
+void SlidingWindowJoin::Expire() {
+  // A buffered left tuple can only match future RIGHT arrivals, which
+  // come in right-timestamp order: once the right clock passes
+  // l.ts + range the tuple is provably dead, however far its own side has
+  // run ahead. (Expiring by a single global clock would silently drop
+  // matches when one input lags the other, which multi-lane ingest
+  // permits.) With a max-skew cap, the OWN clock also expires — under the
+  // assumption the silent side's clock is at most max_skew behind — so a
+  // stalled input cannot grow the other buffer without bound.
+  int64_t left_horizon = INT64_MIN;
+  int64_t right_horizon = INT64_MIN;
+  if (right_max_ts_ != INT64_MIN) {
+    left_horizon = right_max_ts_ - range_us_;
+  }
+  if (left_max_ts_ != INT64_MIN) {
+    right_horizon = left_max_ts_ - range_us_;
+  }
+  if (max_skew_us_ >= 0) {
+    if (left_max_ts_ != INT64_MIN) {
+      left_horizon =
+          std::max(left_horizon, left_max_ts_ - range_us_ - max_skew_us_);
+    }
+    if (right_max_ts_ != INT64_MIN) {
+      right_horizon =
+          std::max(right_horizon, right_max_ts_ - range_us_ - max_skew_us_);
+    }
+  }
+  while (!left_.empty() && left_.front().timestamp() < left_horizon) {
     left_.pop_front();
   }
-  while (!right_.empty() && right_.front().timestamp() < horizon) {
+  while (!right_.empty() && right_.front().timestamp() < right_horizon) {
     right_.pop_front();
   }
 }
 
 void SlidingWindowJoin::ProbeAndBuffer(const Tuple& tuple, bool from_left,
                                        Collector* out) {
-  Expire(tuple.timestamp());
+  if (from_left) {
+    left_max_ts_ = std::max(left_max_ts_, tuple.timestamp());
+  } else {
+    right_max_ts_ = std::max(right_max_ts_, tuple.timestamp());
+  }
+  Expire();
   const std::deque<Tuple>& other = from_left ? right_ : left_;
   for (const Tuple& o : other) {
+    // Expiration enforces the lower bound; the upper bound needs an
+    // explicit check because the other side may have run ahead of this
+    // tuple's window (cross-input skew). The buffer is in ascending
+    // timestamp order, so everything after the first too-new tuple is
+    // too new as well.
+    if (o.timestamp() > tuple.timestamp() + range_us_) break;
     const Tuple& l = from_left ? tuple : o;
     const Tuple& r = from_left ? o : tuple;
     std::optional<Tuple> joined = match_(l, r);

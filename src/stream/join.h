@@ -25,17 +25,36 @@ namespace stream {
 /// \brief Symmetric sliding-window join over two timestamp-ordered inputs.
 ///
 /// A pair (l, r) is eligible when |l.ts - r.ts| <= range_us; the match
-/// function returns the joined tuple, or nullopt for no match. Call
-/// PushLeft/PushRight in global timestamp order across both inputs for
-/// exact window semantics, then Close() once.
+/// function returns the joined tuple, or nullopt for no match. Each input
+/// must be pushed in ITS OWN timestamp order; the two inputs may be
+/// arbitrarily skewed against each other (multi-lane ingest delivers
+/// exactly that), because each buffer expires against the OTHER side's
+/// clock: a left tuple is dropped only once the right stream has advanced
+/// past l.ts + range and provably cannot match it anymore. The matched
+/// pair SET is therefore independent of cross-input interleaving; only
+/// emission order depends on it.
+///
+/// Buffer growth is range + cross-input skew. When data flows on both
+/// sides the executor's backpressure bounds the skew, but a SILENT input
+/// (sensor outage) never advances its clock, so the other buffer would
+/// grow without bound. `max_skew_us >= 0` caps that: each side also
+/// expires once its OWN stream has advanced `max_skew + range` past a
+/// tuple — asserting the inputs' clocks never diverge by more than
+/// max_skew, and trading matches beyond that divergence for bounded
+/// memory. Negative (default) keeps exact unbounded-skew semantics.
+/// Call Close() once after the last push.
 class SlidingWindowJoin {
  public:
   /// Builds the joined tuple for an eligible pair, or nullopt.
   using MatchFn = std::function<std::optional<Tuple>(const Tuple& left,
                                                      const Tuple& right)>;
 
-  SlidingWindowJoin(std::string name, int64_t range_us, MatchFn match)
-      : name_(std::move(name)), range_us_(range_us), match_(std::move(match)) {}
+  SlidingWindowJoin(std::string name, int64_t range_us, MatchFn match,
+                    int64_t max_skew_us = -1)
+      : name_(std::move(name)),
+        range_us_(range_us),
+        max_skew_us_(max_skew_us),
+        match_(std::move(match)) {}
 
   common::Status PushLeft(const Tuple& tuple, Collector* out);
   common::Status PushRight(const Tuple& tuple, Collector* out);
@@ -49,6 +68,9 @@ class SlidingWindowJoin {
 
   const std::string& name() const { return name_; }
   const OperatorMetrics& metrics() const { return metrics_; }
+  /// Buffer occupancy, for tests and memory diagnostics.
+  size_t left_buffer_size() const { return left_.size(); }
+  size_t right_buffer_size() const { return right_.size(); }
 
  private:
   common::Status PushImpl(const Tuple& tuple, bool from_left, Collector* out);
@@ -56,13 +78,19 @@ class SlidingWindowJoin {
                                Collector* out);
   /// Unmetered core: expire, probe the other side, buffer the tuple.
   void ProbeAndBuffer(const Tuple& tuple, bool from_left, Collector* out);
-  void Expire(int64_t now);
+  void Expire();
 
   std::string name_;
   int64_t range_us_;
+  /// Max assumed clock divergence between the inputs; negative = none.
+  int64_t max_skew_us_;
   MatchFn match_;
   std::deque<Tuple> left_;
   std::deque<Tuple> right_;
+  /// Per-side high-water timestamps; each side expires against the other
+  /// side's clock (see class comment).
+  int64_t left_max_ts_ = INT64_MIN;
+  int64_t right_max_ts_ = INT64_MIN;
   OperatorMetrics metrics_;
 };
 

@@ -61,11 +61,27 @@ struct OperatorMetrics {
   uint64_t batches_in = 0;
   double processing_seconds = 0.0;
 
+  // Ingest-side counters, populated only on the source-node entries the
+  // sharded executor appends to its MetricsSnapshot(). They make
+  // backpressure observable instead of inferred: block time says how long
+  // producers waited on full shard rings, peak depth says how close the
+  // rings came to full.
+  /// Total time this source's producer spent blocked pushing into full
+  /// shard queues (the backpressure path).
+  double producer_block_seconds = 0.0;
+  /// Highest per-(lane, shard) queue occupancy observed at enqueue time,
+  /// in batches.
+  uint64_t queue_peak_depth = 0;
+
   void MergeFrom(const OperatorMetrics& other) {
     tuples_in += other.tuples_in;
     tuples_out += other.tuples_out;
     batches_in += other.batches_in;
     processing_seconds += other.processing_seconds;
+    producer_block_seconds += other.producer_block_seconds;
+    queue_peak_depth = queue_peak_depth > other.queue_peak_depth
+                           ? queue_peak_depth
+                           : other.queue_peak_depth;
   }
 };
 

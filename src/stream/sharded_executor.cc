@@ -5,17 +5,24 @@
 #include <cstdlib>
 
 #include "common/logging.h"
+#include "common/stopwatch.h"
 
 namespace usp {
 namespace stream {
+
+constexpr uint32_t ShardedExecutor::kUnboundLane;
 
 ShardedExecutor::ShardedExecutor(const Options& options, KeyFn key_fn)
     : options_(options), key_fn_(std::move(key_fn)) {}
 
 ShardedExecutor::~ShardedExecutor() {
-  // Abandon politely if the caller forgot Finish().
-  for (auto& shard : shards_) {
-    shard->queue.Close();
+  // Abandon politely if the caller forgot Finish(): same order as Finish
+  // (lanes, then rings) so a racing push errors instead of buffering.
+  for (auto& lane : lanes_) {
+    lane->closed.store(true, std::memory_order_release);
+  }
+  for (auto& lane : lanes_) {
+    for (auto& ring : lane->rings) ring->Close();
   }
   for (auto& shard : shards_) {
     if (shard->worker.joinable()) shard->worker.join();
@@ -27,6 +34,9 @@ common::Result<std::unique_ptr<ShardedExecutor>> ShardedExecutor::Create(
   if (options.num_shards == 0) {
     return common::Status::InvalidArgument("num_shards must be >= 1");
   }
+  if (options.num_ingest_lanes == 0) {
+    return common::Status::InvalidArgument("num_ingest_lanes must be >= 1");
+  }
   if (options.queue_capacity == 0) {
     return common::Status::InvalidArgument("queue_capacity must be >= 1");
   }
@@ -36,7 +46,8 @@ common::Result<std::unique_ptr<ShardedExecutor>> ShardedExecutor::Create(
   std::unique_ptr<ShardedExecutor> exec(
       new ShardedExecutor(options, std::move(key_fn)));
   for (size_t i = 0; i < options.num_shards; ++i) {
-    auto shard = std::make_unique<Shard>(options.queue_capacity);
+    auto shard = std::make_unique<Shard>();
+    shard->index = i;
     auto graph = std::make_unique<ExecGraph>();
     ShardContext ctx;
     ctx.shard_index = i;
@@ -64,10 +75,36 @@ common::Result<std::unique_ptr<ShardedExecutor>> ShardedExecutor::Create(
     shard->exec = std::make_unique<DagExecutor>(std::move(graph));
     exec->shards_.push_back(std::move(shard));
   }
+  const size_t num_nodes = exec->shards_[0]->exec->graph().num_nodes();
+  exec->num_nodes_ = num_nodes;
+  for (auto& shard : exec->shards_) {
+    shard->last_seq.assign(num_nodes, 0);
+    shard->source_watermark.assign(num_nodes, INT64_MIN);
+  }
+  exec->source_lane_ =
+      std::make_unique<std::atomic<uint32_t>[]>(num_nodes);
+  exec->ingest_by_source_ = std::make_unique<IngestCounters[]>(num_nodes);
+  for (size_t n = 0; n < num_nodes; ++n) {
+    exec->source_lane_[n].store(kUnboundLane, std::memory_order_relaxed);
+  }
+  for (size_t l = 0; l < options.num_ingest_lanes; ++l) {
+    auto lane = std::make_unique<Lane>();
+    lane->rings.reserve(options.num_shards);
+    for (size_t s = 0; s < options.num_shards; ++s) {
+      lane->rings.push_back(
+          std::make_unique<SpscRing<Message>>(options.queue_capacity));
+    }
+    lane->next_seq.assign(num_nodes, 0);
+    exec->lanes_.push_back(std::move(lane));
+  }
+  size_t initial_target = options.target_batch_size;
+  if (options.auto_target_batch_size && initial_target == 0) {
+    initial_target = kDefaultInitialBatch;
+  }
+  exec->current_target_.store(initial_target, std::memory_order_relaxed);
   // Pre-size the merged sink store so sink_output() before Finish() reads
   // an empty batch instead of indexing out of bounds.
-  exec->merged_sinks_.assign(exec->shards_[0]->exec->graph().num_nodes(),
-                             TupleBatch());
+  exec->merged_sinks_.assign(num_nodes, TupleBatch());
   for (auto& shard : exec->shards_) {
     Shard* raw = shard.get();
     shard->worker = std::thread([exec_ptr = exec.get(), raw] {
@@ -77,65 +114,216 @@ common::Result<std::unique_ptr<ShardedExecutor>> ShardedExecutor::Create(
   return exec;
 }
 
+void ShardedExecutor::ProcessMessage(Shard* shard, Message&& msg) {
+  std::lock_guard<std::mutex> lock(shard->mu);
+  if (!shard->status.ok()) return;  // drain after failure
+  // Per-source arrival-order invariant: lane FIFO means the slice
+  // sequence this shard observes for one source must be strictly
+  // increasing (gaps are slices whose partition had no tuples for us).
+  if (msg.source < shard->last_seq.size()) {
+    if (msg.seq <= shard->last_seq[msg.source]) {
+      shard->status = common::Status::Internal(
+          "shard " + std::to_string(shard->index) +
+          " observed out-of-order ingest for source node " +
+          std::to_string(msg.source) + " (seq " + std::to_string(msg.seq) +
+          " after " + std::to_string(shard->last_seq[msg.source]) +
+          "); was the source pushed from more than one thread?");
+      return;
+    }
+    shard->last_seq[msg.source] = msg.seq;
+  }
+  shard->status = shard->exec->PushBatch(msg.source, msg.batch);
+  shard->watermark = std::max(shard->watermark, msg.batch.MaxTimestamp());
+  if (msg.source < shard->source_watermark.size()) {
+    shard->source_watermark[msg.source] = std::max(
+        shard->source_watermark[msg.source], msg.batch.MaxTimestamp());
+  }
+  // Eviction clock: the MIN across sources seen on this shard, so a
+  // source lagging behind the others (multi-lane skew) does not have its
+  // freshly-archived tuples evicted by the fastest source's timestamps.
+  int64_t evict_watermark = INT64_MAX;
+  for (const int64_t wm : shard->source_watermark) {
+    if (wm != INT64_MIN) evict_watermark = std::min(evict_watermark, wm);
+  }
+  if (evict_watermark == INT64_MAX) evict_watermark = INT64_MIN;
+  // Evict only once the clock has advanced at least a quarter of the
+  // retention span past the last eviction: EvictBefore scans the whole
+  // archive, so running it per message would be O(messages * archive
+  // size). No eviction until a non-empty batch has set the clock
+  // (INT64_MIN - retention would underflow).
+  if (options_.archive_retention_us >= 0 && evict_watermark != INT64_MIN &&
+      (shard->last_evict_watermark == INT64_MIN ||
+       evict_watermark - shard->last_evict_watermark >=
+           std::max<int64_t>(1, options_.archive_retention_us / 4))) {
+    shard->archive.EvictBefore(evict_watermark -
+                               options_.archive_retention_us);
+    shard->last_evict_watermark = evict_watermark;
+  }
+}
+
 void ShardedExecutor::WorkerLoop(Shard* shard) {
-  while (auto msg = shard->queue.Pop()) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    if (!shard->status.ok()) continue;  // drain after failure
-    shard->status = shard->exec->PushBatch(msg->source, msg->batch);
-    shard->watermark = std::max(shard->watermark, msg->batch.MaxTimestamp());
-    // Evict only once the watermark has advanced at least a quarter of
-    // the retention span past the last eviction: EvictBefore scans the
-    // whole archive, so running it per message would be O(messages *
-    // archive size). No eviction until a non-empty batch has set the
-    // watermark (INT64_MIN - retention would underflow).
-    if (options_.archive_retention_us >= 0 &&
-        shard->watermark != INT64_MIN &&
-        (shard->last_evict_watermark == INT64_MIN ||
-         shard->watermark - shard->last_evict_watermark >=
-             std::max<int64_t>(1, options_.archive_retention_us / 4))) {
-      shard->archive.EvictBefore(shard->watermark -
-                                 options_.archive_retention_us);
-      shard->last_evict_watermark = shard->watermark;
+  // Round-robin over this shard's ring per lane; a lane is finished once
+  // its ring is closed AND drained. Lock-free consume; backoff only when
+  // a full sweep made no progress.
+  const size_t num_lanes = lanes_.size();
+  std::vector<bool> drained(num_lanes, false);
+  size_t num_drained = 0;
+  // Long idle cap: a worker on a quiet feed parks at ~50 sweeps/sec
+  // instead of polling at the producer-oriented 1 ms default.
+  Backoff backoff(/*max_sleep_us=*/20 * 1000);
+  while (num_drained < num_lanes) {
+    bool progressed = false;
+    for (size_t l = 0; l < num_lanes; ++l) {
+      if (drained[l]) continue;
+      SpscRing<Message>& ring = *lanes_[l]->rings[shard->index];
+      auto msg = ring.TryPop();
+      if (!msg && ring.closed()) {
+        msg = ring.TryPop();  // drain a push that raced the close
+        if (!msg) {
+          drained[l] = true;
+          ++num_drained;
+          continue;
+        }
+      }
+      if (!msg) continue;
+      progressed = true;
+      ProcessMessage(shard, std::move(*msg));
+    }
+    if (progressed) {
+      backoff.Reset();
+    } else if (num_drained < num_lanes) {
+      backoff.Pause();
     }
   }
 }
 
-common::Status ShardedExecutor::PushBatch(ExecGraph::NodeId source,
+common::Status ShardedExecutor::Enqueue(Lane* lane, size_t shard,
+                                        Message&& msg) {
+  const ExecGraph::NodeId source = msg.source;
+  const uint64_t tuples = msg.batch.size();
+  SpscRing<Message>& ring = *lane->rings[shard];
+  if (!ring.TryPush(msg)) {
+    // Full (backpressure) or closed: block with backoff and meter the
+    // wait so it shows up in the source's ingest counters.
+    common::Stopwatch blocked;
+    Backoff backoff;
+    for (;;) {
+      if (ring.closed()) {
+        return common::Status::FailedPrecondition("shard queue closed");
+      }
+      backoff.Pause();
+      if (ring.TryPush(msg)) break;
+    }
+    ingest_by_source_[source].blocked_ns.fetch_add(
+        static_cast<uint64_t>(blocked.ElapsedSeconds() * 1e9),
+        std::memory_order_relaxed);
+  }
+  IngestCounters& counters = ingest_by_source_[source];
+  counters.tuples.fetch_add(tuples, std::memory_order_relaxed);
+  counters.batches.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t depth = ring.size();
+  uint64_t prev = counters.peak_depth.load(std::memory_order_relaxed);
+  while (depth > prev && !counters.peak_depth.compare_exchange_weak(
+                             prev, depth, std::memory_order_relaxed)) {
+  }
+  return common::Status::OK();
+}
+
+common::Status ShardedExecutor::PushSlice(Lane* lane,
+                                          ExecGraph::NodeId source,
+                                          TupleBatch&& batch) {
+  const uint64_t seq = ++lane->next_seq[source];
+  if (shards_.size() == 1) {
+    // Single shard: forward the whole batch without re-partitioning.
+    return Enqueue(lane, 0, Message{source, seq, std::move(batch)});
+  }
+  std::vector<TupleBatch> partitions(shards_.size());
+  for (Tuple& t : batch.mutable_tuples()) {
+    partitions[key_fn_(t) % shards_.size()].Append(std::move(t));
+  }
+  batch.Clear();
+  for (size_t i = 0; i < partitions.size(); ++i) {
+    if (partitions[i].empty()) continue;
+    USP_RETURN_NOT_OK(
+        Enqueue(lane, i, Message{source, seq, std::move(partitions[i])}));
+  }
+  return common::Status::OK();
+}
+
+common::Status ShardedExecutor::PushBatch(LaneId lane,
+                                          ExecGraph::NodeId source,
                                           const TupleBatch& batch) {
   TupleBatch copy = batch;
-  return PushBatch(source, std::move(copy));
+  return PushBatch(lane, source, std::move(copy));
 }
 
-common::Status ShardedExecutor::PushBatch(ExecGraph::NodeId source,
+common::Status ShardedExecutor::PushBatch(LaneId lane_id,
+                                          ExecGraph::NodeId source,
                                           TupleBatch&& batch) {
-  if (finished_) {
+  if (finished_.load(std::memory_order_acquire)) {
     return common::Status::FailedPrecondition("executor already finished");
   }
-  if (batch.empty()) return common::Status::OK();
-  if (options_.target_batch_size > 0) {
-    return PushRebatched(source, std::move(batch));
+  if (lane_id >= lanes_.size()) {
+    return common::Status::InvalidArgument(
+        "ingest lane " + std::to_string(lane_id) + " out of range (" +
+        std::to_string(lanes_.size()) + " lanes)");
   }
-  return PushSlice(source, std::move(batch));
+  if (source >= num_nodes_) {
+    return common::Status::InvalidArgument("unknown source node");
+  }
+  Lane* lane = lanes_[lane_id].get();
+  // In-flight marker (seq_cst, paired with the seq_cst close in Finish):
+  // either Finish sees our increment and waits for us, or we see the
+  // closed flag and fail loudly — never both missing each other.
+  lane->active.fetch_add(1);
+  struct ActiveGuard {
+    std::atomic<int>* counter;
+    ~ActiveGuard() { counter->fetch_sub(1, std::memory_order_release); }
+  } guard{&lane->active};
+  if (lane->closed.load()) {
+    return common::Status::FailedPrecondition("ingest lane closed");
+  }
+  if (batch.empty()) return common::Status::OK();
+  // Per-source order needs one lane per source: the first push binds the
+  // source; a later push on a different lane is a contract violation.
+  uint32_t expected = kUnboundLane;
+  if (!source_lane_[source].compare_exchange_strong(
+          expected, static_cast<uint32_t>(lane_id),
+          std::memory_order_acq_rel) &&
+      expected != static_cast<uint32_t>(lane_id)) {
+    return common::Status::InvalidArgument(
+        "source node " + std::to_string(source) + " is bound to ingest lane " +
+        std::to_string(expected) + "; pushing it on lane " +
+        std::to_string(lane_id) +
+        " would break per-source arrival order");
+  }
+  const uint64_t total =
+      ingested_tuples_.fetch_add(batch.size(), std::memory_order_relaxed) +
+      batch.size();
+  const size_t target = current_target_.load(std::memory_order_relaxed);
+  common::Status st;
+  if (target > 0) {
+    st = PushRebatched(lane, source, std::move(batch), target);
+  } else {
+    st = PushSlice(lane, source, std::move(batch));
+  }
+  if (st.ok() && options_.auto_target_batch_size &&
+      total >= next_tune_at_.load(std::memory_order_relaxed)) {
+    MaybeRetune(total);
+  }
+  return st;
 }
 
-common::Status ShardedExecutor::PushRebatched(ExecGraph::NodeId source,
-                                              TupleBatch&& batch) {
-  const size_t target = options_.target_batch_size;
+common::Status ShardedExecutor::PushRebatched(Lane* lane,
+                                              ExecGraph::NodeId source,
+                                              TupleBatch&& batch,
+                                              size_t target) {
   if (batch.size() >= target) {
     // Bulk path: deliver any buffered remainder first (arrival order),
-    // then split into target-sized slices outside the ingest lock — one
-    // move per tuple and no producer serialisation during backpressure,
-    // exactly like the split-only path this generalises. The undersized
-    // tail is forwarded directly rather than buffered: a bulk producer
-    // is not a trickle feed.
-    {
-      std::lock_guard<std::mutex> lock(ingest_mu_);
-      if (ingest_closed_) {
-        return common::Status::FailedPrecondition(
-            "executor already finished");
-      }
-      USP_RETURN_NOT_OK(FlushPendingLocked());
-    }
+    // then split into target-sized slices — one move per tuple. The
+    // undersized tail is forwarded directly rather than buffered: a bulk
+    // producer is not a trickle feed.
+    USP_RETURN_NOT_OK(FlushLanePending(lane));
     std::vector<Tuple>& tuples = batch.mutable_tuples();
     for (size_t off = 0; off < tuples.size(); off += target) {
       const size_t end = std::min(off + target, tuples.size());
@@ -144,24 +332,20 @@ common::Status ShardedExecutor::PushRebatched(ExecGraph::NodeId source,
       for (size_t i = off; i < end; ++i) {
         slice.Append(std::move(tuples[i]));
       }
-      USP_RETURN_NOT_OK(PushSlice(source, std::move(slice)));
+      USP_RETURN_NOT_OK(PushSlice(lane, source, std::move(slice)));
     }
     batch.Clear();
     return common::Status::OK();
   }
   // Trickle path: merge undersized consecutive same-source pushes in the
-  // pending buffer until a target-sized slice fills. The buffer is
-  // flushed when the source changes (so cross-source arrival order
-  // survives) and at Finish().
-  std::lock_guard<std::mutex> lock(ingest_mu_);
-  if (ingest_closed_) {
-    return common::Status::FailedPrecondition("executor already finished");
+  // lane-local buffer until a target-sized slice fills. The buffer is
+  // flushed when the lane's source changes (so cross-source arrival
+  // order within the lane survives) and at Finish().
+  if (!lane->pending.empty() && lane->pending_source != source) {
+    USP_RETURN_NOT_OK(FlushLanePending(lane));
   }
-  if (!pending_.empty() && pending_source_ != source) {
-    USP_RETURN_NOT_OK(FlushPendingLocked());
-  }
-  pending_source_ = source;
-  std::vector<Tuple>& buf = pending_.mutable_tuples();
+  lane->pending_source = source;
+  std::vector<Tuple>& buf = lane->pending.mutable_tuples();
   buf.reserve(buf.size() + batch.size());
   for (Tuple& t : batch.mutable_tuples()) {
     buf.push_back(std::move(t));
@@ -175,7 +359,7 @@ common::Status ShardedExecutor::PushRebatched(ExecGraph::NodeId source,
       slice.Append(std::move(buf[i]));
     }
     off += target;
-    USP_RETURN_NOT_OK(PushSlice(source, std::move(slice)));
+    USP_RETURN_NOT_OK(PushSlice(lane, source, std::move(slice)));
   }
   if (off > 0) {
     buf.erase(buf.begin(), buf.begin() + static_cast<ptrdiff_t>(off));
@@ -183,40 +367,55 @@ common::Status ShardedExecutor::PushRebatched(ExecGraph::NodeId source,
   return common::Status::OK();
 }
 
-common::Status ShardedExecutor::FlushPendingLocked() {
-  if (pending_.empty()) return common::Status::OK();
-  TupleBatch out = std::move(pending_);
-  pending_ = TupleBatch();
-  return PushSlice(pending_source_, std::move(out));
+common::Status ShardedExecutor::FlushLanePending(Lane* lane) {
+  if (lane->pending.empty()) return common::Status::OK();
+  TupleBatch out = std::move(lane->pending);
+  lane->pending = TupleBatch();
+  return PushSlice(lane, lane->pending_source, std::move(out));
 }
 
-common::Status ShardedExecutor::PushSlice(ExecGraph::NodeId source,
+void ShardedExecutor::MaybeRetune(uint64_t total_ingested) {
+  // One lane wins the CAS and retunes; the rest skip — the tuner is a
+  // heuristic, racing updates would only waste snapshots.
+  uint64_t expected = next_tune_at_.load(std::memory_order_relaxed);
+  if (total_ingested < expected ||
+      !next_tune_at_.compare_exchange_strong(
+          expected, total_ingested + kTuneIntervalTuples,
+          std::memory_order_relaxed)) {
+    return;
+  }
+  double processing_seconds = 0.0;
+  for (const NodeMetrics& m : MetricsSnapshot()) {
+    processing_seconds += m.metrics.processing_seconds;
+  }
+  if (processing_seconds <= 0.0) return;  // nothing processed yet
+  const double per_tuple =
+      processing_seconds / static_cast<double>(total_ingested);
+  // Size one batch to roughly kTargetBatchCostSeconds of downstream
+  // work: cheap plans get big batches (amortise the per-message queue
+  // hop), expensive plans get small ones (bounded shard latency).
+  double ideal = kTargetBatchCostSeconds / per_tuple;
+  ideal = std::min(ideal, static_cast<double>(kMaxAutoBatch));
+  ideal = std::max(ideal, static_cast<double>(kMinAutoBatch));
+  current_target_.store(static_cast<size_t>(ideal),
+                        std::memory_order_relaxed);
+}
+
+common::Status ShardedExecutor::PushBatch(ExecGraph::NodeId source,
+                                          const TupleBatch& batch) {
+  TupleBatch copy = batch;
+  return PushBatch(LaneId{0}, source, std::move(copy));
+}
+
+common::Status ShardedExecutor::PushBatch(ExecGraph::NodeId source,
                                           TupleBatch&& batch) {
-  if (shards_.size() == 1) {
-    // Single shard: forward the whole batch without re-partitioning.
-    if (!shards_[0]->queue.Push(Message{source, std::move(batch)})) {
-      return common::Status::FailedPrecondition("shard queue closed");
-    }
-    return common::Status::OK();
-  }
-  std::vector<TupleBatch> partitions(shards_.size());
-  for (Tuple& t : batch.mutable_tuples()) {
-    partitions[key_fn_(t) % shards_.size()].Append(std::move(t));
-  }
-  batch.Clear();
-  for (size_t i = 0; i < partitions.size(); ++i) {
-    if (partitions[i].empty()) continue;
-    if (!shards_[i]->queue.Push(Message{source, std::move(partitions[i])})) {
-      return common::Status::FailedPrecondition("shard queue closed");
-    }
-  }
-  return common::Status::OK();
+  return PushBatch(LaneId{0}, source, std::move(batch));
 }
 
 common::Status ShardedExecutor::Push(ExecGraph::NodeId source, Tuple tuple) {
   TupleBatch batch;
   batch.Append(std::move(tuple));
-  return PushBatch(source, std::move(batch));
+  return PushBatch(LaneId{0}, source, std::move(batch));
 }
 
 common::Status ShardedExecutor::Finish() {
@@ -226,18 +425,30 @@ common::Status ShardedExecutor::Finish() {
   // watermark()/sink_output() guards stay closed while workers drain.
   std::lock_guard<std::mutex> finish_lock(finish_mu_);
   if (finished_) return final_status_;
-  // Close the re-batching ingest and deliver the merged remainder before
-  // closing the queues: a racing push from here on fails loudly
-  // (FailedPrecondition) instead of parking tuples in a buffer nobody
-  // will ever flush.
-  common::Status flush_status;
-  {
-    std::lock_guard<std::mutex> ingest_lock(ingest_mu_);
-    ingest_closed_ = true;
-    flush_status = FlushPendingLocked();
+  // (1) Close the lanes FIRST: a racing push fails loudly with
+  // FailedPrecondition from here on instead of racing the flush below or
+  // parking tuples in a buffer nobody will ever deliver.
+  for (auto& lane : lanes_) {
+    lane->closed.store(true);
   }
-  for (auto& shard : shards_) {
-    shard->queue.Close();
+  // (1b) Wait out pushes already inside PushBatch. The workers are still
+  // consuming (rings close below), so a producer blocked on a full ring
+  // drains and exits; once active hits zero no acknowledged push can be
+  // stranded, and the pending-buffer flush below cannot race a producer.
+  for (auto& lane : lanes_) {
+    Backoff backoff;
+    while (lane->active.load() != 0) backoff.Pause();
+  }
+  // (2) Flush the lane-local merge buffers while the rings are still
+  // open, so buffered trickle tuples are delivered, not dropped.
+  common::Status flush_status;
+  for (auto& lane : lanes_) {
+    const common::Status st = FlushLanePending(lane.get());
+    if (flush_status.ok() && !st.ok()) flush_status = st;
+  }
+  // (3) Only now close the rings; workers drain everything accepted.
+  for (auto& lane : lanes_) {
+    for (auto& ring : lane->rings) ring->Close();
   }
   for (auto& shard : shards_) {
     if (shard->worker.joinable()) shard->worker.join();
@@ -255,8 +466,9 @@ common::Status ShardedExecutor::Finish() {
     if (final_status_.ok() && !close_st.ok()) final_status_ = close_st;
   }
   // Merge sink outputs: concatenate in shard-index order, then stable-sort
-  // by timestamp. Per-shard output order is deterministic, so the merged
-  // order is too, independent of how the workers interleaved.
+  // by timestamp. Per-shard output order is deterministic for single-lane
+  // ingest, so the merged order is too, independent of how the workers
+  // interleaved.
   const ExecGraph& plan = shards_[0]->exec->graph();
   merged_sinks_.assign(plan.num_nodes(), TupleBatch());
   for (ExecGraph::NodeId id = 0; id < plan.num_nodes(); ++id) {
@@ -298,6 +510,24 @@ std::vector<NodeMetrics> ShardedExecutor::MetricsSnapshot() const {
         merged[j].metrics.MergeFrom(shard_metrics[j].metrics);
       }
     }
+  }
+  // Append one entry per source node with the ingest-side counters, so
+  // backpressure (block time, queue depth) is observable per feed.
+  const ExecGraph& plan = shards_[0]->exec->graph();
+  for (ExecGraph::NodeId id = 0; id < plan.num_nodes(); ++id) {
+    if (plan.kind(id) != ExecGraph::NodeKind::kSource) continue;
+    NodeMetrics entry;
+    entry.node = id;
+    entry.name = plan.name(id);
+    const IngestCounters& c = ingest_by_source_[id];
+    entry.metrics.tuples_in = c.tuples.load(std::memory_order_relaxed);
+    entry.metrics.batches_in = c.batches.load(std::memory_order_relaxed);
+    entry.metrics.producer_block_seconds =
+        static_cast<double>(c.blocked_ns.load(std::memory_order_relaxed)) /
+        1e9;
+    entry.metrics.queue_peak_depth =
+        c.peak_depth.load(std::memory_order_relaxed);
+    merged.push_back(std::move(entry));
   }
   return merged;
 }

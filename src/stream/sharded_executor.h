@@ -1,23 +1,51 @@
-// Key-sharded, multi-threaded DAG runtime.
+// Key-sharded, multi-threaded DAG runtime with lock-free parallel ingest.
 //
 // The executor owns N shards; each shard runs a private copy of the plan
 // (its own ExecGraph + operator instances, its own TupleArchive) on a
-// dedicated worker thread fed by a bounded MPSC queue. Ingest threads hash
-// each tuple's shard key and enqueue per-shard sub-batches, so all tuples
-// of one key are processed by one shard: keyed plans (group-by, keyed
-// joins, lineage resolution against the shard archive) need no cross-shard
-// coordination, and the result SET is independent of the shard count
-// (merged output is timestamp-sorted; equal-timestamp tie order follows
-// shard assignment and may differ between shard counts).
+// dedicated worker thread. Ingest runs through L *lanes*: a lane is one
+// producer thread's private ingest channel, connected to every shard by a
+// bounded lock-free SPSC ring — one ring per (lane, shard) pair — so
+// after the caller enters PushBatch no lock is ever taken on the way to a
+// shard. Multi-sensor feeds (radar A + radar B + RFID readers) each own a
+// lane and push concurrently from their own threads.
+//
+// Ordering contract: each source node must be fed through exactly ONE
+// lane (enforced: a push that re-binds a source to a different lane fails
+// with InvalidArgument). Lane FIFO + per-source sequence numbers then
+// guarantee every shard observes each source's tuples in that source's
+// timestamp arrival order — the DSMS contract windowed operators rely on.
+// There is no cross-SOURCE ordering guarantee once lanes run in parallel;
+// operators downstream of a single source are unaffected, and fan-in
+// joins buffer by time range so their result SET is interleaving-
+// independent (emission order is not — under skew it regresses in
+// timestamp, so an operator that needs cross-source timestamp order,
+// e.g. a windowed aggregate downstream of a join, must be fed through a
+// single lane; the query planner enforces exactly that).
+// Workers verify the per-source sequence numbers and fail the shard
+// loudly on a violation instead of silently mis-windowing.
+//
+// Each shard hash-partitions nothing itself — partitioning happens on the
+// lane's producer thread — and all tuples of one key are processed by one
+// shard: keyed plans (group-by, keyed joins, lineage resolution against
+// the shard archive) need no cross-shard coordination, and the result SET
+// is independent of both the shard count and the lane count (merged
+// output is timestamp-sorted; equal-timestamp tie order follows shard
+// assignment and worker interleaving).
+//
+// Thread safety: PushBatch(lane, ...) is single-producer PER LANE — two
+// threads may push concurrently only on different lanes. The lane-less
+// overloads use lane 0 (the seed single-caller API, unchanged).
 //
 // Metrics: every shard's operator instances accumulate private
-// OperatorMetrics; MetricsSnapshot() merges them under the shard locks, so
-// there is no shared mutable metrics struct between threads.
+// OperatorMetrics; MetricsSnapshot() merges them under the shard locks
+// and appends one entry per source node carrying the ingest counters
+// (tuples/batches enqueued, producer block time, peak queue depth), so
+// backpressure is observable instead of inferred.
 //
 // Archives: each shard exposes a TupleArchive to the plan builder; the
 // worker advances a per-shard watermark (max timestamp seen) and evicts
-// archived tuples older than `watermark - archive_retention_us` after each
-// message, bounding archive memory without any global pause.
+// archived tuples older than `watermark - archive_retention_us` after
+// each message, bounding archive memory without any global pause.
 
 #ifndef USP_STREAM_SHARDED_EXECUTOR_H_
 #define USP_STREAM_SHARDED_EXECUTOR_H_
@@ -31,9 +59,9 @@
 
 #include "common/status.h"
 #include "stats/characteristic_function.h"
-#include "stream/bounded_queue.h"
 #include "stream/exec_graph.h"
 #include "stream/pipeline.h"
+#include "stream/spsc_ring.h"
 
 namespace usp {
 namespace stream {
@@ -53,9 +81,18 @@ struct ShardContext {
 
 class ShardedExecutor {
  public:
+  /// One producer thread's private ingest channel (index into the lanes).
+  using LaneId = size_t;
+
   struct Options {
     size_t num_shards = 1;
-    /// Bounded queue depth, in batches, per shard (backpressure beyond).
+    /// Parallel ingest lanes. Each lane accepts pushes from exactly one
+    /// producer thread at a time and owns one SPSC ring per shard; bind
+    /// each source to its own lane to ingest multi-sensor feeds
+    /// concurrently.
+    size_t num_ingest_lanes = 1;
+    /// Bounded ring depth, in batches, per (lane, shard) pair (rounded up
+    /// to a power of two; producers block beyond = backpressure).
     size_t queue_capacity = 64;
     /// Archived tuples older than watermark - retention are evicted after
     /// each processed message; negative = keep everything.
@@ -64,14 +101,29 @@ class ShardedExecutor {
     /// before partitioning: oversized batches are split into target-sized
     /// slices (bounding per-message queue occupancy and shard latency for
     /// bulk pushes), and undersized consecutive batches for the same
-    /// source are merged in an ingest-side buffer until a target-sized
+    /// source are merged in a lane-local buffer until a target-sized
     /// slice fills (amortising per-batch queue/dispatch overhead for
-    /// trickle feeds). The buffer is flushed when the source changes
-    /// (preserving cross-source arrival order) and at Finish(), so merging
-    /// trades bounded latency — at most one flush — for throughput. 0
-    /// forwards caller-sized batches unchanged.
+    /// trickle feeds). The buffer is flushed when the lane's source
+    /// changes (preserving cross-source arrival order within the lane)
+    /// and at Finish(), so merging trades bounded latency — at most one
+    /// flush — for throughput. 0 forwards caller-sized batches unchanged
+    /// (unless auto_target_batch_size is set).
     size_t target_batch_size = 0;
+    /// Feedback tuner: derive the re-batching target from observed
+    /// per-tuple operator cost (per-shard OperatorMetrics) instead of a
+    /// fixed count. Every ~32k ingested tuples the target is re-chosen so
+    /// one batch carries roughly kTargetBatchCostSeconds of downstream
+    /// work, clamped to [kMinAutoBatch, kMaxAutoBatch]. target_batch_size
+    /// (or kDefaultInitialBatch when 0) seeds the first interval. Results
+    /// are batching-invariant, so tuning never changes the result set.
+    bool auto_target_batch_size = false;
   };
+
+  static constexpr size_t kDefaultInitialBatch = 256;
+  static constexpr size_t kMinAutoBatch = 16;
+  static constexpr size_t kMaxAutoBatch = 8192;
+  static constexpr double kTargetBatchCostSeconds = 1e-3;
+  static constexpr uint64_t kTuneIntervalTuples = 32 * 1024;
 
   /// Maps a tuple to a shard-key hash; the shard is `hash % num_shards`.
   /// Must be pure: same tuple -> same key on every call and thread.
@@ -91,7 +143,15 @@ class ShardedExecutor {
   ShardedExecutor(const ShardedExecutor&) = delete;
   ShardedExecutor& operator=(const ShardedExecutor&) = delete;
 
-  /// Partition a batch by shard key and enqueue the per-shard sub-batches.
+  /// Partition a batch by shard key on the calling thread and enqueue the
+  /// per-shard sub-batches on `lane`'s rings. Single producer per lane;
+  /// the source becomes bound to `lane` on first push and may not move.
+  common::Status PushBatch(LaneId lane, ExecGraph::NodeId source,
+                           TupleBatch&& batch);
+  common::Status PushBatch(LaneId lane, ExecGraph::NodeId source,
+                           const TupleBatch& batch);
+
+  /// Single-caller convenience API: lane 0.
   common::Status PushBatch(ExecGraph::NodeId source, const TupleBatch& batch);
   /// Move ingest: tuples are moved into the partitions (and with a single
   /// shard the whole batch is forwarded without copying). Prefer this for
@@ -99,21 +159,30 @@ class ShardedExecutor {
   common::Status PushBatch(ExecGraph::NodeId source, TupleBatch&& batch);
   common::Status Push(ExecGraph::NodeId source, Tuple tuple);
 
-  /// Close the queues, join the workers, flush every shard's graph, and
-  /// merge the per-shard sink outputs. Idempotent; returns the first error
-  /// any shard hit. All producers must have quiesced before Finish() is
-  /// called: a Push racing Finish may be rejected or silently dropped.
+  /// Shutdown, in backpressure-safe order: (1) close every ingest lane so
+  /// a racing push fails loudly with FailedPrecondition instead of
+  /// parking tuples in a buffer nobody will flush, then wait for pushes
+  /// already in flight to leave (the workers are still consuming, so a
+  /// blocked producer drains, never wedges), (2) flush the lane-local
+  /// merge buffers into the still-open rings, (3) close the rings, join
+  /// the workers (they drain everything accepted), flush every shard's
+  /// graph, and merge the per-shard sink outputs. Idempotent; returns the
+  /// first error any shard hit. A push acknowledged with OK is always
+  /// delivered; a push racing Finish() gets a loud error, never a
+  /// deadlock or a silent drop.
   common::Status Finish();
 
   /// Merged output of a sink node: shard-index concatenation, then a
   /// stable sort by timestamp — deterministic for any worker interleaving
-  /// at a fixed shard count; across shard counts the tuple SET and the
-  /// timestamp order are identical but equal-timestamp ties may reorder.
-  /// Empty until Finish().
+  /// at a fixed shard count with single-lane ingest; across shard or lane
+  /// counts the tuple SET and the timestamp order are identical but
+  /// equal-timestamp ties may reorder. Empty until Finish().
   const TupleBatch& sink_output(ExecGraph::NodeId sink) const;
   TupleBatch TakeSinkOutput(ExecGraph::NodeId sink);
 
-  /// Per-node metrics merged across shards; safe to call while running.
+  /// Per-node metrics merged across shards, plus one appended entry per
+  /// source node carrying the ingest counters (queue depth, producer
+  /// block time); safe to call while running.
   std::vector<NodeMetrics> MetricsSnapshot() const;
 
   /// Shard-local archive inspection (tests, lineage debugging). Only
@@ -124,53 +193,105 @@ class ShardedExecutor {
   int64_t watermark(size_t shard) const;
 
   size_t num_shards() const { return shards_.size(); }
+  size_t num_lanes() const { return lanes_.size(); }
+  /// Current re-batching target (fixed unless auto_target_batch_size).
+  size_t current_target_batch_size() const {
+    return current_target_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Message {
-    ExecGraph::NodeId source;
+    ExecGraph::NodeId source = ExecGraph::kInvalidNode;
+    /// Per-(lane, source) slice counter; strictly increasing in the
+    /// subsequence each shard receives. Workers verify it.
+    uint64_t seq = 0;
     TupleBatch batch;
   };
 
-  struct Shard {
-    explicit Shard(size_t queue_capacity) : queue(queue_capacity) {}
+  /// Per-source ingest counters. Written by the owning lane's producer
+  /// thread, read by MetricsSnapshot() from anywhere (hence atomics).
+  struct IngestCounters {
+    std::atomic<uint64_t> tuples{0};
+    std::atomic<uint64_t> batches{0};
+    std::atomic<uint64_t> blocked_ns{0};
+    std::atomic<uint64_t> peak_depth{0};
+  };
 
+  struct Lane {
+    /// One SPSC ring per shard; this lane's producer thread is the only
+    /// pusher, the shard worker the only popper.
+    std::vector<std::unique_ptr<SpscRing<Message>>> rings;
+    /// Flipped first during Finish() so racing pushes fail loudly.
+    /// seq_cst together with `active` (store/load vs. RMW/load on the
+    /// other side) so Finish() and a racing push cannot both miss each
+    /// other.
+    std::atomic<bool> closed{false};
+    /// Pushes currently inside PushBatch. Finish() waits for zero after
+    /// closing the lane, so an acknowledged push is never stranded in a
+    /// ring the workers already drained. Blocked producers cannot wedge
+    /// the wait: the workers keep consuming until the rings close, which
+    /// happens after.
+    std::atomic<int> active{0};
+    // ---- producer-thread-local state (no locks; single producer) ----
+    TupleBatch pending;
+    ExecGraph::NodeId pending_source = ExecGraph::kInvalidNode;
+    /// Next slice sequence number per source node id.
+    std::vector<uint64_t> next_seq;
+  };
+
+  struct Shard {
     std::unique_ptr<DagExecutor> exec;
     TupleArchive archive;
     /// Reusable CF/order-statistics scratch; worker-thread-private.
     stats::CfInversionWorkspace cf_workspace;
-    BoundedQueue<Message> queue;
     std::thread worker;
+    size_t index = 0;
     /// Guards exec/archive/watermark/status against snapshot readers.
     mutable std::mutex mu;
     common::Status status;
     int64_t watermark = INT64_MIN;
     int64_t last_evict_watermark = INT64_MIN;
+    /// Last sequence number seen per source node id (worker-private).
+    std::vector<uint64_t> last_seq;
+    /// Max timestamp seen per source node id (worker-private). Archive
+    /// eviction uses the MIN across sources that have reached this shard:
+    /// under multi-lane skew the fastest source's clock must not evict a
+    /// lagging source's freshly-archived tuples (the flip side: a stalled
+    /// source stalls eviction — same watermark problem the join has, see
+    /// ROADMAP).
+    std::vector<int64_t> source_watermark;
   };
 
   ShardedExecutor(const Options& options, KeyFn key_fn);
 
   void WorkerLoop(Shard* shard);
-  /// Partition one (already target-sized) batch and enqueue per shard.
-  common::Status PushSlice(ExecGraph::NodeId source, TupleBatch&& batch);
-  /// Re-batching ingest path for target_batch_size > 0: merge + split
-  /// toward the target. Flushes the pending buffer on source change.
-  common::Status PushRebatched(ExecGraph::NodeId source, TupleBatch&& batch);
-  /// Enqueue whatever is buffered (requires ingest_mu_).
-  common::Status FlushPendingLocked();
+  void ProcessMessage(Shard* shard, Message&& msg);
+  /// Partition one (already target-sized) slice and enqueue per shard.
+  common::Status PushSlice(Lane* lane, ExecGraph::NodeId source,
+                           TupleBatch&& batch);
+  /// Blocking enqueue with block-time/peak-depth accounting.
+  common::Status Enqueue(Lane* lane, size_t shard, Message&& msg);
+  /// Re-batching ingest path: merge + split toward `target` using the
+  /// lane-local buffer. Flushes the pending buffer on source change.
+  common::Status PushRebatched(Lane* lane, ExecGraph::NodeId source,
+                               TupleBatch&& batch, size_t target);
+  common::Status FlushLanePending(Lane* lane);
+  /// Feedback step for auto_target_batch_size.
+  void MaybeRetune(uint64_t total_ingested);
 
   Options options_;
   KeyFn key_fn_;
-  /// Ingest-side merge buffer (target_batch_size > 0 only): undersized
-  /// consecutive batches for pending_source_ accumulate here until a
-  /// target-sized slice fills. Guarded by ingest_mu_ so concurrent
-  /// producers cannot interleave half-merged slices.
-  std::mutex ingest_mu_;
-  TupleBatch pending_;
-  ExecGraph::NodeId pending_source_ = ExecGraph::kInvalidNode;
-  /// Set by Finish() before the final flush so a racing re-batched push
-  /// fails loudly instead of buffering tuples nobody will flush.
-  bool ingest_closed_ = false;
+  std::vector<std::unique_ptr<Lane>> lanes_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// Lane each source is bound to (first push wins); kUnboundLane = free.
+  static constexpr uint32_t kUnboundLane = UINT32_MAX;
+  std::unique_ptr<std::atomic<uint32_t>[]> source_lane_;
+  std::unique_ptr<IngestCounters[]> ingest_by_source_;
+  size_t num_nodes_ = 0;
+  /// Re-batching target; mutated by the tuner when auto.
+  std::atomic<size_t> current_target_{0};
+  std::atomic<uint64_t> ingested_tuples_{0};
+  std::atomic<uint64_t> next_tune_at_{kTuneIntervalTuples};
   std::vector<TupleBatch> merged_sinks_;  // indexed by NodeId, post-Finish
   std::mutex finish_mu_;  // serialises Finish() calls
   /// True only once workers are joined and sinks merged; gates the

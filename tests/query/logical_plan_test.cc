@@ -240,6 +240,102 @@ TEST(QueryBuilderTest, MissingSinkFailsValidation) {
   EXPECT_FALSE(plan_or.value().Validate().ok());
 }
 
+TEST(LogicalPlanRewriteTest, FilterSinksBelowMapChain) {
+  // filter declares reads {0}; both maps preserve attribute 0, so the
+  // rewrite iterates the filter below the whole chain:
+  // src -> m1 -> m2 -> filter -> sink  ==>  src -> filter -> m1 -> m2.
+  auto q = Query::From("src", 2)
+               .Map("m1",
+                    [](const Tuple& t) -> common::Result<Tuple> { return t; },
+                    3, /*preserved_prefix=*/2)
+               .Map("m2",
+                    [](const Tuple& t) -> common::Result<Tuple> { return t; },
+                    4, /*preserved_prefix=*/3)
+               .Filter("keep", [](const Tuple&) { return true; },
+                       /*reads_attrs=*/{0})
+               .Sink("out");
+  auto plan_or = q.Build();
+  ASSERT_TRUE(plan_or.ok()) << plan_or.status().ToString();
+  LogicalPlan plan = plan_or.MoveValueUnsafe();
+  std::vector<std::pair<std::string, std::string>> moved;
+  EXPECT_EQ(plan.PushFiltersBelowMaps(&moved), 2u);
+  ASSERT_EQ(moved.size(), 2u);
+  EXPECT_EQ(moved[0], (std::pair<std::string, std::string>{"keep", "m2"}));
+  EXPECT_EQ(moved[1], (std::pair<std::string, std::string>{"keep", "m1"}));
+  // Rewritten order: source, filter, m1, m2, sink — ids stay topological.
+  EXPECT_EQ(plan.kind(1), LogicalPlan::NodeKind::kFilter);
+  EXPECT_EQ(plan.name(1), "keep");
+  EXPECT_EQ(plan.name(2), "m1");
+  EXPECT_EQ(plan.name(3), "m2");
+  EXPECT_EQ(plan.inputs(1), std::vector<LogicalPlan::NodeId>{0});
+  EXPECT_EQ(plan.inputs(2), std::vector<LogicalPlan::NodeId>{1});
+  EXPECT_EQ(plan.inputs(3), std::vector<LogicalPlan::NodeId>{2});
+  EXPECT_EQ(plan.inputs(4), std::vector<LogicalPlan::NodeId>{3});
+  EXPECT_TRUE(plan.Validate().ok());
+}
+
+TEST(LogicalPlanRewriteTest, FilterStaysAboveFannedOutMap) {
+  // Two branches read the map: pushing one branch's filter below it would
+  // filter the other branch too, so the rewrite must refuse.
+  auto mapped = Query::From("src", 2)
+                    .Map("annotate",
+                         [](const Tuple& t) -> common::Result<Tuple> {
+                           return t;
+                         },
+                         3, /*preserved_prefix=*/2);
+  auto a = mapped.Filter("keep", [](const Tuple&) { return true; },
+                         /*reads_attrs=*/{0})
+               .Sink("filtered");
+  auto b = mapped.Sink("all");
+  (void)a;
+  auto plan_or = b.Build();
+  ASSERT_TRUE(plan_or.ok());
+  LogicalPlan plan = plan_or.MoveValueUnsafe();
+  EXPECT_EQ(plan.PushFiltersBelowMaps(nullptr), 0u);
+}
+
+TEST(LogicalPlanRewriteTest, FilterReadingMappedAttributeStaysPut) {
+  auto q = Query::From("src", 2)
+               .Map("annotate",
+                    [](const Tuple& t) -> common::Result<Tuple> { return t; },
+                    3, /*preserved_prefix=*/2)
+               .Filter("keep", [](const Tuple&) { return true; },
+                       /*reads_attrs=*/{2})  // reads the appended attribute
+               .Sink("out");
+  auto plan_or = q.Build();
+  ASSERT_TRUE(plan_or.ok());
+  LogicalPlan plan = plan_or.MoveValueUnsafe();
+  EXPECT_EQ(plan.PushFiltersBelowMaps(nullptr), 0u);
+}
+
+TEST(LogicalPlanValidateTest, DeclaredFilterReadsMustFitArity) {
+  auto q = Query::From("src", 2)
+               .Filter("keep", [](const Tuple&) { return true; },
+                       /*reads_attrs=*/{5})
+               .Sink("out");
+  auto plan_or = q.Build();
+  ASSERT_TRUE(plan_or.ok());
+  const auto st = plan_or.value().Validate();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("reads attribute 5"), std::string::npos)
+      << st.ToString();
+}
+
+TEST(LogicalPlanValidateTest, PreservedPrefixMustFitArities) {
+  auto too_wide_for_input =
+      Query::From("src", 2)
+          .Map("annotate",
+               [](const Tuple& t) -> common::Result<Tuple> { return t; }, 4,
+               /*preserved_prefix=*/3)
+          .Sink("out");
+  auto plan_or = too_wide_for_input.Build();
+  ASSERT_TRUE(plan_or.ok());
+  const auto st = plan_or.value().Validate();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("preserved prefix"), std::string::npos)
+      << st.ToString();
+}
+
 TEST(QueryBuilderTest, DuplicateSinkNameFailsValidation) {
   auto src = Query::From("src");
   auto a = src.Sink("out");

@@ -554,6 +554,301 @@ TEST(PlannerTest, StatelessShardedPlanNeedsExplicitKey) {
             PlanSummary::ShardKeySource::kExplicit);
 }
 
+// ---- physical auto-tuning -----------------------------------------------
+
+TEST(PlannerTest, AutoShardsResolveFromHardwareConcurrency) {
+  // Default options = auto sharding; pin the "machine" to 4 cores so the
+  // test behaves the same on the 1-core container and on CI.
+  PlannerOptions opts;
+  opts.hardware_concurrency_override = 4;
+  auto compiled_or = KeyedSumQuery(WindowSpec::Tumbling(100)).Compile(opts);
+  ASSERT_TRUE(compiled_or.ok()) << compiled_or.status().ToString();
+  const PlanSummary& s = compiled_or.value()->summary();
+  EXPECT_TRUE(s.auto_num_shards);
+  EXPECT_EQ(s.num_shards, 4u);
+  EXPECT_TRUE(s.sharded);
+  EXPECT_EQ(s.shard_key_source, PlanSummary::ShardKeySource::kGroupKey);
+  // Same results as the explicit single-shard plan.
+  PlannerOptions one;
+  one.num_shards = 1;
+  auto auto_run = RunKeyedSum(WindowSpec::Tumbling(100), opts);
+  auto one_run = RunKeyedSum(WindowSpec::Tumbling(100), one);
+  ASSERT_TRUE(auto_run.ok()) << auto_run.status().ToString();
+  ASSERT_TRUE(one_run.ok());
+  ASSERT_FALSE(one_run.value().empty());
+  EXPECT_EQ(Canonical(auto_run.value()), Canonical(one_run.value()));
+}
+
+TEST(PlannerTest, ExplicitShardCountWinsOverAuto) {
+  PlannerOptions opts;
+  opts.hardware_concurrency_override = 8;
+  opts.num_shards = 2;
+  auto compiled_or = KeyedSumQuery(WindowSpec::Tumbling(100)).Compile(opts);
+  ASSERT_TRUE(compiled_or.ok());
+  EXPECT_FALSE(compiled_or.value()->summary().auto_num_shards);
+  EXPECT_EQ(compiled_or.value()->summary().num_shards, 2u);
+}
+
+TEST(PlannerTest, AutoShardsFallBackToOneWhenKeyUnderivable) {
+  // A join has no derivable partition key: an AUTO shard choice degrades
+  // to 1 shard with the reason in the summary (an EXPLICIT N > 1 still
+  // fails Compile, covered elsewhere).
+  auto left = Query::From("a", 2);
+  auto right = Query::From("b", 2);
+  auto q = left.Join(right, 1000,
+                     [](const Tuple& l, const Tuple& r) {
+                       return std::optional<Tuple>(
+                           stream::ConcatJoinedTuple(l, r));
+                     },
+                     "j")
+               .Sink("out");
+  PlannerOptions opts;
+  opts.hardware_concurrency_override = 4;
+  auto compiled_or = q.Compile(opts);
+  ASSERT_TRUE(compiled_or.ok()) << compiled_or.status().ToString();
+  const PlanSummary& s = compiled_or.value()->summary();
+  EXPECT_TRUE(s.auto_num_shards);
+  EXPECT_EQ(s.num_shards, 1u);
+  EXPECT_NE(s.auto_shard_note.find("fell back"), std::string::npos)
+      << s.ToString();
+}
+
+TEST(PlannerTest, AutoLanesGiveEachSourceItsOwnLane) {
+  // Sharded join (explicit partition key): auto lanes resolve to one per
+  // source, and the result SET matches the single-lane run.
+  auto build = [] {
+    auto left = Query::From("a", 2);
+    auto right = Query::From("b", 2);
+    return left.Join(right, 1000,
+                     [](const Tuple& l, const Tuple& r) {
+                       if (l.value(0).AsInt() != r.value(0).AsInt()) {
+                         return std::optional<Tuple>();
+                       }
+                       return std::optional<Tuple>(
+                           stream::ConcatJoinedTuple(l, r));
+                     },
+                     "j")
+        .Sink("out")
+        .PartitionBy(stream::KeyByIntValue(0));
+  };
+  auto run = [&](size_t lanes) -> common::Result<TupleBatch> {
+    PlannerOptions opts;
+    opts.num_shards = 2;
+    opts.num_ingest_lanes = lanes;  // kAutoLanes = 0 = auto
+    auto compiled_or = build().Compile(opts);
+    USP_RETURN_NOT_OK(compiled_or.status());
+    auto compiled = compiled_or.MoveValueUnsafe();
+    const auto a = compiled->source("a");
+    const auto b = compiled->source("b");
+    for (int64_t i = 0; i < 300; ++i) {
+      Tuple l(i * 10, {Value(i % 5), Value(1.0)});
+      l.InitBaseLineage();
+      USP_RETURN_NOT_OK(compiled->Push(a, std::move(l)));
+      Tuple r(i * 10 + 1, {Value(i % 5), Value(2.0)});
+      r.InitBaseLineage();
+      USP_RETURN_NOT_OK(compiled->Push(b, std::move(r)));
+    }
+    USP_RETURN_NOT_OK(compiled->Finish());
+    return compiled->TakeResult(compiled->sink("out"));
+  };
+  PlannerOptions probe;
+  probe.num_shards = 2;
+  auto compiled_or = build().Compile(probe);
+  ASSERT_TRUE(compiled_or.ok()) << compiled_or.status().ToString();
+  const PlanSummary& s = compiled_or.value()->summary();
+  EXPECT_TRUE(s.auto_num_ingest_lanes);
+  EXPECT_EQ(s.num_ingest_lanes, 2u);
+  EXPECT_NE(compiled_or.value()->ingest_lane(compiled_or.value()->source("a")),
+            compiled_or.value()->ingest_lane(compiled_or.value()->source("b")));
+  auto multi = run(PlannerOptions::kAutoLanes);
+  auto single = run(1);
+  ASSERT_TRUE(multi.ok()) << multi.status().ToString();
+  ASSERT_TRUE(single.ok()) << single.status().ToString();
+  ASSERT_FALSE(single.value().empty());
+  EXPECT_EQ(Canonical(multi.value()), Canonical(single.value()));
+}
+
+TEST(PlannerTest, MultiLaneRefusedBelowJoinWindowAggregate) {
+  // A windowed aggregate downstream of a join needs cross-source
+  // timestamp order, which multi-lane ingest does not provide: explicit
+  // lanes > 1 must fail, auto lanes must degrade to 1 with the reason.
+  auto build = [] {
+    auto left = Query::From("a", 2);
+    auto right = Query::From("b", 2);
+    return left.Join(right, 1000,
+                     [](const Tuple& l, const Tuple& r) {
+                       return std::optional<Tuple>(
+                           stream::ConcatJoinedTuple(l, r));
+                     },
+                     "j")
+        .Window(WindowSpec::Tumbling(100))
+        .Sum("total", 1)
+        .Sink("out");
+  };
+  PlannerOptions explicit_lanes;
+  explicit_lanes.num_shards = 1;
+  explicit_lanes.num_ingest_lanes = 2;
+  auto refused = build().Compile(explicit_lanes);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_NE(refused.status().message().find("num_ingest_lanes"),
+            std::string::npos)
+      << refused.status().ToString();
+
+  PlannerOptions auto_lanes;
+  auto_lanes.num_shards = 2;
+  auto with_key = build().PartitionBy(stream::KeyByIntValue(0))
+                      .Compile(auto_lanes);
+  ASSERT_TRUE(with_key.ok()) << with_key.status().ToString();
+  const PlanSummary& s = with_key.value()->summary();
+  EXPECT_TRUE(s.auto_num_ingest_lanes);
+  EXPECT_EQ(s.num_ingest_lanes, 1u);
+  EXPECT_NE(s.auto_lane_note.find("downstream of a join"),
+            std::string::npos)
+      << s.ToString();
+
+  // A join downstream of another join is order-sensitive the same way
+  // (its per-side expiry clocks need each input in timestamp order).
+  auto pass_match = [](const Tuple& l, const Tuple& r) {
+    return std::optional<Tuple>(stream::ConcatJoinedTuple(l, r));
+  };
+  auto joined_twice = Query::From("a", 2)
+                          .Join(Query::From("b", 2), 1000, pass_match, "j1")
+                          .Join(Query::From("c", 2), 1000, pass_match, "j2")
+                          .Sink("out");
+  PlannerOptions two_lanes;
+  two_lanes.num_shards = 1;
+  two_lanes.num_ingest_lanes = 2;
+  auto nested = joined_twice.Compile(two_lanes);
+  ASSERT_FALSE(nested.ok());
+  EXPECT_NE(nested.status().message().find("join 'j2'"), std::string::npos)
+      << nested.status().ToString();
+}
+
+TEST(PlannerTest, AutoTargetBatchSizeReportedAndOverridable) {
+  PlannerOptions auto_opts;
+  auto_opts.num_shards = 2;
+  auto compiled_or = KeyedSumQuery(WindowSpec::Tumbling(100))
+                         .Compile(auto_opts);
+  ASSERT_TRUE(compiled_or.ok());
+  const PlanSummary& s = compiled_or.value()->summary();
+  EXPECT_TRUE(s.auto_target_batch_size);
+  EXPECT_EQ(s.target_batch_size,
+            stream::ShardedExecutor::kDefaultInitialBatch);
+  EXPECT_EQ(compiled_or.value()->current_target_batch_size(),
+            stream::ShardedExecutor::kDefaultInitialBatch);
+
+  PlannerOptions fixed;
+  fixed.num_shards = 2;
+  fixed.target_batch_size = 0;  // explicit pass-through wins over auto
+  auto fixed_or = KeyedSumQuery(WindowSpec::Tumbling(100)).Compile(fixed);
+  ASSERT_TRUE(fixed_or.ok());
+  EXPECT_FALSE(fixed_or.value()->summary().auto_target_batch_size);
+  EXPECT_EQ(fixed_or.value()->summary().target_batch_size, 0u);
+  EXPECT_EQ(fixed_or.value()->current_target_batch_size(), 0u);
+}
+
+// ---- filter pushdown ----------------------------------------------------
+
+Query PushdownQuery() {
+  // annotate appends a derived attribute (preserving the 2 source attrs);
+  // the filter reads only attribute 0, so the planner may run it first.
+  return Query::From("src", 2)
+      .Map("annotate",
+           [](const Tuple& t) -> common::Result<Tuple> {
+             Tuple out = t;
+             out.AppendValue(Value(t.value(0).AsInt() * 10));
+             return out;
+           },
+           3, /*preserved_prefix=*/2)
+      .Filter("keep",
+              [](const Tuple& t) { return t.value(0).AsInt() % 2 == 0; },
+              /*reads_attrs=*/{0})
+      .Window(WindowSpec::Tumbling(100))
+      .GroupBy(0)
+      .Sum("total", 1, uncertain::SumStrategyKind::kClt)
+      .Sink("out");
+}
+
+TEST(PlannerTest, FilterPushdownPreservesResultsAndShrinksMapWork) {
+  auto run = [](bool pushdown) {
+    PlannerOptions opts;
+    opts.num_shards = 1;
+    opts.filter_pushdown = pushdown;
+    auto compiled_or = PushdownQuery().Compile(opts);
+    EXPECT_TRUE(compiled_or.ok()) << compiled_or.status().ToString();
+    auto compiled = compiled_or.MoveValueUnsafe();
+    EXPECT_TRUE(compiled
+                    ->PushBatch(compiled->source("src"),
+                                MakeKeyedGaussianStream(400))
+                    .ok());
+    EXPECT_TRUE(compiled->Finish().ok());
+    uint64_t map_tuples_in = 0;
+    for (const auto& m : compiled->MetricsSnapshot()) {
+      if (m.name == "annotate") map_tuples_in = m.metrics.tuples_in;
+    }
+    return std::make_pair(compiled->TakeResult(compiled->sink("out")),
+                          map_tuples_in);
+  };
+  PlannerOptions probe;
+  probe.num_shards = 1;
+  auto probe_or = PushdownQuery().Compile(probe);
+  ASSERT_TRUE(probe_or.ok()) << probe_or.status().ToString();
+  ASSERT_EQ(probe_or.value()->summary().pushed_filters.size(), 1u);
+  EXPECT_EQ(probe_or.value()->summary().pushed_filters[0],
+            (std::pair<std::string, std::string>{"keep", "annotate"}));
+
+  auto [pushed, pushed_map_in] = run(true);
+  auto [unpushed, unpushed_map_in] = run(false);
+  ASSERT_FALSE(unpushed.empty());
+  // Identical results (keys 0..3, so the even-key filter drops half)...
+  EXPECT_EQ(Rendered(pushed), Rendered(unpushed));
+  // ...but the map only ran on the tuples that survived the filter.
+  EXPECT_EQ(unpushed_map_in, 400u);
+  EXPECT_EQ(pushed_map_in, 200u);
+  EXPECT_LT(pushed_map_in, unpushed_map_in);
+}
+
+TEST(PlannerTest, FilterPushdownNeedsDeclaredReadsAndPrefix) {
+  // No declared read set -> opaque predicate -> no pushdown.
+  auto opaque = Query::From("src", 2)
+                    .Map("annotate",
+                         [](const Tuple& t) -> common::Result<Tuple> {
+                           return t;
+                         },
+                         3, /*preserved_prefix=*/2)
+                    .Filter("keep", [](const Tuple&) { return true; })
+                    .Sink("out")
+                    .PartitionBy(stream::KeyByIntValue(0));
+  auto opaque_or = opaque.Compile();
+  ASSERT_TRUE(opaque_or.ok()) << opaque_or.status().ToString();
+  EXPECT_TRUE(opaque_or.value()->summary().pushed_filters.empty());
+  // Reads an appended attribute -> stays above the map.
+  auto mapped_attr = Query::From("src", 2)
+                         .Map("annotate",
+                              [](const Tuple& t) -> common::Result<Tuple> {
+                                return t;
+                              },
+                              3, /*preserved_prefix=*/2)
+                         .Filter("keep", [](const Tuple&) { return true; },
+                                 /*reads_attrs=*/{2})
+                         .Sink("out")
+                         .PartitionBy(stream::KeyByIntValue(0));
+  auto mapped_or = mapped_attr.Compile();
+  ASSERT_TRUE(mapped_or.ok()) << mapped_or.status().ToString();
+  EXPECT_TRUE(mapped_or.value()->summary().pushed_filters.empty());
+}
+
+TEST(PlannerTest, SummaryToStringReportsAutoDecisions) {
+  PlannerOptions opts;
+  opts.hardware_concurrency_override = 2;
+  auto compiled_or = PushdownQuery().Compile(opts);
+  ASSERT_TRUE(compiled_or.ok()) << compiled_or.status().ToString();
+  const std::string s = compiled_or.value()->summary().ToString();
+  EXPECT_NE(s.find("[auto]"), std::string::npos) << s;
+  EXPECT_NE(s.find("target batch auto"), std::string::npos) << s;
+  EXPECT_NE(s.find("pushed below map"), std::string::npos) << s;
+}
+
 TEST(PlannerTest, UnknownSourceAndSinkNamesAreInvalid) {
   auto compiled_or = KeyedSumQuery(WindowSpec::Tumbling(100)).Compile();
   ASSERT_TRUE(compiled_or.ok());

@@ -1,0 +1,488 @@
+// Multi-producer ingest tests: result-set invariance across 1/2/4
+// concurrent ingest lanes (seeded feeds, bitwise-compared against the
+// single-lane run), per-source arrival order at the shards, the
+// source-to-lane binding contract, the Finish() shutdown ordering
+// regression (lanes close before rings: racing pushes fail loudly, never
+// deadlock or drop silently), ingest backpressure counters, and the
+// auto batch-size feedback tuner.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "stream/basic_operators.h"
+#include "stream/group_by.h"
+#include "stream/sharded_executor.h"
+
+namespace usp {
+namespace stream {
+namespace {
+
+Tuple KV(int64_t ts, int64_t key, double v) {
+  Tuple t(ts, {Value(key), Value(v)});
+  t.InitBaseLineage();
+  return t;
+}
+
+// Seeded per-source feed: deterministic (ts, key, value) stream so every
+// lane-count run aggregates exactly the same numbers.
+std::vector<TupleBatch> MakeFeed(size_t source_index, size_t num_tuples,
+                                 size_t batch_size) {
+  std::vector<TupleBatch> batches;
+  TupleBatch batch;
+  for (size_t i = 0; i < num_tuples; ++i) {
+    const int64_t ts = static_cast<int64_t>(i * 3 + source_index);
+    const int64_t key = static_cast<int64_t>((i * 7 + source_index) % 13);
+    const double value =
+        0.5 + static_cast<double>((i + source_index * 31) % 9);
+    batch.Append(KV(ts, key, value));
+    if (batch.size() == batch_size) {
+      batches.push_back(std::move(batch));
+      batch = TupleBatch();
+    }
+  }
+  if (!batch.empty()) batches.push_back(std::move(batch));
+  return batches;
+}
+
+// One keyed windowed SUM chain per source: each chain only ever sees its
+// own source's tuples, so per-source arrival order is all the chain's
+// window operator needs, whatever the cross-lane interleaving.
+struct MultiChainPlan {
+  std::vector<ExecGraph::NodeId> sources;
+  std::vector<ExecGraph::NodeId> sinks;
+};
+
+common::Status BuildMultiChainPlan(size_t num_chains, ExecGraph* g,
+                                   MultiChainPlan* out) {
+  out->sources.clear();
+  out->sinks.clear();
+  for (size_t c = 0; c < num_chains; ++c) {
+    const auto src = g->AddSource("src" + std::to_string(c));
+    const auto agg = g->AddOperator(
+        src, std::make_unique<GroupByAggregateOperator>(
+                 "sum" + std::to_string(c), WindowSpec::Tumbling(100),
+                 [](const Tuple& t) {
+                   return std::to_string(t.value(0).AsInt());
+                 },
+                 std::vector<AggregateSpec>{
+                     {"sum",
+                      [](const std::vector<const Tuple*>& group)
+                          -> common::Result<Value> {
+                        double sum = 0.0;
+                        for (const Tuple* t : group) {
+                          sum += t->value(1).AsDouble();
+                        }
+                        return Value(sum);
+                      }}}));
+    out->sinks.push_back(g->AddSink(agg, "out" + std::to_string(c)));
+    out->sources.push_back(src);
+  }
+  return common::Status::OK();
+}
+
+// %.17g round-trips doubles, so equal strings == bitwise-equal results.
+std::vector<std::string> Canonical(const TupleBatch& batch) {
+  std::vector<std::string> out;
+  out.reserve(batch.size());
+  for (const Tuple& t : batch) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%lld|%s|%.17g",
+                  static_cast<long long>(t.timestamp()),
+                  t.value(0).AsString().c_str(), t.value(1).AsDouble());
+    out.push_back(buf);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// Runs the 4-chain plan with `num_lanes` ingest lanes, one producer
+// thread per lane, sources assigned round-robin to lanes. Returns the
+// canonical per-sink results.
+common::Result<std::vector<std::vector<std::string>>> RunMultiLane(
+    size_t num_lanes, size_t num_shards) {
+  constexpr size_t kChains = 4;
+  constexpr size_t kTuplesPerFeed = 1500;
+  ShardedExecutor::Options opts;
+  opts.num_shards = num_shards;
+  opts.num_ingest_lanes = num_lanes;
+  opts.queue_capacity = 8;  // small: exercise the backpressure path
+  MultiChainPlan plan;
+  auto exec_or = ShardedExecutor::Create(
+      opts, KeyByIntValue(0), [&](ExecGraph* g, const ShardContext&) {
+        return BuildMultiChainPlan(kChains, g, &plan);
+      });
+  USP_RETURN_NOT_OK(exec_or.status());
+  auto exec = exec_or.MoveValueUnsafe();
+
+  std::vector<common::Status> lane_status(num_lanes);
+  std::vector<std::thread> producers;
+  producers.reserve(num_lanes);
+  for (size_t lane = 0; lane < num_lanes; ++lane) {
+    producers.emplace_back([&, lane] {
+      for (size_t c = lane; c < kChains; c += num_lanes) {
+        for (TupleBatch& b : MakeFeed(c, kTuplesPerFeed, 64)) {
+          const auto st =
+              exec->PushBatch(lane, plan.sources[c], std::move(b));
+          if (!st.ok()) {
+            lane_status[lane] = st;
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  for (const auto& st : lane_status) USP_RETURN_NOT_OK(st);
+  USP_RETURN_NOT_OK(exec->Finish());
+  std::vector<std::vector<std::string>> results;
+  for (const auto sink : plan.sinks) {
+    results.push_back(Canonical(exec->sink_output(sink)));
+  }
+  return results;
+}
+
+TEST(MultiLaneIngestTest, ResultSetInvariantAcrossLaneCounts) {
+  for (size_t num_shards : {size_t{1}, size_t{2}}) {
+    auto one = RunMultiLane(1, num_shards);
+    ASSERT_TRUE(one.ok()) << one.status().ToString();
+    ASSERT_FALSE(one.value().empty());
+    for (const auto& sink : one.value()) {
+      ASSERT_FALSE(sink.empty());
+    }
+    for (size_t lanes : {size_t{2}, size_t{4}}) {
+      auto many = RunMultiLane(lanes, num_shards);
+      ASSERT_TRUE(many.ok()) << many.status().ToString();
+      EXPECT_EQ(many.value(), one.value())
+          << "results differ at " << lanes << " lanes, " << num_shards
+          << " shards";
+    }
+  }
+}
+
+TEST(MultiLaneIngestTest, ShardsObservePerSourceArrivalOrder) {
+  // Two sources on two concurrent lanes; a tap per chain records the
+  // timestamps its shard worker actually observed. Per-source order must
+  // be nondecreasing on every shard, whatever the lane interleaving did.
+  constexpr size_t kShards = 2;
+  ShardedExecutor::Options opts;
+  opts.num_shards = kShards;
+  opts.num_ingest_lanes = 2;
+  opts.queue_capacity = 4;
+  // (chain, shard) -> observed timestamps. Worker-thread-private during
+  // the run; read after Finish().
+  std::vector<std::vector<int64_t>> seen(2 * kShards);
+  ExecGraph::NodeId src[2] = {0, 0};
+  auto exec_or = ShardedExecutor::Create(
+      opts, KeyByIntValue(0), [&](ExecGraph* g, const ShardContext& ctx) {
+        for (size_t c = 0; c < 2; ++c) {
+          src[c] = g->AddSource("src" + std::to_string(c));
+          std::vector<int64_t>* sink_seen = &seen[c * kShards +
+                                                 ctx.shard_index];
+          const auto tap = g->AddOperator(
+              src[c], std::make_unique<TapOperator>(
+                          "tap" + std::to_string(c),
+                          [sink_seen](const Tuple& t) {
+                            sink_seen->push_back(t.timestamp());
+                          }));
+          g->AddSink(tap, "out" + std::to_string(c));
+        }
+        return common::Status::OK();
+      });
+  ASSERT_TRUE(exec_or.ok()) << exec_or.status().ToString();
+  auto exec = exec_or.MoveValueUnsafe();
+  auto produce = [&](size_t lane) {
+    for (TupleBatch& b : MakeFeed(lane, 4000, 16)) {
+      ASSERT_TRUE(exec->PushBatch(lane, src[lane], std::move(b)).ok());
+    }
+  };
+  std::thread a(produce, 0), b(produce, 1);
+  a.join();
+  b.join();
+  ASSERT_TRUE(exec->Finish().ok());
+  size_t total_seen = 0;
+  for (size_t i = 0; i < seen.size(); ++i) {
+    for (size_t j = 1; j < seen[i].size(); ++j) {
+      ASSERT_LE(seen[i][j - 1], seen[i][j])
+          << "per-source order violated at chain " << i / kShards
+          << " shard " << i % kShards;
+    }
+    total_seen += seen[i].size();
+  }
+  EXPECT_EQ(total_seen, 8000u);
+}
+
+TEST(MultiLaneIngestTest, SourceCannotMoveBetweenLanes) {
+  ShardedExecutor::Options opts;
+  opts.num_shards = 1;
+  opts.num_ingest_lanes = 2;
+  ExecGraph::NodeId source = 0;
+  auto exec_or = ShardedExecutor::Create(
+      opts, KeyByIntValue(0), [&](ExecGraph* g, const ShardContext&) {
+        source = g->AddSource("src");
+        const auto pass = g->AddOperator(
+            source, std::make_unique<FilterOperator>(
+                        "pass", [](const Tuple&) { return true; }));
+        g->AddSink(pass, "out");
+        return common::Status::OK();
+      });
+  ASSERT_TRUE(exec_or.ok());
+  auto exec = exec_or.MoveValueUnsafe();
+  TupleBatch batch;
+  batch.Append(KV(1, 1, 1.0));
+  ASSERT_TRUE(exec->PushBatch(0, source, batch).ok());
+  const auto st = exec->PushBatch(1, source, batch);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), common::StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("bound to ingest lane"), std::string::npos)
+      << st.ToString();
+  EXPECT_TRUE(exec->Finish().ok());
+}
+
+TEST(MultiLaneIngestTest, FinishFlushesPendingAndFailsRacingPushLoudly) {
+  // Regression for the shutdown ordering: lanes close BEFORE the shard
+  // rings, so (a) tuples buffered by the re-batching merge are still
+  // delivered by the Finish() flush, and (b) a push after Finish() gets a
+  // loud FailedPrecondition instead of deadlocking or being buffered into
+  // oblivion.
+  ShardedExecutor::Options opts;
+  opts.num_shards = 2;
+  opts.target_batch_size = 1000;  // nothing fills a slice naturally
+  ExecGraph::NodeId source = 0, sink = 0;
+  auto exec_or = ShardedExecutor::Create(
+      opts, KeyByIntValue(0), [&](ExecGraph* g, const ShardContext&) {
+        source = g->AddSource("src");
+        const auto pass = g->AddOperator(
+            source, std::make_unique<FilterOperator>(
+                        "pass", [](const Tuple&) { return true; }));
+        sink = g->AddSink(pass, "out");
+        return common::Status::OK();
+      });
+  ASSERT_TRUE(exec_or.ok());
+  auto exec = exec_or.MoveValueUnsafe();
+  TupleBatch batch;
+  for (int i = 0; i < 25; ++i) batch.Append(KV(i, i % 5, 1.0));
+  ASSERT_TRUE(exec->PushBatch(source, std::move(batch)).ok());
+  ASSERT_TRUE(exec->Finish().ok());
+  // (a) the 25 buffered tuples were flushed, not dropped.
+  EXPECT_EQ(exec->sink_output(sink).size(), 25u);
+  // (b) post-Finish pushes fail loudly.
+  TupleBatch late;
+  late.Append(KV(100, 1, 1.0));
+  const auto st = exec->PushBatch(source, late);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), common::StatusCode::kFailedPrecondition)
+      << st.ToString();
+}
+
+TEST(MultiLaneIngestTest, ConcurrentPushAndFinishNeverDeadlocks) {
+  // A producer hammering a lane while Finish() runs must either succeed
+  // (tuples delivered) or fail loudly; the executor must not hang. Every
+  // tuple whose push reported OK before Finish() returned is accounted
+  // for in the sink (no silent drop) — pushes racing the lane close may
+  // fail, which is the loud path.
+  ShardedExecutor::Options opts;
+  opts.num_shards = 2;
+  opts.queue_capacity = 4;
+  ExecGraph::NodeId source = 0, sink = 0;
+  auto exec_or = ShardedExecutor::Create(
+      opts, KeyByIntValue(0), [&](ExecGraph* g, const ShardContext&) {
+        source = g->AddSource("src");
+        const auto pass = g->AddOperator(
+            source, std::make_unique<FilterOperator>(
+                        "pass", [](const Tuple&) { return true; }));
+        sink = g->AddSink(pass, "out");
+        return common::Status::OK();
+      });
+  ASSERT_TRUE(exec_or.ok());
+  auto exec = exec_or.MoveValueUnsafe();
+  std::atomic<uint64_t> acknowledged{0};
+  std::atomic<bool> saw_error{false};
+  std::thread producer([&] {
+    for (int i = 0; i < 100000; ++i) {
+      TupleBatch b;
+      b.Append(KV(i, i % 7, 1.0));
+      if (exec->PushBatch(source, std::move(b)).ok()) {
+        acknowledged.fetch_add(1);
+      } else {
+        saw_error.store(true);
+        return;
+      }
+    }
+  });
+  // Give the producer a head start, then finish under it.
+  while (acknowledged.load() < 100) std::this_thread::yield();
+  ASSERT_TRUE(exec->Finish().ok());
+  producer.join();
+  // Either the producer hit the loud FailedPrecondition, or (unlikely
+  // scheduling) it finished all its pushes before Finish closed the
+  // lanes; a silent drop would fail the accounting below either way.
+  EXPECT_TRUE(saw_error.load() || acknowledged.load() == 100000u);
+  // Every push acknowledged with OK was delivered: Finish waits out
+  // in-flight pushes before the workers stop draining.
+  EXPECT_EQ(exec->sink_output(sink).size(), acknowledged.load());
+}
+
+TEST(MultiLaneIngestTest, LaggingSourceArchiveSurvivesFasterSourceClock) {
+  // Archive eviction must use the MIN across per-source watermarks: a
+  // source lagging far behind another (multi-lane skew) must not have
+  // its freshly-archived tuples evicted by the fast source's timestamps.
+  ShardedExecutor::Options opts;
+  opts.num_shards = 1;
+  opts.num_ingest_lanes = 2;
+  opts.archive_retention_us = 100;
+  ExecGraph::NodeId fast = 0, slow = 0;
+  auto exec_or = ShardedExecutor::Create(
+      opts, KeyByIntValue(0), [&](ExecGraph* g, const ShardContext& ctx) {
+        TupleArchive* archive = ctx.archive;
+        fast = g->AddSource("fast");
+        slow = g->AddSource("slow");
+        for (const auto src : {fast, slow}) {
+          const auto tap = g->AddOperator(
+              src, std::make_unique<TapOperator>(
+                       "tap" + std::to_string(src),
+                       [archive](const Tuple& t) { archive->Archive(t); }));
+          g->AddSink(tap, "out" + std::to_string(src));
+        }
+        return common::Status::OK();
+      });
+  ASSERT_TRUE(exec_or.ok()) << exec_or.status().ToString();
+  auto exec = exec_or.MoveValueUnsafe();
+  // Fast source races to ts 100000 on lane 0...
+  TupleBatch ahead;
+  for (int i = 0; i < 100; ++i) ahead.Append(KV(99000 + i * 10, i, 1.0));
+  ASSERT_TRUE(exec->PushBatch(0, fast, std::move(ahead)).ok());
+  // ...then the lagging source delivers old-timestamped tuples on lane 1
+  // (far below fast's clock minus retention).
+  std::vector<Tuple> lagging;
+  TupleBatch behind;
+  for (int i = 0; i < 20; ++i) {
+    Tuple t = KV(10 + i, i, 2.0);
+    lagging.push_back(t);
+    behind.Append(std::move(t));
+  }
+  ASSERT_TRUE(exec->PushBatch(1, slow, std::move(behind)).ok());
+  ASSERT_TRUE(exec->Finish().ok());
+  // Every lagging tuple is still resolvable in the shard archive.
+  for (const Tuple& t : lagging) {
+    EXPECT_TRUE(exec->archive(0).Lookup(t.id()).ok())
+        << "lagging tuple ts=" << t.timestamp() << " was evicted";
+  }
+}
+
+TEST(MultiLaneIngestTest, IngestCountersExposeBackpressure) {
+  // A deliberately slow operator behind a depth-1 ring: the producer must
+  // block, and the block time + peak depth must surface in the source's
+  // appended metrics entry.
+  ShardedExecutor::Options opts;
+  opts.num_shards = 1;
+  opts.queue_capacity = 1;
+  ExecGraph::NodeId source = 0;
+  auto exec_or = ShardedExecutor::Create(
+      opts, KeyByIntValue(0), [&](ExecGraph* g, const ShardContext&) {
+        source = g->AddSource("feed");
+        const auto slow = g->AddOperator(
+            source, std::make_unique<TapOperator>(
+                        "slow", [](const Tuple&) {
+                          std::this_thread::sleep_for(
+                              std::chrono::microseconds(200));
+                        }));
+        g->AddSink(slow, "out");
+        return common::Status::OK();
+      });
+  ASSERT_TRUE(exec_or.ok());
+  auto exec = exec_or.MoveValueUnsafe();
+  for (int i = 0; i < 64; ++i) {
+    TupleBatch b;
+    for (int j = 0; j < 4; ++j) b.Append(KV(i * 4 + j, j, 1.0));
+    ASSERT_TRUE(exec->PushBatch(source, std::move(b)).ok());
+  }
+  ASSERT_TRUE(exec->Finish().ok());
+  const auto metrics = exec->MetricsSnapshot();
+  bool found = false;
+  for (const auto& m : metrics) {
+    if (m.name != "feed") continue;
+    found = true;
+    EXPECT_EQ(m.metrics.tuples_in, 256u);
+    EXPECT_EQ(m.metrics.batches_in, 64u);
+    EXPECT_GE(m.metrics.queue_peak_depth, 1u);
+    EXPECT_GT(m.metrics.producer_block_seconds, 0.0);
+  }
+  EXPECT_TRUE(found) << "no ingest entry for source 'feed'";
+}
+
+TEST(MultiLaneIngestTest, AutoBatchSizeTunerMovesTheTarget) {
+  // A trivially cheap plan: the feedback tuner must grow the target well
+  // past the initial seed once enough tuples have flowed (cheap per-tuple
+  // cost => large batches amortise the queue hop).
+  ShardedExecutor::Options opts;
+  opts.num_shards = 2;
+  opts.auto_target_batch_size = true;
+  ExecGraph::NodeId source = 0, sink = 0;
+  auto exec_or = ShardedExecutor::Create(
+      opts, KeyByIntValue(0), [&](ExecGraph* g, const ShardContext&) {
+        source = g->AddSource("src");
+        const auto pass = g->AddOperator(
+            source, std::make_unique<FilterOperator>(
+                        "pass", [](const Tuple&) { return true; }));
+        sink = g->AddSink(pass, "out");
+        return common::Status::OK();
+      });
+  ASSERT_TRUE(exec_or.ok());
+  auto exec = exec_or.MoveValueUnsafe();
+  EXPECT_EQ(exec->current_target_batch_size(),
+            ShardedExecutor::kDefaultInitialBatch);
+  constexpr size_t kTotal = 3 * ShardedExecutor::kTuneIntervalTuples;
+  TupleBatch batch;
+  size_t pushed = 0;
+  for (size_t i = 0; i < kTotal; ++i) {
+    batch.Append(KV(static_cast<int64_t>(i), static_cast<int64_t>(i % 11),
+                    1.0));
+    if (batch.size() == 4096) {
+      ASSERT_TRUE(exec->PushBatch(source, std::move(batch)).ok());
+      batch = TupleBatch();
+      ++pushed;
+    }
+  }
+  if (!batch.empty()) {
+    ASSERT_TRUE(exec->PushBatch(source, std::move(batch)).ok());
+  }
+  const size_t tuned = exec->current_target_batch_size();
+  ASSERT_TRUE(exec->Finish().ok());
+  EXPECT_EQ(exec->sink_output(sink).size(), kTotal);
+  EXPECT_NE(tuned, ShardedExecutor::kDefaultInitialBatch)
+      << "tuner never moved the target";
+  EXPECT_GE(tuned, ShardedExecutor::kMinAutoBatch);
+  EXPECT_LE(tuned, ShardedExecutor::kMaxAutoBatch);
+}
+
+TEST(MultiLaneIngestTest, ExplicitTargetBatchSizeStaysFixed) {
+  ShardedExecutor::Options opts;
+  opts.num_shards = 2;
+  opts.target_batch_size = 32;  // explicit, tuner off
+  ExecGraph::NodeId source = 0;
+  auto exec_or = ShardedExecutor::Create(
+      opts, KeyByIntValue(0), [&](ExecGraph* g, const ShardContext&) {
+        source = g->AddSource("src");
+        const auto pass = g->AddOperator(
+            source, std::make_unique<FilterOperator>(
+                        "pass", [](const Tuple&) { return true; }));
+        g->AddSink(pass, "out");
+        return common::Status::OK();
+      });
+  ASSERT_TRUE(exec_or.ok());
+  auto exec = exec_or.MoveValueUnsafe();
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(exec->Push(source, KV(i, i % 3, 1.0)).ok());
+  }
+  EXPECT_EQ(exec->current_target_batch_size(), 32u);
+  EXPECT_TRUE(exec->Finish().ok());
+}
+
+}  // namespace
+}  // namespace stream
+}  // namespace usp

@@ -128,12 +128,16 @@ TEST(ShardedExecutorTest, MetricsMergeAcrossShards) {
   ASSERT_TRUE(exec->PushBatch(source, MakeKeyedStream(1000)).ok());
   ASSERT_TRUE(exec->Finish().ok());
   const auto metrics = exec->MetricsSnapshot();
-  ASSERT_EQ(metrics.size(), 1u);
+  // One operator entry plus the appended ingest entry for the source.
+  ASSERT_EQ(metrics.size(), 2u);
   EXPECT_EQ(metrics[0].name, "pass");
   // Every pushed tuple was seen exactly once across the shard-private
   // operator copies.
   EXPECT_EQ(metrics[0].metrics.tuples_in, 1000u);
   EXPECT_EQ(metrics[0].metrics.tuples_out, 1000u);
+  EXPECT_EQ(metrics[1].name, "src");
+  EXPECT_EQ(metrics[1].metrics.tuples_in, 1000u);
+  EXPECT_GE(metrics[1].metrics.batches_in, 1u);
   EXPECT_EQ(exec->sink_output(sink).size(), 1000u);
 }
 
@@ -324,7 +328,7 @@ TEST(ShardedExecutorTest, TargetBatchSizeSplitsOversizedBatches) {
   ASSERT_TRUE(exec->Finish().ok());
   EXPECT_EQ(exec->sink_output(sink).size(), 1000u);
   const auto metrics = exec->MetricsSnapshot();
-  ASSERT_EQ(metrics.size(), 1u);
+  ASSERT_EQ(metrics.size(), 2u);  // "pass" + the source's ingest entry
   EXPECT_EQ(metrics[0].metrics.tuples_in, 1000u);
   // ceil(1000 / 64) = 16 slices, each split across 2 shards => between 16
   // and 32 batches observed by the shard-private operators.
@@ -381,7 +385,7 @@ TEST(ShardedExecutorTest, TargetBatchSizeMergesUndersizedBatches) {
   ASSERT_TRUE(exec->Finish().ok());
   EXPECT_EQ(exec->sink_output(sink).size(), 450u);
   const auto metrics = exec->MetricsSnapshot();
-  ASSERT_EQ(metrics.size(), 1u);
+  ASSERT_EQ(metrics.size(), 2u);  // "pass" + the source's ingest entry
   EXPECT_EQ(metrics[0].metrics.tuples_in, 450u);
   EXPECT_EQ(metrics[0].metrics.batches_in, 8u);
   // Arrival order survives the re-batching.
