@@ -32,6 +32,7 @@
 //
 // Run:  ./build/bench/bench_dag_sharding [--smoke] [--ingest-threads 1,2,4]
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstring>
@@ -99,7 +100,9 @@ std::vector<TupleBatch> MakeQ1Input() {
   return batches;
 }
 
-double RunQ1Sharding(size_t num_shards, const std::vector<TupleBatch>& input) {
+double RunQ1Sharding(size_t num_shards, const std::vector<TupleBatch>& input,
+                     int64_t watermark_period_us =
+                         usp::query::PlannerOptions::kAutoWatermarkPeriod) {
   auto q1 =
       usp::query::Query::From("src", 2)
           .Map("annotate",
@@ -120,6 +123,7 @@ double RunQ1Sharding(size_t num_shards, const std::vector<TupleBatch>& input) {
   opts.num_shards = num_shards;
   opts.queue_capacity = 64;
   opts.target_batch_size = 0;  // measure raw ingest, not re-batching
+  opts.watermark_period_us = watermark_period_us;
   auto exec_or = q1.Compile(opts);
   if (!exec_or.ok()) {
     fprintf(stderr, "compile failed: %s\n",
@@ -338,6 +342,27 @@ int main(int argc, char** argv) {
   printf("%-14s %14.0f ops/sec   (%.1fx)\n", "SpscRing", spsc_ops,
          bounded_ops > 0 ? spsc_ops / bounded_ops : 0.0);
 
+  // ---- section 4: watermark signalling overhead --------------------------
+  // Same Q1 plan, watermark generation off (period 0) vs. on (planner
+  // auto: several watermarks per window), single shard so the signal's
+  // propagation cost is not hidden behind worker parallelism. Best-of-3
+  // per arm filters scheduler noise; the acceptance target is <2%
+  // overhead (watermarks ride existing batches/rings — one control
+  // message per period, min over inputs at fan-ins).
+  printf("\n=== 4. watermark overhead: Q1, 1 shard, off vs auto ===\n");
+  double wm_off = 0.0, wm_on = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    wm_off = std::max(wm_off, RunQ1Sharding(1, q1_input,
+                                            /*watermark_period_us=*/0));
+    wm_on = std::max(wm_on, RunQ1Sharding(1, q1_input));
+  }
+  const double wm_overhead_pct =
+      wm_off > 0.0 ? (wm_off - wm_on) / wm_off * 100.0 : 100.0;
+  printf("%-18s %14.0f tuples/sec\n", "watermarks off", wm_off);
+  printf("%-18s %14.0f tuples/sec   (overhead %.2f%%, target < 2%%)\n",
+         "watermarks auto", wm_on, wm_overhead_pct);
+  if (wm_off <= 0.0 || wm_on <= 0.0) failed = true;
+
   FILE* f = fopen("BENCH_dag_sharding.json", "w");
   if (f) {
     fprintf(f, "{\n  \"bench\": \"dag_sharding\",\n");
@@ -363,7 +388,11 @@ int main(int argc, char** argv) {
             bounded_ops);
     fprintf(f, "    {\"queue\": \"spsc_ring\", \"ops_per_sec\": %.1f}\n",
             spsc_ops);
-    fprintf(f, "  ]\n}\n");
+    fprintf(f, "  ],\n  \"watermark\": {\n");
+    fprintf(f, "    \"off_tuples_per_sec\": %.1f,\n", wm_off);
+    fprintf(f, "    \"auto_tuples_per_sec\": %.1f,\n", wm_on);
+    fprintf(f, "    \"overhead_pct\": %.3f\n", wm_overhead_pct);
+    fprintf(f, "  }\n}\n");
     fclose(f);
   }
   if (failed || bounded_ops <= 0.0 || spsc_ops <= 0.0) {

@@ -184,7 +184,8 @@ common::Status BuildGraph(const LogicalPlan& plan,
                           std::unordered_map<std::string, ExecGraph::NodeId>*
                               sinks,
                           std::function<uncertain::SumStrategy*(
-                              uncertain::SumStrategyKind)> new_strategy) {
+                              uncertain::SumStrategyKind)> new_strategy,
+                          const std::vector<char>& watermark_only_aggs) {
   std::vector<ExecGraph::NodeId> phys(plan.num_nodes(),
                                       ExecGraph::kInvalidNode);
   for (LogicalPlan::NodeId id = 0; id < plan.num_nodes(); ++id) {
@@ -215,6 +216,8 @@ common::Status BuildGraph(const LogicalPlan& plan,
                 PlannerOptions::AggregatePath::kForcePaned ||
             (options.aggregate_path == PlannerOptions::AggregatePath::kAuto &&
              n.window->slide_us < n.window->size_us);
+        const bool watermark_only =
+            id < watermark_only_aggs.size() && watermark_only_aggs[id];
         auto key_fn = OperatorKeyFn(n);
         std::unique_ptr<stream::Operator> op;
         if (paned) {
@@ -247,9 +250,12 @@ common::Status BuildGraph(const LogicalPlan& plan,
                 break;
             }
           }
-          op = std::make_unique<stream::PanedGroupByAggregateOperator>(
-              n.name, *n.window, std::move(key_fn), std::move(specs),
-              n.having);
+          auto paned_op =
+              std::make_unique<stream::PanedGroupByAggregateOperator>(
+                  n.name, *n.window, std::move(key_fn), std::move(specs),
+                  n.having);
+          if (watermark_only) paned_op->set_watermark_only_closure(true);
+          op = std::move(paned_op);
         } else {
           std::vector<stream::AggregateSpec> specs;
           specs.reserve(n.aggregates.size());
@@ -277,12 +283,17 @@ common::Status BuildGraph(const LogicalPlan& plan,
                 break;
             }
           }
-          op = std::make_unique<stream::GroupByAggregateOperator>(
+          auto naive_op = std::make_unique<stream::GroupByAggregateOperator>(
               n.name, *n.window, std::move(key_fn), std::move(specs),
               n.having);
+          if (watermark_only) naive_op->set_watermark_only_closure(true);
+          op = std::move(naive_op);
         }
         phys[id] = graph->AddOperator(phys[n.inputs[0]], std::move(op));
-        if (record) summary->aggregates.push_back({n.name, paned});
+        if (record) {
+          summary->aggregates.push_back({n.name, paned});
+          if (watermark_only) summary->watermark_driven.push_back(n.name);
+        }
         break;
       }
       case LogicalPlan::NodeKind::kJoin:
@@ -333,6 +344,18 @@ std::string PlanSummary::ToString() const {
     } else {
       out << target_batch_size;
     }
+  }
+  if (watermark_period_us > 0) {
+    out << ", watermarks every " << watermark_period_us << " us"
+        << (auto_watermark_period ? " [auto]" : "");
+    if (watermark_lateness_us > 0) {
+      out << " (lateness " << watermark_lateness_us << " us)";
+    }
+  } else {
+    out << ", watermarks off" << (auto_watermark_period ? " [auto]" : "");
+  }
+  for (const std::string& name : watermark_driven) {
+    out << "; aggregate '" << name << "': watermark-only window closure";
   }
   switch (shard_key_source) {
     case ShardKeySource::kNone:
@@ -414,8 +437,42 @@ common::Status CompiledQuery::PushBatch(stream::ExecGraph::NodeId source,
   if (finished_) {
     return common::Status::FailedPrecondition("query already finished");
   }
-  if (dag_) return dag_->PushBatch(source, batch);
+  if (dag_) {
+    // The O(batch) timestamp scan exists only for watermark generation.
+    const int64_t batch_max_ts =
+        watermark_period_us_ > 0 ? batch.MaxTimestamp() : INT64_MIN;
+    USP_RETURN_NOT_OK(dag_->PushBatch(source, batch));
+    // Periodic watermark generation for the single-DAG backend (the
+    // sharded backend generates lane-locally; same shared clock);
+    // emitted after the data it covers, mirroring the executor-side
+    // ordering rule.
+    stream::SourceWatermarkClock& clock = source_clocks_[source];
+    if (const auto wm = clock.Advance(batch_max_ts, watermark_period_us_,
+                                      watermark_lateness_us_)) {
+      if (clock.TryCommit(*wm)) {
+        USP_RETURN_NOT_OK(dag_->PushWatermark(source, *wm));
+      }
+    }
+    return common::Status::OK();
+  }
   return sharded_->PushBatch(ingest_lane(source), source, std::move(batch));
+}
+
+common::Status CompiledQuery::PushWatermark(stream::ExecGraph::NodeId source,
+                                            int64_t watermark) {
+  if (source == ExecGraph::kInvalidNode) {
+    return common::Status::InvalidArgument("unknown source node");
+  }
+  if (finished_) {
+    return common::Status::FailedPrecondition("query already finished");
+  }
+  if (dag_) {
+    if (!source_clocks_[source].TryCommit(watermark)) {
+      return common::Status::OK();  // regression/re-send: no-op
+    }
+    return dag_->PushWatermark(source, watermark);
+  }
+  return sharded_->PushWatermark(ingest_lane(source), source, watermark);
 }
 
 common::Status CompiledQuery::Finish() {
@@ -471,6 +528,32 @@ common::Result<std::unique_ptr<CompiledQuery>> Planner::Compile(
     if (plan.kind(id) == LogicalPlan::NodeKind::kSource) ++num_sources;
   }
 
+  // --- resolve watermark generation ---------------------------------------
+  // Auto: derive the period from the plan's event-time spans — a quarter
+  // of the smallest window slide / join range keeps several watermarks
+  // per window (timely closure, bounded join buffers) at negligible
+  // signalling cost — and turn generation off for plans with no
+  // event-time state (nothing would consume the signal).
+  summary.auto_watermark_period =
+      options.watermark_period_us == PlannerOptions::kAutoWatermarkPeriod;
+  int64_t watermark_period_us = options.watermark_period_us;
+  if (summary.auto_watermark_period) {
+    int64_t min_span = INT64_MAX;
+    for (LogicalPlan::NodeId id = 0; id < plan.num_nodes(); ++id) {
+      const LogicalPlan::Node& n = plan.node(id);
+      if (n.kind == LogicalPlan::NodeKind::kAggregate && n.window) {
+        min_span = std::min(min_span, n.window->slide_us);
+      } else if (n.kind == LogicalPlan::NodeKind::kJoin &&
+                 n.join_range_us > 0) {
+        min_span = std::min(min_span, n.join_range_us);
+      }
+    }
+    watermark_period_us =
+        min_span == INT64_MAX ? 0 : std::max<int64_t>(1, min_span / 4);
+  }
+  summary.watermark_period_us = watermark_period_us;
+  summary.watermark_lateness_us = options.watermark_lateness_us;
+
   // --- resolve num_shards -------------------------------------------------
   // Auto: as many shards as the machine has cores (capped) when a
   // partition key exists; plans with no derivable key degrade to one
@@ -515,26 +598,38 @@ common::Result<std::unique_ptr<CompiledQuery>> Planner::Compile(
                          : options.num_ingest_lanes;
   // Multi-lane ingest only guarantees PER-SOURCE timestamp order. A join
   // tolerates cross-source skew (its matched-pair set is skew-invariant),
-  // but its emission order then regresses in timestamp — which a windowed
-  // aggregate downstream of the join cannot absorb: it would close and
-  // re-emit windows. Such plans must ingest single-lane (the caller's
-  // global push order is then preserved end to end).
+  // but its emission order then regresses in timestamp. A windowed
+  // aggregate downstream of the join absorbs that when watermarks flow:
+  // join output never regresses below the join's propagated watermark
+  // (output ts = max of an eligible pair; each side's future tuples are
+  // >= its watermark), so switching the aggregate to watermark-only
+  // window closure restores correct closure without cross-source order —
+  // the relaxation that used to force such plans single-lane. With
+  // watermarks disabled, the old refusal stands. A SECOND join consuming
+  // join output stays refused either way: its per-side expiry clocks need
+  // each input in timestamp order, which skewed join output never has.
+  std::vector<char> watermark_only_aggs(plan.num_nodes(), 0);
   if (num_lanes > 1) {
     std::vector<char> join_upstream(plan.num_nodes(), 0);
     std::string blocked;  // "kind 'name'" of the first order-sensitive node
+    std::string blocked_reason;
     for (LogicalPlan::NodeId id = 0; id < plan.num_nodes(); ++id) {
       const LogicalPlan::Node& n = plan.node(id);
       char up_in = 0;
       for (LogicalPlan::NodeId in : n.inputs) {
         if (join_upstream[in]) up_in = 1;
       }
-      // Order-sensitive consumers of join output: a windowed aggregate
-      // needs timestamp order outright, and a second join needs each of
-      // ITS inputs in timestamp order (its per-side expiry clocks would
-      // otherwise overshoot and silently drop matches).
       if (up_in && blocked.empty()) {
         if (n.kind == LogicalPlan::NodeKind::kAggregate) {
-          blocked = "windowed aggregate '" + n.name + "'";
+          if (watermark_period_us > 0) {
+            watermark_only_aggs[id] = 1;  // relaxation: close by watermark
+          } else {
+            blocked = "windowed aggregate '" + n.name + "'";
+            blocked_reason =
+                " (enable watermarks — PlannerOptions::watermark_period_us"
+                " — to lift this: watermark-gated closure tolerates the"
+                " skewed join emission order)";
+          }
         } else if (n.kind == LogicalPlan::NodeKind::kJoin) {
           blocked = "join '" + n.name + "'";
         }
@@ -543,6 +638,7 @@ common::Result<std::unique_ptr<CompiledQuery>> Planner::Compile(
           up_in || n.kind == LogicalPlan::NodeKind::kJoin ? 1 : 0;
     }
     if (!blocked.empty()) {
+      std::fill(watermark_only_aggs.begin(), watermark_only_aggs.end(), 0);
       if (summary.auto_num_ingest_lanes) {
         num_lanes = 1;
         summary.auto_lane_note =
@@ -554,7 +650,8 @@ common::Result<std::unique_ptr<CompiledQuery>> Planner::Compile(
             "num_ingest_lanes > 1 is unsafe here: " + blocked +
             " sits downstream of a join, and multi-lane ingest only "
             "preserves per-source timestamp order — the skewed join "
-            "output would corrupt it; use num_ingest_lanes = 1");
+            "output would corrupt it; use num_ingest_lanes = 1" +
+            blocked_reason);
       }
     }
   }
@@ -586,9 +683,14 @@ common::Result<std::unique_ptr<CompiledQuery>> Planner::Compile(
         [raw, &options, &ctx](uncertain::SumStrategyKind kind) {
           return raw->NewStrategy(kind, options.cf_grid_points,
                                   ctx.cf_workspace);
-        }));
+        },
+        watermark_only_aggs));
     USP_RETURN_NOT_OK(graph->Validate());
     compiled->dag_ = std::make_unique<stream::DagExecutor>(std::move(graph));
+    // The single-DAG backend has no ingest lanes; CompiledQuery::PushBatch
+    // generates the periodic watermarks itself.
+    compiled->watermark_period_us_ = watermark_period_us;
+    compiled->watermark_lateness_us_ = options.watermark_lateness_us;
     return compiled;
   }
 
@@ -601,6 +703,8 @@ common::Result<std::unique_ptr<CompiledQuery>> Planner::Compile(
   sopts.archive_retention_us = options.archive_retention_us;
   sopts.target_batch_size = target_batch_size;
   sopts.auto_target_batch_size = summary.auto_target_batch_size;
+  sopts.watermark_period_us = watermark_period_us;
+  sopts.watermark_lateness_us = options.watermark_lateness_us;
   if (!have_key) {
     // Single shard behind a multi-lane ingest: partitioning is a no-op,
     // but the executor still requires a key function.
@@ -608,14 +712,16 @@ common::Result<std::unique_ptr<CompiledQuery>> Planner::Compile(
   }
   auto exec_or = ShardedExecutor::Create(
       sopts, std::move(key.fn),
-      [&plan, &options, raw](ExecGraph* g, const ShardContext& ctx) {
+      [&plan, &options, raw, &watermark_only_aggs](ExecGraph* g,
+                                                   const ShardContext& ctx) {
         return BuildGraph(
             plan, options, ctx, raw, /*record=*/ctx.shard_index == 0, g,
             &raw->summary_, &raw->sources_, &raw->sinks_,
             [raw, &options, &ctx](uncertain::SumStrategyKind kind) {
               return raw->NewStrategy(kind, options.cf_grid_points,
                                       ctx.cf_workspace);
-            });
+            },
+            watermark_only_aggs);
       });
   USP_RETURN_NOT_OK(exec_or.status());
   compiled->sharded_ = exec_or.MoveValueUnsafe();

@@ -47,6 +47,7 @@
 #include "stream/exec_graph.h"
 #include "stream/pipeline.h"
 #include "stream/sharded_executor.h"
+#include "stream/watermark.h"
 #include "uncertain/sum_strategies.h"
 
 namespace usp {
@@ -102,9 +103,38 @@ struct PlannerOptions {
   /// also expires once its own stream has advanced range + this many us
   /// past a tuple (asserting the two inputs' clocks never diverge
   /// further; matches beyond the divergence are dropped). Negative
-  /// (default) keeps exact unbounded-skew semantics — a silent input
-  /// then grows the other buffer until it speaks again.
+  /// (default) keeps exact unbounded-skew semantics. Superseded by
+  /// watermarks for the silent-input case — a watermark states the idle
+  /// side's clock instead of assuming it, so no matches are dropped —
+  /// but still honoured as a hard cap for feeds that send neither data
+  /// nor watermarks.
   int64_t join_max_skew_us = -1;
+
+  /// Event-time watermark generation period, in event-time microseconds.
+  /// Watermarks are the runtime's progress signal: each source
+  /// periodically announces "no future tuple below T", executors forward
+  /// the signal along graph edges (fan-in nodes take the min of their
+  /// inputs), windowed operators close windows by it, and join buffers
+  /// expire by it — which is what keeps a join bounded when one input
+  /// goes silent (CompiledQuery::PushWatermark covers the fully idle
+  /// case). kAutoWatermarkPeriod (default) derives the period from the
+  /// plan — a quarter of the smallest window slide / join range — when
+  /// the plan has event-time state, and disables generation otherwise.
+  /// 0 disables generation explicitly (pre-watermark behaviour:
+  /// arrival-driven closure only). With lateness 0 (below), watermark
+  /// closure fires exactly where arrival-driven closure already fired,
+  /// so result sets are unchanged.
+  static constexpr int64_t kAutoWatermarkPeriod = -1;
+  int64_t watermark_period_us = kAutoWatermarkPeriod;
+  /// Slack subtracted from a source's max ingested timestamp when its
+  /// watermark is generated ("no future tuple below max - L"). This
+  /// weakens only the PROMISE — it delays watermark-gated actions
+  /// (watermark-only window closure below joins, join-buffer expiry) by
+  /// L of event time. It does NOT make the arrival-driven closure path
+  /// tolerate out-of-order input: windowed operators fed directly by a
+  /// source still require per-source timestamp order regardless of this
+  /// knob. Per-source order makes 0 exact; leave it there.
+  int64_t watermark_lateness_us = 0;
 
   /// Auto shard counts are capped here: past ~8 shards ingest
   /// partitioning saturates before the workers do.
@@ -144,6 +174,19 @@ struct PlanSummary {
   };
   ShardKeySource shard_key_source = ShardKeySource::kNone;
 
+  /// Resolved watermark generation period (0 = off) and whether the
+  /// planner derived it from the plan's window/join spans.
+  int64_t watermark_period_us = 0;
+  bool auto_watermark_period = false;
+  int64_t watermark_lateness_us = 0;
+  /// Windowed aggregates switched to watermark-only closure: they consume
+  /// join output under multi-lane ingest, where emission order regresses
+  /// in timestamp under cross-source skew but never below the join's
+  /// propagated watermark — so the watermark, not data arrival, closes
+  /// their windows. This is what lifts the old multi-lane refusal for
+  /// join-consuming windowed plans.
+  std::vector<std::string> watermark_driven;
+
   struct AggregateChoice {
     std::string node_name;
     bool paned = false;  ///< pane-incremental vs. exact per-window
@@ -182,6 +225,16 @@ class CompiledQuery {
                            const stream::TupleBatch& batch);
   common::Status PushBatch(stream::ExecGraph::NodeId source,
                            stream::TupleBatch&& batch);
+  /// Event-time progress for an IDLE source: promises every future tuple
+  /// pushed at `source` has timestamp >= watermark, letting windows close
+  /// and the peer side of a join expire while this feed is silent (a
+  /// sensor outage stops data, not time). Live sources need no explicit
+  /// calls — the compiled plan generates watermarks periodically from
+  /// ingested timestamps (see PlannerOptions::watermark_period_us). Same
+  /// threading contract as PushBatch for the same source; monotonic per
+  /// source (regressions are ignored).
+  common::Status PushWatermark(stream::ExecGraph::NodeId source,
+                               int64_t watermark);
 
   /// Live ingest re-batching target (moves under the feedback tuner when
   /// PlannerOptions::kAutoBatchSize is in effect; 0 on single-DAG plans).
@@ -226,6 +279,12 @@ class CompiledQuery {
   /// backend uses the per-shard context owned by ShardedExecutor).
   stream::TupleArchive local_archive_;
   stats::CfInversionWorkspace local_workspace_;
+  /// Single-DAG watermark generation state (the sharded backend generates
+  /// lane-locally inside ShardedExecutor; same shared clock type).
+  std::unordered_map<stream::ExecGraph::NodeId, stream::SourceWatermarkClock>
+      source_clocks_;
+  int64_t watermark_period_us_ = 0;
+  int64_t watermark_lateness_us_ = 0;
   /// Exactly one of these backs the query.
   std::unique_ptr<stream::DagExecutor> dag_;
   std::unique_ptr<stream::ShardedExecutor> sharded_;

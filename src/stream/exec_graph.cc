@@ -157,6 +157,81 @@ common::Status DagExecutor::Deliver(ExecGraph::NodeId id, int port,
   return common::Status::Internal("unreachable node kind");
 }
 
+common::Status DagExecutor::ForwardWatermark(ExecGraph::NodeId from,
+                                             int64_t watermark) {
+  // Same sibling-fairness rule as Forward: every branch hears the
+  // watermark, the first error is reported.
+  common::Status first;
+  for (const auto& [to, port] : graph_->nodes_[from].outputs) {
+    const common::Status st = DeliverWatermark(to, port, watermark);
+    if (first.ok() && !st.ok()) first = st;
+  }
+  return first;
+}
+
+common::Status DagExecutor::DeliverWatermark(ExecGraph::NodeId id, int port,
+                                             int64_t watermark) {
+  // Per-edge monotonicity: a regressing (or repeated) watermark is a
+  // no-op, so idempotent re-sends are safe.
+  if (watermark <= input_watermark_[id][port]) return common::Status::OK();
+  input_watermark_[id][port] = watermark;
+  ExecGraph::Node& node = graph_->nodes_[id];
+  // A join consumes the PER-SIDE watermark even when its combined output
+  // watermark does not advance: the left watermark is what expires the
+  // RIGHT buffer, and an idle right side never advances the min.
+  common::Status side_status;
+  if (node.kind == ExecGraph::NodeKind::kJoin) {
+    side_status = node.join->AdvanceWatermark(
+        /*from_left=*/port == ExecGraph::kLeftPort, watermark);
+  }
+  // Fan-in rule: a node's own watermark is the min over its input ports.
+  int64_t advanced = watermark;
+  if (node.num_inputs > 1) {
+    advanced = input_watermark_[id][0] < input_watermark_[id][1]
+                   ? input_watermark_[id][0]
+                   : input_watermark_[id][1];
+  }
+  if (advanced <= node_watermark_[id]) return side_status;
+  node_watermark_[id] = advanced;
+  switch (node.kind) {
+    case ExecGraph::NodeKind::kSource:
+      return ForwardWatermark(id, advanced);
+    case ExecGraph::NodeKind::kOperator: {
+      // Window closures triggered by the watermark must traverse the
+      // downstream edges before the watermark itself, or a downstream
+      // window could close under data still in flight toward it.
+      TupleBatch flush;
+      BatchCollector collector(&flush);
+      const common::Status st = node.op->AdvanceWatermark(advanced,
+                                                          &collector);
+      const common::Status fwd = Forward(id, flush);
+      const common::Status wm = ForwardWatermark(id, advanced);
+      if (!st.ok()) return st;
+      return fwd.ok() ? wm : fwd;
+    }
+    case ExecGraph::NodeKind::kJoin: {
+      const common::Status wm = ForwardWatermark(id, advanced);
+      return side_status.ok() ? wm : side_status;
+    }
+    case ExecGraph::NodeKind::kSink:
+      return common::Status::OK();
+  }
+  return common::Status::Internal("unreachable node kind");
+}
+
+common::Status DagExecutor::PushWatermark(ExecGraph::NodeId source,
+                                          int64_t watermark) {
+  if (closed_) {
+    return common::Status::FailedPrecondition("executor already closed");
+  }
+  if (source >= graph_->num_nodes() ||
+      graph_->kind(source) != ExecGraph::NodeKind::kSource) {
+    return common::Status::InvalidArgument(
+        "PushWatermark target is not a source");
+  }
+  return DeliverWatermark(source, 0, watermark);
+}
+
 common::Status DagExecutor::PushBatch(ExecGraph::NodeId source,
                                       const TupleBatch& batch) {
   if (closed_) {

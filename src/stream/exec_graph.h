@@ -14,6 +14,7 @@
 #ifndef USP_STREAM_EXEC_GRAPH_H_
 #define USP_STREAM_EXEC_GRAPH_H_
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -105,7 +106,10 @@ struct NodeMetrics {
 class DagExecutor {
  public:
   explicit DagExecutor(std::unique_ptr<ExecGraph> graph)
-      : graph_(std::move(graph)), sink_outputs_(graph_->num_nodes()) {}
+      : graph_(std::move(graph)),
+        sink_outputs_(graph_->num_nodes()),
+        input_watermark_(graph_->num_nodes(), {INT64_MIN, INT64_MIN}),
+        node_watermark_(graph_->num_nodes(), INT64_MIN) {}
 
   const ExecGraph& graph() const { return *graph_; }
 
@@ -113,6 +117,19 @@ class DagExecutor {
   common::Status PushBatch(ExecGraph::NodeId source, const TupleBatch& batch);
   /// Single-tuple convenience (wraps the tuple in a batch of one).
   common::Status Push(ExecGraph::NodeId source, const Tuple& tuple);
+  /// Event-time progress injection: promises every future tuple pushed at
+  /// `source` has timestamp >= watermark. The signal propagates along the
+  /// graph edges — stateful operators close windows / expire buffers as
+  /// it passes, fan-in (join) nodes forward the MIN of their per-input
+  /// watermarks, data emitted by a watermark-triggered closure traverses
+  /// downstream edges BEFORE the watermark itself. Monotonic per edge;
+  /// regressions are ignored (idempotent to re-send).
+  common::Status PushWatermark(ExecGraph::NodeId source, int64_t watermark);
+  /// Current propagated watermark of a node (INT64_MIN before any; for a
+  /// fan-in node, the min across its inputs).
+  int64_t node_watermark(ExecGraph::NodeId node) const {
+    return node_watermark_[node];
+  }
   /// End-of-stream: flush every stateful node, topologically.
   common::Status Close();
 
@@ -133,9 +150,16 @@ class DagExecutor {
   common::Status Deliver(ExecGraph::NodeId node, int port,
                          const TupleBatch& batch);
   common::Status Forward(ExecGraph::NodeId from, const TupleBatch& batch);
+  common::Status DeliverWatermark(ExecGraph::NodeId node, int port,
+                                  int64_t watermark);
+  common::Status ForwardWatermark(ExecGraph::NodeId from, int64_t watermark);
 
   std::unique_ptr<ExecGraph> graph_;
   std::vector<TupleBatch> sink_outputs_;  // indexed by NodeId; sinks only
+  /// Per-node per-input-port watermark (port 1 used by joins only).
+  std::vector<std::array<int64_t, 2>> input_watermark_;
+  /// Per-node propagated watermark: min over the node's input ports.
+  std::vector<int64_t> node_watermark_;
   bool closed_ = false;
   common::Status close_status_;  // first flush error; re-reported on retry
 };

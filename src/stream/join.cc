@@ -25,33 +25,43 @@ void SlidingWindowJoin::Expire() {
   // l.ts + range the tuple is provably dead, however far its own side has
   // run ahead. (Expiring by a single global clock would silently drop
   // matches when one input lags the other, which multi-lane ingest
-  // permits.) With a max-skew cap, the OWN clock also expires — under the
-  // assumption the silent side's clock is at most max_skew behind — so a
-  // stalled input cannot grow the other buffer without bound.
+  // permits.) The clock is max(data high-water, watermark): a silent
+  // side's data clock freezes, but its watermark keeps advancing the
+  // other buffer's expiry — the idle-source fix. With a max-skew cap, the
+  // OWN clock also expires — under the assumption the silent side's clock
+  // is at most max_skew behind — so a stalled input cannot grow the other
+  // buffer without bound even when nobody sends watermarks.
+  const int64_t left_clock = LeftClock();
+  const int64_t right_clock = RightClock();
   int64_t left_horizon = INT64_MIN;
   int64_t right_horizon = INT64_MIN;
-  if (right_max_ts_ != INT64_MIN) {
-    left_horizon = right_max_ts_ - range_us_;
+  if (right_clock != INT64_MIN) {
+    left_horizon = right_clock - range_us_;
   }
-  if (left_max_ts_ != INT64_MIN) {
-    right_horizon = left_max_ts_ - range_us_;
+  if (left_clock != INT64_MIN) {
+    right_horizon = left_clock - range_us_;
   }
   if (max_skew_us_ >= 0) {
-    if (left_max_ts_ != INT64_MIN) {
+    if (left_clock != INT64_MIN) {
       left_horizon =
-          std::max(left_horizon, left_max_ts_ - range_us_ - max_skew_us_);
+          std::max(left_horizon, left_clock - range_us_ - max_skew_us_);
     }
-    if (right_max_ts_ != INT64_MIN) {
+    if (right_clock != INT64_MIN) {
       right_horizon =
-          std::max(right_horizon, right_max_ts_ - range_us_ - max_skew_us_);
+          std::max(right_horizon, right_clock - range_us_ - max_skew_us_);
     }
   }
   while (!left_.empty() && left_.front().timestamp() < left_horizon) {
+    const uint64_t bytes = left_.front().ApproxBytes();
+    buffered_bytes_ -= bytes < buffered_bytes_ ? bytes : buffered_bytes_;
     left_.pop_front();
   }
   while (!right_.empty() && right_.front().timestamp() < right_horizon) {
+    const uint64_t bytes = right_.front().ApproxBytes();
+    buffered_bytes_ -= bytes < buffered_bytes_ ? bytes : buffered_bytes_;
     right_.pop_front();
   }
+  metrics_.buffered_bytes = buffered_bytes_;
 }
 
 void SlidingWindowJoin::ProbeAndBuffer(const Tuple& tuple, bool from_left,
@@ -78,7 +88,32 @@ void SlidingWindowJoin::ProbeAndBuffer(const Tuple& tuple, bool from_left,
       out->Emit(std::move(*joined));
     }
   }
-  (from_left ? left_ : right_).push_back(tuple);
+  std::deque<Tuple>& side = from_left ? left_ : right_;
+  side.push_back(tuple);
+  // Charge the STORED copy (exact-sized), not the caller's tuple (which
+  // may carry excess vector capacity): Expire() refunds by measuring the
+  // stored copy, so charging the same object keeps the gauge drift-free.
+  buffered_bytes_ += side.back().ApproxBytes();
+  metrics_.buffered_bytes = buffered_bytes_;
+}
+
+common::Status SlidingWindowJoin::AdvanceWatermark(bool from_left,
+                                                   int64_t watermark) {
+  common::Stopwatch sw;
+  if (from_left) {
+    left_wm_ = std::max(left_wm_, watermark);
+  } else {
+    right_wm_ = std::max(right_wm_, watermark);
+  }
+  // The join's own progress is the min of its input clocks (fan-in rule);
+  // recorded so the low-watermark surface covers joins too.
+  const int64_t left_clock = LeftClock();
+  const int64_t right_clock = RightClock();
+  metrics_.low_watermark =
+      left_clock < right_clock ? left_clock : right_clock;
+  Expire();
+  metrics_.processing_seconds += sw.ElapsedSeconds();
+  return common::Status::OK();
 }
 
 common::Status SlidingWindowJoin::PushImpl(const Tuple& tuple, bool from_left,
@@ -124,6 +159,8 @@ common::Status SlidingWindowJoin::PushRightBatch(const TupleBatch& batch,
 common::Status SlidingWindowJoin::Close() {
   left_.clear();
   right_.clear();
+  buffered_bytes_ = 0;
+  metrics_.buffered_bytes = 0;
   return common::Status::OK();
 }
 

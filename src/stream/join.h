@@ -45,7 +45,13 @@ namespace stream {
 /// Call Close() once after the last push.
 class SlidingWindowJoin {
  public:
-  /// Builds the joined tuple for an eligible pair, or nullopt.
+  /// Builds the joined tuple for an eligible pair, or nullopt. Contract:
+  /// the joined tuple's timestamp must be >= max(left.ts, right.ts) —
+  /// what ConcatJoinedTuple produces. Watermark reasoning depends on it:
+  /// the executor forwards min(left wm, right wm) past this join, and
+  /// output stamped at the pair max provably never regresses below that;
+  /// an earlier stamp can land below the propagated watermark, which a
+  /// downstream watermark-only window rejects with a loud error.
   using MatchFn = std::function<std::optional<Tuple>(const Tuple& left,
                                                      const Tuple& right)>;
 
@@ -62,6 +68,16 @@ class SlidingWindowJoin {
   /// instead of per tuple. This is the DAG executor's hot path.
   common::Status PushLeftBatch(const TupleBatch& batch, Collector* out);
   common::Status PushRightBatch(const TupleBatch& batch, Collector* out);
+  /// Event-time progress on one input (`from_left` names the side the
+  /// promise is about): no future tuple on that side will carry
+  /// ts < watermark. This is what bounds the OTHER side's buffer while
+  /// this side is silent — a buffered right tuple r is provably dead once
+  /// the left watermark passes r.ts + range even if no left tuple ever
+  /// arrives again (the idle-source fix; data arrival advances the same
+  /// clocks, watermarks just keep them moving through silence). Joins emit
+  /// eagerly, so watermarks never produce output here; the executor
+  /// forwards min(left, right) downstream itself.
+  common::Status AdvanceWatermark(bool from_left, int64_t watermark);
   /// No buffered output exists at close (joins emit eagerly), but Close
   /// releases window state.
   common::Status Close();
@@ -79,6 +95,14 @@ class SlidingWindowJoin {
   /// Unmetered core: expire, probe the other side, buffer the tuple.
   void ProbeAndBuffer(const Tuple& tuple, bool from_left, Collector* out);
   void Expire();
+  /// Per-side future-timestamp lower bound: max of the side's data
+  /// high-water mark (per-side arrival order) and its watermark.
+  int64_t LeftClock() const {
+    return left_wm_ > left_max_ts_ ? left_wm_ : left_max_ts_;
+  }
+  int64_t RightClock() const {
+    return right_wm_ > right_max_ts_ ? right_wm_ : right_max_ts_;
+  }
 
   std::string name_;
   int64_t range_us_;
@@ -91,6 +115,13 @@ class SlidingWindowJoin {
   /// side's clock (see class comment).
   int64_t left_max_ts_ = INT64_MIN;
   int64_t right_max_ts_ = INT64_MIN;
+  /// Per-side watermarks (promises about future input, independent of
+  /// data arrival); INT64_MIN until the side's first watermark.
+  int64_t left_wm_ = INT64_MIN;
+  int64_t right_wm_ = INT64_MIN;
+  /// Incremental Tuple::ApproxBytes over both buffers, mirrored into
+  /// metrics_.buffered_bytes.
+  uint64_t buffered_bytes_ = 0;
   OperatorMetrics metrics_;
 };
 

@@ -46,6 +46,15 @@ common::Status Operator::ProcessBatch(const TupleBatch& batch,
   return common::Status::OK();
 }
 
+common::Status Operator::AdvanceWatermark(int64_t watermark, Collector* out) {
+  metrics_.low_watermark = watermark;
+  CountingCollector counting(out, &metrics_);
+  common::Stopwatch sw;
+  const common::Status st = OnWatermark(watermark, &counting);
+  metrics_.processing_seconds += sw.ElapsedSeconds();
+  return st;
+}
+
 common::Status Operator::Close(Collector* out) {
   CountingCollector counting(out, &metrics_);
   common::Stopwatch sw;

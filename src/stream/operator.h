@@ -5,6 +5,7 @@
 #ifndef USP_STREAM_OPERATOR_H_
 #define USP_STREAM_OPERATOR_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -73,6 +74,17 @@ struct OperatorMetrics {
   /// in batches.
   uint64_t queue_peak_depth = 0;
 
+  // Event-time progress + buffered-state gauges.
+  /// Last watermark this operator observed (INT64_MIN before any — also
+  /// the merged value when any shard has yet to see one, which is the
+  /// correct conservative minimum).
+  int64_t low_watermark = INT64_MIN;
+  /// Approximate bytes of buffered operator state (open windows, join
+  /// buffers, pane partials), per Tuple::ApproxBytes. A gauge, not a
+  /// counter: it tracks current occupancy, so silent buffer growth (e.g.
+  /// a join peer outrunning an idle source) is observable.
+  uint64_t buffered_bytes = 0;
+
   void MergeFrom(const OperatorMetrics& other) {
     tuples_in += other.tuples_in;
     tuples_out += other.tuples_out;
@@ -82,6 +94,10 @@ struct OperatorMetrics {
     queue_peak_depth = queue_peak_depth > other.queue_peak_depth
                            ? queue_peak_depth
                            : other.queue_peak_depth;
+    low_watermark =
+        low_watermark < other.low_watermark ? low_watermark
+                                            : other.low_watermark;
+    buffered_bytes += other.buffered_bytes;
   }
 };
 
@@ -108,6 +124,13 @@ class Operator {
   /// Process() per tuple, subclasses may override ProcessBatch() with a
   /// vectorised loop.
   common::Status PushBatch(const TupleBatch& batch, Collector* out);
+  /// Event-time progress: the executor promises every future input tuple
+  /// has timestamp >= `watermark`. Stateful operators close windows and
+  /// expire buffers here (emissions go to `out`); the default is a no-op
+  /// for stateless operators. The executor forwards the watermark along
+  /// graph edges itself — operators never re-emit it. Monotonic: the
+  /// executor only delivers advances.
+  common::Status AdvanceWatermark(int64_t watermark, Collector* out);
   /// End-of-stream: flush buffered state.
   common::Status Close(Collector* out);
 
@@ -115,10 +138,18 @@ class Operator {
   virtual common::Status Process(const Tuple& tuple, Collector* out) = 0;
   /// Batch hook; default loops over Process(). Emissions go to `out`.
   virtual common::Status ProcessBatch(const TupleBatch& batch, Collector* out);
+  /// Watermark hook; default no-op (stateless operators).
+  virtual common::Status OnWatermark(int64_t watermark, Collector* out) {
+    (void)watermark;
+    (void)out;
+    return common::Status::OK();
+  }
   virtual common::Status Finish(Collector* out) {
     (void)out;
     return common::Status::OK();
   }
+  /// For subclasses maintaining the buffered_bytes/low_watermark gauges.
+  OperatorMetrics& mutable_metrics() { return metrics_; }
 
  private:
   // Counting wrapper so subclasses' emissions are metered.

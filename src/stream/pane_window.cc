@@ -44,6 +44,13 @@ int64_t PanedGroupByAggregateOperator::EarliestOpenWindowStart() const {
 
 common::Status PanedGroupByAggregateOperator::AddToPane(
     Pane& pane, const Tuple& tuple, const std::string& key) {
+  // Tuple-rate estimate of the pane-partial + lineage state this tuple
+  // adds; mirrored into the buffered_bytes gauge so pane-buffer growth is
+  // observable alongside the naive path's window buffers.
+  const uint64_t approx = tuple.ApproxBytes();
+  pane.approx_bytes += approx;
+  buffered_bytes_ += approx;
+  mutable_metrics().buffered_bytes = buffered_bytes_;
   auto [it, inserted] = pane.groups.try_emplace(key);
   GroupState& gs = it->second;
   if (inserted) {
@@ -111,6 +118,18 @@ common::Status PanedGroupByAggregateOperator::EmitWindow(int64_t start,
   return common::Status::OK();
 }
 
+void PanedGroupByAggregateOperator::EvictPanesServedBy(int64_t start) {
+  // Evict panes whose last containing window (the largest slide multiple
+  // <= pane start) has now been emitted.
+  while (!panes_.empty() &&
+         FloorToMultiple(panes_.begin()->first, spec_.slide_us) <= start) {
+    const uint64_t bytes = panes_.begin()->second.approx_bytes;
+    buffered_bytes_ -= bytes < buffered_bytes_ ? bytes : buffered_bytes_;
+    panes_.erase(panes_.begin());
+  }
+  mutable_metrics().buffered_bytes = buffered_bytes_;
+}
+
 common::Status PanedGroupByAggregateOperator::CloseWindowsBefore(
     int64_t ts, Collector* out) {
   while (!panes_.empty()) {
@@ -120,22 +139,34 @@ common::Status PanedGroupByAggregateOperator::CloseWindowsBefore(
       return common::Status::OK();
     }
     USP_RETURN_NOT_OK(EmitWindow(s, out));
-    // Evict panes whose last containing window (the largest slide multiple
-    // <= pane start) has now been emitted.
-    while (!panes_.empty() &&
-           FloorToMultiple(panes_.begin()->first, spec_.slide_us) <= s) {
-      panes_.erase(panes_.begin());
-    }
+    EvictPanesServedBy(s);
   }
   next_close_end_ = std::numeric_limits<int64_t>::max();
   return common::Status::OK();
 }
 
+common::Status PanedGroupByAggregateOperator::OnWatermark(int64_t watermark,
+                                                          Collector* out) {
+  // Same closure rule as the arrival path: the watermark bounds every
+  // future timestamp from below, so windows ending at or below it are
+  // complete regardless of input-order anomalies the watermark-only mode
+  // tolerates.
+  if (watermark > applied_watermark_) applied_watermark_ = watermark;
+  return CloseWindowsBefore(watermark, out);
+}
+
+common::Status PanedGroupByAggregateOperator::CheckNotBelowWatermark(
+    int64_t ts) const {
+  if (!watermark_only_closure_) return common::Status::OK();
+  return CheckTupleNotBelowWatermark(name(), spec_, applied_watermark_, ts);
+}
+
 common::Status PanedGroupByAggregateOperator::Process(const Tuple& tuple,
                                                       Collector* out) {
-  if (tuple.timestamp() >= next_close_end_) {
+  if (!watermark_only_closure_ && tuple.timestamp() >= next_close_end_) {
     USP_RETURN_NOT_OK(CloseWindowsBefore(tuple.timestamp(), out));
   }
+  USP_RETURN_NOT_OK(CheckNotBelowWatermark(tuple.timestamp()));
   return Add(tuple, key_fn_(tuple));
 }
 
@@ -148,10 +179,11 @@ common::Status PanedGroupByAggregateOperator::ProcessBatch(
   int64_t pane_start = 0;
   for (const Tuple& tuple : batch) {
     const int64_t ts = tuple.timestamp();
-    if (ts >= next_close_end_) {
+    if (!watermark_only_closure_ && ts >= next_close_end_) {
       USP_RETURN_NOT_OK(CloseWindowsBefore(ts, out));
       pane = nullptr;
     }
+    USP_RETURN_NOT_OK(CheckNotBelowWatermark(ts));
     const int64_t start = FloorToMultiple(ts, pane_us_);
     if (pane == nullptr || start != pane_start) {
       const bool was_empty = panes_.empty();
@@ -172,10 +204,7 @@ common::Status PanedGroupByAggregateOperator::Finish(Collector* out) {
   while (!panes_.empty()) {
     const int64_t s = EarliestOpenWindowStart();
     USP_RETURN_NOT_OK(EmitWindow(s, out));
-    while (!panes_.empty() &&
-           FloorToMultiple(panes_.begin()->first, spec_.slide_us) <= s) {
-      panes_.erase(panes_.begin());
-    }
+    EvictPanesServedBy(s);
   }
   next_close_end_ = std::numeric_limits<int64_t>::max();
   return common::Status::OK();

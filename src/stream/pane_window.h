@@ -18,6 +18,7 @@
 #define USP_STREAM_PANE_WINDOW_H_
 
 #include <functional>
+#include <limits>
 #include <map>
 #include <memory>
 #include <string>
@@ -68,10 +69,17 @@ class PanedGroupByAggregateOperator final : public Operator {
 
   int64_t pane_us() const { return pane_us_; }
 
+  /// Out-of-order input mode (same contract as
+  /// WindowedOperator::set_watermark_only_closure): pane assignment is
+  /// order-independent, so only closure moves to the watermark.
+  void set_watermark_only_closure(bool on) { watermark_only_closure_ = on; }
+
  protected:
   common::Status Process(const Tuple& tuple, Collector* out) override;
   common::Status ProcessBatch(const TupleBatch& batch,
                               Collector* out) override;
+  /// Closes every window with end <= watermark.
+  common::Status OnWatermark(int64_t watermark, Collector* out) override;
   common::Status Finish(Collector* out) override;
 
  private:
@@ -82,6 +90,9 @@ class PanedGroupByAggregateOperator final : public Operator {
   struct Pane {
     std::map<std::string, GroupState> groups;
     std::vector<const std::string*> order;  // first-seen group order
+    /// Approx bytes charged to this pane (tuple-rate estimate of partial
+    /// state + lineage), subtracted from the gauge when the pane evicts.
+    uint64_t approx_bytes = 0;
   };
 
   common::Status Add(const Tuple& tuple, const std::string& key);
@@ -90,15 +101,27 @@ class PanedGroupByAggregateOperator final : public Operator {
                            const std::string& key);
   common::Status CloseWindowsBefore(int64_t ts, Collector* out);
   common::Status EmitWindow(int64_t start, Collector* out);
+  /// Drop leading panes fully covered by the just-emitted window `start`,
+  /// keeping the buffered_bytes gauge in sync.
+  void EvictPanesServedBy(int64_t start);
   /// Earliest window start that could still close, given the earliest
   /// retained pane.
   int64_t EarliestOpenWindowStart() const;
+
+  /// Loud guard for watermark-only mode (same contract as
+  /// WindowedOperator::CheckNotBelowWatermark).
+  common::Status CheckNotBelowWatermark(int64_t ts) const;
 
   WindowSpec spec_;
   int64_t pane_us_;
   KeyFn key_fn_;
   std::vector<PaneAggregateSpec> aggregates_;
   HavingFn having_;
+  bool watermark_only_closure_ = false;
+  /// Highest watermark applied via OnWatermark (INT64_MIN before any).
+  int64_t applied_watermark_ = std::numeric_limits<int64_t>::min();
+  /// Sum of panes_' approx_bytes; mirrored into buffered_bytes.
+  uint64_t buffered_bytes_ = 0;
   std::map<int64_t, Pane> panes_;  // pane start -> contents
   /// Cached end of the earliest open window; tuples below it skip the
   /// closing scan entirely. INT64_MAX while no pane exists.

@@ -95,6 +95,7 @@ common::Result<std::unique_ptr<ShardedExecutor>> ShardedExecutor::Create(
           std::make_unique<SpscRing<Message>>(options.queue_capacity));
     }
     lane->next_seq.assign(num_nodes, 0);
+    lane->watermark_clocks.assign(num_nodes, SourceWatermarkClock());
     exec->lanes_.push_back(std::move(lane));
   }
   size_t initial_target = options.target_batch_size;
@@ -112,6 +113,33 @@ common::Result<std::unique_ptr<ShardedExecutor>> ShardedExecutor::Create(
     });
   }
   return exec;
+}
+
+void ShardedExecutor::MaybeEvictArchive(Shard* shard) {
+  // Eviction clock: the MIN across per-source event-time clocks seen on
+  // this shard, so a source lagging behind the others (multi-lane skew)
+  // does not have its freshly-archived tuples evicted by the fastest
+  // source's timestamps. The per-source clock advances on data AND on
+  // propagated watermarks — the same signal that closes windows — so an
+  // idle source no longer pins the whole shard's archive.
+  int64_t evict_watermark = INT64_MAX;
+  for (const int64_t wm : shard->source_watermark) {
+    if (wm != INT64_MIN) evict_watermark = std::min(evict_watermark, wm);
+  }
+  if (evict_watermark == INT64_MAX) evict_watermark = INT64_MIN;
+  // Evict only once the clock has advanced at least a quarter of the
+  // retention span past the last eviction: EvictBefore scans the whole
+  // archive, so running it per message would be O(messages * archive
+  // size). No eviction until a non-empty batch has set the clock
+  // (INT64_MIN - retention would underflow).
+  if (options_.archive_retention_us >= 0 && evict_watermark != INT64_MIN &&
+      (shard->last_evict_watermark == INT64_MIN ||
+       evict_watermark - shard->last_evict_watermark >=
+           std::max<int64_t>(1, options_.archive_retention_us / 4))) {
+    shard->archive.EvictBefore(evict_watermark -
+                               options_.archive_retention_us);
+    shard->last_evict_watermark = evict_watermark;
+  }
 }
 
 void ShardedExecutor::ProcessMessage(Shard* shard, Message&& msg) {
@@ -132,33 +160,26 @@ void ShardedExecutor::ProcessMessage(Shard* shard, Message&& msg) {
     }
     shard->last_seq[msg.source] = msg.seq;
   }
+  if (msg.watermark != INT64_MIN) {
+    // Watermark control message: propagate through the shard's graph
+    // (closing windows, expiring join buffers) and advance the eviction
+    // clock — no tuples to process.
+    shard->status = shard->exec->PushWatermark(msg.source, msg.watermark);
+    if (msg.source < shard->source_watermark.size()) {
+      shard->source_watermark[msg.source] =
+          std::max(shard->source_watermark[msg.source], msg.watermark);
+    }
+    MaybeEvictArchive(shard);
+    return;
+  }
   shard->status = shard->exec->PushBatch(msg.source, msg.batch);
-  shard->watermark = std::max(shard->watermark, msg.batch.MaxTimestamp());
+  const int64_t batch_max_ts = msg.batch.MaxTimestamp();
+  shard->watermark = std::max(shard->watermark, batch_max_ts);
   if (msg.source < shard->source_watermark.size()) {
-    shard->source_watermark[msg.source] = std::max(
-        shard->source_watermark[msg.source], msg.batch.MaxTimestamp());
+    shard->source_watermark[msg.source] =
+        std::max(shard->source_watermark[msg.source], batch_max_ts);
   }
-  // Eviction clock: the MIN across sources seen on this shard, so a
-  // source lagging behind the others (multi-lane skew) does not have its
-  // freshly-archived tuples evicted by the fastest source's timestamps.
-  int64_t evict_watermark = INT64_MAX;
-  for (const int64_t wm : shard->source_watermark) {
-    if (wm != INT64_MIN) evict_watermark = std::min(evict_watermark, wm);
-  }
-  if (evict_watermark == INT64_MAX) evict_watermark = INT64_MIN;
-  // Evict only once the clock has advanced at least a quarter of the
-  // retention span past the last eviction: EvictBefore scans the whole
-  // archive, so running it per message would be O(messages * archive
-  // size). No eviction until a non-empty batch has set the clock
-  // (INT64_MIN - retention would underflow).
-  if (options_.archive_retention_us >= 0 && evict_watermark != INT64_MIN &&
-      (shard->last_evict_watermark == INT64_MIN ||
-       evict_watermark - shard->last_evict_watermark >=
-           std::max<int64_t>(1, options_.archive_retention_us / 4))) {
-    shard->archive.EvictBefore(evict_watermark -
-                               options_.archive_retention_us);
-    shard->last_evict_watermark = evict_watermark;
-  }
+  MaybeEvictArchive(shard);
 }
 
 void ShardedExecutor::WorkerLoop(Shard* shard) {
@@ -201,6 +222,7 @@ common::Status ShardedExecutor::Enqueue(Lane* lane, size_t shard,
                                         Message&& msg) {
   const ExecGraph::NodeId source = msg.source;
   const uint64_t tuples = msg.batch.size();
+  const bool is_watermark = msg.watermark != INT64_MIN;
   SpscRing<Message>& ring = *lane->rings[shard];
   if (!ring.TryPush(msg)) {
     // Full (backpressure) or closed: block with backoff and meter the
@@ -220,7 +242,11 @@ common::Status ShardedExecutor::Enqueue(Lane* lane, size_t shard,
   }
   IngestCounters& counters = ingest_by_source_[source];
   counters.tuples.fetch_add(tuples, std::memory_order_relaxed);
-  counters.batches.fetch_add(1, std::memory_order_relaxed);
+  if (!is_watermark) {
+    // Watermark control messages ride the same rings but are not data
+    // batches; counting them would skew the ingest batch counters.
+    counters.batches.fetch_add(1, std::memory_order_relaxed);
+  }
   const uint64_t depth = ring.size();
   uint64_t prev = counters.peak_depth.load(std::memory_order_relaxed);
   while (depth > prev && !counters.peak_depth.compare_exchange_weak(
@@ -229,23 +255,60 @@ common::Status ShardedExecutor::Enqueue(Lane* lane, size_t shard,
   return common::Status::OK();
 }
 
+common::Status ShardedExecutor::BroadcastWatermark(Lane* lane,
+                                                   ExecGraph::NodeId source,
+                                                   int64_t watermark) {
+  // Monotone per source; re-sends and regressions are no-ops, so callers
+  // need no dedup of their own.
+  if (!lane->watermark_clocks[source].TryCommit(watermark)) {
+    return common::Status::OK();
+  }
+  const uint64_t seq = ++lane->next_seq[source];
+  // Every shard sees only a partition of the source's tuples, so every
+  // shard must hear the source's progress signal (one message per shard,
+  // same seq — each shard receives it exactly once).
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Message msg;
+    msg.source = source;
+    msg.seq = seq;
+    msg.watermark = watermark;
+    USP_RETURN_NOT_OK(Enqueue(lane, s, std::move(msg)));
+  }
+  return common::Status::OK();
+}
+
 common::Status ShardedExecutor::PushSlice(Lane* lane,
                                           ExecGraph::NodeId source,
                                           TupleBatch&& batch) {
+  // The O(batch) timestamp scan exists only for watermark generation;
+  // skip it entirely when generation is off.
+  const int64_t batch_max_ts = options_.watermark_period_us > 0
+                                   ? batch.MaxTimestamp()
+                                   : INT64_MIN;
   const uint64_t seq = ++lane->next_seq[source];
   if (shards_.size() == 1) {
     // Single shard: forward the whole batch without re-partitioning.
-    return Enqueue(lane, 0, Message{source, seq, std::move(batch)});
-  }
-  std::vector<TupleBatch> partitions(shards_.size());
-  for (Tuple& t : batch.mutable_tuples()) {
-    partitions[key_fn_(t) % shards_.size()].Append(std::move(t));
-  }
-  batch.Clear();
-  for (size_t i = 0; i < partitions.size(); ++i) {
-    if (partitions[i].empty()) continue;
     USP_RETURN_NOT_OK(
-        Enqueue(lane, i, Message{source, seq, std::move(partitions[i])}));
+        Enqueue(lane, 0, Message{source, seq, std::move(batch)}));
+  } else {
+    std::vector<TupleBatch> partitions(shards_.size());
+    for (Tuple& t : batch.mutable_tuples()) {
+      partitions[key_fn_(t) % shards_.size()].Append(std::move(t));
+    }
+    batch.Clear();
+    for (size_t i = 0; i < partitions.size(); ++i) {
+      if (partitions[i].empty()) continue;
+      USP_RETURN_NOT_OK(
+          Enqueue(lane, i, Message{source, seq, std::move(partitions[i])}));
+    }
+  }
+  // Periodic watermark generation, after the data it covers is enqueued
+  // (lane FIFO then guarantees no shard sees the watermark before the
+  // tuples it promises about).
+  if (const auto wm = lane->watermark_clocks[source].Advance(
+          batch_max_ts, options_.watermark_period_us,
+          options_.watermark_lateness_us)) {
+    USP_RETURN_NOT_OK(BroadcastWatermark(lane, source, *wm));
   }
   return common::Status::OK();
 }
@@ -257,9 +320,10 @@ common::Status ShardedExecutor::PushBatch(LaneId lane,
   return PushBatch(lane, source, std::move(copy));
 }
 
-common::Status ShardedExecutor::PushBatch(LaneId lane_id,
+common::Status ShardedExecutor::AdmitPush(LaneId lane_id,
                                           ExecGraph::NodeId source,
-                                          TupleBatch&& batch) {
+                                          Lane** lane_out,
+                                          PushTicket* ticket) {
   if (finished_.load(std::memory_order_acquire)) {
     return common::Status::FailedPrecondition("executor already finished");
   }
@@ -276,14 +340,16 @@ common::Status ShardedExecutor::PushBatch(LaneId lane_id,
   // either Finish sees our increment and waits for us, or we see the
   // closed flag and fail loudly — never both missing each other.
   lane->active.fetch_add(1);
-  struct ActiveGuard {
-    std::atomic<int>* counter;
-    ~ActiveGuard() { counter->fetch_sub(1, std::memory_order_release); }
-  } guard{&lane->active};
+  ticket->active = &lane->active;
   if (lane->closed.load()) {
     return common::Status::FailedPrecondition("ingest lane closed");
   }
-  if (batch.empty()) return common::Status::OK();
+  *lane_out = lane;
+  return common::Status::OK();
+}
+
+common::Status ShardedExecutor::BindSourceToLane(LaneId lane_id,
+                                                 ExecGraph::NodeId source) {
   // Per-source order needs one lane per source: the first push binds the
   // source; a later push on a different lane is a contract violation.
   uint32_t expected = kUnboundLane;
@@ -297,6 +363,17 @@ common::Status ShardedExecutor::PushBatch(LaneId lane_id,
         std::to_string(lane_id) +
         " would break per-source arrival order");
   }
+  return common::Status::OK();
+}
+
+common::Status ShardedExecutor::PushBatch(LaneId lane_id,
+                                          ExecGraph::NodeId source,
+                                          TupleBatch&& batch) {
+  Lane* lane = nullptr;
+  PushTicket ticket;
+  USP_RETURN_NOT_OK(AdmitPush(lane_id, source, &lane, &ticket));
+  if (batch.empty()) return common::Status::OK();
+  USP_RETURN_NOT_OK(BindSourceToLane(lane_id, source));
   const uint64_t total =
       ingested_tuples_.fetch_add(batch.size(), std::memory_order_relaxed) +
       batch.size();
@@ -399,6 +476,30 @@ void ShardedExecutor::MaybeRetune(uint64_t total_ingested) {
   ideal = std::max(ideal, static_cast<double>(kMinAutoBatch));
   current_target_.store(static_cast<size_t>(ideal),
                         std::memory_order_relaxed);
+}
+
+common::Status ShardedExecutor::PushWatermark(LaneId lane_id,
+                                              ExecGraph::NodeId source,
+                                              int64_t watermark) {
+  // Same admission protocol as PushBatch. An idle source that only ever
+  // sends watermarks still binds its lane — its data, if any ever comes,
+  // must use the same one.
+  Lane* lane = nullptr;
+  PushTicket ticket;
+  USP_RETURN_NOT_OK(AdmitPush(lane_id, source, &lane, &ticket));
+  USP_RETURN_NOT_OK(BindSourceToLane(lane_id, source));
+  // A pending merge buffer for this source holds data the watermark may
+  // cover; deliver it first or the watermark would overtake its own data
+  // and close windows under it.
+  if (!lane->pending.empty() && lane->pending_source == source) {
+    USP_RETURN_NOT_OK(FlushLanePending(lane));
+  }
+  return BroadcastWatermark(lane, source, watermark);
+}
+
+common::Status ShardedExecutor::PushWatermark(ExecGraph::NodeId source,
+                                              int64_t watermark) {
+  return PushWatermark(LaneId{0}, source, watermark);
 }
 
 common::Status ShardedExecutor::PushBatch(ExecGraph::NodeId source,

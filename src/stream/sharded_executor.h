@@ -62,6 +62,7 @@
 #include "stream/exec_graph.h"
 #include "stream/pipeline.h"
 #include "stream/spsc_ring.h"
+#include "stream/watermark.h"
 
 namespace usp {
 namespace stream {
@@ -117,6 +118,21 @@ class ShardedExecutor {
     /// (or kDefaultInitialBatch when 0) seeds the first interval. Results
     /// are batching-invariant, so tuning never changes the result set.
     bool auto_target_batch_size = false;
+    /// Event-time watermark generation period per source, in event-time
+    /// microseconds; 0 disables generation (explicit PushWatermark still
+    /// works). When a source's max ingested timestamp minus
+    /// `watermark_lateness_us` has advanced at least this far past its
+    /// last emitted watermark, the lane broadcasts a watermark message to
+    /// EVERY shard (partitioning splits a source's tuples across shards,
+    /// so each shard must hear the source's progress) and the per-shard
+    /// DagExecutor propagates it along the graph edges.
+    int64_t watermark_period_us = 0;
+    /// Slack subtracted from the max ingested timestamp when generating a
+    /// watermark: the promise becomes "no future tuple below max - L".
+    /// Weakens only the promise (delaying watermark-gated closure and
+    /// expiry); the arrival-driven paths still require per-source
+    /// timestamp order. 0 matches that contract exactly.
+    int64_t watermark_lateness_us = 0;
   };
 
   static constexpr size_t kDefaultInitialBatch = 256;
@@ -150,6 +166,21 @@ class ShardedExecutor {
                            TupleBatch&& batch);
   common::Status PushBatch(LaneId lane, ExecGraph::NodeId source,
                            const TupleBatch& batch);
+
+  /// Event-time progress for one source: promises every future tuple
+  /// pushed for `source` has timestamp >= watermark. Broadcast to every
+  /// shard in ingest order (a pending lane-local merge buffer for this
+  /// source is flushed first, so a watermark can never overtake data it
+  /// covers). The explicit entry point for IDLE sources — a sensor outage
+  /// stops data, not progress — which is what keeps the peer side of a
+  /// join bounded; periodic generation (Options::watermark_period_us)
+  /// covers live sources automatically. Same single-producer-per-lane
+  /// contract as PushBatch; monotonic per source (regressions are
+  /// ignored).
+  common::Status PushWatermark(LaneId lane, ExecGraph::NodeId source,
+                               int64_t watermark);
+  /// Lane-0 convenience overload.
+  common::Status PushWatermark(ExecGraph::NodeId source, int64_t watermark);
 
   /// Single-caller convenience API: lane 0.
   common::Status PushBatch(ExecGraph::NodeId source, const TupleBatch& batch);
@@ -206,6 +237,10 @@ class ShardedExecutor {
     /// subsequence each shard receives. Workers verify it.
     uint64_t seq = 0;
     TupleBatch batch;
+    /// When != INT64_MIN this is a watermark control message (batch
+    /// empty): the worker forwards it into the shard's DagExecutor and
+    /// advances the eviction clock instead of processing tuples.
+    int64_t watermark = INT64_MIN;
   };
 
   /// Per-source ingest counters. Written by the owning lane's producer
@@ -237,6 +272,8 @@ class ShardedExecutor {
     ExecGraph::NodeId pending_source = ExecGraph::kInvalidNode;
     /// Next slice sequence number per source node id.
     std::vector<uint64_t> next_seq;
+    /// Periodic watermark generation + monotone-commit state per source.
+    std::vector<SourceWatermarkClock> watermark_clocks;
   };
 
   struct Shard {
@@ -253,12 +290,13 @@ class ShardedExecutor {
     int64_t last_evict_watermark = INT64_MIN;
     /// Last sequence number seen per source node id (worker-private).
     std::vector<uint64_t> last_seq;
-    /// Max timestamp seen per source node id (worker-private). Archive
+    /// Event-time clock per source node id (worker-private): max of the
+    /// source's data timestamps and its propagated watermarks. Archive
     /// eviction uses the MIN across sources that have reached this shard:
     /// under multi-lane skew the fastest source's clock must not evict a
-    /// lagging source's freshly-archived tuples (the flip side: a stalled
-    /// source stalls eviction — same watermark problem the join has, see
-    /// ROADMAP).
+    /// lagging source's freshly-archived tuples. A stalled source used to
+    /// stall eviction forever; its explicit/periodic watermarks now keep
+    /// this clock — and therefore eviction — moving.
     std::vector<int64_t> source_watermark;
   };
 
@@ -269,8 +307,38 @@ class ShardedExecutor {
   /// Partition one (already target-sized) slice and enqueue per shard.
   common::Status PushSlice(Lane* lane, ExecGraph::NodeId source,
                            TupleBatch&& batch);
+  /// RAII in-flight marker (Lane::active); engaged by AdmitPush, released
+  /// when the push leaves PushBatch/PushWatermark.
+  struct PushTicket {
+    std::atomic<int>* active = nullptr;
+    PushTicket() = default;
+    PushTicket(const PushTicket&) = delete;
+    PushTicket& operator=(const PushTicket&) = delete;
+    ~PushTicket() {
+      if (active) active->fetch_sub(1, std::memory_order_release);
+    }
+  };
+
+  /// Shared producer-admission protocol of PushBatch and PushWatermark:
+  /// finished/lane/source validation, then the in-flight marker (seq_cst,
+  /// paired with the seq_cst lane close in Finish — either Finish sees
+  /// the increment and waits, or the push sees the closed flag and fails
+  /// loudly), then the closed-lane check. On OK, `*lane_out` is set and
+  /// `ticket` holds the in-flight marker for the caller's scope.
+  common::Status AdmitPush(LaneId lane_id, ExecGraph::NodeId source,
+                           Lane** lane_out, PushTicket* ticket);
+  /// Source->lane binding (first push wins; a later push on a different
+  /// lane would break per-source arrival order and fails loudly).
+  common::Status BindSourceToLane(LaneId lane_id, ExecGraph::NodeId source);
   /// Blocking enqueue with block-time/peak-depth accounting.
   common::Status Enqueue(Lane* lane, size_t shard, Message&& msg);
+  /// Broadcast a watermark message for `source` to every shard on this
+  /// lane's rings (monotone per source; no-op when not an advance).
+  common::Status BroadcastWatermark(Lane* lane, ExecGraph::NodeId source,
+                                    int64_t watermark);
+  /// Advance the shard's min-across-sources eviction clock and evict the
+  /// archive when it moved far enough. Caller holds shard->mu.
+  void MaybeEvictArchive(Shard* shard);
   /// Re-batching ingest path: merge + split toward `target` using the
   /// lane-local buffer. Flushes the pending buffer on source change.
   common::Status PushRebatched(Lane* lane, ExecGraph::NodeId source,

@@ -39,6 +39,22 @@ bool Tuple::SharesLineageWith(const Tuple& other) const {
   return false;
 }
 
+size_t Tuple::ApproxBytes() const {
+  // Flat charge per buffered distribution handle: the control block plus a
+  // typical small-parameter pdf object (Gaussian/GMM component scale).
+  constexpr size_t kDistributionHandleBytes = 128;
+  size_t bytes = sizeof(Tuple) + values_.capacity() * sizeof(Value) +
+                 lineage_.capacity() * sizeof(TupleId);
+  for (const Value& v : values_) {
+    if (v.is_string()) {
+      bytes += v.AsString().capacity();
+    } else if (v.is_distribution()) {
+      bytes += kDistributionHandleBytes;
+    }
+  }
+  return bytes;
+}
+
 std::string Tuple::ToString() const {
   char head[48];
   snprintf(head, sizeof(head), "#%llu@%lld[",

@@ -58,6 +58,13 @@ class Tuple {
   /// True if the two tuples share any base tuple (=> correlated results).
   bool SharesLineageWith(const Tuple& other) const;
 
+  /// Rough heap footprint in bytes, for buffered-state accounting
+  /// (OperatorMetrics::buffered_bytes): object + value/lineage storage;
+  /// string payloads by length, distribution payloads at a flat per-handle
+  /// estimate (the pdf itself is a shared immutable handle, so each
+  /// buffered reference is charged once at the handle rate).
+  size_t ApproxBytes() const;
+
   std::string ToString() const;
 
  private:

@@ -8,7 +8,9 @@ namespace usp {
 namespace stream {
 
 std::vector<int64_t> WindowSpec::AssignedWindowStarts(int64_t ts) const {
-  assert(size_us > 0 && slide_us > 0 && slide_us <= size_us);
+  // slide > size (sampling windows with gaps) is legal here: a timestamp
+  // falling in a gap is simply assigned to no window.
+  assert(size_us > 0 && slide_us > 0);
   std::vector<int64_t> starts;
   ForEachAssignedStart(ts, [&starts](int64_t start) {
     starts.push_back(start);
@@ -16,18 +18,47 @@ std::vector<int64_t> WindowSpec::AssignedWindowStarts(int64_t ts) const {
   return starts;  // descending start order
 }
 
+common::Status WindowedOperator::EmitEarliest(Collector* out) {
+  const auto it = open_.begin();
+  const int64_t start = it->first;
+  const int64_t end = start + spec_.size_us;
+  // Move the buffer out before the callback so re-entrant emissions
+  // cannot invalidate the iterator.
+  std::vector<Tuple> buf = std::move(it->second);
+  open_.erase(it);
+  for (const Tuple& t : buf) {
+    const uint64_t bytes = t.ApproxBytes();
+    buffered_bytes_ -= bytes < buffered_bytes_ ? bytes : buffered_bytes_;
+  }
+  mutable_metrics().buffered_bytes = buffered_bytes_;
+  return EmitWindow(start, end, buf, out);
+}
+
 common::Status WindowedOperator::CloseWindowsBefore(int64_t ts,
                                                     Collector* out) {
   while (!open_.empty()) {
-    const auto it = open_.begin();
-    const int64_t start = it->first;
-    const int64_t end = start + spec_.size_us;
-    if (end > ts) break;
-    // Move the buffer out before the callback so re-entrant emissions
-    // cannot invalidate the iterator.
-    std::vector<Tuple> buf = std::move(it->second);
-    open_.erase(it);
-    USP_RETURN_NOT_OK(EmitWindow(start, end, buf, out));
+    if (open_.begin()->first + spec_.size_us > ts) break;
+    USP_RETURN_NOT_OK(EmitEarliest(out));
+  }
+  return common::Status::OK();
+}
+
+common::Status CheckTupleNotBelowWatermark(const std::string& op_name,
+                                           const WindowSpec& spec,
+                                           int64_t applied_watermark,
+                                           int64_t ts) {
+  // A tuple's earliest containing window ends at FirstAssignedStart +
+  // size; if even that has closed under the applied watermark, the tuple
+  // can only re-open an already-emitted window.
+  if (applied_watermark != INT64_MIN &&
+      spec.FirstAssignedStart(ts) + spec.size_us <= applied_watermark) {
+    return common::Status::Internal(
+        "operator '" + op_name + "': tuple at ts " + std::to_string(ts) +
+        " arrived below the applied watermark " +
+        std::to_string(applied_watermark) +
+        " and its windows already closed; the upstream (a join MatchFn?) "
+        "must stamp outputs at >= the matched pair's max timestamp so "
+        "they never regress below the propagated watermark");
   }
   return common::Status::OK();
 }
@@ -37,14 +68,48 @@ void WindowedOperator::AppendRun(int64_t window_start, const Tuple* tuples,
   (void)batch_offset;
   std::vector<Tuple>& buf = open_[window_start];
   buf.insert(buf.end(), tuples, tuples + count);
+  if (!run_bytes_valid_) {
+    // Measure the STORED copies, not the source tuples: the source may
+    // carry excess vector capacity the exact-sized copies do not, and
+    // EmitEarliest refunds by measuring the stored copies — charging the
+    // same objects keeps the gauge drift-free. Copies of one source
+    // tuple are layout-identical across windows, so one run sum serves
+    // every overlapping window.
+    run_bytes_ = 0;
+    for (size_t i = buf.size() - count; i < buf.size(); ++i) {
+      run_bytes_ += buf[i].ApproxBytes();
+    }
+    run_bytes_valid_ = true;
+  }
+  buffered_bytes_ += run_bytes_;
+  mutable_metrics().buffered_bytes = buffered_bytes_;
+}
+
+common::Status WindowedOperator::CheckNotBelowWatermark(int64_t ts) const {
+  if (!watermark_only_closure_) return common::Status::OK();
+  return CheckTupleNotBelowWatermark(name(), spec_, applied_watermark_, ts);
 }
 
 common::Status WindowedOperator::Process(const Tuple& tuple, Collector* out) {
-  USP_RETURN_NOT_OK(CloseWindowsBefore(tuple.timestamp(), out));
+  if (!watermark_only_closure_) {
+    USP_RETURN_NOT_OK(CloseWindowsBefore(tuple.timestamp(), out));
+  }
+  USP_RETURN_NOT_OK(CheckNotBelowWatermark(tuple.timestamp()));
+  run_bytes_valid_ = false;  // new run: one tuple, all its windows
   spec_.ForEachAssignedStart(tuple.timestamp(), [this, &tuple](int64_t start) {
     AppendRun(start, &tuple, 1, SIZE_MAX);
   });
   return common::Status::OK();
+}
+
+common::Status WindowedOperator::OnWatermark(int64_t watermark,
+                                             Collector* out) {
+  // The watermark promises no future tuple has ts < watermark, so every
+  // window ending at or below it is complete — the same closure rule the
+  // arrival path applies with the arriving tuple's timestamp, which keeps
+  // the two paths' outputs identical on ordered input.
+  if (watermark > applied_watermark_) applied_watermark_ = watermark;
+  return CloseWindowsBefore(watermark, out);
 }
 
 common::Status WindowedOperator::ProcessBatch(const TupleBatch& batch,
@@ -53,7 +118,10 @@ common::Status WindowedOperator::ProcessBatch(const TupleBatch& batch,
   size_t i = 0;
   while (i < n) {
     const int64_t ts = batch[i].timestamp();
-    USP_RETURN_NOT_OK(CloseWindowsBefore(ts, out));
+    if (!watermark_only_closure_) {
+      USP_RETURN_NOT_OK(CloseWindowsBefore(ts, out));
+    }
+    USP_RETURN_NOT_OK(CheckNotBelowWatermark(ts));
     const int64_t first = spec_.FirstAssignedStart(ts);
     const int64_t last = spec_.LastAssignedStart(ts);
     // Extend the run while consecutive tuples land in the same window
@@ -68,6 +136,7 @@ common::Status WindowedOperator::ProcessBatch(const TupleBatch& batch,
            spec_.FirstAssignedStart(batch[j].timestamp()) == first) {
       ++j;
     }
+    run_bytes_valid_ = false;  // same run across the start loop below
     for (int64_t start = last; start >= first; start -= spec_.slide_us) {
       AppendRun(start, &batch.tuples()[i], j - i, i);
     }
@@ -78,12 +147,7 @@ common::Status WindowedOperator::ProcessBatch(const TupleBatch& batch,
 
 common::Status WindowedOperator::Finish(Collector* out) {
   while (!open_.empty()) {
-    const auto it = open_.begin();
-    const int64_t start = it->first;
-    const int64_t end = start + spec_.size_us;
-    std::vector<Tuple> buf = std::move(it->second);
-    open_.erase(it);
-    USP_RETURN_NOT_OK(EmitWindow(start, end, buf, out));
+    USP_RETURN_NOT_OK(EmitEarliest(out));
   }
   return common::Status::OK();
 }

@@ -668,9 +668,10 @@ TEST(PlannerTest, AutoLanesGiveEachSourceItsOwnLane) {
   EXPECT_EQ(Canonical(multi.value()), Canonical(single.value()));
 }
 
-TEST(PlannerTest, MultiLaneRefusedBelowJoinWindowAggregate) {
+TEST(PlannerTest, MultiLaneRefusedBelowJoinWindowAggregateWithoutWatermarks) {
   // A windowed aggregate downstream of a join needs cross-source
-  // timestamp order, which multi-lane ingest does not provide: explicit
+  // timestamp order, which multi-lane ingest does not provide. WITHOUT
+  // watermarks (period explicitly 0) the old rule stands: explicit
   // lanes > 1 must fail, auto lanes must degrade to 1 with the reason.
   auto build = [] {
     auto left = Query::From("a", 2);
@@ -688,14 +689,19 @@ TEST(PlannerTest, MultiLaneRefusedBelowJoinWindowAggregate) {
   PlannerOptions explicit_lanes;
   explicit_lanes.num_shards = 1;
   explicit_lanes.num_ingest_lanes = 2;
+  explicit_lanes.watermark_period_us = 0;
   auto refused = build().Compile(explicit_lanes);
   ASSERT_FALSE(refused.ok());
   EXPECT_NE(refused.status().message().find("num_ingest_lanes"),
             std::string::npos)
       << refused.status().ToString();
+  // The error teaches the fix: enabling watermarks lifts the refusal.
+  EXPECT_NE(refused.status().message().find("watermark"), std::string::npos)
+      << refused.status().ToString();
 
   PlannerOptions auto_lanes;
   auto_lanes.num_shards = 2;
+  auto_lanes.watermark_period_us = 0;
   auto with_key = build().PartitionBy(stream::KeyByIntValue(0))
                       .Compile(auto_lanes);
   ASSERT_TRUE(with_key.ok()) << with_key.status().ToString();
@@ -722,6 +728,121 @@ TEST(PlannerTest, MultiLaneRefusedBelowJoinWindowAggregate) {
   ASSERT_FALSE(nested.ok());
   EXPECT_NE(nested.status().message().find("join 'j2'"), std::string::npos)
       << nested.status().ToString();
+}
+
+TEST(PlannerTest, WatermarksLiftMultiLaneRefusalBelowJoin) {
+  // With watermarks on (the default), a windowed aggregate downstream of
+  // a join compiles multi-lane: the planner switches the aggregate to
+  // watermark-only window closure (reported in the summary) and the
+  // result set matches the single-lane run — windows close by the join's
+  // propagated watermark, so the skew-regressed join emission order no
+  // longer corrupts them.
+  auto build = [] {
+    auto left = Query::From("a", 2);
+    auto right = Query::From("b", 2);
+    return left.Join(right, 1000,
+                     [](const Tuple& l, const Tuple& r) {
+                       if (l.value(0).AsInt() != r.value(0).AsInt()) {
+                         return std::optional<Tuple>();
+                       }
+                       return std::optional<Tuple>(
+                           stream::ConcatJoinedTuple(l, r));
+                     },
+                     "j")
+        .Window(WindowSpec::Tumbling(500))
+        .GroupBy(0)
+        .Count("n")
+        .Sink("out");
+  };
+  auto run = [&](size_t lanes) -> common::Result<TupleBatch> {
+    PlannerOptions opts;
+    opts.num_shards = 1;
+    opts.num_ingest_lanes = lanes;
+    auto compiled_or = build().Compile(opts);
+    USP_RETURN_NOT_OK(compiled_or.status());
+    auto compiled = compiled_or.MoveValueUnsafe();
+    const auto a = compiled->source("a");
+    const auto b = compiled->source("b");
+    for (int64_t i = 0; i < 400; ++i) {
+      Tuple l(i * 10, {Value(i % 3), Value(1.0)});
+      l.InitBaseLineage();
+      USP_RETURN_NOT_OK(compiled->Push(a, std::move(l)));
+      Tuple r(i * 10 + 1, {Value(i % 3), Value(2.0)});
+      r.InitBaseLineage();
+      USP_RETURN_NOT_OK(compiled->Push(b, std::move(r)));
+    }
+    USP_RETURN_NOT_OK(compiled->Finish());
+    return compiled->TakeResult(compiled->sink("out"));
+  };
+  PlannerOptions probe;
+  probe.num_shards = 1;
+  probe.num_ingest_lanes = 2;
+  auto compiled_or = build().Compile(probe);
+  ASSERT_TRUE(compiled_or.ok()) << compiled_or.status().ToString();
+  const PlanSummary& s = compiled_or.value()->summary();
+  EXPECT_EQ(s.num_ingest_lanes, 2u);
+  EXPECT_GT(s.watermark_period_us, 0);
+  ASSERT_EQ(s.watermark_driven.size(), 1u) << s.ToString();
+  EXPECT_EQ(s.watermark_driven[0], "n_agg");
+  auto two = run(2);
+  auto one = run(1);
+  ASSERT_TRUE(two.ok()) << two.status().ToString();
+  ASSERT_TRUE(one.ok()) << one.status().ToString();
+  ASSERT_FALSE(one.value().empty());
+  EXPECT_EQ(Canonical(two.value()), Canonical(one.value()));
+}
+
+TEST(PlannerTest, WatermarkPeriodAutoDerivedAndOverridable) {
+  // Auto period: a quarter of the smallest window slide / join range.
+  auto q = KeyedSumQuery(WindowSpec::Sliding(400, 100));
+  auto auto_or = q.Compile(PlannerOptions{});
+  ASSERT_TRUE(auto_or.ok()) << auto_or.status().ToString();
+  EXPECT_TRUE(auto_or.value()->summary().auto_watermark_period);
+  EXPECT_EQ(auto_or.value()->summary().watermark_period_us, 25);
+
+  PlannerOptions fixed;
+  fixed.watermark_period_us = 7;
+  fixed.watermark_lateness_us = 3;
+  auto fixed_or = q.Compile(fixed);
+  ASSERT_TRUE(fixed_or.ok());
+  EXPECT_FALSE(fixed_or.value()->summary().auto_watermark_period);
+  EXPECT_EQ(fixed_or.value()->summary().watermark_period_us, 7);
+  EXPECT_EQ(fixed_or.value()->summary().watermark_lateness_us, 3);
+
+  // A stateless plan has nothing to close or expire: auto resolves to off.
+  auto stateless = Query::From("src", 1)
+                       .Filter("pass", [](const Tuple&) { return true; })
+                       .Sink("out");
+  auto off_or = stateless.Compile(PlannerOptions{});
+  ASSERT_TRUE(off_or.ok());
+  EXPECT_EQ(off_or.value()->summary().watermark_period_us, 0);
+}
+
+TEST(PlannerTest, WatermarksDoNotChangeSingleLaneResults) {
+  // With lateness 0 the watermark closure rule fires exactly where
+  // arrival-driven closure already fired, so enabling generation must not
+  // change any result — bitwise, single-threaded plan.
+  auto run = [](int64_t period) {
+    PlannerOptions opts;
+    opts.num_shards = 1;
+    opts.watermark_period_us = period;
+    auto compiled_or =
+        KeyedSumQuery(WindowSpec::Sliding(400, 100)).Compile(opts);
+    EXPECT_TRUE(compiled_or.ok()) << compiled_or.status().ToString();
+    auto compiled = compiled_or.MoveValueUnsafe();
+    const auto src = compiled->source("src");
+    // Small pushes so periodic generation fires many times mid-stream.
+    const TupleBatch stream = MakeKeyedGaussianStream(500);
+    for (const Tuple& t : stream) {
+      EXPECT_TRUE(compiled->Push(src, t).ok());
+    }
+    EXPECT_TRUE(compiled->Finish().ok());
+    return Rendered(compiled->Result("out"));
+  };
+  const auto with_watermarks = run(50);
+  const auto without = run(0);
+  ASSERT_FALSE(without.empty());
+  EXPECT_EQ(with_watermarks, without);
 }
 
 TEST(PlannerTest, AutoTargetBatchSizeReportedAndOverridable) {

@@ -1,0 +1,179 @@
+// Randomized differential harness: 50+ seeded random Q1-style plans (see
+// seeded_plan_generator.h), each executed along independent physical
+// paths that the planner promises are equivalent —
+//
+//   1. naive (exact per-window) vs. paned (pane-incremental) aggregation,
+//      bitwise for tumbling windows (the planner's exactness claim),
+//      within numeric tolerance for sliding ones (different but valid
+//      floating-point association);
+//   2. 1 shard vs. 2 and 4 shards (and a 2-lane ingest variant): the
+//      result SET must be bitwise identical — every group runs wholly on
+//      one shard over the same tuple subsequence, only merge order may
+//      differ.
+//
+// On failure the offending seed + configuration is printed for replay:
+//   stream_differential_test --gtest_filter='*Seed*' and the seed shown.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "query/planner.h"
+#include "query/query.h"
+#include "seeded_plan_generator.h"
+
+namespace usp {
+namespace stream {
+namespace {
+
+using query::PlannerOptions;
+using gen::GeneratedPlan;
+using gen::GeneratePlan;
+
+constexpr uint64_t kFirstSeed = 1;
+constexpr uint64_t kNumSeeds = 56;
+
+// ---- result canonicalisation ---------------------------------------------
+
+/// One output row, split into exact fields (timestamp, group key) and
+/// numeric fields (aggregate means/variances) so the comparison can be
+/// bitwise or tolerance-based per context.
+struct Row {
+  int64_t ts = 0;
+  std::string key;
+  std::vector<double> numbers;
+
+  bool operator<(const Row& other) const {
+    if (ts != other.ts) return ts < other.ts;
+    return key < other.key;
+  }
+};
+
+std::vector<Row> Rows(const TupleBatch& batch) {
+  std::vector<Row> rows;
+  rows.reserve(batch.size());
+  for (const Tuple& t : batch) {
+    Row row;
+    row.ts = t.timestamp();
+    row.key = t.value(0).AsString();
+    for (size_t i = 1; i < t.num_values(); ++i) {
+      const Value& v = t.value(i);
+      if (v.is_distribution()) {
+        row.numbers.push_back(v.AsDistribution()->Mean());
+        row.numbers.push_back(v.AsDistribution()->Variance());
+      } else if (v.is_numeric()) {
+        row.numbers.push_back(v.AsDouble());
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  // Canonical order: sharded merges only promise set identity plus
+  // timestamp order (equal-ts tie order follows shard interleaving).
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+void ExpectRowsEqual(const std::vector<Row>& a, const std::vector<Row>& b,
+                     double rel_tolerance) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].ts, b[i].ts) << "row " << i;
+    ASSERT_EQ(a[i].key, b[i].key) << "row " << i;
+    ASSERT_EQ(a[i].numbers.size(), b[i].numbers.size()) << "row " << i;
+    for (size_t j = 0; j < a[i].numbers.size(); ++j) {
+      const double x = a[i].numbers[j];
+      const double y = b[i].numbers[j];
+      if (rel_tolerance == 0.0) {
+        ASSERT_EQ(x, y) << "row " << i << " number " << j;
+      } else {
+        const double scale = std::max({std::fabs(x), std::fabs(y), 1.0});
+        ASSERT_NEAR(x, y, rel_tolerance * scale)
+            << "row " << i << " number " << j;
+      }
+    }
+  }
+}
+
+common::Result<TupleBatch> Run(const GeneratedPlan& plan,
+                               const PlannerOptions& opts) {
+  auto compiled_or = plan.Build().Compile(opts);
+  USP_RETURN_NOT_OK(compiled_or.status());
+  auto compiled = compiled_or.MoveValueUnsafe();
+  const auto src = compiled->source("src");
+  for (const TupleBatch& batch : plan.MakeInput()) {
+    USP_RETURN_NOT_OK(compiled->PushBatch(src, batch));
+  }
+  USP_RETURN_NOT_OK(compiled->Finish());
+  return compiled->TakeResult(compiled->sink("out"));
+}
+
+PlannerOptions BaseOptions() {
+  PlannerOptions opts;
+  opts.num_shards = 1;
+  return opts;
+}
+
+void RunSeed(uint64_t seed) {
+  const GeneratedPlan plan = GeneratePlan(seed);
+  SCOPED_TRACE("replay: " + plan.ToString());
+
+  // Baseline: single shard, planner-chosen aggregate path.
+  auto base_or = Run(plan, BaseOptions());
+  ASSERT_TRUE(base_or.ok()) << base_or.status().ToString();
+  const std::vector<Row> base = Rows(base_or.value());
+  ASSERT_FALSE(base.empty()) << "degenerate plan produced no output";
+
+  // (1) naive vs. paned on one shard.
+  PlannerOptions naive_opts = BaseOptions();
+  naive_opts.aggregate_path = PlannerOptions::AggregatePath::kForceNaive;
+  PlannerOptions paned_opts = BaseOptions();
+  paned_opts.aggregate_path = PlannerOptions::AggregatePath::kForcePaned;
+  auto naive_or = Run(plan, naive_opts);
+  auto paned_or = Run(plan, paned_opts);
+  ASSERT_TRUE(naive_or.ok()) << naive_or.status().ToString();
+  ASSERT_TRUE(paned_or.ok()) << paned_or.status().ToString();
+  const bool tumbling = plan.window.slide_us == plan.window.size_us;
+  // Tumbling: the paned operator delegates to the exact per-window
+  // kernels — bitwise. Sliding: same math, different FP association —
+  // tight tolerance.
+  ExpectRowsEqual(Rows(naive_or.value()), Rows(paned_or.value()),
+                  tumbling ? 0.0 : 1e-9);
+
+  // (2) shard-count invariance: 1 vs 2 vs 4 shards, bitwise as sets
+  // (every group runs wholly on one shard over the same subsequence).
+  for (const size_t shards : {size_t{2}, size_t{4}}) {
+    PlannerOptions sharded = BaseOptions();
+    sharded.num_shards = shards;
+    auto sharded_or = Run(plan, sharded);
+    ASSERT_TRUE(sharded_or.ok())
+        << "shards=" << shards << ": " << sharded_or.status().ToString();
+    ExpectRowsEqual(base, Rows(sharded_or.value()), 0.0);
+  }
+
+  // (2b) lane-count invariance on the sharded backend (single source =>
+  // one lane carries data, but the 2-lane executor path — per-lane rings,
+  // per-lane watermark generation — must not change anything).
+  PlannerOptions lanes = BaseOptions();
+  lanes.num_shards = 2;
+  lanes.num_ingest_lanes = 2;
+  auto lanes_or = Run(plan, lanes);
+  ASSERT_TRUE(lanes_or.ok()) << lanes_or.status().ToString();
+  ExpectRowsEqual(base, Rows(lanes_or.value()), 0.0);
+}
+
+TEST(DifferentialTest, FiftySeededPlansAgreeAcrossPhysicalPaths) {
+  for (uint64_t seed = kFirstSeed; seed < kFirstSeed + kNumSeeds; ++seed) {
+    RunSeed(seed);
+    if (::testing::Test::HasFatalFailure()) {
+      FAIL() << "differential harness failed at seed " << seed
+             << " — replay with GeneratePlan(" << seed << ")";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace stream
+}  // namespace usp

@@ -9,7 +9,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
+#include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -17,6 +22,7 @@
 #include "stream/basic_operators.h"
 #include "stream/group_by.h"
 #include "stream/sharded_executor.h"
+#include "test_wait.h"
 
 namespace usp {
 namespace stream {
@@ -27,6 +33,8 @@ Tuple KV(int64_t ts, int64_t key, double v) {
   t.InitBaseLineage();
   return t;
 }
+
+using testutil::WaitUntil;
 
 // Seeded per-source feed: deterministic (ts, key, value) stream so every
 // lane-count run aggregates exactly the same numbers.
@@ -315,7 +323,8 @@ TEST(MultiLaneIngestTest, ConcurrentPushAndFinishNeverDeadlocks) {
     }
   });
   // Give the producer a head start, then finish under it.
-  while (acknowledged.load() < 100) std::this_thread::yield();
+  ASSERT_TRUE(WaitUntil([&] { return acknowledged.load() >= 100; }))
+      << "producer never got its head start";
   ASSERT_TRUE(exec->Finish().ok());
   producer.join();
   // Either the producer hit the loud FailedPrecondition, or (unlikely
@@ -375,9 +384,19 @@ TEST(MultiLaneIngestTest, LaggingSourceArchiveSurvivesFasterSourceClock) {
 }
 
 TEST(MultiLaneIngestTest, IngestCountersExposeBackpressure) {
-  // A deliberately slow operator behind a depth-1 ring: the producer must
-  // block, and the block time + peak depth must surface in the source's
-  // appended metrics entry.
+  // A gated operator behind a depth-1 ring: the worker parks on a
+  // condition variable (not a scheduler-granularity sleep, which a
+  // single-core CI box may stretch or skip), the ring provably fills
+  // behind it, the producer provably blocks, and the block time + peak
+  // depth must surface in the source's appended metrics entry. The gate
+  // opens only after the producer is observed stuck mid-push, so the
+  // "blocked" code path runs deterministically.
+  struct Gate {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool open = false;
+  };
+  auto gate = std::make_shared<Gate>();
   ShardedExecutor::Options opts;
   opts.num_shards = 1;
   opts.queue_capacity = 1;
@@ -387,20 +406,38 @@ TEST(MultiLaneIngestTest, IngestCountersExposeBackpressure) {
         source = g->AddSource("feed");
         const auto slow = g->AddOperator(
             source, std::make_unique<TapOperator>(
-                        "slow", [](const Tuple&) {
-                          std::this_thread::sleep_for(
-                              std::chrono::microseconds(200));
+                        "slow", [gate](const Tuple&) {
+                          std::unique_lock<std::mutex> lock(gate->mu);
+                          gate->cv.wait(lock, [&] { return gate->open; });
                         }));
         g->AddSink(slow, "out");
         return common::Status::OK();
       });
   ASSERT_TRUE(exec_or.ok());
   auto exec = exec_or.MoveValueUnsafe();
-  for (int i = 0; i < 64; ++i) {
-    TupleBatch b;
-    for (int j = 0; j < 4; ++j) b.Append(KV(i * 4 + j, j, 1.0));
-    ASSERT_TRUE(exec->PushBatch(source, std::move(b)).ok());
+  std::atomic<int> entered{0};
+  std::atomic<int> completed{0};
+  std::thread producer([&] {
+    for (int i = 0; i < 64; ++i) {
+      TupleBatch b;
+      for (int j = 0; j < 4; ++j) b.Append(KV(i * 4 + j, j, 1.0));
+      entered.fetch_add(1);
+      ASSERT_TRUE(exec->PushBatch(source, std::move(b)).ok());
+      completed.fetch_add(1);
+    }
+  });
+  // The worker parks on batch 1; the depth-1 ring holds batch 2; some
+  // later push has entered but cannot complete => the producer is inside
+  // the blocking path right now.
+  ASSERT_TRUE(WaitUntil([&] {
+    return completed.load() >= 2 && entered.load() > completed.load();
+  })) << "producer never hit backpressure";
+  {
+    std::lock_guard<std::mutex> lock(gate->mu);
+    gate->open = true;
   }
+  gate->cv.notify_all();
+  producer.join();
   ASSERT_TRUE(exec->Finish().ok());
   const auto metrics = exec->MetricsSnapshot();
   bool found = false;

@@ -1,0 +1,125 @@
+// Seeded random Q1-style plan generator for the differential test harness
+// (differential_test.cc). One uint64 seed deterministically fixes a whole
+// experiment — window shape, filter, aggregate columns, batch size, feed
+// contents — so any failing configuration is replayable from the seed the
+// test prints. Kept header-only and test-local: this is an input
+// generator, not library surface.
+
+#ifndef USP_TESTS_STREAM_SEEDED_PLAN_GENERATOR_H_
+#define USP_TESTS_STREAM_SEEDED_PLAN_GENERATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "query/query.h"
+#include "stats/gaussian.h"
+#include "stream/batch.h"
+#include "stream/window.h"
+
+namespace usp {
+namespace stream {
+namespace gen {
+
+struct GeneratedPlan {
+  uint64_t seed = 0;
+  WindowSpec window{100, 100};
+  bool has_filter = false;
+  bool with_avg = false;
+  bool with_count = false;
+  size_t batch_size = 64;
+  size_t num_keys = 4;
+  size_t num_tuples = 400;
+  /// Max event-time step between consecutive tuples.
+  int64_t max_ts_step = 50;
+
+  std::string ToString() const {
+    return "seed=" + std::to_string(seed) + " window=" +
+           std::to_string(window.size_us) + "/" +
+           std::to_string(window.slide_us) +
+           (has_filter ? " filter" : "") + (with_avg ? " avg" : "") +
+           (with_count ? " count" : "") + " batch=" +
+           std::to_string(batch_size) + " keys=" +
+           std::to_string(num_keys) + " tuples=" +
+           std::to_string(num_tuples);
+  }
+
+  /// The Q1 shape: From -> [Filter] -> Window -> GroupBy(key) -> SUM
+  /// [AVG] [COUNT] -> Sink. CLT sums keep the math deterministic on both
+  /// physical paths.
+  query::Query Build() const {
+    query::Query q = query::Query::From("src", 2);
+    if (has_filter) {
+      q = q.Filter(
+          "keep",
+          [](const Tuple& t) { return t.value(0).AsInt() % 3 != 1; },
+          /*reads_attrs=*/{0});
+    }
+    q = q.Window(window).GroupBy(0).Sum(
+        "total", 1, uncertain::SumStrategyKind::kClt);
+    if (with_avg) {
+      q = q.Avg("mean", 1, uncertain::SumStrategyKind::kClt);
+    }
+    if (with_count) {
+      q = q.Count("n");
+    }
+    return q.Sink("out");
+  }
+
+  /// Seed-deterministic feed: timestamps non-decreasing with random
+  /// steps (several per slide, so windows span many batches), keys
+  /// uniform, weights Gaussian with seeded parameters.
+  std::vector<TupleBatch> MakeInput() const {
+    common::Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+    std::vector<TupleBatch> batches;
+    TupleBatch batch;
+    int64_t ts = 0;
+    for (size_t i = 0; i < num_tuples; ++i) {
+      ts += static_cast<int64_t>(
+          rng.UniformInt(static_cast<uint64_t>(max_ts_step) + 1));
+      Tuple t(ts,
+              {Value(static_cast<int64_t>(rng.UniformInt(num_keys))),
+               Value(stats::DistributionPtr(std::make_shared<stats::Gaussian>(
+                   rng.Uniform(-10.0, 30.0), 0.25 + rng.Uniform())))});
+      t.InitBaseLineage();
+      batch.Append(std::move(t));
+      if (batch.size() == batch_size) {
+        batches.push_back(std::move(batch));
+        batch = TupleBatch();
+      }
+    }
+    if (!batch.empty()) batches.push_back(std::move(batch));
+    return batches;
+  }
+};
+
+/// Derives one experiment configuration from a seed. Dimension choices
+/// follow the differential harness's brief: window size/slide incl.
+/// tumbling and overlap 2..5, optional pushdown-eligible filter, batch
+/// sizes from per-tuple trickle to bulk, small/large key spaces.
+inline GeneratedPlan GeneratePlan(uint64_t seed) {
+  common::Rng rng(seed);
+  GeneratedPlan plan;
+  plan.seed = seed;
+  const int64_t slide = 10 + static_cast<int64_t>(rng.UniformInt(240));
+  const int64_t overlap = 1 + static_cast<int64_t>(rng.UniformInt(5));
+  plan.window = overlap == 1 ? WindowSpec::Tumbling(slide)
+                             : WindowSpec::Sliding(slide * overlap, slide);
+  plan.has_filter = rng.Bernoulli(0.5);
+  plan.with_avg = rng.Bernoulli(0.4);
+  plan.with_count = rng.Bernoulli(0.4);
+  const size_t batch_choices[] = {1, 7, 64, 256};
+  plan.batch_size = batch_choices[rng.UniformInt(4)];
+  plan.num_keys = 1 + rng.UniformInt(8);
+  plan.num_tuples = 200 + rng.UniformInt(400);
+  plan.max_ts_step = 1 + static_cast<int64_t>(rng.UniformInt(
+                             static_cast<uint64_t>(slide)));
+  return plan;
+}
+
+}  // namespace gen
+}  // namespace stream
+}  // namespace usp
+
+#endif  // USP_TESTS_STREAM_SEEDED_PLAN_GENERATOR_H_

@@ -1,0 +1,34 @@
+// Shared bounded wait for cross-thread test conditions: polls with a
+// short sleep under a hard deadline instead of an unbounded spin, so a
+// single-core CI box makes progress (the sleeping waiter cedes its only
+// core to the thread it waits on) and a genuine hang fails the test
+// loudly instead of wedging the job. Test-local utility, not library
+// surface.
+
+#ifndef USP_TESTS_STREAM_TEST_WAIT_H_
+#define USP_TESTS_STREAM_TEST_WAIT_H_
+
+#include <chrono>
+#include <functional>
+#include <thread>
+
+namespace usp {
+namespace stream {
+namespace testutil {
+
+inline bool WaitUntil(const std::function<bool()>& cond,
+                      std::chrono::milliseconds deadline =
+                          std::chrono::milliseconds(10000)) {
+  const auto until = std::chrono::steady_clock::now() + deadline;
+  while (!cond()) {
+    if (std::chrono::steady_clock::now() >= until) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+}  // namespace testutil
+}  // namespace stream
+}  // namespace usp
+
+#endif  // USP_TESTS_STREAM_TEST_WAIT_H_

@@ -1,0 +1,491 @@
+// Event-time watermark subsystem tests: edge propagation through the DAG
+// executor, fan-in min at joins, watermark-driven window closure (incl.
+// the watermark-only mode for out-of-order join output), monotonicity,
+// the low_watermark / buffered_bytes metric surfaces, and the sharded
+// executor's broadcast + eviction plumbing.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <thread>
+
+#include "stream/basic_operators.h"
+#include "stream/exec_graph.h"
+#include "stream/group_by.h"
+#include "stream/join.h"
+#include "stream/pane_window.h"
+#include "stream/sharded_executor.h"
+#include "stream/window.h"
+#include "test_wait.h"
+
+namespace usp {
+namespace stream {
+namespace {
+
+Tuple V(int64_t ts, double v) {
+  Tuple t(ts, {Value(v)});
+  t.InitBaseLineage();
+  return t;
+}
+
+Tuple KV(int64_t ts, int64_t key, double v) {
+  Tuple t(ts, {Value(key), Value(v)});
+  t.InitBaseLineage();
+  return t;
+}
+
+TupleBatch Batch(std::initializer_list<Tuple> tuples) {
+  TupleBatch b;
+  for (const Tuple& t : tuples) b.Append(t);
+  return b;
+}
+
+SlidingWindowJoin::MatchFn ConcatMatch() {
+  return [](const Tuple& l, const Tuple& r) {
+    return std::optional<Tuple>(ConcatJoinedTuple(l, r));
+  };
+}
+
+using testutil::WaitUntil;
+
+/// Shared pane partial for COUNT, used by the paned watermark tests.
+struct CountPartial final : public PanePartial {
+  int64_t n = 0;
+};
+
+PaneAggregateSpec CountPaneSpec() {
+  PaneAggregateSpec spec;
+  spec.output_name = "n";
+  spec.make_partial = [] {
+    return std::unique_ptr<PanePartial>(new CountPartial());
+  };
+  spec.add = [](PanePartial* p, const Tuple&) {
+    static_cast<CountPartial*>(p)->n += 1;
+    return common::Status::OK();
+  };
+  spec.finalize =
+      [](const std::vector<PanePartial*>& parts) -> common::Result<Value> {
+    int64_t total = 0;
+    for (PanePartial* p : parts) total += static_cast<CountPartial*>(p)->n;
+    return Value(total);
+  };
+  return spec;
+}
+
+// ---- DagExecutor propagation --------------------------------------------
+
+TEST(WatermarkTest, WatermarkClosesWindowsWithoutDataArrival) {
+  // One open tumbling window; a watermark at its end flushes it into the
+  // sink even though no further tuple ever arrives — the idle-stream
+  // progress signal arrival-driven closure can never provide.
+  auto graph = std::make_unique<ExecGraph>();
+  const auto src = graph->AddSource("src");
+  const auto win = graph->AddOperator(
+      src, std::make_unique<WindowCountOperator>("count",
+                                                 WindowSpec::Tumbling(100)));
+  const auto sink = graph->AddSink(win, "sink");
+  DagExecutor exec(std::move(graph));
+
+  ASSERT_TRUE(exec.PushBatch(src, Batch({V(10, 1.0), V(20, 2.0)})).ok());
+  EXPECT_EQ(exec.sink_output(sink).size(), 0u);  // window [0, 100) open
+  ASSERT_TRUE(exec.PushWatermark(src, 100).ok());
+  ASSERT_EQ(exec.sink_output(sink).size(), 1u);
+  EXPECT_EQ(exec.sink_output(sink)[0].value(0).AsInt(), 2);
+  EXPECT_EQ(exec.node_watermark(win), 100);
+  EXPECT_EQ(exec.node_watermark(sink), 100);
+}
+
+TEST(WatermarkTest, WatermarkFlushTraversesDownstreamOperators) {
+  // A window closed by a watermark emits THROUGH downstream operators,
+  // exactly like arrival-driven flushes: count -> doubler map -> sink.
+  auto graph = std::make_unique<ExecGraph>();
+  const auto src = graph->AddSource("src");
+  const auto win = graph->AddOperator(
+      src, std::make_unique<WindowCountOperator>("count",
+                                                 WindowSpec::Tumbling(100)));
+  const auto dbl = graph->AddOperator(
+      win, std::make_unique<MapOperator>(
+               "double", [](const Tuple& t) -> common::Result<Tuple> {
+                 Tuple out = t;
+                 out.mutable_value(0) = Value(t.value(0).AsInt() * 2);
+                 return out;
+               }));
+  const auto sink = graph->AddSink(dbl, "sink");
+  DagExecutor exec(std::move(graph));
+
+  ASSERT_TRUE(exec.PushBatch(src, Batch({V(10, 1.0), V(60, 1.0)})).ok());
+  ASSERT_TRUE(exec.PushWatermark(src, 250).ok());
+  ASSERT_EQ(exec.sink_output(sink).size(), 1u);
+  EXPECT_EQ(exec.sink_output(sink)[0].value(0).AsInt(), 4);
+}
+
+TEST(WatermarkTest, WatermarkRegressionsAreIgnored) {
+  auto graph = std::make_unique<ExecGraph>();
+  const auto src = graph->AddSource("src");
+  const auto win = graph->AddOperator(
+      src, std::make_unique<WindowCountOperator>("count",
+                                                 WindowSpec::Tumbling(100)));
+  const auto sink = graph->AddSink(win, "sink");
+  DagExecutor exec(std::move(graph));
+  ASSERT_TRUE(exec.PushWatermark(src, 500).ok());
+  ASSERT_TRUE(exec.PushWatermark(src, 200).ok());  // no-op, not an error
+  EXPECT_EQ(exec.node_watermark(win), 500);
+  ASSERT_TRUE(exec.PushBatch(src, Batch({V(600, 1.0)})).ok());
+  ASSERT_TRUE(exec.PushWatermark(src, 500).ok());  // idempotent re-send
+  EXPECT_EQ(exec.node_watermark(win), 500);
+  (void)sink;
+}
+
+TEST(WatermarkTest, FanInTakesMinOfInputWatermarks) {
+  // join(a, b) -> window count: the count's windows close only once BOTH
+  // inputs' watermarks pass the window end (min rule); one fast input
+  // alone must not close them.
+  auto graph = std::make_unique<ExecGraph>();
+  const auto a = graph->AddSource("a");
+  const auto b = graph->AddSource("b");
+  const auto join = graph->AddJoin(
+      a, b, std::make_unique<SlidingWindowJoin>("j", 1000, ConcatMatch()));
+  const auto win = graph->AddOperator(
+      join, std::make_unique<WindowCountOperator>("count",
+                                                  WindowSpec::Tumbling(100)));
+  const auto sink = graph->AddSink(win, "sink");
+  DagExecutor exec(std::move(graph));
+
+  ASSERT_TRUE(exec.PushBatch(a, Batch({V(10, 1.0)})).ok());
+  ASSERT_TRUE(exec.PushBatch(b, Batch({V(20, 2.0)})).ok());  // one match
+  ASSERT_TRUE(exec.PushWatermark(a, 500).ok());
+  EXPECT_EQ(exec.node_watermark(join), INT64_MIN);  // b never spoke
+  EXPECT_EQ(exec.sink_output(sink).size(), 0u);
+  ASSERT_TRUE(exec.PushWatermark(b, 300).ok());
+  EXPECT_EQ(exec.node_watermark(join), 300);  // min(500, 300)
+  ASSERT_EQ(exec.sink_output(sink).size(), 1u);
+  EXPECT_EQ(exec.sink_output(sink)[0].value(0).AsInt(), 1);
+}
+
+TEST(WatermarkTest, PeerWatermarkExpiresJoinBufferOfSilentSource) {
+  // The idle-source fix at the join level: the LEFT side goes silent
+  // after one tuple; right keeps flowing. Without watermarks the right
+  // buffer grows without bound (left's clock never advances). A left
+  // watermark — pure progress, no data — expires it.
+  auto graph = std::make_unique<ExecGraph>();
+  const auto a = graph->AddSource("a");
+  const auto b = graph->AddSource("b");
+  const auto join_id = graph->AddJoin(
+      a, b, std::make_unique<SlidingWindowJoin>("j", 100, ConcatMatch()));
+  graph->AddSink(join_id, "sink");
+  DagExecutor exec(std::move(graph));
+
+  ASSERT_TRUE(exec.PushBatch(a, Batch({V(0, 1.0)})).ok());
+  for (int64_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(exec.PushBatch(b, Batch({V(i * 100, 2.0)})).ok());
+  }
+  // Right buffer grew while left was silent: visible via metrics.
+  uint64_t buffered_before = 0;
+  for (const NodeMetrics& m : exec.MetricsSnapshot()) {
+    if (m.node == join_id) buffered_before = m.metrics.buffered_bytes;
+  }
+  EXPECT_GT(buffered_before, 0u);
+  // Left announces progress without data: right tuples below wm - range
+  // are provably dead and must be dropped.
+  ASSERT_TRUE(exec.PushWatermark(a, 5000).ok());
+  uint64_t buffered_after = 0;
+  int64_t low_wm = 0;
+  for (const NodeMetrics& m : exec.MetricsSnapshot()) {
+    if (m.node == join_id) {
+      buffered_after = m.metrics.buffered_bytes;
+      low_wm = m.metrics.low_watermark;
+    }
+  }
+  EXPECT_LT(buffered_after, buffered_before);
+  // Join low watermark = min of the two input clocks.
+  EXPECT_EQ(low_wm, 4900);  // right data clock 4900, left wm 5000
+}
+
+TEST(WatermarkTest, WindowedOperatorMetricsExposeWatermarkAndBytes) {
+  auto graph = std::make_unique<ExecGraph>();
+  const auto src = graph->AddSource("src");
+  const auto win_id = graph->AddOperator(
+      src, std::make_unique<WindowCountOperator>("count",
+                                                 WindowSpec::Tumbling(100)));
+  graph->AddSink(win_id, "sink");
+  DagExecutor exec(std::move(graph));
+
+  ASSERT_TRUE(exec.PushBatch(src, Batch({V(10, 1.0), V(20, 2.0)})).ok());
+  uint64_t buffered = 0;
+  for (const NodeMetrics& m : exec.MetricsSnapshot()) {
+    if (m.node == win_id) buffered = m.metrics.buffered_bytes;
+  }
+  EXPECT_GT(buffered, 0u);  // window [0, 100) holds two tuples
+  ASSERT_TRUE(exec.PushWatermark(src, 120).ok());
+  for (const NodeMetrics& m : exec.MetricsSnapshot()) {
+    if (m.node == win_id) {
+      EXPECT_EQ(m.metrics.buffered_bytes, 0u);  // window flushed
+      EXPECT_EQ(m.metrics.low_watermark, 120);
+    }
+  }
+}
+
+// ---- watermark-only closure (out-of-order join output) -------------------
+
+TEST(WatermarkTest, WatermarkOnlyClosureToleratesOutOfOrderInput) {
+  // Timestamp-regressing input (what skewed join output looks like):
+  // arrival-driven closure would close [0, 100) at ts 150 and then drop
+  // the late ts 50 tuple into a window that re-flushes at Finish,
+  // splitting the count. Watermark-only closure buffers until the
+  // watermark says the window is complete.
+  GroupByAggregateOperator naive(
+      "g", WindowSpec::Tumbling(100),
+      [](const Tuple&) { return std::string("all"); },
+      {{"n", [](const std::vector<const Tuple*>& group)
+                 -> common::Result<Value> {
+          return Value(static_cast<int64_t>(group.size()));
+        }}});
+  naive.set_watermark_only_closure(true);
+  VectorCollector out;
+  ASSERT_TRUE(naive.Push(V(150, 1.0), &out).ok());
+  ASSERT_TRUE(naive.Push(V(50, 2.0), &out).ok());  // late, window still open
+  ASSERT_TRUE(naive.Push(V(70, 3.0), &out).ok());
+  EXPECT_TRUE(out.tuples().empty());
+  ASSERT_TRUE(naive.AdvanceWatermark(100, &out).ok());
+  ASSERT_EQ(out.tuples().size(), 1u);
+  EXPECT_EQ(out.tuples()[0].value(1).AsInt(), 2);  // ts 50 + ts 70
+  ASSERT_TRUE(naive.AdvanceWatermark(200, &out).ok());
+  ASSERT_EQ(out.tuples().size(), 2u);
+  EXPECT_EQ(out.tuples()[1].value(1).AsInt(), 1);  // ts 150
+}
+
+TEST(WatermarkTest, PanedWatermarkOnlyClosureToleratesOutOfOrderInput) {
+  // Same out-of-order shape through the pane-incremental operator in
+  // watermark-only mode; sliding windows [s, s+100) every 50.
+  PanedGroupByAggregateOperator paned(
+      "p", WindowSpec::Sliding(100, 50),
+      [](const Tuple& t) { return std::to_string(t.value(0).AsInt()); },
+      {CountPaneSpec()});
+  paned.set_watermark_only_closure(true);
+  VectorCollector out;
+  ASSERT_TRUE(paned.Push(KV(160, 1, 1.0), &out).ok());
+  ASSERT_TRUE(paned.Push(KV(40, 1, 1.0), &out).ok());   // late
+  ASSERT_TRUE(paned.Push(KV(120, 1, 1.0), &out).ok());  // late
+  EXPECT_TRUE(out.tuples().empty());
+  ASSERT_TRUE(paned.AdvanceWatermark(150, &out).ok());
+  // Windows ending <= 150: [-50,50) {ts40}, [0,100) {ts40}, [50,150)
+  // {ts120}.
+  ASSERT_EQ(out.tuples().size(), 3u);
+  EXPECT_EQ(out.tuples()[0].timestamp(), 50);
+  EXPECT_EQ(out.tuples()[0].value(1).AsInt(), 1);
+  EXPECT_EQ(out.tuples()[1].timestamp(), 100);
+  EXPECT_EQ(out.tuples()[1].value(1).AsInt(), 1);
+  EXPECT_EQ(out.tuples()[2].timestamp(), 150);
+  EXPECT_EQ(out.tuples()[2].value(1).AsInt(), 1);
+  ASSERT_TRUE(paned.Close(&out).ok());
+  // Remaining windows [100,200) {ts120, ts160} and [150,250) {ts160}.
+  ASSERT_EQ(out.tuples().size(), 5u);
+  EXPECT_EQ(out.tuples()[3].value(1).AsInt(), 2);
+  EXPECT_EQ(out.tuples()[4].value(1).AsInt(), 1);
+}
+
+TEST(WatermarkTest, WatermarkOnlyClosureRejectsContractBreakingLateTuples) {
+  // A tuple whose EVERY window already closed under the applied watermark
+  // means the upstream broke the join MatchFn timestamp contract (output
+  // stamped below the pair max); silently re-opening the window would
+  // split/duplicate results, so both operators must fail loudly instead.
+  GroupByAggregateOperator naive(
+      "g", WindowSpec::Tumbling(100),
+      [](const Tuple&) { return std::string("all"); },
+      {{"n", [](const std::vector<const Tuple*>& group)
+                 -> common::Result<Value> {
+          return Value(static_cast<int64_t>(group.size()));
+        }}});
+  naive.set_watermark_only_closure(true);
+  VectorCollector out;
+  ASSERT_TRUE(naive.AdvanceWatermark(200, &out).ok());
+  EXPECT_TRUE(naive.Push(V(200, 1.0), &out).ok());  // window [200,300): fine
+  const auto late = naive.Push(V(50, 1.0), &out);   // window [0,100): closed
+  ASSERT_FALSE(late.ok());
+  EXPECT_NE(late.ToString().find("watermark"), std::string::npos);
+
+  PanedGroupByAggregateOperator paned(
+      "p", WindowSpec::Sliding(100, 50),
+      [](const Tuple& t) { return std::to_string(t.value(0).AsInt()); },
+      {CountPaneSpec()});
+  paned.set_watermark_only_closure(true);
+  ASSERT_TRUE(paned.AdvanceWatermark(200, &out).ok());
+  // ts 200: earliest window [150, 250) still open under wm 200 — fine.
+  EXPECT_TRUE(paned.Push(KV(200, 1, 1.0), &out).ok());
+  const auto paned_late = paned.Push(KV(40, 1, 1.0), &out);  // all closed
+  ASSERT_FALSE(paned_late.ok());
+  EXPECT_NE(paned_late.ToString().find("watermark"), std::string::npos);
+}
+
+// ---- sharded executor plumbing ------------------------------------------
+
+TEST(WatermarkTest, ShardedPushWatermarkReachesEveryShard) {
+  // Keyed window counts over 2 shards: tuples for key 0 and key 1 land on
+  // different shards; one watermark must close the open window on BOTH.
+  ShardedExecutor::Options opts;
+  opts.num_shards = 2;
+  ExecGraph::NodeId source = 0, sink = 0;
+  auto exec_or = ShardedExecutor::Create(
+      opts, KeyByIntValue(0), [&](ExecGraph* g, const ShardContext&) {
+        source = g->AddSource("src");
+        const auto win = g->AddOperator(
+            source, std::make_unique<WindowCountOperator>(
+                        "count", WindowSpec::Tumbling(100)));
+        sink = g->AddSink(win, "out");
+        return common::Status::OK();
+      });
+  ASSERT_TRUE(exec_or.ok()) << exec_or.status().ToString();
+  auto exec = exec_or.MoveValueUnsafe();
+  TupleBatch feed;
+  for (int64_t i = 0; i < 16; ++i) feed.Append(KV(10 + i, i % 2, 1.0));
+  ASSERT_TRUE(exec->PushBatch(source, std::move(feed)).ok());
+  ASSERT_TRUE(exec->PushWatermark(source, 100).ok());
+  // Observable pre-Finish through the merged metrics: both shards' window
+  // operators saw the watermark and flushed (tuples_out 1 each).
+  uint64_t flushed = 0;
+  int64_t low_wm = INT64_MIN;
+  const bool converged = WaitUntil([&] {
+    flushed = 0;
+    for (const NodeMetrics& m : exec->MetricsSnapshot()) {
+      if (m.name == "count") {
+        flushed = m.metrics.tuples_out;
+        low_wm = m.metrics.low_watermark;
+      }
+    }
+    return flushed >= 2;
+  });
+  EXPECT_TRUE(converged) << "watermark did not reach both shards";
+  EXPECT_EQ(flushed, 2u);
+  EXPECT_EQ(low_wm, 100);
+  ASSERT_TRUE(exec->Finish().ok());
+  EXPECT_EQ(exec->sink_output(sink).size(), 2u);
+}
+
+TEST(WatermarkTest, PeriodicGenerationClosesWindowsMidStream) {
+  // Options::watermark_period_us: ingested timestamps alone generate the
+  // progress signal; windows flush while the stream is still running (no
+  // Finish, no explicit PushWatermark).
+  ShardedExecutor::Options opts;
+  opts.num_shards = 1;
+  opts.watermark_period_us = 50;
+  ExecGraph::NodeId source = 0;
+  auto exec_or = ShardedExecutor::Create(
+      opts, KeyByIntValue(0), [&](ExecGraph* g, const ShardContext&) {
+        source = g->AddSource("src");
+        const auto win = g->AddOperator(
+            source, std::make_unique<WindowCountOperator>(
+                        "count", WindowSpec::Tumbling(100)));
+        g->AddSink(win, "out");
+        return common::Status::OK();
+      });
+  ASSERT_TRUE(exec_or.ok());
+  auto exec = exec_or.MoveValueUnsafe();
+  for (int64_t i = 0; i < 30; ++i) {
+    TupleBatch b;
+    b.Append(KV(i * 10, 0, 1.0));
+    ASSERT_TRUE(exec->PushBatch(source, std::move(b)).ok());
+  }
+  // ts reached 290 => watermarks reached >= 250 => windows [0,100) and
+  // [100,200) flushed without any explicit watermark call.
+  uint64_t flushed = 0;
+  const bool converged = WaitUntil([&] {
+    for (const NodeMetrics& m : exec->MetricsSnapshot()) {
+      if (m.name == "count") flushed = m.metrics.tuples_out;
+    }
+    return flushed >= 2;
+  });
+  EXPECT_TRUE(converged) << "periodic watermarks never closed a window";
+  ASSERT_TRUE(exec->Finish().ok());
+}
+
+TEST(WatermarkTest, SilentSourceWatermarkUnblocksArchiveEviction) {
+  // Eviction clock = min across per-source clocks. A silent source used
+  // to pin it forever; its explicit watermark now advances eviction.
+  ShardedExecutor::Options opts;
+  opts.num_shards = 1;
+  opts.num_ingest_lanes = 2;
+  opts.archive_retention_us = 100;
+  ExecGraph::NodeId fast = 0, silent = 0;
+  auto exec_or = ShardedExecutor::Create(
+      opts, KeyByIntValue(0), [&](ExecGraph* g, const ShardContext& ctx) {
+        fast = g->AddSource("fast");
+        silent = g->AddSource("silent");
+        TupleArchive* archive = ctx.archive;
+        const auto tapf = g->AddOperator(
+            fast, std::make_unique<TapOperator>(
+                      "archive_f", [archive](const Tuple& t) {
+                        archive->Archive(t);
+                      }));
+        g->AddSink(tapf, "out_f");
+        const auto taps = g->AddOperator(
+            silent, std::make_unique<TapOperator>(
+                        "archive_s", [archive](const Tuple& t) {
+                          archive->Archive(t);
+                        }));
+        g->AddSink(taps, "out_s");
+        return common::Status::OK();
+      });
+  ASSERT_TRUE(exec_or.ok()) << exec_or.status().ToString();
+  auto exec = exec_or.MoveValueUnsafe();
+  // The silent source binds lane 1 and speaks exactly once, early.
+  Tuple early = KV(0, 1, 1.0);
+  const TupleId early_id = early.id();
+  TupleBatch once;
+  once.Append(std::move(early));
+  ASSERT_TRUE(exec->PushBatch(1, silent, std::move(once)).ok());
+  // The fast source streams far past retention.
+  for (int64_t i = 1; i <= 50; ++i) {
+    TupleBatch b;
+    b.Append(KV(i * 100, 0, 2.0));
+    ASSERT_TRUE(exec->PushBatch(0, fast, std::move(b)).ok());
+  }
+  // Silent source announces progress; the eviction clock may now advance
+  // to min(fast_clock, silent_wm) and drop the early tuple.
+  ASSERT_TRUE(exec->PushWatermark(1, silent, 5000).ok());
+  // One more fast push gives the worker an eviction trigger after the
+  // watermark is consumed.
+  TupleBatch trailer;
+  trailer.Append(KV(5100, 0, 2.0));
+  ASSERT_TRUE(exec->PushBatch(0, fast, std::move(trailer)).ok());
+  ASSERT_TRUE(exec->Finish().ok());
+  EXPECT_FALSE(exec->archive(0).Lookup(early_id).ok())
+      << "silent-source watermark failed to unblock archive eviction";
+}
+
+TEST(WatermarkTest, WatermarkCannotOvertakePendingMergeBuffer) {
+  // With a re-batching target, undersized pushes park in the lane-local
+  // merge buffer. A watermark for that source must flush the buffer
+  // first: delivering "no more tuples below T" BEFORE tuples below T
+  // would close their window under them (observable as a split count).
+  ShardedExecutor::Options opts;
+  opts.num_shards = 1;
+  opts.target_batch_size = 1024;  // everything trickles into pending
+  ExecGraph::NodeId source = 0, sink = 0;
+  auto exec_or = ShardedExecutor::Create(
+      opts, KeyByIntValue(0), [&](ExecGraph* g, const ShardContext&) {
+        source = g->AddSource("src");
+        const auto win = g->AddOperator(
+            source, std::make_unique<WindowCountOperator>(
+                        "count", WindowSpec::Tumbling(100)));
+        sink = g->AddSink(win, "out");
+        return common::Status::OK();
+      });
+  ASSERT_TRUE(exec_or.ok());
+  auto exec = exec_or.MoveValueUnsafe();
+  TupleBatch b;
+  for (int64_t i = 0; i < 10; ++i) b.Append(KV(i, 0, 1.0));
+  ASSERT_TRUE(exec->PushBatch(source, std::move(b)).ok());
+  ASSERT_TRUE(exec->PushWatermark(source, 100).ok());
+  ASSERT_TRUE(exec->Finish().ok());
+  // One window, one count of 10 — a watermark overtaking the buffered
+  // tuples would have produced a 0-count flush plus a late re-flush.
+  ASSERT_EQ(exec->sink_output(sink).size(), 1u);
+  EXPECT_EQ(exec->sink_output(sink)[0].value(0).AsInt(), 10);
+}
+
+}  // namespace
+}  // namespace stream
+}  // namespace usp
