@@ -1,0 +1,84 @@
+// Shared command-line handling for the bench_* executables, so every
+// bench spells --smoke (the shrunken sanitizer-CI mode) and axis
+// overrides the same way instead of hand-rolling strcmp loops.
+//
+//   usp::bench::Args args = usp::bench::ParseArgs(argc, argv);
+//   if (args.smoke) { ...shrink axes... }
+//   auto lanes = args.AxisFlag("--ingest-threads", {1, 2, 4});
+//
+// Header-only on purpose: bench/ links against the library but is not
+// part of it, and a one-file helper keeps each bench a standalone
+// translation unit.
+
+#ifndef USP_BENCH_BENCH_COMMON_H_
+#define USP_BENCH_BENCH_COMMON_H_
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace usp {
+namespace bench {
+
+/// Comma/space-separated positive integers ("1,2,4" -> {1, 2, 4}); any
+/// non-digit separates. Zeros and empty segments are dropped.
+inline std::vector<size_t> ParseAxis(const char* arg) {
+  std::vector<size_t> axis;
+  size_t value = 0;
+  for (const char* p = arg;; ++p) {
+    if (*p >= '0' && *p <= '9') {
+      value = value * 10 + static_cast<size_t>(*p - '0');
+    } else {
+      if (value > 0) axis.push_back(value);
+      value = 0;
+      if (*p == '\0') break;
+    }
+  }
+  return axis;
+}
+
+/// Parsed bench arguments. `smoke` is the one flag every bench honours;
+/// bench-specific flags are looked up on demand so adding one does not
+/// touch this header.
+struct Args {
+  bool smoke = false;
+  int argc = 0;
+  char** argv = nullptr;
+
+  bool HasFlag(const char* name) const {
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], name) == 0) return true;
+    }
+    return false;
+  }
+
+  /// Value of "--flag value"; null when absent or valueless.
+  const char* FlagValue(const char* name) const {
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+    }
+    return nullptr;
+  }
+
+  /// "--flag 1,2,4" parsed as an axis; `fallback` when absent/empty.
+  std::vector<size_t> AxisFlag(const char* name,
+                               std::vector<size_t> fallback) const {
+    const char* v = FlagValue(name);
+    if (v == nullptr) return fallback;
+    std::vector<size_t> axis = ParseAxis(v);
+    return axis.empty() ? fallback : axis;
+  }
+};
+
+inline Args ParseArgs(int argc, char** argv) {
+  Args args;
+  args.argc = argc;
+  args.argv = argv;
+  args.smoke = args.HasFlag("--smoke");
+  return args;
+}
+
+}  // namespace bench
+}  // namespace usp
+
+#endif  // USP_BENCH_BENCH_COMMON_H_

@@ -41,6 +41,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "query/planner.h"
@@ -261,32 +262,12 @@ double RunSpscRing(size_t ops) {
   return static_cast<double>(ops) / sw.ElapsedSeconds();
 }
 
-std::vector<size_t> ParseAxis(const char* arg) {
-  std::vector<size_t> axis;
-  size_t value = 0;
-  for (const char* p = arg;; ++p) {
-    if (*p >= '0' && *p <= '9') {
-      value = value * 10 + static_cast<size_t>(*p - '0');
-    } else {
-      if (value > 0) axis.push_back(value);
-      value = 0;
-      if (*p == '\0') break;
-    }
-  }
-  return axis;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) {
-      g_smoke = true;
-    } else if (std::strcmp(argv[i], "--ingest-threads") == 0 &&
-               i + 1 < argc) {
-      g_lane_axis = ParseAxis(argv[++i]);
-    }
-  }
+  const usp::bench::Args args = usp::bench::ParseArgs(argc, argv);
+  g_smoke = args.smoke;
+  g_lane_axis = args.AxisFlag("--ingest-threads", g_lane_axis);
   if (g_smoke) {
     g_q1_tuples = 8 * 1024;
     g_ingest_tuples_per_chain = 8 * 1024;

@@ -1,0 +1,365 @@
+// Standing-query multiplexing at scale, emitting BENCH_multiplex.json.
+//
+// Scenario: one uncertain temperature feed (key, Gaussian temp), many
+// standing subscriptions of the fridge-monitor shape — "alert me when
+// P(avg temp of MY key > my threshold) >= my confidence" — mostly
+// exact-key scoped, a few interval/all-groups watchers.
+//
+// 1. "multiplexed": ONE CompileMultiplexed plan serves 1k -> 1M
+//    registered subscriptions. Reported per size: registration rate,
+//    ingest tuples/sec over the same stream, alerts fired, and resident
+//    VmRSS after registration (the 1M row doubles as the no-OOM check —
+//    shared pane/CF state means memory grows with subscriptions only in
+//    the predicate index, not in per-query windows).
+//
+// 2. "baseline": the same subscriptions compiled as N INDEPENDENT
+//    CompiledQuery plans (scope filter + per-query HAVING each), every
+//    tuple pushed to every plan — what multiplexing replaces. Run at 1k
+//    and 10k only; past that the baseline is intractable, which is the
+//    point. The headline acceptance number is the 10k-subscription
+//    speedup (target >= 10x tuples/sec).
+//
+// `--smoke` shrinks every axis for sanitizer CI runs.
+//
+// Run:  ./build/bench/bench_multiplex [--smoke]
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "query/planner.h"
+#include "query/query.h"
+#include "query/subscription.h"
+#include "stats/gaussian.h"
+#include "stream/batch.h"
+#include "stream/tuple.h"
+#include "uncertain/aggregates.h"
+#include "uncertain/sum_strategies.h"
+
+namespace {
+
+using usp::common::Stopwatch;
+using usp::query::PlannerOptions;
+using usp::query::Query;
+using usp::query::Subscription;
+using usp::query::SubscriptionSet;
+using usp::stats::DistributionPtr;
+using usp::stream::Tuple;
+using usp::stream::TupleBatch;
+using usp::stream::Value;
+
+constexpr int64_t kNumKeys = 256;
+constexpr int64_t kWindowUs = 5'000;
+constexpr int64_t kTsStepUs = 100;
+
+bool g_smoke = false;
+size_t g_tuples = 4'000;
+std::vector<size_t> g_multiplex_axis = {1'000, 10'000, 100'000, 1'000'000};
+std::vector<size_t> g_baseline_axis = {1'000, 10'000};
+
+/// Resident set size in MiB from /proc/self/status (0 where unsupported).
+double VmRssMiB() {
+  FILE* f = fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0.0;
+  char line[256];
+  double mib = 0.0;
+  while (fgets(line, sizeof(line), f) != nullptr) {
+    long kb = 0;
+    if (sscanf(line, "VmRSS: %ld kB", &kb) == 1) {
+      mib = static_cast<double>(kb) / 1024.0;
+      break;
+    }
+  }
+  fclose(f);
+  return mib;
+}
+
+std::vector<TupleBatch> MakeFeed() {
+  usp::common::Rng rng(99);
+  constexpr size_t kBatch = 256;
+  std::vector<TupleBatch> batches;
+  TupleBatch batch;
+  batch.Reserve(kBatch);
+  for (size_t i = 0; i < g_tuples; ++i) {
+    Tuple t(static_cast<int64_t>(i) * kTsStepUs,
+            {Value(static_cast<int64_t>(rng.UniformInt(kNumKeys))),
+             Value(DistributionPtr(std::make_shared<usp::stats::Gaussian>(
+                 rng.Uniform(10.0, 100.0), rng.Uniform(0.5, 3.0))))});
+    t.InitBaseLineage();
+    batch.Append(std::move(t));
+    if (batch.size() == kBatch) {
+      batches.push_back(std::move(batch));
+      batch = TupleBatch();
+      batch.Reserve(kBatch);
+    }
+  }
+  if (!batch.empty()) batches.push_back(std::move(batch));
+  return batches;
+}
+
+/// One generated standing query: scope + threshold condition over the
+/// AVG column (column 1 of [total, mean]).
+struct GenSub {
+  int kind = 0;  // 0 exact, 1 range, 2 all
+  int64_t key = 0;
+  int64_t lo = 0, hi = 0;
+  bool has_condition = true;
+  double threshold = 60.0;
+  double confidence = 0.8;
+};
+
+std::vector<GenSub> MakeSubs(size_t n) {
+  usp::common::Rng rng(7);
+  std::vector<GenSub> subs;
+  subs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    GenSub s;
+    const double r = rng.Uniform();
+    if (r < 0.96) {
+      s.kind = 0;
+      s.key = static_cast<int64_t>(rng.UniformInt(kNumKeys));
+    } else if (r < 0.99) {
+      s.kind = 1;
+      s.lo = static_cast<int64_t>(rng.UniformInt(kNumKeys));
+      s.hi = s.lo + static_cast<int64_t>(rng.UniformInt(8));
+    } else {
+      s.kind = 2;
+    }
+    // Round-number thresholds/confidences, as real users pick them; the
+    // grid also means the shared HAVING path evaluates each distinct
+    // P(agg > t) probe once per row instead of once per subscriber.
+    static constexpr double kConfidences[] = {0.5, 0.7, 0.8, 0.9, 0.95};
+    s.has_condition = rng.Uniform() < 0.95;
+    s.threshold = 45.0 + 5.0 * static_cast<double>(rng.UniformInt(20));
+    s.confidence = kConfidences[rng.UniformInt(5)];
+    subs.push_back(s);
+  }
+  return subs;
+}
+
+Query TemplateQuery() {
+  return Query::From("feed", 2)
+      .Window(usp::stream::WindowSpec::Tumbling(kWindowUs))
+      .GroupBy(0)
+      .Sum("total", 1, usp::uncertain::SumStrategyKind::kClt)
+      .Avg("mean", 1, usp::uncertain::SumStrategyKind::kClt)
+      .Sink("alerts");
+}
+
+Subscription ToSubscription(const GenSub& s,
+                            const std::shared_ptr<std::atomic<size_t>>& hits) {
+  Subscription sub = Subscription::AllGroups();
+  if (s.kind == 0) sub = Subscription::KeyEquals(Value(s.key));
+  if (s.kind == 1) sub = Subscription::KeyInRange(s.lo, s.hi);
+  if (s.has_condition) sub.Where(1, s.threshold, s.confidence);
+  sub.OnMatch([hits](const Tuple&) {
+    hits->fetch_add(1, std::memory_order_relaxed);
+  });
+  return sub;
+}
+
+struct MultiplexRow {
+  size_t subscriptions = 0;
+  double register_per_sec = 0.0;
+  double tuples_per_sec = 0.0;
+  size_t alerts = 0;
+  double vm_rss_mib = 0.0;
+  bool ok = false;
+};
+
+MultiplexRow RunMultiplexed(const std::vector<GenSub>& subs,
+                            const std::vector<TupleBatch>& feed) {
+  MultiplexRow row;
+  row.subscriptions = subs.size();
+  auto hits = std::make_shared<std::atomic<size_t>>(0);
+  auto set = std::make_shared<SubscriptionSet>();
+  Stopwatch reg_sw;
+  for (const GenSub& s : subs) set->Subscribe(ToSubscription(s, hits));
+  row.register_per_sec =
+      static_cast<double>(subs.size()) / reg_sw.ElapsedSeconds();
+
+  PlannerOptions opts;
+  opts.num_shards = 1;  // single-core container: measure the shared plan
+  auto mq_or = TemplateQuery().CompileMultiplexed(set, opts);
+  if (!mq_or.ok()) {
+    fprintf(stderr, "multiplexed compile failed: %s\n",
+            mq_or.status().ToString().c_str());
+    return row;
+  }
+  auto mq = mq_or.MoveValueUnsafe();
+  row.vm_rss_mib = VmRssMiB();
+  const auto source = mq->source("feed");
+  Stopwatch sw;
+  for (const TupleBatch& batch : feed) {
+    if (!mq->PushBatch(source, batch).ok()) return row;
+  }
+  if (!mq->Finish().ok()) return row;
+  row.tuples_per_sec = static_cast<double>(g_tuples) / sw.ElapsedSeconds();
+  row.alerts = hits->load();
+  row.ok = true;
+  return row;
+}
+
+struct BaselineRow {
+  size_t subscriptions = 0;
+  double tuples_per_sec = 0.0;
+  size_t alerts = 0;
+  bool ok = false;
+};
+
+BaselineRow RunBaseline(const std::vector<GenSub>& subs,
+                        const std::vector<TupleBatch>& feed) {
+  BaselineRow row;
+  row.subscriptions = subs.size();
+  std::vector<std::unique_ptr<usp::query::CompiledQuery>> plans;
+  plans.reserve(subs.size());
+  PlannerOptions opts;
+  opts.num_shards = 1;
+  for (const GenSub& s : subs) {
+    Query q = Query::From("feed", 2);
+    if (s.kind == 0) {
+      const int64_t k = s.key;
+      q = q.Filter("scope",
+                   [k](const Tuple& t) { return t.value(0).AsInt() == k; },
+                   {0});
+    } else if (s.kind == 1) {
+      const int64_t lo = s.lo, hi = s.hi;
+      q = q.Filter("scope",
+                   [lo, hi](const Tuple& t) {
+                     const int64_t key = t.value(0).AsInt();
+                     return key >= lo && key <= hi;
+                   },
+                   {0});
+    }
+    q = q.Window(usp::stream::WindowSpec::Tumbling(kWindowUs))
+            .GroupBy(0)
+            .Sum("total", 1, usp::uncertain::SumStrategyKind::kClt)
+            .Avg("mean", 1, usp::uncertain::SumStrategyKind::kClt);
+    if (s.has_condition) {
+      q = q.Having(usp::uncertain::MakeHavingProbGreater(2, s.threshold,
+                                                         s.confidence));
+    }
+    auto compiled = q.Sink("alerts").Compile(opts);
+    if (!compiled.ok()) {
+      fprintf(stderr, "baseline compile failed: %s\n",
+              compiled.status().ToString().c_str());
+      return row;
+    }
+    plans.push_back(compiled.MoveValueUnsafe());
+  }
+  std::vector<usp::stream::ExecGraph::NodeId> sources;
+  sources.reserve(plans.size());
+  for (const auto& p : plans) sources.push_back(p->source("feed"));
+  Stopwatch sw;
+  for (const TupleBatch& batch : feed) {
+    for (size_t i = 0; i < plans.size(); ++i) {
+      if (!plans[i]->PushBatch(sources[i], batch).ok()) return row;
+    }
+  }
+  size_t alerts = 0;
+  for (auto& p : plans) {
+    if (!p->Finish().ok()) return row;
+    alerts += p->Result("alerts").size();
+  }
+  row.tuples_per_sec = static_cast<double>(g_tuples) / sw.ElapsedSeconds();
+  row.alerts = alerts;
+  row.ok = true;
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  g_smoke = usp::bench::ParseArgs(argc, argv).smoke;
+  if (g_smoke) {
+    g_tuples = 1'000;
+    g_multiplex_axis = {200, 1'000};
+    g_baseline_axis = {200};
+  }
+  const auto feed = MakeFeed();
+  const auto all_subs = MakeSubs(g_multiplex_axis.back());
+  bool failed = false;
+
+  printf("=== 1. multiplexed: one shared plan, %zu tuples ===\n", g_tuples);
+  printf("%-14s %16s %14s %10s %10s\n", "subscriptions", "register/sec",
+         "tuples/sec", "alerts", "rss MiB");
+  std::vector<MultiplexRow> multiplexed;
+  for (size_t n : g_multiplex_axis) {
+    std::vector<GenSub> subs(all_subs.begin(), all_subs.begin() + n);
+    const MultiplexRow row = RunMultiplexed(subs, feed);
+    if (!row.ok) failed = true;
+    multiplexed.push_back(row);
+    printf("%-14zu %16.0f %14.0f %10zu %10.1f\n", row.subscriptions,
+           row.register_per_sec, row.tuples_per_sec, row.alerts,
+           row.vm_rss_mib);
+  }
+
+  printf("\n=== 2. baseline: N independent compiled queries ===\n");
+  printf("%-14s %14s %10s\n", "subscriptions", "tuples/sec", "alerts");
+  std::vector<BaselineRow> baseline;
+  for (size_t n : g_baseline_axis) {
+    std::vector<GenSub> subs(all_subs.begin(), all_subs.begin() + n);
+    const BaselineRow row = RunBaseline(subs, feed);
+    if (!row.ok) failed = true;
+    baseline.push_back(row);
+    printf("%-14zu %14.0f %10zu\n", row.subscriptions, row.tuples_per_sec,
+           row.alerts);
+  }
+
+  // Headline: speedup at the largest subscription count both modes ran.
+  double speedup = 0.0;
+  size_t speedup_at = 0;
+  for (const BaselineRow& b : baseline) {
+    for (const MultiplexRow& m : multiplexed) {
+      if (m.subscriptions == b.subscriptions && b.tuples_per_sec > 0.0 &&
+          b.subscriptions >= speedup_at) {
+        speedup_at = b.subscriptions;
+        speedup = m.tuples_per_sec / b.tuples_per_sec;
+      }
+    }
+  }
+  printf("\nspeedup at %zu subscriptions: %.1fx (target >= 10x)\n",
+         speedup_at, speedup);
+
+  FILE* f = fopen("BENCH_multiplex.json", "w");
+  if (f) {
+    fprintf(f, "{\n  \"bench\": \"multiplex\",\n");
+    fprintf(f, "  \"smoke\": %s,\n  \"tuples\": %zu,\n",
+            g_smoke ? "true" : "false", g_tuples);
+    fprintf(f, "  \"multiplexed\": [\n");
+    for (size_t i = 0; i < multiplexed.size(); ++i) {
+      const MultiplexRow& r = multiplexed[i];
+      fprintf(f,
+              "    {\"subscriptions\": %zu, \"register_per_sec\": %.1f, "
+              "\"tuples_per_sec\": %.1f, \"alerts\": %zu, "
+              "\"vm_rss_mib\": %.1f}%s\n",
+              r.subscriptions, r.register_per_sec, r.tuples_per_sec,
+              r.alerts, r.vm_rss_mib,
+              i + 1 < multiplexed.size() ? "," : "");
+    }
+    fprintf(f, "  ],\n  \"baseline\": [\n");
+    for (size_t i = 0; i < baseline.size(); ++i) {
+      const BaselineRow& r = baseline[i];
+      fprintf(f,
+              "    {\"subscriptions\": %zu, \"tuples_per_sec\": %.1f, "
+              "\"alerts\": %zu}%s\n",
+              r.subscriptions, r.tuples_per_sec, r.alerts,
+              i + 1 < baseline.size() ? "," : "");
+    }
+    fprintf(f, "  ],\n");
+    fprintf(f, "  \"speedup_at\": %zu,\n  \"speedup\": %.2f\n}\n",
+            speedup_at, speedup);
+    fclose(f);
+  }
+  if (failed) {
+    fprintf(stderr, "bench_multiplex: at least one section failed\n");
+    return 1;
+  }
+  return 0;
+}

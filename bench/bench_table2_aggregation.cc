@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "stats/characteristic_function.h"
@@ -313,9 +314,7 @@ BENCHMARK_CAPTURE(BM_SumWindow, cf_approx, &g_approx);
 BENCHMARK_CAPTURE(BM_SumWindow, clt, &g_clt);
 
 int main(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) g_smoke = true;
-  }
+  g_smoke = usp::bench::ParseArgs(argc, argv).smoke;
   if (g_smoke) {
     // Tiny sizes so CI can exercise the perf-path code under sanitizers.
     kWindowSize = 20;

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "query/planner.h"
@@ -106,9 +107,7 @@ double RunPlan(WindowSpec spec, bool paned, const std::vector<Tuple>& stream,
 }  // namespace
 
 int main(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) g_smoke = true;
-  }
+  g_smoke = usp::bench::ParseArgs(argc, argv).smoke;
   if (g_smoke) g_num_tuples = 1500;
   const auto stream = MakeStream(7);
   // Q1 shape: [Range 100 us] tumbling, and a 4-overlap sliding variant.

@@ -4,7 +4,9 @@
 //     carries).
 //  2. Declare a windowed SUM as a logical query plan and let the planner
 //     compile it, once per aggregation strategy from the paper's Table 2.
-//  3. Read out full result pdfs, confidence regions, and predicate
+//  3. Register standing subscriptions (per-subscriber key + threshold)
+//     and serve them all from ONE multiplexed plan.
+//  4. Read out full result pdfs, confidence regions, and predicate
 //     probabilities.
 //
 // Build & run:  ./build/examples/quickstart
@@ -14,6 +16,7 @@
 
 #include "query/planner.h"
 #include "query/query.h"
+#include "query/subscription.h"
 #include "stats/gaussian.h"
 #include "stats/gaussian_mixture.h"
 #include "uncertain/sum_strategies.h"
@@ -141,7 +144,56 @@ int main() {
     printf("\n");
   }
 
-  // --- 3. result quality ------------------------------------------------
+  // --- 3. standing subscriptions (one plan, many subscribers) -----------
+  //
+  // When MANY consumers want the same query shape with personal
+  // constants — different group keys, thresholds, confidences — do NOT
+  // compile one plan each. Register them in a `SubscriptionSet` and use
+  // `CompileMultiplexed`: one source scan, one window buffer, one
+  // aggregate per group, and a predicate index dispatching each emitted
+  // group row to exactly the subscriptions it satisfies. Each sink row
+  // is tagged with the matching subscription id; `OnMatch` callbacks are
+  // the push-style alert channel. See examples/fridge_monitor.cpp for
+  // the full walkthrough and bench_multiplex for the scaling numbers
+  // (one shared plan holds 1M registered subscriptions).
+  {
+    auto subs = std::make_shared<usp::query::SubscriptionSet>();
+    // Zone A's owner: "P(total > 120 lb) >= 0.9" over MY zone only.
+    subs->Subscribe(
+        usp::query::Subscription::KeyEquals(Value(std::string("A")))
+            .Where(/*agg_column=*/0, /*threshold=*/120.0,
+                   /*min_confidence=*/0.9));
+    // A dashboard that records every zone's window, unconditionally.
+    subs->Subscribe(usp::query::Subscription::AllGroups());
+    auto mq_or = usp::query::Query::From("readings", 2)
+                     .Window(usp::stream::WindowSpec::Tumbling(5'000'000))
+                     .GroupBy(0)
+                     .Sum("total", 1, usp::uncertain::SumStrategyKind::kClt)
+                     .Sink("alerts")
+                     .CompileMultiplexed(subs);
+    if (!mq_or.ok()) {
+      fprintf(stderr, "multiplexed compile failed: %s\n",
+              mq_or.status().ToString().c_str());
+      return 1;
+    }
+    auto mq = mq_or.MoveValueUnsafe();
+    usp::stream::TupleBatch batch;
+    batch.Append(make_tuple(1'000'000, "A", w1));
+    batch.Append(make_tuple(2'000'000, "A", w2));
+    batch.Append(make_tuple(
+        3'000'000, "B", std::make_shared<usp::stats::Gaussian>(120.0, 5.0)));
+    (void)mq->PushBatch(mq->source("readings"), std::move(batch));
+    (void)mq->Finish();
+    printf("\nmultiplexed: %s\n", mq->summary().ToString().c_str());
+    for (const Tuple& t : mq->Result("alerts")) {
+      printf("  zone %s total %.1f -> subscription %lld\n",
+             t.value(0).AsString().c_str(),
+             t.value(1).AsDistribution()->Mean(),
+             static_cast<long long>(t.value(t.num_values() - 1).AsInt()));
+    }
+  }
+
+  // --- 4. result quality ------------------------------------------------
   usp::uncertain::CfApproxSum approx;
   auto total = approx.SumOf({w1.get(), w2.get()});
   if (!total.ok()) {

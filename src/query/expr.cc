@@ -1,0 +1,62 @@
+#include "query/expr.h"
+
+#include <cstdio>
+
+namespace usp {
+namespace query {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kEq:
+      return "==";
+    case CompareOp::kNe:
+      return "!=";
+  }
+  return "?";
+}
+
+bool ComparePredicate::Eval(const stream::Tuple& t) const {
+  if (attr_index >= t.num_values()) return false;
+  const stream::Value& v = t.value(attr_index);
+  double x;
+  if (v.is_numeric()) {
+    x = v.AsDouble();
+  } else if (v.is_distribution()) {
+    x = v.AsDistribution()->Mean();
+  } else {
+    return false;
+  }
+  switch (op) {
+    case CompareOp::kLt:
+      return x < constant;
+    case CompareOp::kLe:
+      return x <= constant;
+    case CompareOp::kGt:
+      return x > constant;
+    case CompareOp::kGe:
+      return x >= constant;
+    case CompareOp::kEq:
+      return x == constant;
+    case CompareOp::kNe:
+      return x != constant;
+  }
+  return false;
+}
+
+std::string ComparePredicate::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "attr(%zu) %s %g", attr_index,
+                CompareOpName(op), constant);
+  return buf;
+}
+
+}  // namespace query
+}  // namespace usp

@@ -1,0 +1,75 @@
+// Tiny expression helper for constant-threshold comparison filters:
+//
+//   q.Filter("hot", Attr(1) > 30.0)
+//
+// builds the predicate AND derives its read set ({1}) automatically, so
+// the planner's filter pushdown works without a hand-declared
+// reads_attrs — the ROADMAP follow-on that standing-query templates rely
+// on (a template filter should never silently lose pushdown because the
+// caller forgot the annotation).
+//
+// Comparison semantics over a Value: certain numerics compare
+// numerically; distribution-valued attributes compare by expected value
+// (mean) — use uncertain::MakeProbabilisticFilter for confidence-aware
+// selection; strings and nulls never satisfy a numeric comparison.
+
+#ifndef USP_QUERY_EXPR_H_
+#define USP_QUERY_EXPR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "stream/tuple.h"
+
+namespace usp {
+namespace query {
+
+enum class CompareOp : uint8_t { kLt, kLe, kGt, kGe, kEq, kNe };
+
+const char* CompareOpName(CompareOp op);
+
+/// A constant-threshold comparison over one attribute, with the read set
+/// it implies. Convertible into Query::Filter via the dedicated overload.
+struct ComparePredicate {
+  size_t attr_index = 0;
+  CompareOp op = CompareOp::kGt;
+  double constant = 0.0;
+
+  /// Evaluates the comparison on one tuple (see file comment for the
+  /// per-kind semantics; out-of-range attributes are false).
+  bool Eval(const stream::Tuple& t) const;
+
+  /// "attr(1) > 30" — for summaries and error messages.
+  std::string ToString() const;
+};
+
+/// Attribute reference; combine with a constant via <, <=, >, >=, ==, !=.
+struct AttrRef {
+  size_t index = 0;
+};
+
+inline AttrRef Attr(size_t index) { return AttrRef{index}; }
+
+inline ComparePredicate operator<(AttrRef a, double c) {
+  return ComparePredicate{a.index, CompareOp::kLt, c};
+}
+inline ComparePredicate operator<=(AttrRef a, double c) {
+  return ComparePredicate{a.index, CompareOp::kLe, c};
+}
+inline ComparePredicate operator>(AttrRef a, double c) {
+  return ComparePredicate{a.index, CompareOp::kGt, c};
+}
+inline ComparePredicate operator>=(AttrRef a, double c) {
+  return ComparePredicate{a.index, CompareOp::kGe, c};
+}
+inline ComparePredicate operator==(AttrRef a, double c) {
+  return ComparePredicate{a.index, CompareOp::kEq, c};
+}
+inline ComparePredicate operator!=(AttrRef a, double c) {
+  return ComparePredicate{a.index, CompareOp::kNe, c};
+}
+
+}  // namespace query
+}  // namespace usp
+
+#endif  // USP_QUERY_EXPR_H_

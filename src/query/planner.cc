@@ -9,8 +9,10 @@
 #include "query/query.h"
 #include "stream/group_by.h"
 #include "stream/pane_window.h"
+#include "stream/subscription_index.h"
 #include "uncertain/aggregates.h"
 #include "uncertain/pane_aggregates.h"
+#include "uncertain/selection.h"
 
 namespace usp {
 namespace query {
@@ -24,33 +26,14 @@ using stream::Tuple;
 using stream::TupleBatch;
 using stream::Value;
 
-/// Canonical grouping string of a Value, shared by the operator key and
-/// the derived ingest shard key so both always agree.
-std::string KeyStringOf(const Value& v) {
-  switch (v.kind()) {
-    case stream::ValueKind::kString:
-      return v.AsString();
-    case stream::ValueKind::kInt:
-      return std::to_string(v.AsInt());
-    case stream::ValueKind::kDouble: {
-      char buf[40];
-      std::snprintf(buf, sizeof(buf), "%.17g", v.AsDouble());
-      return buf;
-    }
-    case stream::ValueKind::kNull:
-      return "null";
-    case stream::ValueKind::kDistribution:
-      return v.ToString();
-  }
-  return "?";
-}
+using stream::CanonicalKeyString;
 
 stream::GroupByAggregateOperator::KeyFn OperatorKeyFn(
     const LogicalPlan::Node& node) {
   if (node.group_key_fn) return node.group_key_fn;
   if (node.group_key_attr.has_value()) {
     const size_t attr = *node.group_key_attr;
-    return [attr](const Tuple& t) { return KeyStringOf(t.value(attr)); };
+    return [attr](const Tuple& t) { return CanonicalKeyString(t.value(attr)); };
   }
   // Ungrouped aggregate: the whole window is one group.
   return [](const Tuple&) { return std::string("all"); };
@@ -121,7 +104,7 @@ common::Result<ShardKeyDecision> DeriveShardKey(const LogicalPlan& plan) {
   if (agg.group_key_attr.has_value()) {
     const size_t attr = *agg.group_key_attr;
     logical_key = [attr](const Tuple& t) {
-      return KeyStringOf(t.value(attr));
+      return CanonicalKeyString(t.value(attr));
     };
   } else if (agg.group_key_fn) {
     logical_key = agg.group_key_fn;
@@ -185,7 +168,8 @@ common::Status BuildGraph(const LogicalPlan& plan,
                               sinks,
                           std::function<uncertain::SumStrategy*(
                               uncertain::SumStrategyKind)> new_strategy,
-                          const std::vector<char>& watermark_only_aggs) {
+                          const std::vector<char>& watermark_only_aggs,
+                          const Planner::DispatchFactory* make_dispatch) {
   std::vector<ExecGraph::NodeId> phys(plan.num_nodes(),
                                       ExecGraph::kInvalidNode);
   for (LogicalPlan::NodeId id = 0; id < plan.num_nodes(); ++id) {
@@ -220,6 +204,10 @@ common::Status BuildGraph(const LogicalPlan& plan,
             id < watermark_only_aggs.size() && watermark_only_aggs[id];
         auto key_fn = OperatorKeyFn(n);
         std::unique_ptr<stream::Operator> op;
+        // Accumulator footprint for the summary: output columns vs.
+        // distinct partial slots (pane path shares slots across columns
+        // with equal partial signatures, e.g. SUM + AVG of one attribute).
+        size_t partial_slots = n.aggregates.size();
         if (paned) {
           uncertain::PaneAggregateOptions popts;
           popts.grid_points = options.cf_grid_points;
@@ -250,6 +238,7 @@ common::Status BuildGraph(const LogicalPlan& plan,
                 break;
             }
           }
+          partial_slots = stream::CountDistinctPartialSlots(specs);
           auto paned_op =
               std::make_unique<stream::PanedGroupByAggregateOperator>(
                   n.name, *n.window, std::move(key_fn), std::move(specs),
@@ -290,9 +279,21 @@ common::Status BuildGraph(const LogicalPlan& plan,
           op = std::move(naive_op);
         }
         phys[id] = graph->AddOperator(phys[n.inputs[0]], std::move(op));
+        if (make_dispatch != nullptr && *make_dispatch) {
+          // Multiplexed plan: splice the predicate-index dispatch between
+          // the shared aggregate and whatever consumes it, so every
+          // result row is routed to its subscribers before the sink.
+          USP_ASSIGN_OR_RETURN(std::unique_ptr<stream::Operator> dispatch_op,
+                               (*make_dispatch)(ctx));
+          phys[id] = graph->AddOperator(phys[id], std::move(dispatch_op));
+        }
         if (record) {
           summary->aggregates.push_back({n.name, paned});
           if (watermark_only) summary->watermark_driven.push_back(n.name);
+          if (make_dispatch != nullptr && *make_dispatch) {
+            summary->multiplex_agg_columns = n.aggregates.size();
+            summary->multiplex_partial_slots = partial_slots;
+          }
         }
         break;
       }
@@ -377,6 +378,12 @@ std::string PlanSummary::ToString() const {
   for (const auto& [filter_name, map_name] : pushed_filters) {
     out << "; filter '" << filter_name << "' pushed below map '" << map_name
         << "'";
+  }
+  if (multiplexed) {
+    out << "; multiplexed: " << subscriptions_at_compile
+        << " subscription(s) on one shared plan, " << multiplex_agg_columns
+        << " aggregate column(s) in " << multiplex_partial_slots
+        << " partial slot(s), predicate-index dispatch";
   }
   return out.str();
 }
@@ -509,6 +516,12 @@ std::vector<stream::NodeMetrics> CompiledQuery::MetricsSnapshot() const {
 
 common::Result<std::unique_ptr<CompiledQuery>> Planner::Compile(
     const LogicalPlan& logical, const PlannerOptions& options) {
+  return CompileImpl(logical, options, /*make_dispatch=*/nullptr);
+}
+
+common::Result<std::unique_ptr<CompiledQuery>> Planner::CompileImpl(
+    const LogicalPlan& logical, const PlannerOptions& options,
+    const DispatchFactory* make_dispatch) {
   USP_RETURN_NOT_OK(logical.Validate());
   std::unique_ptr<CompiledQuery> compiled(new CompiledQuery());
   PlanSummary& summary = compiled->summary_;
@@ -684,7 +697,7 @@ common::Result<std::unique_ptr<CompiledQuery>> Planner::Compile(
           return raw->NewStrategy(kind, options.cf_grid_points,
                                   ctx.cf_workspace);
         },
-        watermark_only_aggs));
+        watermark_only_aggs, make_dispatch));
     USP_RETURN_NOT_OK(graph->Validate());
     compiled->dag_ = std::make_unique<stream::DagExecutor>(std::move(graph));
     // The single-DAG backend has no ingest lanes; CompiledQuery::PushBatch
@@ -712,8 +725,8 @@ common::Result<std::unique_ptr<CompiledQuery>> Planner::Compile(
   }
   auto exec_or = ShardedExecutor::Create(
       sopts, std::move(key.fn),
-      [&plan, &options, raw, &watermark_only_aggs](ExecGraph* g,
-                                                   const ShardContext& ctx) {
+      [&plan, &options, raw, &watermark_only_aggs, make_dispatch](
+          ExecGraph* g, const ShardContext& ctx) {
         return BuildGraph(
             plan, options, ctx, raw, /*record=*/ctx.shard_index == 0, g,
             &raw->summary_, &raw->sources_, &raw->sinks_,
@@ -721,7 +734,7 @@ common::Result<std::unique_ptr<CompiledQuery>> Planner::Compile(
               return raw->NewStrategy(kind, options.cf_grid_points,
                                       ctx.cf_workspace);
             },
-            watermark_only_aggs);
+            watermark_only_aggs, make_dispatch);
       });
   USP_RETURN_NOT_OK(exec_or.status());
   compiled->sharded_ = exec_or.MoveValueUnsafe();
@@ -739,6 +752,161 @@ common::Result<std::unique_ptr<CompiledQuery>> Planner::Compile(
   return compiled;
 }
 
+common::Result<std::unique_ptr<MultiplexedQuery>> Planner::CompileMultiplexed(
+    const LogicalPlan& templ, std::shared_ptr<SubscriptionSet> subscriptions,
+    const PlannerOptions& options) {
+  if (subscriptions == nullptr) {
+    return common::Status::InvalidArgument(
+        "CompileMultiplexed needs a SubscriptionSet (it may be empty; "
+        "subscriptions can be added after compilation)");
+  }
+  if (subscriptions->bound()) {
+    return common::Status::InvalidArgument(
+        "SubscriptionSet is already bound to a compiled plan; use one set "
+        "per CompileMultiplexed call");
+  }
+  USP_RETURN_NOT_OK(templ.Validate());
+
+  // Template shape: the sharing argument needs exactly one grouped,
+  // windowed aggregate feeding one sink from one source — every
+  // subscription then reads the same shared pane/CF state and differs
+  // only in dispatch constants. Richer templates (joins, fan-out) are
+  // per-query plans; compile them with Compile().
+  size_t num_sources = 0, num_sinks = 0, num_joins = 0;
+  std::vector<LogicalPlan::NodeId> agg_nodes;
+  for (LogicalPlan::NodeId id = 0; id < templ.num_nodes(); ++id) {
+    switch (templ.kind(id)) {
+      case LogicalPlan::NodeKind::kSource:
+        ++num_sources;
+        break;
+      case LogicalPlan::NodeKind::kSink:
+        ++num_sinks;
+        break;
+      case LogicalPlan::NodeKind::kJoin:
+        ++num_joins;
+        break;
+      case LogicalPlan::NodeKind::kAggregate:
+        agg_nodes.push_back(id);
+        break;
+      default:
+        break;
+    }
+  }
+  if (num_sources != 1 || num_sinks != 1 || num_joins != 0 ||
+      agg_nodes.size() != 1) {
+    return common::Status::InvalidArgument(
+        "multiplexed template must be source -> [filters/maps] -> one "
+        "windowed group-by aggregate -> one sink (got " +
+        std::to_string(num_sources) + " source(s), " +
+        std::to_string(agg_nodes.size()) + " aggregate(s), " +
+        std::to_string(num_joins) + " join(s), " + std::to_string(num_sinks) +
+        " sink(s))");
+  }
+  const LogicalPlan::Node& agg = templ.node(agg_nodes[0]);
+  if (!agg.group_key_attr.has_value() && !agg.group_key_fn) {
+    return common::Status::InvalidArgument(
+        "multiplexed template aggregate '" + agg.name +
+        "' has no group key; subscription scopes select group keys, so an "
+        "ungrouped aggregate has nothing to dispatch on");
+  }
+  if (templ.partition_key()) {
+    return common::Status::InvalidArgument(
+        "multiplexed templates cannot use PartitionBy(): the subscription "
+        "table must partition exactly like the data, so the planner owns "
+        "placement (drop the override; the group key derives it)");
+  }
+
+  // The factory runs once per shard while that shard's graph is built
+  // (sequentially, on the compiling thread). The first call learns the
+  // final shard count from the ShardContext and materialises the table
+  // with one partition per shard — the same modulo placement the derived
+  // ingest key uses, so a shard's dispatch partition holds exactly the
+  // exact-key subscriptions whose groups that shard aggregates.
+  const std::string dispatch_name = agg.name + "_dispatch";
+  DispatchFactory make_dispatch =
+      [subscriptions, dispatch_name,
+       prob = uncertain::MakeSubscriptionProbFn()](const ShardContext& ctx)
+      -> common::Result<std::unique_ptr<stream::Operator>> {
+    if (!subscriptions->bound()) {
+      USP_RETURN_NOT_OK(subscriptions->Bind(ctx.num_shards));
+    }
+    return std::unique_ptr<stream::Operator>(
+        std::make_unique<stream::SubscriptionDispatchOperator>(
+            dispatch_name, subscriptions->table(), ctx.shard_index, prob));
+  };
+
+  USP_ASSIGN_OR_RETURN(std::unique_ptr<CompiledQuery> compiled,
+                       CompileImpl(templ, options, &make_dispatch));
+  compiled->summary_.multiplexed = true;
+  compiled->summary_.subscriptions_at_compile = subscriptions->size();
+
+  std::unique_ptr<MultiplexedQuery> mq(new MultiplexedQuery());
+  mq->compiled_ = std::move(compiled);
+  mq->subscriptions_ = std::move(subscriptions);
+  return mq;
+}
+
+stream::ExecGraph::NodeId MultiplexedQuery::source(
+    const std::string& name) const {
+  return compiled_->source(name);
+}
+
+stream::ExecGraph::NodeId MultiplexedQuery::sink(
+    const std::string& name) const {
+  return compiled_->sink(name);
+}
+
+size_t MultiplexedQuery::ingest_lane(stream::ExecGraph::NodeId source) const {
+  return compiled_->ingest_lane(source);
+}
+
+common::Status MultiplexedQuery::Push(stream::ExecGraph::NodeId source,
+                                      stream::Tuple tuple) {
+  return compiled_->Push(source, std::move(tuple));
+}
+
+common::Status MultiplexedQuery::PushBatch(stream::ExecGraph::NodeId source,
+                                           const stream::TupleBatch& batch) {
+  return compiled_->PushBatch(source, batch);
+}
+
+common::Status MultiplexedQuery::PushBatch(stream::ExecGraph::NodeId source,
+                                           stream::TupleBatch&& batch) {
+  return compiled_->PushBatch(source, std::move(batch));
+}
+
+common::Status MultiplexedQuery::PushWatermark(
+    stream::ExecGraph::NodeId source, int64_t watermark) {
+  return compiled_->PushWatermark(source, watermark);
+}
+
+common::Status MultiplexedQuery::Finish() { return compiled_->Finish(); }
+
+const stream::TupleBatch& MultiplexedQuery::Result(
+    stream::ExecGraph::NodeId sink) const {
+  return compiled_->Result(sink);
+}
+
+const stream::TupleBatch& MultiplexedQuery::Result(
+    const std::string& name) const {
+  return compiled_->Result(name);
+}
+
+stream::TupleBatch MultiplexedQuery::TakeResult(
+    stream::ExecGraph::NodeId sink) {
+  return compiled_->TakeResult(sink);
+}
+
+std::vector<stream::NodeMetrics> MultiplexedQuery::MetricsSnapshot() const {
+  return compiled_->MetricsSnapshot();
+}
+
+const PlanSummary& MultiplexedQuery::summary() const {
+  return compiled_->summary();
+}
+
+size_t MultiplexedQuery::num_shards() const { return compiled_->num_shards(); }
+
 common::Result<std::unique_ptr<CompiledQuery>> Query::Compile() const {
   return Compile(PlannerOptions{});
 }
@@ -747,6 +915,18 @@ common::Result<std::unique_ptr<CompiledQuery>> Query::Compile(
     const PlannerOptions& options) const {
   USP_ASSIGN_OR_RETURN(LogicalPlan plan, Build());
   return Planner::Compile(plan, options);
+}
+
+common::Result<std::unique_ptr<MultiplexedQuery>> Query::CompileMultiplexed(
+    std::shared_ptr<SubscriptionSet> subscriptions) const {
+  return CompileMultiplexed(std::move(subscriptions), PlannerOptions{});
+}
+
+common::Result<std::unique_ptr<MultiplexedQuery>> Query::CompileMultiplexed(
+    std::shared_ptr<SubscriptionSet> subscriptions,
+    const PlannerOptions& options) const {
+  USP_ASSIGN_OR_RETURN(LogicalPlan plan, Build());
+  return Planner::CompileMultiplexed(plan, std::move(subscriptions), options);
 }
 
 }  // namespace query

@@ -36,6 +36,7 @@
 #ifndef USP_QUERY_PLANNER_H_
 #define USP_QUERY_PLANNER_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -43,6 +44,7 @@
 #include <vector>
 
 #include "query/logical_plan.h"
+#include "query/subscription.h"
 #include "stats/characteristic_function.h"
 #include "stream/exec_graph.h"
 #include "stream/pipeline.h"
@@ -196,6 +198,17 @@ struct PlanSummary {
   /// Filters the planner pushed below maps: (filter_name, map_name).
   std::vector<std::pair<std::string, std::string>> pushed_filters;
 
+  /// Standing-query multiplexing (Planner::CompileMultiplexed): how many
+  /// subscriptions the shared plan served at compile time, and the
+  /// state-sharing decision for the aggregate stage — m output columns
+  /// backed by s distinct accumulator slots (pane path; s < m when e.g.
+  /// SUM and AVG of one attribute share a partial). Zeros on ordinary
+  /// Compile() plans.
+  bool multiplexed = false;
+  size_t subscriptions_at_compile = 0;
+  size_t multiplex_agg_columns = 0;
+  size_t multiplex_partial_slots = 0;
+
   std::string ToString() const;
 };
 
@@ -292,12 +305,89 @@ class CompiledQuery {
   common::Status finish_status_;
 };
 
+/// \brief Many standing queries compiled onto ONE physical plan.
+///
+/// Produced by Planner::CompileMultiplexed from a template LogicalPlan
+/// (source → [filters/maps] → window/group-by/aggregate → sink) and a
+/// SubscriptionSet whose entries differ only in group-key scope and
+/// HAVING threshold. The ingest-side API mirrors CompiledQuery — there is
+/// exactly one source scan, one pane/window buffer, and one CF grid per
+/// aggregate signature regardless of the subscription count. Each result
+/// row the shared aggregate emits is routed by the predicate-index
+/// dispatch operator: the sink accumulates tagged rows
+/// [group_key, agg_1..agg_m, subscription_id] (ascending id per source
+/// row), and per-subscription OnMatch callbacks fire as windows close.
+/// Subscribe/Unsubscribe through subscriptions() stays legal while
+/// streaming.
+class MultiplexedQuery {
+ public:
+  stream::ExecGraph::NodeId source(const std::string& name) const;
+  stream::ExecGraph::NodeId sink(const std::string& name) const;
+  size_t ingest_lane(stream::ExecGraph::NodeId source) const;
+
+  common::Status Push(stream::ExecGraph::NodeId source, stream::Tuple tuple);
+  common::Status PushBatch(stream::ExecGraph::NodeId source,
+                           const stream::TupleBatch& batch);
+  common::Status PushBatch(stream::ExecGraph::NodeId source,
+                           stream::TupleBatch&& batch);
+  common::Status PushWatermark(stream::ExecGraph::NodeId source,
+                               int64_t watermark);
+  common::Status Finish();
+
+  const stream::TupleBatch& Result(stream::ExecGraph::NodeId sink) const;
+  const stream::TupleBatch& Result(const std::string& name) const;
+  stream::TupleBatch TakeResult(stream::ExecGraph::NodeId sink);
+
+  std::vector<stream::NodeMetrics> MetricsSnapshot() const;
+
+  const PlanSummary& summary() const;
+  size_t num_shards() const;
+
+  /// The live registry this plan serves; mid-stream Subscribe/Unsubscribe
+  /// take effect on the next window the dispatch routes.
+  SubscriptionSet& subscriptions() { return *subscriptions_; }
+  const std::shared_ptr<SubscriptionSet>& subscription_set() const {
+    return subscriptions_;
+  }
+
+ private:
+  friend class Planner;
+  MultiplexedQuery() = default;
+
+  std::unique_ptr<CompiledQuery> compiled_;
+  std::shared_ptr<SubscriptionSet> subscriptions_;
+};
+
 class Planner {
  public:
   /// Validates `plan` and compiles it. The plan is copied where needed
   /// (closures are shared); it does not need to outlive the result.
   static common::Result<std::unique_ptr<CompiledQuery>> Compile(
       const LogicalPlan& plan, const PlannerOptions& options = {});
+
+  /// Compiles `templ` once and binds `subscriptions` to it (the set must
+  /// be fresh — one set per call). The template must be the multiplexable
+  /// shape: exactly one source, one grouped windowed aggregate, one sink,
+  /// no joins, and no explicit PartitionBy (the planner owns placement so
+  /// the subscription table partitions exactly like the data). All
+  /// physical planning (sharding, lanes, watermarks, pane vs. naive) is
+  /// inherited from Compile; the per-shard dispatch operator is spliced
+  /// between the aggregate and the sink.
+  static common::Result<std::unique_ptr<MultiplexedQuery>> CompileMultiplexed(
+      const LogicalPlan& templ, std::shared_ptr<SubscriptionSet> subscriptions,
+      const PlannerOptions& options = {});
+
+  /// Per-shard dispatch-operator factory threaded through graph building
+  /// (an implementation detail of CompileMultiplexed; public only so the
+  /// internal build helper can name the type).
+  using DispatchFactory =
+      std::function<common::Result<std::unique_ptr<stream::Operator>>(
+          const stream::ShardContext&)>;
+
+ private:
+  static common::Result<std::unique_ptr<CompiledQuery>> CompileImpl(
+      const LogicalPlan& plan, const PlannerOptions& options,
+      const DispatchFactory* make_dispatch);
 };
 
 }  // namespace query

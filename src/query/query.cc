@@ -103,6 +103,14 @@ Query Query::Filter(std::string name, stream::FilterOperator::Predicate pred,
   return next;
 }
 
+Query Query::Filter(std::string name, const ComparePredicate& pred) const {
+  ComparePredicate p = pred;
+  return Filter(
+      std::move(name),
+      [p](const stream::Tuple& t) { return p.Eval(t); },
+      /*reads_attrs=*/{pred.attr_index});
+}
+
 Query Query::Map(std::string name, stream::MapOperator::MapFn fn,
                  size_t output_arity, size_t preserved_prefix) const {
   if (!state_) return *this;

@@ -31,6 +31,7 @@
 #include <string>
 #include <utility>
 
+#include "query/expr.h"
 #include "query/logical_plan.h"
 
 namespace usp {
@@ -38,6 +39,8 @@ namespace query {
 
 struct PlannerOptions;
 class CompiledQuery;
+class MultiplexedQuery;
+class SubscriptionSet;
 
 class Query {
  public:
@@ -55,6 +58,10 @@ class Query {
   /// the map runs only on surviving tuples.
   Query Filter(std::string name, stream::FilterOperator::Predicate pred,
                std::vector<size_t> reads_attrs) const;
+  /// Comparison-helper form: `q.Filter("hot", Attr(1) > 30.0)`. The read
+  /// set ({attr_index}) is derived from the predicate, so the planner's
+  /// filter pushdown applies without a hand-declared reads_attrs.
+  Query Filter(std::string name, const ComparePredicate& pred) const;
 
   /// Projection / derived attributes. `output_arity` (optional) declares
   /// the transformed tuple width for downstream validation; 0 = unknown.
@@ -122,6 +129,16 @@ class Query {
   /// physical runtime. Defined in planner.cc.
   common::Result<std::unique_ptr<CompiledQuery>> Compile() const;
   common::Result<std::unique_ptr<CompiledQuery>> Compile(
+      const PlannerOptions& options) const;
+
+  /// Build() + Planner::CompileMultiplexed: this chain is the shared
+  /// TEMPLATE (one source, one grouped windowed aggregate, one sink);
+  /// every standing query in `subscriptions` runs against its single
+  /// physical plan. Defined in planner.cc.
+  common::Result<std::unique_ptr<MultiplexedQuery>> CompileMultiplexed(
+      std::shared_ptr<SubscriptionSet> subscriptions) const;
+  common::Result<std::unique_ptr<MultiplexedQuery>> CompileMultiplexed(
+      std::shared_ptr<SubscriptionSet> subscriptions,
       const PlannerOptions& options) const;
 
  private:

@@ -1,0 +1,109 @@
+#include "query/subscription.h"
+
+#include <string>
+
+namespace usp {
+namespace query {
+
+Subscription Subscription::AllGroups() {
+  Subscription s;
+  s.spec_.scope.kind = stream::SubscriptionScope::Kind::kAll;
+  return s;
+}
+
+Subscription Subscription::KeyEquals(const stream::Value& key) {
+  Subscription s;
+  s.spec_.scope.kind = stream::SubscriptionScope::Kind::kExact;
+  s.spec_.scope.exact_key = stream::CanonicalKeyString(key);
+  return s;
+}
+
+Subscription Subscription::KeyInRange(int64_t lo, int64_t hi) {
+  Subscription s;
+  s.spec_.scope.kind = stream::SubscriptionScope::Kind::kIntRange;
+  s.spec_.scope.range_lo = lo;
+  s.spec_.scope.range_hi = hi;
+  return s;
+}
+
+Subscription& Subscription::Where(size_t agg_column, double threshold,
+                                  double min_confidence) {
+  spec_.condition.active = true;
+  spec_.condition.agg_column = agg_column;
+  spec_.condition.threshold = threshold;
+  spec_.condition.min_confidence = min_confidence;
+  return *this;
+}
+
+Subscription& Subscription::OnMatch(
+    std::function<void(const stream::Tuple&)> callback) {
+  spec_.on_match = std::move(callback);
+  return *this;
+}
+
+SubscriptionSet::Id SubscriptionSet::Subscribe(
+    const Subscription& subscription) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Id id = next_id_++;
+  if (table_ != nullptr) {
+    // Bound: forward straight to the live table. Spec validation failures
+    // (range lo > hi) would have been caught here pre-bind too, but the
+    // fluent builder cannot return a Status — an invalid spec is simply
+    // never resident, and the id reports size()-visible absence.
+    auto status = table_->Subscribe(id, subscription.spec());
+    (void)status;
+  } else {
+    pending_.emplace(id, subscription.spec());
+  }
+  return id;
+}
+
+bool SubscriptionSet::Unsubscribe(Id id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (table_ != nullptr) return table_->Unsubscribe(id);
+  return pending_.erase(id) > 0;
+}
+
+size_t SubscriptionSet::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (table_ != nullptr) return table_->subscription_count();
+  return pending_.size();
+}
+
+stream::SubscriptionIndex::Stats SubscriptionSet::IndexStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (table_ == nullptr) return {};
+  return table_->TotalStats();
+}
+
+common::Status SubscriptionSet::Bind(size_t num_partitions) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (table_ != nullptr) {
+    return common::Status::InvalidArgument(
+        "SubscriptionSet is already bound to a compiled plan; use one set "
+        "per CompileMultiplexed call");
+  }
+  auto table =
+      std::make_shared<stream::ShardedSubscriptionTable>(num_partitions);
+  for (auto& [id, spec] : pending_) {
+    auto status = table->Subscribe(id, spec);
+    if (!status.ok()) return status;
+  }
+  pending_.clear();
+  table_ = std::move(table);
+  return common::Status::OK();
+}
+
+std::shared_ptr<stream::ShardedSubscriptionTable> SubscriptionSet::table()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return table_;
+}
+
+bool SubscriptionSet::bound() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return table_ != nullptr;
+}
+
+}  // namespace query
+}  // namespace usp

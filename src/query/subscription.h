@@ -1,0 +1,114 @@
+// The declarative face of standing-query multiplexing: a SubscriptionSet
+// holds many standing queries that differ only in the constants a shared
+// template plan leaves open — which group key(s) to watch and what
+// per-subscriber HAVING threshold to alert on. Planner::CompileMultiplexed
+// binds a set to ONE physical plan (one source scan, one pane buffer, one
+// CF grid per (window, aggregate) signature); each result row is then
+// routed to matching subscribers by the predicate-index dispatch operator
+// instead of N per-query filter chains.
+//
+//   auto subs = std::make_shared<query::SubscriptionSet>();
+//   auto id = subs->Subscribe(query::Subscription::KeyEquals(Value(int64_t{7}))
+//                                 .Where(0, 200.0, 0.9)
+//                                 .OnMatch([](const Tuple& alert) { ... }));
+//   auto mq = Planner::CompileMultiplexed(template_plan, subs);
+//   ... push data; subscribe/unsubscribe stays legal mid-stream ...
+//   subs->Unsubscribe(id);
+
+#ifndef USP_QUERY_SUBSCRIPTION_H_
+#define USP_QUERY_SUBSCRIPTION_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "common/status.h"
+#include "stream/subscription_index.h"
+#include "stream/value.h"
+
+namespace usp {
+namespace query {
+
+/// One standing query against a multiplexed template: a key scope plus an
+/// optional threshold condition. Built fluently; immutable once
+/// subscribed.
+class Subscription {
+ public:
+  /// Watch every group the template produces.
+  static Subscription AllGroups();
+  /// Watch one group key (any Value kind; canonicalised the same way the
+  /// group-by operator and the shard partitioner canonicalise keys).
+  static Subscription KeyEquals(const stream::Value& key);
+  /// Watch every int64 group key in [lo, hi] (inclusive).
+  static Subscription KeyInRange(int64_t lo, int64_t hi);
+
+  /// Per-subscriber HAVING clause: fire only when
+  /// P(agg_column > threshold) >= min_confidence, where agg_column indexes
+  /// the template's aggregate output columns (0 = first). Same arithmetic
+  /// as uncertain::MakeHavingProbGreater on an independent query.
+  Subscription& Where(size_t agg_column, double threshold,
+                      double min_confidence);
+
+  /// Callback invoked with each matching tagged row
+  /// [group_key, agg_1..agg_m, subscription_id]. Runs on the worker
+  /// thread that closed the window, outside subscription-table locks;
+  /// keep it cheap and thread-safe across shards.
+  Subscription& OnMatch(std::function<void(const stream::Tuple&)> callback);
+
+  const stream::SubscriptionSpec& spec() const { return spec_; }
+
+ private:
+  Subscription() = default;
+  stream::SubscriptionSpec spec_;
+};
+
+/// \brief A registry of standing queries sharing one template plan.
+///
+/// Thread-safe; Subscribe/Unsubscribe are legal before compilation
+/// (entries are staged) and while the compiled plan is streaming (the
+/// dispatch operator sees the change on the next window it routes). One
+/// set binds to exactly one CompileMultiplexed call.
+class SubscriptionSet {
+ public:
+  using Id = stream::SubscriptionId;
+
+  SubscriptionSet() = default;
+  SubscriptionSet(const SubscriptionSet&) = delete;
+  SubscriptionSet& operator=(const SubscriptionSet&) = delete;
+
+  /// Registers a standing query; the returned id is stable across
+  /// compilation and unsubscribes.
+  Id Subscribe(const Subscription& subscription);
+  /// Removes a standing query; returns false for unknown ids. Shared
+  /// dispatch state (the key's bucket) is released only when its last
+  /// subscriber leaves.
+  bool Unsubscribe(Id id);
+
+  size_t size() const;
+
+  /// Resident predicate-index state, summed over partitions (zeros before
+  /// the set is bound to a compiled plan).
+  stream::SubscriptionIndex::Stats IndexStats() const;
+
+ private:
+  friend class Planner;
+
+  /// Planner hook: materialises the sharded table (one partition per
+  /// shard) and flushes staged subscriptions into it. A set binds once.
+  common::Status Bind(size_t num_partitions);
+  std::shared_ptr<stream::ShardedSubscriptionTable> table() const;
+  bool bound() const;
+
+  mutable std::mutex mu_;
+  Id next_id_ = 1;
+  /// Staged until Bind; empty afterwards.
+  std::unordered_map<Id, stream::SubscriptionSpec> pending_;
+  std::shared_ptr<stream::ShardedSubscriptionTable> table_;
+};
+
+}  // namespace query
+}  // namespace usp
+
+#endif  // USP_QUERY_SUBSCRIPTION_H_

@@ -13,6 +13,42 @@ namespace stream {
 using common::CeilToMultiple;
 using common::FloorToMultiple;
 
+namespace {
+
+/// Slot assignment under signature sharing: each column maps to the slot
+/// of the first earlier column with the same non-empty partial_signature,
+/// or a fresh slot. Returns slot_of (per column); fills `slot_rep` with
+/// the representative column per slot.
+std::vector<size_t> AssignPartialSlots(
+    const std::vector<PaneAggregateSpec>& specs,
+    std::vector<size_t>* slot_rep) {
+  std::vector<size_t> slot_of(specs.size());
+  slot_rep->clear();
+  for (size_t a = 0; a < specs.size(); ++a) {
+    size_t slot = slot_rep->size();
+    if (!specs[a].partial_signature.empty()) {
+      for (size_t s = 0; s < slot_rep->size(); ++s) {
+        if (specs[(*slot_rep)[s]].partial_signature ==
+            specs[a].partial_signature) {
+          slot = s;
+          break;
+        }
+      }
+    }
+    if (slot == slot_rep->size()) slot_rep->push_back(a);
+    slot_of[a] = slot;
+  }
+  return slot_of;
+}
+
+}  // namespace
+
+size_t CountDistinctPartialSlots(const std::vector<PaneAggregateSpec>& specs) {
+  std::vector<size_t> slot_rep;
+  AssignPartialSlots(specs, &slot_rep);
+  return slot_rep.size();
+}
+
 PanedGroupByAggregateOperator::PanedGroupByAggregateOperator(
     std::string name, WindowSpec spec, KeyFn key_fn,
     std::vector<PaneAggregateSpec> aggregates, HavingFn having)
@@ -26,6 +62,7 @@ PanedGroupByAggregateOperator::PanedGroupByAggregateOperator(
       last_emitted_start_(std::numeric_limits<int64_t>::min()) {
   assert(spec.size_us > 0 && spec.slide_us > 0 &&
          spec.slide_us <= spec.size_us);
+  slot_of_ = AssignPartialSlots(aggregates_, &slot_rep_);
 }
 
 int64_t PanedGroupByAggregateOperator::EarliestOpenWindowStart() const {
@@ -55,13 +92,16 @@ common::Status PanedGroupByAggregateOperator::AddToPane(
   GroupState& gs = it->second;
   if (inserted) {
     pane.order.push_back(&it->first);
-    gs.partials.reserve(aggregates_.size());
-    for (const PaneAggregateSpec& spec : aggregates_) {
-      gs.partials.push_back(spec.make_partial());
+    gs.partials.reserve(slot_rep_.size());
+    for (const size_t rep : slot_rep_) {
+      gs.partials.push_back(aggregates_[rep].make_partial());
     }
   }
-  for (size_t a = 0; a < aggregates_.size(); ++a) {
-    USP_RETURN_NOT_OK(aggregates_[a].add(gs.partials[a].get(), tuple));
+  // One accumulation per SLOT: columns sharing a partial_signature (e.g.
+  // SUM and AVG of one attribute) pay the per-tuple work once.
+  for (size_t s = 0; s < slot_rep_.size(); ++s) {
+    USP_RETURN_NOT_OK(aggregates_[slot_rep_[s]].add(gs.partials[s].get(),
+                                                    tuple));
   }
   gs.lineage.insert(gs.lineage.end(), tuple.lineage().begin(),
                     tuple.lineage().end());
@@ -101,7 +141,9 @@ common::Status PanedGroupByAggregateOperator::EmitWindow(int64_t start,
     Tuple result(end, {Value(*key)});
     for (size_t a = 0; a < aggregates_.size(); ++a) {
       partials.clear();
-      for (GroupState* gs : states) partials.push_back(gs->partials[a].get());
+      for (GroupState* gs : states) {
+        partials.push_back(gs->partials[slot_of_[a]].get());
+      }
       auto v = aggregates_[a].finalize(partials);
       if (!v.ok()) return v.status();
       result.AppendValue(v.MoveValueUnsafe());

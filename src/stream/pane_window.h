@@ -49,7 +49,18 @@ struct PaneAggregateSpec {
   /// mutate (lazily computed caches shared across overlapping windows).
   std::function<common::Result<Value>(const std::vector<PanePartial*>&)>
       finalize;
+  /// Accumulator-sharing key. Two specs with equal non-empty signatures
+  /// promise identical make_partial/add behaviour (only finalize may
+  /// differ — e.g. SUM and AVG over one attribute share partials and
+  /// diverge only in the denominator), so the operator accumulates ONE
+  /// partial per (pane, group) for the whole signature class and each
+  /// column finalizes from the shared state. Empty = never shared.
+  std::string partial_signature;
 };
+
+/// Number of distinct accumulator slots `aggregates` would occupy under
+/// signature sharing (== aggregates.size() when nothing is shared).
+size_t CountDistinctPartialSlots(const std::vector<PaneAggregateSpec>& specs);
 
 /// \brief Windowed GROUP BY over pane-incremental aggregates.
 ///
@@ -84,7 +95,7 @@ class PanedGroupByAggregateOperator final : public Operator {
 
  private:
   struct GroupState {
-    std::vector<std::unique_ptr<PanePartial>> partials;  // one per aggregate
+    std::vector<std::unique_ptr<PanePartial>> partials;  // one per SLOT
     std::vector<TupleId> lineage;
   };
   struct Pane {
@@ -116,6 +127,13 @@ class PanedGroupByAggregateOperator final : public Operator {
   int64_t pane_us_;
   KeyFn key_fn_;
   std::vector<PaneAggregateSpec> aggregates_;
+  /// Accumulator slot per aggregate column: columns with equal non-empty
+  /// partial_signature share one slot (and therefore one partial per
+  /// (pane, group) — `add` runs once per slot, each column's own
+  /// `finalize` reads the shared state).
+  std::vector<size_t> slot_of_;
+  /// Representative aggregate index per slot (owns make_partial/add).
+  std::vector<size_t> slot_rep_;
   HavingFn having_;
   bool watermark_only_closure_ = false;
   /// Highest watermark applied via OnWatermark (INT64_MIN before any).

@@ -36,6 +36,25 @@ double Value::ExpectedValue() const {
   }
 }
 
+std::string CanonicalKeyString(const Value& v) {
+  switch (v.kind()) {
+    case ValueKind::kString:
+      return v.AsString();
+    case ValueKind::kInt:
+      return std::to_string(v.AsInt());
+    case ValueKind::kDouble: {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.17g", v.AsDouble());
+      return buf;
+    }
+    case ValueKind::kNull:
+      return "null";
+    case ValueKind::kDistribution:
+      return v.ToString();
+  }
+  return "?";
+}
+
 std::string Value::ToString() const {
   switch (kind()) {
     case ValueKind::kNull:

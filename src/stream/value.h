@@ -74,6 +74,13 @@ class Value {
       data_;
 };
 
+/// Canonical grouping string of a Value: strings pass through, ints and
+/// doubles render losslessly ("%.17g"), null is "null". Every consumer of
+/// a group identity — the group-by operator key, the derived ingest shard
+/// key, and the subscription-table partitioning — uses this one function so
+/// they always agree on which shard owns a key.
+std::string CanonicalKeyString(const Value& v);
+
 }  // namespace stream
 }  // namespace usp
 

@@ -312,6 +312,13 @@ PaneAggregateSpec MakePaneSumImpl(std::string output_name, size_t attr_index,
                                   bool as_mean) {
   PaneAggregateSpec spec;
   spec.output_name = std::move(output_name);
+  // SUM and AVG of one (attribute, strategy) build identical partials with
+  // identical `add` closures — only the finalize denominator differs — so
+  // they share one accumulator slot per (pane, group). grid_points is in
+  // the key to keep the lazily built CF-grid caches coherent.
+  spec.partial_signature =
+      "sum:" + std::to_string(static_cast<int>(kind)) + ":" +
+      std::to_string(attr_index) + ":" + std::to_string(opts.grid_points);
   switch (kind) {
     case SumStrategyKind::kClt: {
       spec.make_partial = [] { return std::make_unique<MomentPartial>(); };
@@ -523,6 +530,11 @@ PaneAggregateSpec MakePaneExtremeImpl(std::string output_name,
                                       bool is_max) {
   PaneAggregateSpec spec;
   spec.output_name = std::move(output_name);
+  // bins only affects finalize, but keeping it in the key avoids lattice
+  // cache thrash between columns finalizing at different resolutions.
+  spec.partial_signature = std::string(is_max ? "max:" : "min:") +
+                           std::to_string(attr_index) + ":" +
+                           std::to_string(bins);
   spec.make_partial = [] { return std::make_unique<ExtremePartial>(); };
   spec.add = [attr_index, is_max](PanePartial* p,
                                   const Tuple& t) -> Status {
@@ -623,6 +635,7 @@ PaneAggregateSpec MakePaneMinAggregate(std::string output_name,
 PaneAggregateSpec MakePaneCountAggregate(std::string output_name) {
   PaneAggregateSpec spec;
   spec.output_name = std::move(output_name);
+  spec.partial_signature = "count";
   spec.make_partial = [] { return std::make_unique<CountPartial>(); };
   spec.add = [](PanePartial* p, const Tuple& t) -> Status {
     (void)t;

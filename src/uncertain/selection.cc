@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "stats/truncated.h"
+#include "uncertain/aggregates.h"
 
 namespace usp {
 namespace uncertain {
@@ -111,6 +112,12 @@ std::unique_ptr<stream::MapOperator> MakeConditioningSelection(
                 conditioned.MoveValueUnsafe())));
         return out;
       });
+}
+
+stream::SubscriptionIndex::ProbFn MakeSubscriptionProbFn() {
+  return [](const stream::Value& v, double threshold) {
+    return ProbGreaterThan(v, threshold);
+  };
 }
 
 }  // namespace uncertain

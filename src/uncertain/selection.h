@@ -10,6 +10,7 @@
 #include <memory>
 
 #include "stream/basic_operators.h"
+#include "stream/subscription_index.h"
 #include "stream/tuple.h"
 
 namespace usp {
@@ -49,6 +50,14 @@ std::unique_ptr<stream::MapOperator> MakeProbabilityAnnotator(
 std::unique_ptr<stream::MapOperator> MakeConditioningSelection(
     std::string name, size_t attr_index, PredicateOp op, double a, double b,
     double min_confidence);
+
+/// Probability evaluator for the standing-subscription dispatch operator:
+/// P(value > threshold) with exactly the arithmetic of ProbGreaterThan /
+/// MakeHavingProbGreater, so a multiplexed subscription's threshold
+/// condition fires on precisely the rows an independently compiled query
+/// with the equivalent HAVING clause would emit. stream/ takes this as an
+/// injected closure to stay independent of the uncertain math layer.
+stream::SubscriptionIndex::ProbFn MakeSubscriptionProbFn();
 
 }  // namespace uncertain
 }  // namespace usp

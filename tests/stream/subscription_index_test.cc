@@ -1,0 +1,246 @@
+// Unit tests for the predicate-index layer under standing-query
+// multiplexing: dispatch must agree with brute-force evaluation of every
+// subscription (the O(log N + matches) structure is an optimisation, not
+// a semantics change), shared state must be released exactly at refcount
+// zero, and the OperatorMetrics merge rules the multiplexed snapshot
+// relies on (buffered_bytes sums across disjoint shard panes,
+// low_watermark min-merges) must hold.
+
+#include "stream/subscription_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "stream/operator.h"
+#include "stream/tuple.h"
+#include "stream/value.h"
+
+namespace usp {
+namespace stream {
+namespace {
+
+/// Certain-value semantics: P(x > t) is 1 or 0. Matches the uncertain
+/// layer's ProbGreaterThan on numeric values; keeps these tests free of a
+/// src/uncertain dependency (layering: stream must not depend on it).
+SubscriptionIndex::ProbFn NumericProb() {
+  return [](const Value& v, double threshold) {
+    return v.AsDouble() > threshold ? 1.0 : 0.0;
+  };
+}
+
+Tuple Row(const std::string& key, std::vector<double> aggs) {
+  std::vector<Value> values;
+  values.emplace_back(key);
+  for (double a : aggs) values.emplace_back(a);
+  return Tuple(0, std::move(values));
+}
+
+std::vector<SubscriptionId> MatchIds(SubscriptionIndex& index,
+                                     const Tuple& row) {
+  std::vector<SubscriptionIndex::MatchResult> out;
+  index.MatchRow(row, NumericProb(), &out);
+  std::vector<SubscriptionId> ids;
+  for (const auto& m : out) ids.push_back(m.id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+TEST(SubscriptionIndexTest, ExactRangeAndAllScopes) {
+  SubscriptionIndex index;
+  SubscriptionSpec exact7;
+  exact7.scope.kind = SubscriptionScope::Kind::kExact;
+  exact7.scope.exact_key = "7";
+  index.Insert(1, exact7, nullptr);
+
+  SubscriptionSpec range;
+  range.scope.kind = SubscriptionScope::Kind::kIntRange;
+  range.scope.range_lo = 5;
+  range.scope.range_hi = 9;
+  index.Insert(2, range, nullptr);
+
+  SubscriptionSpec all;
+  all.scope.kind = SubscriptionScope::Kind::kAll;
+  index.Insert(3, all, nullptr);
+
+  EXPECT_EQ(MatchIds(index, Row("7", {1.0})),
+            (std::vector<SubscriptionId>{1, 2, 3}));
+  EXPECT_EQ(MatchIds(index, Row("5", {1.0})),
+            (std::vector<SubscriptionId>{2, 3}));
+  EXPECT_EQ(MatchIds(index, Row("10", {1.0})),
+            (std::vector<SubscriptionId>{3}));
+  // Non-integer keys can never fall in an int range.
+  EXPECT_EQ(MatchIds(index, Row("area_a", {1.0})),
+            (std::vector<SubscriptionId>{3}));
+}
+
+TEST(SubscriptionIndexTest, ThresholdPrefixDispatchMatchesBruteForce) {
+  common::Rng rng(20260807);
+  for (int trial = 0; trial < 20; ++trial) {
+    SubscriptionIndex index;
+    struct Sub {
+      SubscriptionId id;
+      SubscriptionSpec spec;
+    };
+    std::vector<Sub> subs;
+    const size_t n = 20 + rng.UniformInt(60);
+    for (size_t i = 0; i < n; ++i) {
+      SubscriptionSpec s;
+      const uint64_t kind = rng.UniformInt(3);
+      if (kind == 0) {
+        s.scope.kind = SubscriptionScope::Kind::kExact;
+        s.scope.exact_key = std::to_string(rng.UniformInt(8));
+      } else if (kind == 1) {
+        s.scope.kind = SubscriptionScope::Kind::kIntRange;
+        const int64_t lo = static_cast<int64_t>(rng.UniformInt(8));
+        s.scope.range_lo = lo;
+        s.scope.range_hi = lo + static_cast<int64_t>(rng.UniformInt(4));
+      } else {
+        s.scope.kind = SubscriptionScope::Kind::kAll;
+      }
+      if (rng.Uniform() < 0.75) {
+        s.condition.active = true;
+        s.condition.agg_column = rng.UniformInt(2);
+        s.condition.threshold = rng.Uniform(-10.0, 10.0);
+        s.condition.min_confidence = 0.5;
+      }
+      const SubscriptionId id = i + 1;
+      index.Insert(id, s, nullptr);
+      subs.push_back({id, s});
+    }
+    for (int r = 0; r < 40; ++r) {
+      const std::string key = std::to_string(rng.UniformInt(10));
+      const std::vector<double> aggs = {rng.Uniform(-12.0, 12.0),
+                                        rng.Uniform(-12.0, 12.0)};
+      std::vector<SubscriptionId> expected;
+      for (const Sub& s : subs) {
+        bool in_scope = false;
+        switch (s.spec.scope.kind) {
+          case SubscriptionScope::Kind::kAll:
+            in_scope = true;
+            break;
+          case SubscriptionScope::Kind::kExact:
+            in_scope = key == s.spec.scope.exact_key;
+            break;
+          case SubscriptionScope::Kind::kIntRange: {
+            const int64_t k = std::stoll(key);
+            in_scope =
+                k >= s.spec.scope.range_lo && k <= s.spec.scope.range_hi;
+            break;
+          }
+        }
+        if (!in_scope) continue;
+        if (s.spec.condition.active &&
+            !(aggs[s.spec.condition.agg_column] > s.spec.condition.threshold))
+          continue;
+        expected.push_back(s.id);
+      }
+      std::sort(expected.begin(), expected.end());
+      EXPECT_EQ(MatchIds(index, Row(key, aggs)), expected)
+          << "trial " << trial << " row " << r;
+    }
+  }
+}
+
+TEST(SubscriptionIndexTest, OutOfRangeConditionColumnNeverFires) {
+  SubscriptionIndex index;
+  SubscriptionSpec s;
+  s.scope.kind = SubscriptionScope::Kind::kAll;
+  s.condition.active = true;
+  s.condition.agg_column = 5;  // row below carries only one agg column
+  s.condition.threshold = -100.0;
+  s.condition.min_confidence = 0.5;
+  index.Insert(1, s, nullptr);
+  EXPECT_TRUE(MatchIds(index, Row("0", {1.0})).empty());
+}
+
+TEST(ShardedSubscriptionTableTest, RefcountZeroReleasesSharedBucket) {
+  ShardedSubscriptionTable table(1);
+  SubscriptionSpec spec;
+  spec.scope.kind = SubscriptionScope::Kind::kExact;
+  spec.scope.exact_key = "42";
+  ASSERT_TRUE(table.Subscribe(1, spec).ok());
+  ASSERT_TRUE(table.Subscribe(2, spec).ok());
+  // Two subscribers, ONE shared bucket.
+  EXPECT_EQ(table.TotalStats().subscriptions, 2u);
+  EXPECT_EQ(table.TotalStats().exact_buckets, 1u);
+  // First unsubscribe: the bucket must survive for the remaining
+  // subscriber.
+  EXPECT_TRUE(table.Unsubscribe(1));
+  EXPECT_EQ(table.TotalStats().subscriptions, 1u);
+  EXPECT_EQ(table.TotalStats().exact_buckets, 1u);
+  // Refcount zero: the bucket itself is released.
+  EXPECT_TRUE(table.Unsubscribe(2));
+  EXPECT_EQ(table.TotalStats().subscriptions, 0u);
+  EXPECT_EQ(table.TotalStats().exact_buckets, 0u);
+  EXPECT_FALSE(table.Unsubscribe(2));  // unknown id
+}
+
+TEST(ShardedSubscriptionTableTest, ExactKeyPlacementMatchesDerivedShardKey) {
+  // The exact-key partition rule must equal the planner's derived ingest
+  // placement (hash of the canonical key modulo shard count) so a shard's
+  // dispatch partition sees exactly the groups that shard aggregates.
+  ShardedSubscriptionTable table(4);
+  for (int64_t k = 0; k < 64; ++k) {
+    const std::string key = CanonicalKeyString(Value(k));
+    EXPECT_EQ(table.PartitionOfKey(key),
+              std::hash<std::string>{}(key) % 4u);
+  }
+}
+
+TEST(ShardedSubscriptionTableTest, RangeSubscriptionsReplicateToAllPartitions) {
+  ShardedSubscriptionTable table(3);
+  SubscriptionSpec range;
+  range.scope.kind = SubscriptionScope::Kind::kIntRange;
+  range.scope.range_lo = 0;
+  range.scope.range_hi = 100;
+  ASSERT_TRUE(table.Subscribe(1, range).ok());
+  for (size_t p = 0; p < 3; ++p) {
+    EXPECT_EQ(table.PartitionStats(p).range_entries, 1u) << "partition " << p;
+  }
+  EXPECT_TRUE(table.Unsubscribe(1));
+  for (size_t p = 0; p < 3; ++p) {
+    EXPECT_EQ(table.PartitionStats(p).range_entries, 0u) << "partition " << p;
+  }
+}
+
+TEST(ShardedSubscriptionTableTest, DuplicateIdRejected) {
+  ShardedSubscriptionTable table(2);
+  SubscriptionSpec spec;
+  spec.scope.kind = SubscriptionScope::Kind::kAll;
+  ASSERT_TRUE(table.Subscribe(7, spec).ok());
+  EXPECT_FALSE(table.Subscribe(7, spec).ok());
+}
+
+// ---- OperatorMetrics merge rules the multiplexed snapshot depends on ----
+
+TEST(OperatorMetricsMergeTest, BufferedBytesSumsAndLowWatermarkMins) {
+  // Shards hold DISJOINT pane buffers for one logical operator, so the
+  // cross-shard merge must SUM the buffered_bytes gauge (total resident
+  // state) and MIN the low_watermark (progress is bounded by the slowest
+  // shard).
+  OperatorMetrics a;
+  a.buffered_bytes = 1000;
+  a.low_watermark = 500;
+  OperatorMetrics b;
+  b.buffered_bytes = 250;
+  b.low_watermark = 200;
+  a.MergeFrom(b);
+  EXPECT_EQ(a.buffered_bytes, 1250u);
+  EXPECT_EQ(a.low_watermark, 200);
+
+  // A shard that never saw a watermark reports INT64_MIN; the merged
+  // low watermark must stay INT64_MIN (no progress can be claimed).
+  OperatorMetrics c;
+  c.low_watermark = 900;
+  OperatorMetrics untouched;
+  c.MergeFrom(untouched);
+  EXPECT_EQ(c.low_watermark, INT64_MIN);
+}
+
+}  // namespace
+}  // namespace stream
+}  // namespace usp
