@@ -13,9 +13,12 @@
 #ifndef USP_BENCH_BENCH_COMMON_H_
 #define USP_BENCH_BENCH_COMMON_H_
 
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
+
+#include "stats/simd/dispatch.h"
 
 namespace usp {
 namespace bench {
@@ -68,7 +71,29 @@ struct Args {
     std::vector<size_t> axis = ParseAxis(v);
     return axis.empty() ? fallback : axis;
   }
+
+  /// "--json-out path" override for the bench's JSON snapshot; the
+  /// bench's conventional BENCH_*.json name when absent.
+  const char* JsonOutPath(const char* default_path) const {
+    const char* v = FlagValue("--json-out");
+    return v != nullptr ? v : default_path;
+  }
 };
+
+/// SIMD axis: "--simd off" (or "--simd scalar") forces the scalar kernel
+/// tier by exporting USP_SIMD=scalar before the dispatch table latches;
+/// "--simd on" / absent keeps runtime detection. Call this at the top of
+/// main(), before any distribution/CF code runs, and record the returned
+/// ISA name ("avx2" / "scalar") in the bench JSON so a snapshot states
+/// which tier produced it.
+inline const char* ApplySimdFlag(const Args& args) {
+  const char* v = args.FlagValue("--simd");
+  if (v != nullptr &&
+      (std::strcmp(v, "off") == 0 || std::strcmp(v, "scalar") == 0)) {
+    setenv("USP_SIMD", "scalar", 1);
+  }
+  return stats::simd::ActiveIsaName();
+}
 
 inline Args ParseArgs(int argc, char** argv) {
   Args args;

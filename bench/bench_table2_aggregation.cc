@@ -48,6 +48,8 @@ size_t kNumWindows = 10;
 constexpr size_t kOverlap = 4;
 size_t kSlidingTuples = 2000;
 bool g_smoke = false;
+const char* g_isa = "scalar";
+const char* g_json_out = "BENCH_table2.json";
 
 // "The input distributions are different for different tuples, and are
 // generated from mixture Gaussian distributions to simulate arbitrary
@@ -238,10 +240,11 @@ SlidingRow MeasureSliding(SumStrategyKind kind, size_t grid_points,
 
 void WriteJson(const std::vector<Row>& table2,
                const std::vector<SlidingRow>& sliding) {
-  FILE* f = fopen("BENCH_table2.json", "w");
+  FILE* f = fopen(g_json_out, "w");
   if (!f) return;
   fprintf(f, "{\n  \"bench\": \"table2_aggregation\",\n");
   fprintf(f, "  \"smoke\": %s,\n", g_smoke ? "true" : "false");
+  fprintf(f, "  \"isa\": \"%s\",\n", g_isa);
   fprintf(f, "  \"window_size\": %zu,\n  \"num_windows\": %zu,\n",
           kWindowSize, kNumWindows);
   fprintf(f, "  \"tumbling\": [\n");
@@ -314,7 +317,11 @@ BENCHMARK_CAPTURE(BM_SumWindow, cf_approx, &g_approx);
 BENCHMARK_CAPTURE(BM_SumWindow, clt, &g_clt);
 
 int main(int argc, char** argv) {
-  g_smoke = usp::bench::ParseArgs(argc, argv).smoke;
+  const usp::bench::Args args = usp::bench::ParseArgs(argc, argv);
+  g_smoke = args.smoke;
+  g_isa = usp::bench::ApplySimdFlag(args);  // before any CF evaluation
+  g_json_out = args.JsonOutPath("BENCH_table2.json");
+  printf("SIMD dispatch: %s\n", g_isa);
   if (g_smoke) {
     // Tiny sizes so CI can exercise the perf-path code under sanitizers.
     kWindowSize = 20;

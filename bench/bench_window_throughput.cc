@@ -107,7 +107,11 @@ double RunPlan(WindowSpec spec, bool paned, const std::vector<Tuple>& stream,
 }  // namespace
 
 int main(int argc, char** argv) {
-  g_smoke = usp::bench::ParseArgs(argc, argv).smoke;
+  const usp::bench::Args args = usp::bench::ParseArgs(argc, argv);
+  g_smoke = args.smoke;
+  const char* isa = usp::bench::ApplySimdFlag(args);  // before any CF work
+  const char* json_out = args.JsonOutPath("BENCH_window_throughput.json");
+  printf("SIMD dispatch: %s\n", isa);
   if (g_smoke) g_num_tuples = 1500;
   const auto stream = MakeStream(7);
   // Q1 shape: [Range 100 us] tumbling, and a 4-overlap sliding variant.
@@ -136,11 +140,12 @@ int main(int argc, char** argv) {
     }
   }
 
-  FILE* f = fopen("BENCH_window_throughput.json", "w");
+  FILE* f = fopen(json_out, "w");
   if (f) {
     fprintf(f, "{\n  \"bench\": \"window_throughput\",\n");
     fprintf(f, "  \"smoke\": %s,\n  \"num_tuples\": %zu,\n",
             g_smoke ? "true" : "false", g_num_tuples);
+    fprintf(f, "  \"isa\": \"%s\",\n", isa);
     fprintf(f, "  \"results\": [\n");
     for (size_t i = 0; i < results.size(); ++i) {
       fprintf(f,

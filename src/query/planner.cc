@@ -202,6 +202,28 @@ common::Status BuildGraph(const LogicalPlan& plan,
              n.window->slide_us < n.window->size_us);
         const bool watermark_only =
             id < watermark_only_aggs.size() && watermark_only_aggs[id];
+        // Cross-group CF grid sharing: when this aggregate runs CF
+        // inversion, turn on the shard workspace's grid cache so G groups
+        // over identically-parameterised models evaluate each CfGrid once
+        // (bitwise-neutral — a hit returns exactly what the miss would
+        // compute), and install a probe so the operator's metrics report
+        // the hit rate.
+        bool share_grids = false;
+        if (options.share_cf_grids && ctx.cf_workspace != nullptr) {
+          for (const AggregateDecl& a : n.aggregates) {
+            if ((a.kind == AggregateKind::kSum ||
+                 a.kind == AggregateKind::kAvg) &&
+                a.strategy == uncertain::SumStrategyKind::kCfInversion) {
+              share_grids = true;
+              break;
+            }
+          }
+        }
+        stats::CfGridCache* cache = nullptr;
+        if (share_grids) {
+          cache = &ctx.cf_workspace->grid_cache;
+          cache->enabled = true;
+        }
         auto key_fn = OperatorKeyFn(n);
         std::unique_ptr<stream::Operator> op;
         // Accumulator footprint for the summary: output columns vs.
@@ -244,6 +266,11 @@ common::Status BuildGraph(const LogicalPlan& plan,
                   n.name, *n.window, std::move(key_fn), std::move(specs),
                   n.having);
           if (watermark_only) paned_op->set_watermark_only_closure(true);
+          if (cache != nullptr) {
+            paned_op->set_grid_cache_probe([cache] {
+              return std::make_pair(cache->hits, cache->misses);
+            });
+          }
           op = std::move(paned_op);
         } else {
           std::vector<stream::AggregateSpec> specs;
@@ -276,6 +303,11 @@ common::Status BuildGraph(const LogicalPlan& plan,
               n.name, *n.window, std::move(key_fn), std::move(specs),
               n.having);
           if (watermark_only) naive_op->set_watermark_only_closure(true);
+          if (cache != nullptr) {
+            naive_op->set_grid_cache_probe([cache] {
+              return std::make_pair(cache->hits, cache->misses);
+            });
+          }
           op = std::move(naive_op);
         }
         phys[id] = graph->AddOperator(phys[n.inputs[0]], std::move(op));
@@ -289,6 +321,7 @@ common::Status BuildGraph(const LogicalPlan& plan,
         }
         if (record) {
           summary->aggregates.push_back({n.name, paned});
+          if (share_grids) summary->cf_grid_sharing = true;
           if (watermark_only) summary->watermark_driven.push_back(n.name);
           if (make_dispatch != nullptr && *make_dispatch) {
             summary->multiplex_agg_columns = n.aggregates.size();
@@ -374,6 +407,11 @@ std::string PlanSummary::ToString() const {
   for (const AggregateChoice& a : aggregates) {
     out << "; aggregate '" << a.node_name << "': "
         << (a.paned ? "pane-incremental" : "exact per-window");
+  }
+  if (cf_grid_sharing) out << "; cross-group CF grid sharing";
+  if (sharded) {
+    out << "; thread pinning " << (pin_threads ? "on" : "off")
+        << (auto_pin_threads ? " [auto]" : "");
   }
   for (const auto& [filter_name, map_name] : pushed_filters) {
     out << "; filter '" << filter_name << "' pushed below map '" << map_name
@@ -709,6 +747,22 @@ common::Result<std::unique_ptr<CompiledQuery>> Planner::CompileImpl(
 
   compiled->summary_.sharded = true;
   compiled->summary_.shard_key_source = key.source;
+  // --- resolve thread pinning --------------------------------------------
+  // Auto: pin shard workers and ingest lanes to distinct cores when the
+  // machine has enough of them that placement matters (>= 4 hardware
+  // threads). On smaller machines pinning to the few shared cores only
+  // fights the OS scheduler.
+  const size_t hw_for_pinning =
+      options.hardware_concurrency_override > 0
+          ? options.hardware_concurrency_override
+          : std::max(1u, std::thread::hardware_concurrency());
+  compiled->summary_.auto_pin_threads =
+      options.pin_threads == PlannerOptions::PinThreads::kAuto;
+  const bool pin_threads =
+      options.pin_threads == PlannerOptions::PinThreads::kOn ||
+      (options.pin_threads == PlannerOptions::PinThreads::kAuto &&
+       hw_for_pinning >= 4);
+  compiled->summary_.pin_threads = pin_threads;
   ShardedExecutor::Options sopts;
   sopts.num_shards = num_shards;
   sopts.num_ingest_lanes = num_lanes;
@@ -718,6 +772,7 @@ common::Result<std::unique_ptr<CompiledQuery>> Planner::CompileImpl(
   sopts.auto_target_batch_size = summary.auto_target_batch_size;
   sopts.watermark_period_us = watermark_period_us;
   sopts.watermark_lateness_us = options.watermark_lateness_us;
+  sopts.pin_threads = pin_threads;
   if (!have_key) {
     // Single shard behind a multi-lane ingest: partitioning is a no-op,
     // but the executor still requires a key function.

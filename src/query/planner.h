@@ -101,6 +101,22 @@ struct PlannerOptions {
   /// Grid resolution for CF-inversion SUM/AVG (FFT points / output bins).
   size_t cf_grid_points = 1024;
 
+  /// Share evaluated CF grids across a window's groups: the per-shard
+  /// workspace keys CfGrid evaluations by distribution-parameter signature
+  /// (stats::CfGridCache), so G groups over identically-parameterised
+  /// sensor models pay for each grid once. Enabled (when true) only on
+  /// plans with a CF-inversion SUM/AVG; bitwise-neutral — a cache hit
+  /// returns the exact grid a miss would have computed.
+  bool share_cf_grids = true;
+
+  /// Pin shard workers and ingest lanes to distinct cores
+  /// (ShardedExecutor::Options::pin_threads). kAuto pins when the machine
+  /// reports >= 4 hardware threads and the plan is sharded; kOff/kOn
+  /// force. Pinning also makes the deferred ring allocation first-touch
+  /// core-local (each shard's rings are faulted in by its pinned worker).
+  enum class PinThreads { kAuto, kOn, kOff };
+  PinThreads pin_threads = PinThreads::kAuto;
+
   /// Memory bound for join buffers when one input stalls: a join side
   /// also expires once its own stream has advanced range + this many us
   /// past a tuple (asserting the two inputs' clocks never diverge
@@ -194,6 +210,16 @@ struct PlanSummary {
     bool paned = false;  ///< pane-incremental vs. exact per-window
   };
   std::vector<AggregateChoice> aggregates;
+
+  /// Cross-group CF grid sharing is live (PlannerOptions::share_cf_grids
+  /// on a plan with a CF-inversion SUM/AVG). Hit/miss counts surface in
+  /// the aggregate node's OperatorMetrics.
+  bool cf_grid_sharing = false;
+
+  /// Shard workers / ingest lanes are pinned to cores, and whether that
+  /// was the auto rule (>= 4 hardware threads) or an explicit override.
+  bool pin_threads = false;
+  bool auto_pin_threads = false;
 
   /// Filters the planner pushed below maps: (filter_name, map_name).
   std::vector<std::pair<std::string, std::string>> pushed_filters;

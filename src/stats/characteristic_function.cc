@@ -2,9 +2,12 @@
 
 #include <cassert>
 #include <cmath>
+#include <cstring>
 
 #include "common/math_util.h"
 #include "stats/quadrature.h"
+#include "stats/simd/dispatch.h"
+#include "stats/simd/vec_math.h"
 
 namespace usp {
 namespace stats {
@@ -13,32 +16,87 @@ using common::kPi;
 
 CharFn ProductCf(const std::vector<const Distribution*>& dists) {
   return [dists](double t) {
+    // simd::CMul / CNorm are the same canonical forms the grid kernels
+    // use, keeping the closure and ProductCfGrid bitwise-interchangeable.
     std::complex<double> prod(1.0, 0.0);
     for (const Distribution* d : dists) {
-      prod *= d->Cf(t);
+      prod = simd::CMul(prod, d->Cf(t));
       // Early exit once the product has underflowed to zero; with hundreds
       // of summands this saves most of the work at large |t|.
-      if (std::norm(prod) < 1e-300) return std::complex<double>(0.0, 0.0);
+      if (simd::CNorm(prod) < simd::kCfNormPin) {
+        return std::complex<double>(0.0, 0.0);
+      }
     }
     return prod;
   };
 }
 
+namespace {
+
+// Evaluate (or recall) one distribution's CfGrid through the shared cache.
+// Keys are compared bitwise (memcmp), so +-0 / NaN parameters can only
+// cause extra misses, never a wrong hit.
+const std::complex<double>* CachedCfGrid(const Distribution& d,
+                                         const double* t, size_t n,
+                                         std::complex<double>* scratch,
+                                         CfGridCache* cache) {
+  std::vector<double>& key = cache->key_scratch;
+  key.clear();
+  key.push_back(static_cast<double>(n));
+  key.push_back(t[0]);
+  key.push_back(t[n - 1]);
+  if (n > CfGridCache::kMaxGridPoints || !d.AppendCacheKey(&key)) {
+    d.CfGrid(t, n, scratch);
+    return scratch;
+  }
+  ++cache->tick;
+  const size_t key_bytes = key.size() * sizeof(double);
+  for (CfGridCache::Entry& e : cache->entries) {
+    if (e.key.size() == key.size() &&
+        std::memcmp(e.key.data(), key.data(), key_bytes) == 0) {
+      ++cache->hits;
+      e.last_used = cache->tick;
+      return e.grid.data();
+    }
+  }
+  ++cache->misses;
+  d.CfGrid(t, n, scratch);
+  CfGridCache::Entry* slot;
+  if (cache->entries.size() < CfGridCache::kMaxEntries) {
+    slot = &cache->entries.emplace_back();
+  } else {
+    slot = &cache->entries.front();
+    for (CfGridCache::Entry& e : cache->entries) {
+      if (e.last_used < slot->last_used) slot = &e;
+    }
+  }
+  slot->key = key;
+  slot->grid.assign(scratch, scratch + n);
+  slot->last_used = cache->tick;
+  return slot->grid.data();
+}
+
+}  // namespace
+
 void ProductCfGrid(const std::vector<const Distribution*>& dists,
                    const double* t, size_t n, std::complex<double>* out,
-                   std::vector<std::complex<double>>* scratch) {
+                   std::vector<std::complex<double>>* scratch,
+                   CfGridCache* cache) {
   for (size_t i = 0; i < n; ++i) out[i] = std::complex<double>(1.0, 0.0);
   if (dists.empty() || n == 0) return;
   scratch->resize(n);
   std::complex<double>* cf = scratch->data();
-  const std::complex<double> zero(0.0, 0.0);
+  const simd::Dispatch& k = simd::Active();
+  const bool use_cache = cache != nullptr && cache->enabled;
   for (const Distribution* d : dists) {
-    d->CfGrid(t, n, cf);
-    for (size_t i = 0; i < n; ++i) {
-      if (out[i] == zero) continue;  // underflowed earlier; stays pinned
-      out[i] *= cf[i];
-      if (std::norm(out[i]) < 1e-300) out[i] = zero;
+    const std::complex<double>* grid;
+    if (use_cache) {
+      grid = CachedCfGrid(*d, t, n, cf, cache);
+    } else {
+      d->CfGrid(t, n, cf);
+      grid = cf;
     }
+    k.product_cf_accum(grid, n, out);
   }
 }
 
@@ -74,19 +132,16 @@ common::Result<Histogram> DensityFromFftBuffer(
     std::vector<std::complex<double>>& a, double lo, double hi, size_t n,
     double dt, double t_max, size_t requested_bins) {
   const double dx = (hi - lo) / static_cast<double>(n);
-  common::Fft(a, /*inverse=*/false);
+  const simd::Dispatch& kd = simd::Active();
+  kd.fft(a.data(), n, /*inverse=*/false);
   std::vector<double> masses(n);
+  // Truncation/aliasing ripple can push the density slightly negative; the
+  // kernel clamps each mass to >= 0 (the Histogram ctor renormalizes). The
+  // total stays a sequential scalar sum so it is identical on every tier.
+  kd.density_masses(a.data(), n, lo, dx, t_max, dt / (2.0 * kPi),
+                    masses.data());
   double total = 0.0;
-  for (size_t j = 0; j < n; ++j) {
-    const double xj = lo + (static_cast<double>(j) + 0.5) * dx;
-    const std::complex<double> rot(std::cos(t_max * xj),
-                                   std::sin(t_max * xj));
-    const double fj = (dt / (2.0 * kPi)) * (rot * a[j]).real();
-    // Truncation/aliasing ripple can push the density slightly negative;
-    // clamp and renormalize (the Histogram ctor renormalizes masses).
-    masses[j] = std::max(0.0, fj) * dx;
-    total += masses[j];
-  }
+  for (size_t j = 0; j < n; ++j) total += masses[j];
   if (total <= 0.0) {
     return common::Status::NumericError(
         "CF inversion produced non-positive total mass; the output "
@@ -146,10 +201,9 @@ common::Result<Histogram> InvertCfToDensity(const CharFn& phi,
   std::vector<std::complex<double>> a(n);
   for (size_t k = 0; k < n; ++k) {
     const double tk = -t_max + static_cast<double>(k) * dt;
-    const double phase = -static_cast<double>(k) * dt * lo -
-                         kPi * static_cast<double>(k) / static_cast<double>(n);
-    a[k] = phi(tk) * std::complex<double>(std::cos(phase), std::sin(phase));
+    a[k] = phi(tk);
   }
+  simd::Active().phase_rotate(a.data(), n, dt, lo);
   return DensityFromFftBuffer(a, lo, hi, n, dt, t_max, opts.grid_points);
 }
 
@@ -174,15 +228,10 @@ common::Result<Histogram> InvertSumCfToDensity(
   for (size_t k = 0; k < n; ++k) {
     ws->t_grid[k] = -t_max + static_cast<double>(k) * dt;
   }
-  ws->phi.resize(n);
-  ProductCfGrid(dists, ws->t_grid.data(), n, ws->phi.data(), &ws->dist_cf);
   ws->fft.resize(n);
-  for (size_t k = 0; k < n; ++k) {
-    const double phase = -static_cast<double>(k) * dt * lo -
-                         kPi * static_cast<double>(k) / static_cast<double>(n);
-    ws->fft[k] =
-        ws->phi[k] * std::complex<double>(std::cos(phase), std::sin(phase));
-  }
+  ProductCfGrid(dists, ws->t_grid.data(), n, ws->fft.data(), &ws->dist_cf,
+                &ws->grid_cache);
+  simd::Active().phase_rotate(ws->fft.data(), n, dt, lo);
   return DensityFromFftBuffer(ws->fft, lo, hi, n, dt, t_max,
                               opts.grid_points);
 }
@@ -203,13 +252,8 @@ common::Result<Histogram> InvertCfGridToDensity(
   const double dx = (hi - lo) / static_cast<double>(n);
   const double t_max = kPi / dx;
   const double dt = 2.0 * t_max / static_cast<double>(n);
-  ws->fft.resize(n);
-  for (size_t k = 0; k < n; ++k) {
-    const double phase = -static_cast<double>(k) * dt * lo -
-                         kPi * static_cast<double>(k) / static_cast<double>(n);
-    ws->fft[k] = phi_values[k] *
-                 std::complex<double>(std::cos(phase), std::sin(phase));
-  }
+  ws->fft.assign(phi_values, phi_values + n);
+  simd::Active().phase_rotate(ws->fft.data(), n, dt, lo);
   return DensityFromFftBuffer(ws->fft, lo, hi, n, dt, t_max, out_bins);
 }
 

@@ -8,6 +8,7 @@
 #define USP_STATS_CHARACTERISTIC_FUNCTION_H_
 
 #include <complex>
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -25,16 +26,49 @@ using CharFn = std::function<std::complex<double>(double)>;
 /// CFs. The inputs are captured by pointer; callers keep them alive.
 CharFn ProductCf(const std::vector<const Distribution*>& dists);
 
+/// \brief Cross-group CF grid cache, keyed by distribution-parameter
+/// signature (Distribution::AppendCacheKey) plus the frequency range.
+///
+/// G groups over identically-parameterised sensor models evaluate each
+/// CfGrid once instead of G times. Owned by CfInversionWorkspace under the
+/// same rule as the rest of the workspace: one per shard, touched only by
+/// that shard's worker thread, so the counters are plain integers. Off by
+/// default; the planner enables it (PlannerOptions::share_cf_grids) when a
+/// plan contains a CF-inversion aggregate.
+struct CfGridCache {
+  bool enabled = false;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+
+  /// Grids longer than this are evaluated but never stored (a full
+  /// kMaxEntries of 2^20-point grids would be gigabytes).
+  static constexpr size_t kMaxGridPoints = 8192;
+  static constexpr size_t kMaxEntries = 64;
+
+  struct Entry {
+    std::vector<double> key;
+    std::vector<std::complex<double>> grid;
+    uint64_t last_used = 0;
+  };
+  std::vector<Entry> entries;
+  std::vector<double> key_scratch;
+  uint64_t tick = 0;
+};
+
 /// Grid form of ProductCf: out[i] = prod_d Cf_d(t[i]) for i in [0, n),
 /// evaluated one distribution at a time through Distribution::CfGrid so the
 /// hot aggregation path makes |dists| virtual calls instead of n * |dists|
 /// closure calls. Applies the same underflow rule as the ProductCf closure
 /// (a point whose partial product drops below 1e-300 in squared magnitude
 /// is pinned to exactly zero), so results are bitwise-identical to calling
-/// the closure per point. `scratch` is resized to n and reused.
+/// the closure per point. `scratch` is resized to n and reused. When
+/// `cache` is non-null and enabled, per-distribution grid evaluations are
+/// looked up / stored by parameter signature (bitwise-equal keys), which
+/// cannot change any value — only who computed it first.
 void ProductCfGrid(const std::vector<const Distribution*>& dists,
                    const double* t, size_t n, std::complex<double>* out,
-                   std::vector<std::complex<double>>* scratch);
+                   std::vector<std::complex<double>>* scratch,
+                   CfGridCache* cache = nullptr);
 
 /// \brief Reusable scratch buffers for CF inversion and order-statistics
 /// grids.
@@ -51,6 +85,7 @@ struct CfInversionWorkspace {
   std::vector<double> x_grid;                 ///< order-statistics lattice
   std::vector<double> cdf;                    ///< per-distribution cdf values
   std::vector<double> log_cdf;                ///< accumulated log-cdf grid
+  CfGridCache grid_cache;                     ///< cross-group CF grid cache
 };
 
 /// CF of a*X + b given the CF of X: e^{itb} phi(a t).

@@ -15,6 +15,7 @@
 #include <complex>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/status.h"
@@ -82,6 +83,17 @@ class Distribution {
                       std::complex<double>* out) const;
   /// Grid form of Cdf(): out[i] = Cdf(x[i]). Same contract as CfGrid().
   virtual void CdfGrid(const double* x, size_t n, double* out) const;
+
+  /// Appends a value-identity signature (type tag + exact parameters) to
+  /// `key` and returns true. Two distributions with equal signatures
+  /// evaluate identical CfGrid/CdfGrid results, which is what lets the
+  /// per-shard CF grid cache share evaluations across a window's groups.
+  /// Returns false (appending nothing) for distributions without a compact
+  /// parameter form (histogram, particle set, ...); those are never cached.
+  virtual bool AppendCacheKey(std::vector<double>* key) const {
+    (void)key;
+    return false;
+  }
 
   /// Draw one sample.
   virtual double Sample(common::Rng* rng) const = 0;

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <cstdio>
 
+#include "stats/simd/dispatch.h"
+#include "stats/simd/kernels.h"
+
 namespace usp {
 namespace stats {
 
@@ -29,15 +32,20 @@ double Exponential::Quantile(double p) const {
 }
 
 std::complex<double> Exponential::Cf(double t) const {
-  // rate / (rate - it)
-  return rate_ / std::complex<double>(rate_, -t);
+  // rate / (rate - it), expanded against the conjugate; point form of the
+  // grid kernel.
+  return simd::ExponentialCfPoint(rate_, t);
 }
 
 void Exponential::CfGrid(const double* t, size_t n,
                          std::complex<double>* out) const {
-  for (size_t i = 0; i < n; ++i) {
-    out[i] = rate_ / std::complex<double>(rate_, -t[i]);
-  }
+  simd::Active().exponential_cf_grid(rate_, t, n, out);
+}
+
+bool Exponential::AppendCacheKey(std::vector<double>* key) const {
+  key->push_back(static_cast<double>(type()));
+  key->push_back(rate_);
+  return true;
 }
 
 double Exponential::Sample(common::Rng* rng) const {

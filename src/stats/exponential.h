@@ -25,6 +25,7 @@ class Exponential final : public Distribution {
   std::complex<double> Cf(double t) const override;
   void CfGrid(const double* t, size_t n,
               std::complex<double>* out) const override;
+  bool AppendCacheKey(std::vector<double>* key) const override;
   double Sample(common::Rng* rng) const override;
   Support NumericSupport() const override;
   std::unique_ptr<Distribution> Clone() const override;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "stats/simd/dispatch.h"
+
 namespace usp {
 namespace stats {
 
@@ -89,10 +91,16 @@ std::complex<double> GammaDist::Cf(double t) const {
 
 void GammaDist::CfGrid(const double* t, size_t n,
                        std::complex<double>* out) const {
-  for (size_t i = 0; i < n; ++i) {
-    const std::complex<double> base(1.0, -scale_ * t[i]);
-    out[i] = std::pow(base, -shape_);
-  }
+  // Both dispatch tiers route here: complex pow has no lane-exact vector
+  // form, so the table registers this same per-lane loop for every ISA.
+  simd::Active().gamma_cf_grid(shape_, scale_, t, n, out);
+}
+
+bool GammaDist::AppendCacheKey(std::vector<double>* key) const {
+  key->push_back(static_cast<double>(type()));
+  key->push_back(shape_);
+  key->push_back(scale_);
+  return true;
 }
 
 double GammaDist::Sample(common::Rng* rng) const {

@@ -5,6 +5,8 @@
 #include <cstdio>
 
 #include "common/math_util.h"
+#include "stats/simd/dispatch.h"
+#include "stats/simd/kernels.h"
 
 namespace usp {
 namespace stats {
@@ -42,28 +44,25 @@ double Gaussian::Quantile(double p) const {
 }
 
 std::complex<double> Gaussian::Cf(double t) const {
-  // exp(i mu t - sigma^2 t^2 / 2)
-  const double re = -0.5 * stddev_ * stddev_ * t * t;
-  const double im = mean_ * t;
-  return std::exp(re) * std::complex<double>(std::cos(im), std::sin(im));
+  // exp(i mu t - sigma^2 t^2 / 2); the point form of the grid kernel, so
+  // CfGrid stays bitwise-identical to Cf on every dispatch tier.
+  return simd::GaussianCfPoint(-0.5 * stddev_ * stddev_, mean_, t);
 }
 
 void Gaussian::CfGrid(const double* t, size_t n,
                       std::complex<double>* out) const {
-  // Same associativity as Cf(): c = (-0.5 * s) * s, re = (c * t) * t, so the
-  // grid kernel is bitwise-identical to the scalar path.
-  const double c = -0.5 * stddev_ * stddev_;
-  for (size_t i = 0; i < n; ++i) {
-    const double re = c * t[i] * t[i];
-    const double im = mean_ * t[i];
-    out[i] = std::exp(re) * std::complex<double>(std::cos(im), std::sin(im));
-  }
+  simd::Active().gaussian_cf_grid(-0.5 * stddev_ * stddev_, mean_, t, n, out);
 }
 
 void Gaussian::CdfGrid(const double* x, size_t n, double* out) const {
-  for (size_t i = 0; i < n; ++i) {
-    out[i] = common::StdNormalCdf((x[i] - mean_) / stddev_);
-  }
+  simd::Active().gaussian_cdf_grid(mean_, stddev_, x, n, out);
+}
+
+bool Gaussian::AppendCacheKey(std::vector<double>* key) const {
+  key->push_back(static_cast<double>(type()));
+  key->push_back(mean_);
+  key->push_back(stddev_);
+  return true;
 }
 
 double Gaussian::Sample(common::Rng* rng) const {

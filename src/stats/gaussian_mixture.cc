@@ -7,6 +7,8 @@
 #include <limits>
 
 #include "common/math_util.h"
+#include "stats/simd/dispatch.h"
+#include "stats/simd/kernels.h"
 
 namespace usp {
 namespace stats {
@@ -72,40 +74,44 @@ double GaussianMixture::Cdf(double x) const {
 }
 
 std::complex<double> GaussianMixture::Cf(double t) const {
+  // Point form of the grid kernel, accumulated in component order — the
+  // same order and associativity CfGrid uses on every dispatch tier.
   std::complex<double> s(0.0, 0.0);
   for (const auto& c : comps_) {
-    const double re = -0.5 * c.stddev * c.stddev * t * t;
-    const double im = c.mean * t;
-    s += c.weight * std::exp(re) *
-         std::complex<double>(std::cos(im), std::sin(im));
+    simd::GmmCfPointAccum(-0.5 * c.stddev * c.stddev, c.mean, c.weight, t, &s);
   }
   return s;
 }
 
 void GaussianMixture::CfGrid(const double* t, size_t n,
                              std::complex<double>* out) const {
-  // Mirrors Cf() exactly (component order, associativity) but walks the
-  // grid in the inner loop so the per-component constants are hoisted once
-  // instead of once per (point, component) pair.
+  // Component-major accumulation: per-component constants are hoisted once
+  // instead of once per (point, component) pair, mirroring Cf() exactly.
   for (size_t i = 0; i < n; ++i) out[i] = std::complex<double>(0.0, 0.0);
+  const simd::Dispatch& k = simd::Active();
   for (const auto& c : comps_) {
-    const double k = -0.5 * c.stddev * c.stddev;
-    for (size_t i = 0; i < n; ++i) {
-      const double re = k * t[i] * t[i];
-      const double im = c.mean * t[i];
-      out[i] += c.weight * std::exp(re) *
-                std::complex<double>(std::cos(im), std::sin(im));
-    }
+    k.gmm_cf_grid_accum(-0.5 * c.stddev * c.stddev, c.mean, c.weight, t, n,
+                        out);
   }
 }
 
 void GaussianMixture::CdfGrid(const double* x, size_t n, double* out) const {
   for (size_t i = 0; i < n; ++i) out[i] = 0.0;
+  const simd::Dispatch& k = simd::Active();
   for (const auto& c : comps_) {
-    for (size_t i = 0; i < n; ++i) {
-      out[i] += c.weight * common::StdNormalCdf((x[i] - c.mean) / c.stddev);
-    }
+    k.gmm_cdf_grid_accum(c.mean, c.stddev, c.weight, x, n, out);
   }
+}
+
+bool GaussianMixture::AppendCacheKey(std::vector<double>* key) const {
+  key->push_back(static_cast<double>(type()));
+  key->push_back(static_cast<double>(comps_.size()));
+  for (const auto& c : comps_) {
+    key->push_back(c.weight);
+    key->push_back(c.mean);
+    key->push_back(c.stddev);
+  }
+  return true;
 }
 
 double GaussianMixture::Sample(common::Rng* rng) const {

@@ -38,6 +38,7 @@ class GaussianMixture final : public Distribution {
   void CfGrid(const double* t, size_t n,
               std::complex<double>* out) const override;
   void CdfGrid(const double* x, size_t n, double* out) const override;
+  bool AppendCacheKey(std::vector<double>* key) const override;
   double Sample(common::Rng* rng) const override;
   Support NumericSupport() const override;
   std::unique_ptr<Distribution> Clone() const override;

@@ -1,0 +1,84 @@
+// Dispatch-tier selection: cpuid once, USP_SIMD=scalar env override, and
+// the test-only ScopedForceTier hook.
+
+#include "stats/simd/dispatch.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace usp {
+namespace stats {
+namespace simd {
+
+extern const Dispatch kScalarDispatch;  // kernels_scalar.cc
+#ifdef USP_SIMD_HAVE_AVX2
+extern const Dispatch kAvx2Dispatch;  // kernels_avx2.cc
+#endif
+
+namespace {
+
+bool CpuHasAvx2() {
+#ifdef USP_SIMD_HAVE_AVX2
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+const Dispatch* Detect() {
+#ifdef USP_SIMD_HAVE_AVX2
+  const char* env = std::getenv("USP_SIMD");
+  const bool force_scalar = env != nullptr && std::strcmp(env, "scalar") == 0;
+  if (!force_scalar && CpuHasAvx2()) return &kAvx2Dispatch;
+#endif
+  return &kScalarDispatch;
+}
+
+std::atomic<const Dispatch*> g_active{nullptr};
+
+const Dispatch* ActivePtr() {
+  const Dispatch* d = g_active.load(std::memory_order_acquire);
+  if (d == nullptr) {
+    const Dispatch* detected = Detect();
+    const Dispatch* expected = nullptr;
+    g_active.compare_exchange_strong(expected, detected,
+                                     std::memory_order_acq_rel);
+    d = g_active.load(std::memory_order_acquire);
+  }
+  return d;
+}
+
+}  // namespace
+
+const Dispatch& Active() { return *ActivePtr(); }
+
+const char* ActiveIsaName() { return ActivePtr()->isa; }
+
+bool TierAvailable(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar:
+      return true;
+    case Tier::kAvx2:
+      return CpuHasAvx2();
+  }
+  return false;
+}
+
+ScopedForceTier::ScopedForceTier(Tier tier) : saved_(ActivePtr()) {
+  const Dispatch* next = &kScalarDispatch;
+#ifdef USP_SIMD_HAVE_AVX2
+  if (tier == Tier::kAvx2 && CpuHasAvx2()) next = &kAvx2Dispatch;
+#else
+  (void)tier;
+#endif
+  g_active.store(next, std::memory_order_release);
+}
+
+ScopedForceTier::~ScopedForceTier() {
+  g_active.store(saved_, std::memory_order_release);
+}
+
+}  // namespace simd
+}  // namespace stats
+}  // namespace usp

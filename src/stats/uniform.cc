@@ -4,6 +4,9 @@
 #include <cmath>
 #include <cstdio>
 
+#include "stats/simd/dispatch.h"
+#include "stats/simd/kernels.h"
+
 namespace usp {
 namespace stats {
 
@@ -36,27 +39,22 @@ double Uniform::Variance() const {
 }
 
 std::complex<double> Uniform::Cf(double t) const {
-  if (t == 0.0) return {1.0, 0.0};
-  // (e^{it hi} - e^{it lo}) / (it (hi - lo))
-  const std::complex<double> num =
-      std::complex<double>(std::cos(t * hi_), std::sin(t * hi_)) -
-      std::complex<double>(std::cos(t * lo_), std::sin(t * lo_));
-  return num / std::complex<double>(0.0, t * (hi_ - lo_));
+  // (e^{it hi} - e^{it lo}) / (it (hi - lo)); point form of the grid
+  // kernel (division by the imaginary denominator expanded, t == 0
+  // selected to exactly (1, 0)).
+  return simd::UniformCfPoint(lo_, hi_, t);
 }
 
 void Uniform::CfGrid(const double* t, size_t n,
                      std::complex<double>* out) const {
-  const double width = hi_ - lo_;
-  for (size_t i = 0; i < n; ++i) {
-    if (t[i] == 0.0) {
-      out[i] = {1.0, 0.0};
-      continue;
-    }
-    const std::complex<double> num =
-        std::complex<double>(std::cos(t[i] * hi_), std::sin(t[i] * hi_)) -
-        std::complex<double>(std::cos(t[i] * lo_), std::sin(t[i] * lo_));
-    out[i] = num / std::complex<double>(0.0, t[i] * width);
-  }
+  simd::Active().uniform_cf_grid(lo_, hi_, t, n, out);
+}
+
+bool Uniform::AppendCacheKey(std::vector<double>* key) const {
+  key->push_back(static_cast<double>(type()));
+  key->push_back(lo_);
+  key->push_back(hi_);
+  return true;
 }
 
 double Uniform::Sample(common::Rng* rng) const {

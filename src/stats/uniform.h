@@ -24,6 +24,7 @@ class Uniform final : public Distribution {
   std::complex<double> Cf(double t) const override;
   void CfGrid(const double* t, size_t n,
               std::complex<double>* out) const override;
+  bool AppendCacheKey(std::vector<double>* key) const override;
   double Sample(common::Rng* rng) const override;
   Support NumericSupport() const override { return {lo_, hi_}; }
   std::unique_ptr<Distribution> Clone() const override;

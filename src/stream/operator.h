@@ -85,6 +85,12 @@ struct OperatorMetrics {
   /// a join peer outrunning an idle source) is observable.
   uint64_t buffered_bytes = 0;
 
+  // Cross-group CF grid cache counters (aggregate operators over CF
+  // inversion only; see stats::CfGridCache). A hit means one CfGrid
+  // evaluation another group already paid for.
+  uint64_t grid_cache_hits = 0;
+  uint64_t grid_cache_misses = 0;
+
   void MergeFrom(const OperatorMetrics& other) {
     tuples_in += other.tuples_in;
     tuples_out += other.tuples_out;
@@ -98,6 +104,8 @@ struct OperatorMetrics {
         low_watermark < other.low_watermark ? low_watermark
                                             : other.low_watermark;
     buffered_bytes += other.buffered_bytes;
+    grid_cache_hits += other.grid_cache_hits;
+    grid_cache_misses += other.grid_cache_misses;
   }
 };
 

@@ -156,6 +156,11 @@ common::Status PanedGroupByAggregateOperator::EmitWindow(int64_t start,
     if (having_ && !having_(result)) continue;
     out->Emit(std::move(result));
   }
+  if (grid_cache_probe_) {
+    const auto [hits, misses] = grid_cache_probe_();
+    mutable_metrics().grid_cache_hits = hits;
+    mutable_metrics().grid_cache_misses = misses;
+  }
   last_emitted_start_ = start;
   return common::Status::OK();
 }

@@ -22,6 +22,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "stream/group_by.h"
@@ -85,6 +86,15 @@ class PanedGroupByAggregateOperator final : public Operator {
   /// order-independent, so only closure moves to the watermark.
   void set_watermark_only_closure(bool on) { watermark_only_closure_ = on; }
 
+  /// Metrics hook: reads the shard's cross-group CF grid-cache counters
+  /// (hits, misses). The planner installs it when grid sharing is enabled
+  /// so each window close refreshes OperatorMetrics::grid_cache_hits /
+  /// grid_cache_misses.
+  using GridCacheProbe = std::function<std::pair<uint64_t, uint64_t>()>;
+  void set_grid_cache_probe(GridCacheProbe probe) {
+    grid_cache_probe_ = std::move(probe);
+  }
+
  protected:
   common::Status Process(const Tuple& tuple, Collector* out) override;
   common::Status ProcessBatch(const TupleBatch& batch,
@@ -135,6 +145,7 @@ class PanedGroupByAggregateOperator final : public Operator {
   /// Representative aggregate index per slot (owns make_partial/add).
   std::vector<size_t> slot_rep_;
   HavingFn having_;
+  GridCacheProbe grid_cache_probe_;
   bool watermark_only_closure_ = false;
   /// Highest watermark applied via OnWatermark (INT64_MIN before any).
   int64_t applied_watermark_ = std::numeric_limits<int64_t>::min();

@@ -4,11 +4,37 @@
 #include <cassert>
 #include <cstdlib>
 
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 #include "common/logging.h"
 #include "common/stopwatch.h"
 
 namespace usp {
 namespace stream {
+
+namespace {
+
+/// Best-effort: pin the calling thread to one core (modulo the machine's
+/// hardware thread count). Failure — a restrictive cgroup cpuset, an
+/// affinity mask narrower than the core id, a non-Linux platform — is
+/// silently ignored: pinning is a locality optimisation, never a
+/// correctness requirement.
+void PinThreadToCore(size_t core) {
+#ifdef __linux__
+  const unsigned ncpu = std::max(1u, std::thread::hardware_concurrency());
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<int>(core % ncpu), &set);
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)core;
+#endif
+}
+
+}  // namespace
 
 constexpr uint32_t ShardedExecutor::kUnboundLane;
 
@@ -91,8 +117,11 @@ common::Result<std::unique_ptr<ShardedExecutor>> ShardedExecutor::Create(
     auto lane = std::make_unique<Lane>();
     lane->rings.reserve(options.num_shards);
     for (size_t s = 0; s < options.num_shards; ++s) {
-      lane->rings.push_back(
-          std::make_unique<SpscRing<Message>>(options.queue_capacity));
+      // Slot allocation is deferred to shard s's worker thread, which
+      // first-touches the pages on its (possibly pinned) core; the
+      // rings_ready_ wait below keeps producers out until then.
+      lane->rings.push_back(std::make_unique<SpscRing<Message>>(
+          options.queue_capacity, /*defer_alloc=*/true));
     }
     lane->next_seq.assign(num_nodes, 0);
     lane->watermark_clocks.assign(num_nodes, SourceWatermarkClock());
@@ -111,6 +140,14 @@ common::Result<std::unique_ptr<ShardedExecutor>> ShardedExecutor::Create(
     shard->worker = std::thread([exec_ptr = exec.get(), raw] {
       exec_ptr->WorkerLoop(raw);
     });
+  }
+  // Wait for every worker to allocate its rings (on its own core) before
+  // handing the executor out — a producer must never push into a ring
+  // whose slot array does not exist yet.
+  Backoff backoff;
+  while (exec->rings_ready_.load(std::memory_order_acquire) <
+         options.num_shards) {
+    backoff.Pause();
   }
   return exec;
 }
@@ -183,6 +220,13 @@ void ShardedExecutor::ProcessMessage(Shard* shard, Message&& msg) {
 }
 
 void ShardedExecutor::WorkerLoop(Shard* shard) {
+  // Startup, in order: (1) pin this worker to its core so everything it
+  // touches from here on faults in core-local, (2) first-touch-allocate
+  // this shard's ring slots from every lane, (3) publish readiness —
+  // Create() releases producers only after all shards reach (3).
+  if (options_.pin_threads) PinThreadToCore(shard->index);
+  for (auto& lane : lanes_) lane->rings[shard->index]->AllocateSlots();
+  rings_ready_.fetch_add(1, std::memory_order_release);
   // Round-robin over this shard's ring per lane; a lane is finished once
   // its ring is closed AND drained. Lock-free consume; backoff only when
   // a full sweep made no progress.
@@ -343,6 +387,11 @@ common::Status ShardedExecutor::AdmitPush(LaneId lane_id,
   ticket->active = &lane->active;
   if (lane->closed.load()) {
     return common::Status::FailedPrecondition("ingest lane closed");
+  }
+  if (options_.pin_threads &&
+      !lane->producer_pinned.exchange(true, std::memory_order_relaxed)) {
+    // First push on this lane: pin the producer past the workers' cores.
+    PinThreadToCore(options_.num_shards + lane_id);
   }
   *lane_out = lane;
   return common::Status::OK();

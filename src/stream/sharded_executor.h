@@ -133,6 +133,17 @@ class ShardedExecutor {
     /// expiry); the arrival-driven paths still require per-source
     /// timestamp order. 0 matches that contract exactly.
     int64_t watermark_lateness_us = 0;
+    /// Pin threads to distinct cores (Linux only; elsewhere a no-op):
+    /// shard worker i -> core i % ncpu, and the producer thread of lane l
+    /// -> core (num_shards + l) % ncpu on its FIRST push (the executor
+    /// never owns producer threads, so the pin rides the push; a caller
+    /// that pushes one lane from several threads over time — legal as
+    /// long as pushes don't overlap — gets only the first thread pinned).
+    /// Ring slot arrays and the shard's CF workspace are then
+    /// first-touched from the pinned worker, so the hot consumer-side
+    /// state is core-local. The planner enables this automatically on
+    /// sharded plans when the machine has >= 4 hardware threads.
+    bool pin_threads = false;
   };
 
   static constexpr size_t kDefaultInitialBatch = 256;
@@ -267,6 +278,9 @@ class ShardedExecutor {
     /// the wait: the workers keep consuming until the rings close, which
     /// happens after.
     std::atomic<int> active{0};
+    /// Under Options::pin_threads, the first pushing thread claims this
+    /// flag and pins itself to the lane's core.
+    std::atomic<bool> producer_pinned{false};
     // ---- producer-thread-local state (no locks; single producer) ----
     TupleBatch pending;
     ExecGraph::NodeId pending_source = ExecGraph::kInvalidNode;
@@ -360,6 +374,11 @@ class ShardedExecutor {
   std::atomic<size_t> current_target_{0};
   std::atomic<uint64_t> ingested_tuples_{0};
   std::atomic<uint64_t> next_tune_at_{kTuneIntervalTuples};
+  /// Startup latch: each worker bumps this after (optionally) pinning
+  /// itself and first-touch-allocating its ring slots; Create() waits for
+  /// num_shards before returning, so no producer can push into an
+  /// unallocated ring.
+  std::atomic<size_t> rings_ready_{0};
   std::vector<TupleBatch> merged_sinks_;  // indexed by NodeId, post-Finish
   std::mutex finish_mu_;  // serialises Finish() calls
   /// True only once workers are joined and sinks merged; gates the

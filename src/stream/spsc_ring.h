@@ -80,16 +80,27 @@ class Backoff {
 template <typename T>
 class SpscRing {
  public:
-  /// Capacity is rounded up to the next power of two (minimum 1).
-  explicit SpscRing(size_t capacity) {
+  /// Capacity is rounded up to the next power of two (minimum 1). With
+  /// `defer_alloc` the slot array is NOT allocated here: the consumer
+  /// thread must call AllocateSlots() before the ring carries traffic, so
+  /// the slots are first-touched (page-faulted) on the consumer's core —
+  /// core-local under thread pinning. The owner is responsible for
+  /// publishing the allocation to the producer before its first push (the
+  /// sharded executor's startup latch does this).
+  explicit SpscRing(size_t capacity, bool defer_alloc = false) {
     size_t cap = 1;
     while (cap < capacity) cap <<= 1;
-    slots_.resize(cap);
     mask_ = cap - 1;
+    if (!defer_alloc) slots_.resize(cap);
   }
 
   SpscRing(const SpscRing&) = delete;
   SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Consumer-side half of the deferred-allocation constructor. Idempotent.
+  void AllocateSlots() {
+    if (slots_.size() != mask_ + 1) slots_.resize(mask_ + 1);
+  }
 
   size_t capacity() const { return mask_ + 1; }
 

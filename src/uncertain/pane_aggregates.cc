@@ -12,6 +12,7 @@
 #include "stats/fitting.h"
 #include "stats/gaussian.h"
 #include "stats/histogram.h"
+#include "stats/simd/vec_math.h"
 #include "uncertain/aggregates.h"
 #include "uncertain/dist_ops.h"
 
@@ -82,10 +83,12 @@ struct CfProbePartial final : SumPartialBase {
 };
 
 void MultiplyPinned(std::complex<double>* acc, std::complex<double> factor) {
+  // Same canonical multiply/pin as ProductCf and the product_cf_accum
+  // kernels, so probe products stay bitwise-equal to the closure path.
   const std::complex<double> zero(0.0, 0.0);
   if (*acc == zero) return;
-  *acc *= factor;
-  if (std::norm(*acc) < 1e-300) *acc = zero;
+  *acc = stats::simd::CMul(*acc, factor);
+  if (stats::simd::CNorm(*acc) < stats::simd::kCfNormPin) *acc = zero;
 }
 
 /// kCfInversion: the pane's distributions plus a lazily computed partial
@@ -122,7 +125,7 @@ struct CfGridPartial final : SumPartialBase {
     }
     grid.resize(points);
     stats::ProductCfGrid(raw, ws->t_grid.data(), points - old,
-                         grid.data() + old, &ws->dist_cf);
+                         grid.data() + old, &ws->dist_cf, &ws->grid_cache);
   }
 };
 

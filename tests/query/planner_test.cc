@@ -589,6 +589,110 @@ TEST(PlannerTest, ExplicitShardCountWinsOverAuto) {
   EXPECT_EQ(compiled_or.value()->summary().num_shards, 2u);
 }
 
+TEST(PlannerTest, PinThreadsResolvesFromHardwareConcurrency) {
+  // Auto rule: pin on sharded plans when the machine has >= 4 hardware
+  // threads; the override pins the "machine" so the test is host-stable.
+  PlannerOptions opts;
+  opts.hardware_concurrency_override = 4;
+  auto big = KeyedSumQuery(WindowSpec::Tumbling(100)).Compile(opts);
+  ASSERT_TRUE(big.ok()) << big.status().ToString();
+  EXPECT_TRUE(big.value()->summary().sharded);
+  EXPECT_TRUE(big.value()->summary().pin_threads);
+  EXPECT_TRUE(big.value()->summary().auto_pin_threads);
+  EXPECT_NE(big.value()->summary().ToString().find("thread pinning on [auto]"),
+            std::string::npos)
+      << big.value()->summary().ToString();
+
+  opts.hardware_concurrency_override = 2;
+  opts.num_shards = 2;  // sharded, but too few cores for auto pinning
+  auto small = KeyedSumQuery(WindowSpec::Tumbling(100)).Compile(opts);
+  ASSERT_TRUE(small.ok());
+  EXPECT_TRUE(small.value()->summary().sharded);
+  EXPECT_FALSE(small.value()->summary().pin_threads);
+  EXPECT_TRUE(small.value()->summary().auto_pin_threads);
+
+  // Explicit knobs win over the auto rule in both directions.
+  opts.pin_threads = PlannerOptions::PinThreads::kOn;
+  auto forced_on = KeyedSumQuery(WindowSpec::Tumbling(100)).Compile(opts);
+  ASSERT_TRUE(forced_on.ok());
+  EXPECT_TRUE(forced_on.value()->summary().pin_threads);
+  EXPECT_FALSE(forced_on.value()->summary().auto_pin_threads);
+
+  opts.hardware_concurrency_override = 8;
+  opts.pin_threads = PlannerOptions::PinThreads::kOff;
+  auto forced_off = KeyedSumQuery(WindowSpec::Tumbling(100)).Compile(opts);
+  ASSERT_TRUE(forced_off.ok());
+  EXPECT_FALSE(forced_off.value()->summary().pin_threads);
+
+  // Non-sharded plans have no worker threads to pin.
+  PlannerOptions single;
+  single.num_shards = 1;
+  single.pin_threads = PlannerOptions::PinThreads::kOn;
+  auto unsharded = KeyedSumQuery(WindowSpec::Tumbling(100)).Compile(single);
+  ASSERT_TRUE(unsharded.ok());
+  EXPECT_FALSE(unsharded.value()->summary().sharded);
+  EXPECT_FALSE(unsharded.value()->summary().pin_threads);
+}
+
+TEST(PlannerTest, CfGridSharingRecordedAndObservableInMetrics) {
+  // Every tuple carries the same sensor model, split across 4 groups: the
+  // cross-group CF grid cache turns all but the first evaluation of each
+  // grid shape into hits, results stay bitwise-identical, and the
+  // hit/miss counters surface through the aggregate's OperatorMetrics.
+  auto query = Query::From("src", 2)
+                   .Window(WindowSpec::Sliding(40, 10))
+                   .GroupBy(0)
+                   .Sum("total", 1, uncertain::SumStrategyKind::kCfInversion)
+                   .Sink("out");
+  TupleBatch stream;
+  for (size_t i = 0; i < 240; ++i) {
+    Tuple t(static_cast<int64_t>(i * 7),
+            {Value(static_cast<int64_t>(i % 4)),
+             Value(stats::DistributionPtr(
+                 std::make_shared<stats::Gaussian>(1.0, 0.8)))});
+    t.InitBaseLineage();
+    stream.Append(std::move(t));
+  }
+  struct RunResult {
+    std::vector<std::string> rows;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+  };
+  auto run = [&](bool share) {
+    RunResult r;
+    PlannerOptions opts;
+    opts.num_shards = 1;
+    opts.cf_grid_points = 256;
+    opts.share_cf_grids = share;
+    auto compiled_or = query.Compile(opts);
+    EXPECT_TRUE(compiled_or.ok()) << compiled_or.status().ToString();
+    auto compiled = compiled_or.MoveValueUnsafe();
+    EXPECT_EQ(compiled->summary().cf_grid_sharing, share);
+    if (share) {
+      EXPECT_NE(compiled->summary().ToString().find("CF grid sharing"),
+                std::string::npos)
+          << compiled->summary().ToString();
+    }
+    EXPECT_TRUE(compiled->PushBatch(compiled->source("src"), stream).ok());
+    EXPECT_TRUE(compiled->Finish().ok());
+    r.rows = Canonical(compiled->TakeResult(compiled->sink("out")));
+    for (const auto& m : compiled->MetricsSnapshot()) {
+      r.hits += m.metrics.grid_cache_hits;
+      r.misses += m.metrics.grid_cache_misses;
+    }
+    return r;
+  };
+  const RunResult shared = run(true);
+  const RunResult unshared = run(false);
+  ASSERT_FALSE(shared.rows.empty());
+  EXPECT_EQ(shared.rows, unshared.rows);  // sharing is bitwise-neutral
+  EXPECT_GT(shared.hits, 0u);
+  EXPECT_GT(shared.misses, 0u);
+  EXPECT_GT(shared.hits, shared.misses);  // one model -> mostly hits
+  EXPECT_EQ(unshared.hits, 0u);
+  EXPECT_EQ(unshared.misses, 0u);
+}
+
 TEST(PlannerTest, AutoShardsFallBackToOneWhenKeyUnderivable) {
   // A join has no derivable partition key: an AUTO shard choice degrades
   // to 1 shard with the reason in the summary (an EXPLICIT N > 1 still

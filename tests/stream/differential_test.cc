@@ -24,6 +24,7 @@
 #include "query/planner.h"
 #include "query/query.h"
 #include "seeded_plan_generator.h"
+#include "stats/simd/dispatch.h"
 
 namespace usp {
 namespace stream {
@@ -170,6 +171,39 @@ TEST(DifferentialTest, FiftySeededPlansAgreeAcrossPhysicalPaths) {
     if (::testing::Test::HasFatalFailure()) {
       FAIL() << "differential harness failed at seed " << seed
              << " — replay with GeneratePlan(" << seed << ")";
+    }
+  }
+}
+
+// Free function (not the TEST body) so the call to Run() does not collide
+// with testing::Test::Run member lookup.
+void RunScalarDispatchSeed(uint64_t seed) {
+  const GeneratedPlan plan = GeneratePlan(seed);
+  SCOPED_TRACE("replay: " + plan.ToString());
+  auto active_or = Run(plan, BaseOptions());
+  ASSERT_TRUE(active_or.ok()) << active_or.status().ToString();
+  std::vector<Row> scalar_rows;
+  {
+    // Forced before Run spawns any worker; restored after Finish joins
+    // them, so no thread observes a mid-run tier switch.
+    stats::simd::ScopedForceTier force(stats::simd::Tier::kScalar);
+    auto scalar_or = Run(plan, BaseOptions());
+    ASSERT_TRUE(scalar_or.ok()) << scalar_or.status().ToString();
+    scalar_rows = Rows(scalar_or.value());
+  }
+  ExpectRowsEqual(Rows(active_or.value()), scalar_rows, 0.0);
+}
+
+TEST(DifferentialTest, ScalarDispatchMatchesActiveTierBitwise) {
+  // The SIMD dispatch table's claim end-to-end: forcing the scalar kernel
+  // tier must not change a single bit of any plan's output (the AVX2 tier
+  // is lane-exact against the scalar forms). On a machine whose active
+  // tier IS scalar this degenerates to a determinism check — still worth
+  // running; on AVX2 hosts it covers the whole planner/operator stack.
+  for (uint64_t seed = kFirstSeed; seed < kFirstSeed + 8; ++seed) {
+    RunScalarDispatchSeed(seed);
+    if (::testing::Test::HasFatalFailure()) {
+      FAIL() << "scalar-dispatch differential failed at seed " << seed;
     }
   }
 }

@@ -100,6 +100,35 @@ TEST(ShardedExecutorTest, KeyedPlanIsDeterministicAcrossShardCounts) {
   }
 }
 
+TEST(ShardedExecutorTest, PinnedThreadsMatchUnpinnedResults) {
+  // pin_threads is a placement optimisation only: workers self-pin, ring
+  // slots are first-touched on the worker's core, and the producer is
+  // pinned on its first push — none of which may change a single result.
+  // Runs regardless of core count (pinning is modulo ncpu, failures are
+  // best-effort ignored), so this also covers the 1-core degenerate case.
+  auto unpinned = RunKeyedPlan(1, 2000);
+  ASSERT_TRUE(unpinned.ok()) << unpinned.status().ToString();
+  const auto reference = Canonical(unpinned.value());
+  ASSERT_FALSE(reference.empty());
+  for (size_t shards : {1u, 4u}) {
+    ShardedExecutor::Options opts;
+    opts.num_shards = shards;
+    opts.num_ingest_lanes = 2;
+    opts.pin_threads = true;
+    ExecGraph::NodeId source = 0, sink = 0;
+    auto exec_or = ShardedExecutor::Create(
+        opts, KeyByIntValue(0), [&](ExecGraph* g, const ShardContext&) {
+          return BuildKeyedSumPlan(g, &source, &sink);
+        });
+    ASSERT_TRUE(exec_or.ok()) << exec_or.status().ToString();
+    auto exec = exec_or.MoveValueUnsafe();
+    ASSERT_TRUE(exec->PushBatch(source, MakeKeyedStream(2000)).ok());
+    ASSERT_TRUE(exec->Finish().ok());
+    EXPECT_EQ(Canonical(exec->TakeSinkOutput(sink)), reference)
+        << "pinned run differs at " << shards << " shards";
+  }
+}
+
 TEST(ShardedExecutorTest, MergedSinkOutputIsTimestampSorted) {
   auto out = RunKeyedPlan(4, 2000);
   ASSERT_TRUE(out.ok());
